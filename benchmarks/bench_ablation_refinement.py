@@ -1,0 +1,52 @@
+"""Ablation #2 (DESIGN.md) — refinement strictness.
+
+The paper admits users into the study with as little as one GPS tweet.  A
+single GPS fix is a noisy basis for ranking districts; this ablation
+sweeps the ``min_gps_tweets`` threshold and shows the trade-off: stricter
+entry shrinks the study population but stabilises the Top-k shares (the
+None group shrinks as one-offs caught away from home stop counting).
+"""
+
+from repro.analysis.correlation import run_study
+from repro.grouping.topk import TopKGroup
+
+
+def test_refinement_threshold_sweep(benchmark, ctx, artefact_sink):
+    dataset = ctx.korean_dataset
+
+    def sweep():
+        results = {}
+        for threshold in (1, 3, 5, 10):
+            study = run_study(
+                dataset.users,
+                dataset.tweets,
+                dataset.gazetteer,
+                dataset_name=f"Korean(min_gps={threshold})",
+                min_gps_tweets=threshold,
+            )
+            results[threshold] = study.statistics
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Refinement strictness sweep (min GPS tweets per study user)",
+        "------------------------------------------------------------",
+        f"{'threshold':>9} {'users':>7} {'Top-1':>8} {'Top1+2':>8} {'None':>8}",
+    ]
+    for threshold, stats in sorted(results.items()):
+        lines.append(
+            f"{threshold:>9} {stats.total_users:>7} "
+            f"{stats.row(TopKGroup.TOP_1).user_share:>8.2%} "
+            f"{stats.user_share(TopKGroup.TOP_1, TopKGroup.TOP_2):>8.2%} "
+            f"{stats.row(TopKGroup.NONE).user_share:>8.2%}"
+        )
+    artefact_sink("ablation_refinement_threshold", "\n".join(lines))
+
+    users_by_threshold = [results[t].total_users for t in (1, 3, 5, 10)]
+    assert users_by_threshold == sorted(users_by_threshold, reverse=True), (
+        "stricter thresholds must shrink the study population"
+    )
+    assert results[10].row(TopKGroup.NONE).user_share <= results[1].row(
+        TopKGroup.NONE
+    ).user_share + 0.02, "one-GPS-tweet users inflate the None group"

@@ -1,0 +1,106 @@
+"""Component throughput benchmarks.
+
+Micro-benchmarks for the hot paths under the study: great-circle math,
+both geocoders, the PlaceFinder XML round trip, and the tweet store's
+insert/query paths.  These are the knobs that decide whether the
+paper-scale corpus (11 M tweets) is tractable.
+"""
+
+import pytest
+
+from repro.geo.forward import TextGeocoder
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint, haversine_km
+from repro.geo.reverse import ReverseGeocoder
+from repro.storage.query import TimeRange, TweetQuery
+from repro.storage.tweetstore import TweetStore
+from repro.yahooapi.client import PlaceFinderClient
+from repro.yahooapi.xml import parse_response, render_success
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return Gazetteer.korean()
+
+
+def test_haversine_throughput(benchmark):
+    a = GeoPoint(37.5326, 126.9904)
+    b = GeoPoint(35.1068, 129.0312)
+
+    def batch():
+        total = 0.0
+        for _ in range(1_000):
+            total += haversine_km(a, b)
+        return total
+
+    total = benchmark(batch)
+    assert total > 0
+
+
+def test_reverse_geocode_throughput(benchmark, gazetteer, ctx):
+    reverse = ReverseGeocoder(gazetteer)
+    points = [
+        t.coordinates for t in ctx.korean_dataset.tweets.gps_tweets()[:500]
+    ]
+
+    def batch():
+        return [reverse.resolve(p) for p in points]
+
+    results = benchmark(batch)
+    assert len(results) == len(points)
+
+
+def test_forward_geocode_throughput(benchmark, gazetteer, ctx):
+    geocoder = TextGeocoder(gazetteer)
+    fields = [u.profile_location for u in ctx.korean_dataset.users][:500]
+
+    def batch():
+        return [geocoder.geocode(f) for f in fields]
+
+    results = benchmark(batch)
+    assert len(results) == len(fields)
+
+
+def test_placefinder_xml_roundtrip(benchmark, gazetteer):
+    reverse = ReverseGeocoder(gazetteer)
+    point = GeoPoint(37.5326, 126.9904)
+    path = reverse.resolve(point).path
+
+    def roundtrip():
+        return parse_response(render_success(point, path, quality=87))
+
+    response = benchmark(roundtrip)
+    assert response.ok and response.path == path
+
+
+def test_placefinder_cached_lookup(benchmark, gazetteer):
+    client = PlaceFinderClient(ReverseGeocoder(gazetteer), daily_quota=10**9)
+    point = GeoPoint(37.5326, 126.9904)
+    client.reverse_geocode(point)  # warm the cache
+
+    response = benchmark(client.reverse_geocode, point)
+    assert response.ok
+    assert client.stats.requests == 1, "steady-state lookups must be cache hits"
+
+
+def test_tweetstore_insert_throughput(benchmark, ctx):
+    tweets = list(ctx.korean_dataset.tweets)[:2_000]
+
+    def build():
+        store = TweetStore()
+        store.insert_many(tweets)
+        return store
+
+    store = benchmark(build)
+    assert len(store) == len(tweets)
+
+
+def test_tweetstore_query_throughput(benchmark, ctx):
+    store = ctx.korean_dataset.tweets
+    window = next(iter(store)).created_at_ms
+    query = TweetQuery(
+        time_range=TimeRange(window, window + 7 * 86_400_000), has_gps=True
+    )
+
+    results = benchmark(store.query, query)
+    assert all(t.has_gps for t in results)

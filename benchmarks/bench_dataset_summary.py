@@ -1,0 +1,40 @@
+"""E8 / slide 1 — dataset summary (users / tweets / collection API).
+
+Prints the two datasets' summary table and benchmarks a fresh small-scale
+Korean dataset build (population -> graph -> crawl -> timelines), the
+collection phase of the whole study.
+"""
+
+from repro.analysis.report import render_dataset_summary
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.twitter.tweetgen import CollectionWindow
+
+
+def test_dataset_summary(benchmark, ctx, artefact_sink):
+    config = KoreanDatasetConfig(
+        population_size=400,
+        crawl_limit=300,
+        window=CollectionWindow(start_ms=1_314_835_200_000, days=14),
+        use_api_timelines=True,
+        seed=13,
+    )
+
+    dataset = benchmark.pedantic(build_korean_dataset, args=(config,), rounds=3, iterations=1)
+
+    assert len(dataset.users) == 300
+    assert len(dataset.tweets) > 0
+
+    artefact_sink(
+        "E8_dataset_summary",
+        render_dataset_summary(
+            ctx.korean_dataset.summary, ctx.ladygaga_dataset.summary
+        ),
+    )
+
+    korean = ctx.korean_dataset.summary
+    gaga = ctx.ladygaga_dataset.summary
+    # Collection-API provenance, as on slide 1.
+    assert "Search API" in korean.collection_api
+    assert "Streaming API" in gaga.collection_api
+    # GPS tweets are the scarce resource of the whole study.
+    assert korean.geotagged_tweet_count < korean.tweet_count / 2

@@ -1,0 +1,99 @@
+"""E10 / §V — reliability-weighted event localisation (future work).
+
+The paper's proposed application: use the Top-k study's weight factors on
+profile locations when estimating an event's location.  This bench
+regenerates the estimator x weighting-scheme error table over three
+ground-truth earthquake scenarios, asserts the headline (weighting beats
+uniform), and times the two filters.
+
+Also covers the DESIGN.md ablation #3 (weighting schemes) and #4 (Kalman
+vs particle).
+"""
+
+import pytest
+
+from repro.analysis.reliability import WeightingScheme
+from repro.events.evaluation import (
+    LocalizationExperiment,
+    make_korean_scenarios,
+    mean_error_by_scheme,
+    render_localization_table,
+)
+from repro.events.kalman import KalmanLocalizer
+from repro.events.particle import ParticleLocalizer
+from repro.events.weighted import build_measurements
+
+
+@pytest.fixture(scope="module")
+def experiment(ctx):
+    return LocalizationExperiment(
+        ctx.korean_study,
+        ctx.korean_dataset.gazetteer,
+        ctx.korean_study.profile_districts,
+        gps_rate=0.2,
+    )
+
+
+@pytest.fixture(scope="module")
+def scenarios(ctx):
+    return make_korean_scenarios(ctx.korean_dataset.gazetteer)
+
+
+@pytest.fixture(scope="module")
+def measurements(ctx, experiment, scenarios):
+    reports = experiment.witness_reports(scenarios[0])
+    return build_measurements(
+        reports,
+        ctx.korean_study.profile_districts,
+        ctx.korean_study.groupings,
+        experiment.reliability_table,
+        WeightingScheme.GROUP_MATCHED_SHARE,
+    )
+
+
+def test_localization_table(benchmark, experiment, scenarios, artefact_sink):
+    outcomes = benchmark.pedantic(
+        experiment.run_localization, args=(scenarios,), rounds=1, iterations=1
+    )
+    artefact_sink("E10_event_localization", render_localization_table(outcomes))
+
+    means = mean_error_by_scheme(outcomes)
+    for estimator in ("centroid", "kalman", "particle"):
+        uniform = means[(estimator, WeightingScheme.UNIFORM)]
+        weighted = means[(estimator, WeightingScheme.GROUP_MATCHED_SHARE)]
+        assert weighted < uniform, (
+            f"{estimator}: reliability weighting must beat uniform "
+            f"({weighted:.1f} vs {uniform:.1f} km)"
+        )
+
+
+def test_detection_latency(benchmark, experiment, scenarios, artefact_sink):
+    outcomes = benchmark.pedantic(
+        experiment.run_detection, args=(scenarios,), rounds=1, iterations=1
+    )
+    lines = ["Event detection latency (Toretter pipeline)",
+             "--------------------------------------------"]
+    for outcome in outcomes:
+        latency = (
+            f"{outcome.latency_ms / 60000:.1f} min"
+            if outcome.latency_ms is not None
+            else "missed"
+        )
+        lines.append(
+            f"{outcome.scenario_name:<16} {latency:>10}  "
+            f"({outcome.positive_reports} positive reports)"
+        )
+    artefact_sink("E10_detection_latency", "\n".join(lines))
+    assert all(o.detected for o in outcomes), "every scenario must raise an alarm"
+
+
+def test_kalman_throughput(benchmark, measurements):
+    estimator = KalmanLocalizer()
+    estimate = benchmark(estimator.estimate, measurements)
+    assert -90 <= estimate.lat <= 90
+
+
+def test_particle_throughput(benchmark, measurements):
+    estimator = ParticleLocalizer(particle_count=500)
+    estimate = benchmark(estimator.estimate, measurements)
+    assert -90 <= estimate.lat <= 90

@@ -1,0 +1,33 @@
+"""Extension E11 — the third spatial attribute: places mentioned in text.
+
+The paper names three spatial attribute sources and analyses only two
+(§III-A); Fig. 4 observes in passing that mentioned places often equal
+the GPS district.  This extension quantifies that: over the Korean
+corpus's GPS tweets, how often does an unambiguous place mention agree
+with the reverse-geocoded GPS district?
+
+Expected shape: high same-state agreement, majority same-district —
+i.e. place mentions are a usable (if sparser) spatial signal, supporting
+the paper's suggestion that they could be a future attribute source.
+"""
+
+from repro.analysis.mentions import MentionCorrelationStudy, render_mention_agreement
+from repro.geo.mentions import PlaceMentionExtractor
+from repro.geo.reverse import ReverseGeocoder
+
+
+def test_place_mention_agreement(benchmark, ctx, artefact_sink):
+    gazetteer = ctx.korean_dataset.gazetteer
+    study = MentionCorrelationStudy(
+        PlaceMentionExtractor(gazetteer), ReverseGeocoder(gazetteer)
+    )
+    gps_tweets = list(ctx.korean_dataset.tweets.gps_tweets())
+
+    result = benchmark.pedantic(study.run, args=(gps_tweets,), rounds=3, iterations=1)
+
+    artefact_sink("E11_ext_place_mentions", render_mention_agreement(result))
+
+    assert result.tweets_with_mentions > 100
+    assert result.agreement_rate > 0.5, "mentions should mostly name the GPS district"
+    assert result.same_state_rate > result.agreement_rate
+    assert result.median_distance_km < 30.0

@@ -1,0 +1,57 @@
+"""Extension E12 — statistical backing for the paper's percentages.
+
+Adds the uncertainty the paper's figures omit: bootstrap confidence
+intervals on every Fig.-7 user share, and a chi-square test that the
+Korean and Lady Gaga populations really are distributed differently over
+the Top-k groups (slides 4-5's visual claim).
+"""
+
+from repro.analysis.significance import (
+    bootstrap_share_intervals,
+    compare_group_distributions,
+)
+from repro.grouping.topk import TopKGroup
+
+
+def test_share_confidence_intervals(benchmark, ctx, artefact_sink):
+    groupings = list(ctx.korean_study.groupings.values())
+
+    intervals = benchmark.pedantic(
+        bootstrap_share_intervals,
+        args=(groupings,),
+        kwargs={"n_resamples": 1_000, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "Fig. 7 user shares with 95% bootstrap confidence intervals",
+        "----------------------------------------------------------",
+    ]
+    for group in TopKGroup.reporting_order():
+        ci = intervals[group]
+        lines.append(
+            f"{group.value:<8} {ci.share:7.2%}  [{ci.low:6.2%}, {ci.high:6.2%}]"
+        )
+
+    chi2 = compare_group_distributions(
+        ctx.korean_study.groupings.values(),
+        ctx.ladygaga_study.groupings.values(),
+    )
+    lines.append("")
+    lines.append(
+        f"Korean vs Lady Gaga group distributions: chi2={chi2.statistic:.1f}, "
+        f"dof={chi2.dof}, p={chi2.p_value:.2e} "
+        f"({'different' if chi2.significant() else 'indistinguishable'} at 5%)"
+    )
+    artefact_sink("E12_ext_significance", "\n".join(lines))
+
+    # Every interval must bracket its point estimate.
+    for ci in intervals.values():
+        assert ci.low <= ci.share <= ci.high
+    # The paper's headline shares must be inside their own intervals'
+    # plausible bands at this scale.
+    top1 = intervals[TopKGroup.TOP_1]
+    assert top1.high - top1.low < 0.15, "interval should be reasonably tight"
+    # Slides 4-5 show visibly different distributions.
+    assert chi2.significant()

@@ -1,0 +1,29 @@
+"""Extension E13 — temporal stability of the Top-k groups.
+
+An event-detection system wants to learn the reliability weights once and
+keep using them; that only works if a user's Top-k group is a persistent
+trait rather than a window artefact.  This bench splits the Korean study's
+observations at the median timestamp, regroups each half, and reports the
+transition structure.
+
+Expected shape: agreement far above the 1/7 chance level, with most
+disagreements involving thin second-half histories.
+"""
+
+from repro.analysis.stability import render_stability, split_half_stability
+
+
+def test_split_half_stability(benchmark, ctx, artefact_sink):
+    observations = ctx.korean_study.observations
+
+    result = benchmark(split_half_stability, observations)
+
+    artefact_sink("E13_ext_stability", render_stability(result))
+
+    assert result.users_in_both > 100
+    assert result.agreement_rate > 0.45, (
+        f"groups should be a persistent trait, got {result.agreement_rate:.1%}"
+    )
+    assert result.agreement_rate > 3 * (1 / 7), "must beat chance by a wide margin"
+    # The dangerous churn (into/out of None) must be well under half.
+    assert result.none_churn_rate < 0.40

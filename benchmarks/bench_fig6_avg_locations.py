@@ -1,0 +1,29 @@
+"""E1 / paper Fig. 6 — average number of tweet locations per group.
+
+Regenerates the figure's series from the Korean study and benchmarks the
+aggregation stage (grouping outcomes -> per-group statistics).
+
+Paper shape: Top-1 users average ~3 posting districts; the average grows
+with k; the None group sits lower, around 2.5.
+"""
+
+from repro.analysis.report import render_fig6
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import TopKGroup
+
+
+def test_fig6_avg_tweet_locations(benchmark, ctx, artefact_sink):
+    groupings = list(ctx.korean_study.groupings.values())
+
+    statistics = benchmark(compute_group_statistics, groupings)
+
+    artefact_sink("E1_fig6_avg_tweet_locations", render_fig6(statistics))
+
+    top1 = statistics.row(TopKGroup.TOP_1).avg_tweet_locations
+    none = statistics.row(TopKGroup.NONE).avg_tweet_locations
+    top6 = statistics.row(TopKGroup.TOP_6_PLUS).avg_tweet_locations
+    # Paper shape constraints.
+    assert 2.0 <= top1 <= 5.5, f"Top-1 average {top1} out of the paper's band"
+    assert none < top1, "None group should roam less than Top-1 (paper: ~2.5)"
+    assert top6 > top1, "averages grow with k (paper Fig. 6 trend)"
+    assert 2.0 <= statistics.overall_avg_tweet_locations <= 5.0

@@ -1,0 +1,32 @@
+"""E2 / paper Fig. 7 — number of users in each group.
+
+Regenerates the user-distribution series from the Korean study and
+benchmarks the grouping stage itself (observations -> Top-k outcomes).
+
+Paper shape: Top-1 + Top-2 hold "nearly half" of all users (more than
+40 %); the None group holds about 30 %.
+"""
+
+from repro.analysis.report import render_fig7
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import TopKGroup, group_users
+
+
+def test_fig7_user_distribution(benchmark, ctx, artefact_sink):
+    observations = ctx.korean_study.observations
+
+    groupings = benchmark(group_users, observations)
+
+    statistics = compute_group_statistics(groupings.values())
+    artefact_sink("E2_fig7_user_distribution", render_fig7(statistics))
+
+    top12 = statistics.user_share(TopKGroup.TOP_1, TopKGroup.TOP_2)
+    none_share = statistics.row(TopKGroup.NONE).user_share
+    assert top12 > 0.40, f"Top-1+Top-2 {top12:.2%}; paper reports more than 40%"
+    assert 0.20 <= none_share <= 0.45, (
+        f"None share {none_share:.2%}; paper reports about 30%"
+    )
+    # Shares within the matched groups decay with k.
+    shares = [statistics.row(g).user_count for g in (
+        TopKGroup.TOP_1, TopKGroup.TOP_2, TopKGroup.TOP_3)]
+    assert shares[0] > shares[1] > shares[2]

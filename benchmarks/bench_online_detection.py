@@ -1,0 +1,58 @@
+"""E10 companion — the online Toretter pipeline, end to end.
+
+Where ``bench_event_localization`` scores estimators on frozen witness
+sets, this bench runs the *deployed-system* path: an earthquake is
+injected into the platform's full tweet stream and the online detector
+(keyword filter -> classifier -> sliding window -> weighted localisation)
+has to find it.  Reports alarm latency, localisation error, and stream
+throughput.
+"""
+
+from repro.analysis.reliability import ReliabilityTable
+from repro.events.evaluation import make_korean_scenarios
+from repro.events.injector import EventTweetInjector
+from repro.events.online import OnlineEventDetector
+
+
+def test_online_pipeline(benchmark, ctx, artefact_sink):
+    study = ctx.korean_study
+    gazetteer = ctx.korean_dataset.gazetteer
+    scenario = make_korean_scenarios(gazetteer, onset_ms=1_316_000_000_000)[0]
+    injector = EventTweetInjector(gazetteer, gps_rate=0.2)
+    stream = injector.inject(
+        scenario, study.groupings, list(ctx.korean_dataset.tweets)
+    )
+    table = ReliabilityTable.from_statistics(study.statistics)
+
+    def run_pipeline():
+        detector = OnlineEventDetector(
+            reliability=table,
+            profile_districts=study.profile_districts,
+            groupings=study.groupings,
+            alarm_threshold=5,
+        )
+        return detector.run(stream)
+
+    stats = benchmark.pedantic(run_pipeline, rounds=3, iterations=1)
+
+    assert stats.alarms, "the injected quake must trip the online alarm"
+    first = stats.alarms[0]
+    latency_min = (first.triggered_at_ms - scenario.onset_ms) / 60_000
+    assert first.estimate is not None
+    error_km = first.estimate.distance_km(scenario.epicenter)
+
+    lines = [
+        "Online Toretter pipeline over the full stream (E10 companion)",
+        "--------------------------------------------------------------",
+        f"stream size                 {stats.tweets_seen:9d} tweets",
+        f"keyword hits                {stats.keyword_hits:9d}",
+        f"classified positive         {stats.classified_positive:9d}",
+        f"alarm latency               {latency_min:9.1f} min after onset",
+        f"localisation error          {error_km:9.1f} km",
+        f"window at alarm             {first.window_positive_count:9d} positives "
+        f"({first.gps_measurements} GPS / {first.profile_measurements} profiles)",
+    ]
+    artefact_sink("E10_online_pipeline", "\n".join(lines))
+
+    assert latency_min < 60.0
+    assert error_km < scenario.felt_radius_km

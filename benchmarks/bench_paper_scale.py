@@ -1,0 +1,45 @@
+"""Opt-in paper-scale run: the study at the paper's real corpus size.
+
+`KoreanDatasetConfig.paper_scale()` builds ~52 200 crawled users over a
+180-day window (~10 M tweets) — the full size of the original collection.
+It takes minutes and several GiB, so it only runs when explicitly asked:
+
+    REPRO_PAPER_SCALE=1 pytest benchmarks/bench_paper_scale.py --benchmark-only
+
+The default CI-sized benches cover the same code paths at 1/17 scale.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.correlation import run_study
+from repro.analysis.report import render_fig7
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.grouping.topk import TopKGroup
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale run is opt-in: set REPRO_PAPER_SCALE=1",
+)
+
+
+def test_paper_scale_study(benchmark, artefact_sink):
+    config = KoreanDatasetConfig.paper_scale()
+
+    def full_run():
+        dataset = build_korean_dataset(config)
+        return dataset, run_study(
+            dataset.users, dataset.tweets, dataset.gazetteer, "Korean(paper-scale)"
+        )
+
+    dataset, study = benchmark.pedantic(full_run, rounds=1, iterations=1)
+
+    assert len(dataset.users) == 52_200
+    assert study.funnel.study_users > 5_000
+    artefact_sink(
+        "paper_scale_fig7",
+        render_fig7(study.statistics, title="Fig. 7 at paper scale (52.2k crawl)"),
+    )
+    top12 = study.statistics.user_share(TopKGroup.TOP_1, TopKGroup.TOP_2)
+    assert top12 > 0.40

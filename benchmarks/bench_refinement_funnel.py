@@ -1,0 +1,46 @@
+"""E9 / §III-B — the refinement funnel.
+
+Regenerates the attrition accounting (crawled -> well-defined profile ->
+has GPS -> study users) and benchmarks the full refinement pipeline run,
+including forward geocoding of every profile and the XML reverse-geocode
+round trip for every GPS tweet.
+
+Paper shape: heavy attrition at both filters — "we had to remove many
+users" (profile quality) and "most of our users were eliminated" (GPS
+scarcity).
+"""
+
+from repro.analysis.report import render_funnel
+from repro.datasets.refine import RefinementPipeline
+from repro.geo.forward import TextGeocoder
+from repro.geo.reverse import ReverseGeocoder
+from repro.yahooapi.client import PlaceFinderClient
+
+
+def test_refinement_funnel(benchmark, ctx, artefact_sink):
+    gazetteer = ctx.korean_dataset.gazetteer
+
+    def run_refinement():
+        pipeline = RefinementPipeline(
+            text_geocoder=TextGeocoder(gazetteer),
+            placefinder=PlaceFinderClient(ReverseGeocoder(gazetteer), daily_quota=10**9),
+            min_gps_tweets=1,
+        )
+        return pipeline.run(ctx.korean_dataset.users, ctx.korean_dataset.tweets)
+
+    refined = benchmark.pedantic(run_refinement, rounds=3, iterations=1)
+
+    funnel = refined.funnel
+    artefact_sink("E9_refinement_funnel", render_funnel(funnel))
+
+    assert funnel.well_defined_users < funnel.crawled_users * 0.6, (
+        "profile filtering must remove many users (paper: ~52k -> ~30k... band)"
+    )
+    assert funnel.study_users < funnel.well_defined_users, (
+        "GPS scarcity must eliminate further users"
+    )
+    assert funnel.gps_tweets < funnel.total_tweets * 0.25, (
+        "GPS tweets are the scarce minority of the corpus"
+    )
+    assert funnel.study_users == len(refined.study_users)
+    assert funnel.resolved_observations == len(refined.observations)

@@ -1,0 +1,87 @@
+"""Related-systems benches — Twitris and TwitterMonitor over the corpus.
+
+The paper motivates itself against the event systems of §II.  These
+benches run both on the reproduced Korean corpus:
+
+* Twitris — spatio-temporal-thematic summaries per (district, day) slice,
+  with an earthquake day injected so the event themes surface (Fig. 1's
+  "what" axis);
+* TwitterMonitor (ref. [5]) — bursty-keyword trend detection over the
+  same injected stream.
+"""
+
+from repro.events.evaluation import make_korean_scenarios
+from repro.events.injector import EventTweetInjector
+from repro.events.trends import TrendDetector
+from repro.events.twitris import TwitrisSummarizer
+from repro.geo.reverse import ReverseGeocoder
+
+
+def _injected_stream(ctx):
+    gazetteer = ctx.korean_dataset.gazetteer
+    scenario = make_korean_scenarios(gazetteer, onset_ms=1_316_000_000_000)[0]
+    injector = EventTweetInjector(gazetteer, gps_rate=0.5)
+    stream = injector.inject(
+        scenario, ctx.korean_study.groupings, list(ctx.korean_dataset.tweets)
+    )
+    return scenario, stream
+
+
+def test_twitris_summaries(benchmark, ctx, artefact_sink):
+    gazetteer = ctx.korean_dataset.gazetteer
+    scenario, stream = _injected_stream(ctx)
+
+    def build_and_summarize():
+        summarizer = TwitrisSummarizer(ReverseGeocoder(gazetteer))
+        summarizer.ingest(stream)
+        return summarizer.summarize_all(top_k=4, min_tweets=5)
+
+    summaries = benchmark.pedantic(build_and_summarize, rounds=1, iterations=1)
+
+    assert summaries
+    event_day = scenario.onset_ms // 86_400_000
+    event_slices = [
+        s
+        for s in summaries
+        if s.key.day == event_day
+        and any(t.term in ("earthquake", "shaking") for t in s.top_terms)
+    ]
+    assert event_slices, "the quake day's slices must surface event themes"
+
+    busiest = max(event_slices, key=lambda s: s.tweet_count)
+    lines = [
+        "Twitris-style slice summaries (event day)",
+        "------------------------------------------",
+        f"slices summarised           {len(summaries):6d}",
+        f"event-theme slices on day   {len(event_slices):6d}",
+        f"busiest event slice         {busiest.key.state}/{busiest.key.county} "
+        f"({busiest.tweet_count} tweets)",
+        "top terms: " + ", ".join(t.term for t in busiest.top_terms),
+    ]
+    artefact_sink("related_twitris", "\n".join(lines))
+
+
+def test_twittermonitor_trends(benchmark, ctx, artefact_sink):
+    scenario, stream = _injected_stream(ctx)
+
+    def run_detector():
+        return TrendDetector(min_count=5).run(stream)
+
+    trends = benchmark.pedantic(run_detector, rounds=1, iterations=1)
+
+    quake_trends = [t for t in trends if "earthquake" in t.keywords]
+    assert quake_trends, "the injected quake must trend"
+    first = quake_trends[0]
+    latency_min = (first.detected_at_ms - scenario.onset_ms) / 60_000
+    assert 0 <= latency_min < 120
+
+    lines = [
+        "TwitterMonitor-style trend detection",
+        "-------------------------------------",
+        f"trends detected             {len(trends):6d}",
+        f"quake trend keywords        {', '.join(first.keywords)}",
+        f"detected                    {latency_min:6.1f} min after onset",
+        f"window tweets               {first.tweet_count:6d}",
+        f"sample: {first.sample_text}",
+    ]
+    artefact_sink("related_twittermonitor", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""Scale benchmark — the grouping method at (and beyond) paper scale.
+
+The paper's final dataset is ~1 4?? users and a few tens of thousands of
+geotagged observations; its collection corpus was 11.1 M tweets.  This
+bench shows the method's headroom: a synthetic observation stream of
+paper-scale users and 100x the paper's observation volume is grouped in
+seconds, so corpus size was never the study's bottleneck (the GPS-scarce
+*collection*, simulated elsewhere, was).
+"""
+
+import random
+
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import group_users
+from repro.twitter.models import GeotaggedObservation
+
+USERS = 1_500
+OBSERVATIONS = 2_000_000
+_COUNTIES = [f"District-{i}" for i in range(60)]
+
+
+def _synth_observations(seed: int = 7) -> list[GeotaggedObservation]:
+    rng = random.Random(seed)
+    profile = {uid: rng.choice(_COUNTIES) for uid in range(USERS)}
+    home_bias = {uid: rng.random() for uid in range(USERS)}
+    rows = []
+    for _ in range(OBSERVATIONS):
+        uid = rng.randrange(USERS)
+        if rng.random() < home_bias[uid]:
+            tweet_county = profile[uid]
+        else:
+            tweet_county = rng.choice(_COUNTIES)
+        rows.append(
+            GeotaggedObservation(
+                user_id=uid,
+                profile_state="Seoul",
+                profile_county=profile[uid],
+                tweet_state="Seoul",
+                tweet_county=tweet_county,
+            )
+        )
+    return rows
+
+
+def test_grouping_at_scale(benchmark, artefact_sink):
+    observations = _synth_observations()
+
+    def run():
+        groupings = group_users(observations)
+        return compute_group_statistics(groupings.values())
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert stats.total_users == USERS
+    assert stats.total_tweets == OBSERVATIONS
+
+    artefact_sink(
+        "scale_grouping",
+        f"grouped {OBSERVATIONS:,} observations over {USERS:,} users "
+        f"(100x the paper's observation volume) in one pass; "
+        f"overall avg tweet locations {stats.overall_avg_tweet_locations:.2f}",
+    )

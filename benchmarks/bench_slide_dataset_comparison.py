@@ -1,0 +1,41 @@
+"""E4+E5 / slides 4-5 — Korean vs Lady Gaga comparison.
+
+Regenerates both comparison series (users per group; average tweet
+locations per group) and benchmarks the streaming study's grouping stage.
+
+Slide shape: the worldwide streaming sample is less home-anchored than
+the Korean crawl — a flatter matched-group profile and fewer tweets (and
+thus fewer distinct districts) per user.
+"""
+
+from repro.analysis.report import render_comparison
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import TopKGroup, group_users
+
+
+def test_dataset_comparison(benchmark, ctx, artefact_sink):
+    groupings = benchmark(group_users, ctx.ladygaga_study.observations)
+
+    statistics = compute_group_statistics(groupings.values())
+    assert statistics.total_users == ctx.ladygaga_study.statistics.total_users
+
+    korean = ctx.korean_study.statistics
+    ladygaga = ctx.ladygaga_study.statistics
+    artefact_sink(
+        "E4_user_share_comparison",
+        render_comparison(korean, ladygaga, metric="user_share"),
+    )
+    artefact_sink(
+        "E5_avg_locations_comparison",
+        render_comparison(korean, ladygaga, metric="avg_tweet_locations"),
+    )
+
+    # Streaming users contribute fewer geotagged tweets each ...
+    korean_rate = korean.total_tweets / korean.total_users
+    gaga_rate = ladygaga.total_tweets / ladygaga.total_users
+    assert gaga_rate < korean_rate
+    # ... and therefore fewer observed districts in Top-1.
+    assert (
+        ladygaga.row(TopKGroup.TOP_1).avg_tweet_locations
+        < korean.row(TopKGroup.TOP_1).avg_tweet_locations
+    )

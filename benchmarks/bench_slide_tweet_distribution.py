@@ -1,0 +1,35 @@
+"""E3 / slide 3 — number of tweets in each group.
+
+Regenerates the tweet-share series: how the geotagged tweet volume
+distributes over the Top-k user groups.  Benchmarks the full merge path
+(per-tweet location strings -> merged, ordered lists).
+
+Slide shape: Top-1 dominates the tweet volume; shares decay over k; the
+None group still contributes a sizeable block (its users tweet, just
+never from their profile district).
+"""
+
+from repro.analysis.report import render_tweet_distribution
+from repro.grouping.merge import merge_strings
+from repro.grouping.strings import LocationString
+from repro.grouping.topk import TopKGroup
+
+
+def test_tweet_distribution(benchmark, ctx, artefact_sink):
+    records = [
+        LocationString.from_observation(obs) for obs in ctx.korean_study.observations
+    ]
+
+    merged = benchmark(merge_strings, records)
+
+    assert sum(sum(m.count for m in rows) for rows in merged.values()) == len(records)
+
+    statistics = ctx.korean_study.statistics
+    artefact_sink("E3_tweet_distribution", render_tweet_distribution(statistics))
+
+    top1 = statistics.row(TopKGroup.TOP_1).tweet_share
+    top3 = statistics.row(TopKGroup.TOP_3).tweet_share
+    assert top1 == max(row.tweet_share for row in statistics.rows), (
+        "Top-1 users contribute the largest tweet share"
+    )
+    assert top1 > top3, "tweet shares decay over k"

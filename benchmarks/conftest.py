@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment context (both datasets + both studies) is built once per
+session at the default scale; every benchmark that regenerates a paper
+artefact draws from it.  Rendered artefacts are printed and also written
+to ``benchmarks/output/`` so they can be inspected after a captured run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.pipelines.experiments import ExperimentContext, get_context
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The shared default-scale experiment context."""
+    return get_context("default")
+
+
+@pytest.fixture(scope="session")
+def artefact_sink():
+    """Callable that records a rendered artefact: print + file."""
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (_OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return record

@@ -1,0 +1,69 @@
+"""Full reliability report: the study plus every extension analysis.
+
+This is the workflow a downstream event-detection team would actually
+run: build the study once, persist it, then analyse the saved result —
+confidence intervals on the headline shares, region-conditional
+reliability, and the temporal stability of the weight factors.
+
+Run:  python examples/reliability_report.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import (
+    ReliabilityTable,
+    bootstrap_share_intervals,
+    load_study,
+    regional_breakdown,
+    render_fig7,
+    render_regional_breakdown,
+    render_stability,
+    save_study,
+    split_half_stability,
+)
+from repro.datasets import KoreanDatasetConfig
+from repro.geo import Gazetteer
+from repro.pipelines import run_korean_study
+from repro.twitter import CollectionWindow
+
+
+def main() -> None:
+    output = run_korean_study(
+        KoreanDatasetConfig(
+            population_size=2_500,
+            crawl_limit=2_000,
+            window=CollectionWindow(start_ms=1_314_835_200_000, days=60),
+            use_api_timelines=False,
+        )
+    )
+
+    # Persist and reload — analysis never re-runs collection.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "korean_study.json"
+        save_study(output.study, path)
+        print(f"study saved ({path.stat().st_size / 1024:.0f} KiB); reloading...")
+        study = load_study(path, Gazetteer.korean())
+
+    print()
+    print(render_fig7(study.statistics))
+    print()
+
+    print("95% bootstrap confidence intervals on user shares:")
+    for group, ci in bootstrap_share_intervals(study.groupings.values()).items():
+        print(f"  {group.value:<8} {ci.share:7.2%}  [{ci.low:6.2%}, {ci.high:6.2%}]")
+    print()
+
+    table = ReliabilityTable.from_statistics(study.statistics)
+    print("weight factors an event system would load:", table.as_dict())
+    print()
+
+    rows = regional_breakdown(study.groupings, study.profile_districts, min_users=15)
+    print(render_regional_breakdown(rows))
+    print()
+
+    print(render_stability(split_half_stability(study.observations)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Twitris-style spatio-temporal-thematic browsing.
+
+Reproduces the other related system the paper builds on (§II): Twitris
+extracts the TF-IDF-strongest terms per (location, day) slice of the
+tweet stream — the "when / where / what" browsing of its Fig. 1.  Here we
+ingest the Korean corpus, then inject an earthquake day in one district
+and show its themes surfacing to the top of that slice.
+
+Run:  python examples/twitris_browser.py
+"""
+
+from repro.datasets import KoreanDatasetConfig, build_korean_dataset
+from repro.events import TwitrisSummarizer
+from repro.geo import Gazetteer, ReverseGeocoder
+from repro.twitter import CollectionWindow, Tweet
+from repro.twitter.idgen import SnowflakeGenerator
+
+
+def main() -> None:
+    window = CollectionWindow(start_ms=1_314_835_200_000, days=30)
+    dataset = build_korean_dataset(
+        KoreanDatasetConfig(
+            population_size=1_200,
+            crawl_limit=1_000,
+            window=window,
+            use_api_timelines=False,
+        )
+    )
+    gazetteer = Gazetteer.korean()
+    summarizer = TwitrisSummarizer(ReverseGeocoder(gazetteer))
+
+    sliced = summarizer.ingest(list(dataset.tweets))
+    print(f"ingested {len(dataset.tweets)} tweets; {sliced} landed in slices")
+
+    # Inject an event day: earthquake chatter from Gangnam-gu.
+    gangnam = gazetteer.get("Seoul", "Gangnam-gu")
+    idgen = SnowflakeGenerator(worker_id=9)
+    event_day_ms = window.start_ms + 10 * 86_400_000
+    event_texts = [
+        "earthquake!! the whole building in gangnam is shaking",
+        "strong earthquake just hit, everyone outside",
+        "did you feel that earthquake just now? so scary",
+        "earthquake again, things falling everywhere",
+        "big earthquake, the shaking lasted forever",
+    ]
+    event_tweets = [
+        Tweet(
+            tweet_id=idgen.next_id(event_day_ms + i * 60_000),
+            user_id=999_000 + i,
+            created_at_ms=event_day_ms + i * 60_000,
+            text=text,
+            coordinates=gangnam.center,
+            true_state=gangnam.state,
+            true_county=gangnam.name,
+        )
+        for i, text in enumerate(event_texts)
+    ]
+    summarizer.ingest(event_tweets)
+
+    print()
+    print("top themes per (district, day) slice — busiest slices first:")
+    summaries = summarizer.summarize_all(top_k=4, min_tweets=4)
+    summaries.sort(key=lambda s: -s.tweet_count)
+    for summary in summaries[:8]:
+        terms = ", ".join(t.term for t in summary.top_terms)
+        print(
+            f"  day {summary.key.day}  {summary.key.state}/{summary.key.county:<16}"
+            f" ({summary.tweet_count:3d} tweets): {terms}"
+        )
+
+    print()
+    event_key = next(
+        k
+        for k in summarizer.slice_keys()
+        if k.county == "Gangnam-gu" and k.day == event_day_ms // 86_400_000
+    )
+    event_summary = summarizer.summarize(event_key, top_k=5)
+    print(
+        f"event slice {event_summary.key.state}/{event_summary.key.county} "
+        f"day {event_summary.key.day}:"
+    )
+    for term in event_summary.top_terms:
+        print(f"  {term.term:<12} tfidf={term.score:6.2f} (tf={term.tf}, df={term.df})")
+
+
+if __name__ == "__main__":
+    main()

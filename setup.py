@@ -1,0 +1,16 @@
+"""Legacy setup shim so `pip install -e .` works offline without `wheel`."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Lee & Hwang (ICDE 2012): correlation between "
+        "spatial attributes on Twitter"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,79 @@
+"""repro — reproduction of Lee & Hwang (ICDE 2012 Workshops):
+*A Study of the Correlation between the Spatial Attributes on Twitter*.
+
+The library answers the paper's question — how reliable is the free-text
+profile location on Twitter as a proxy for where users actually tweet? —
+over fully synthetic but behaviourally faithful Twitter data, and then
+applies the answer the way the paper proposes: as weight factors in
+event-localisation systems.
+
+Quick start::
+
+    from repro import run_korean_study, render_fig7
+
+    output = run_korean_study()
+    print(render_fig7(output.study.statistics))
+
+Subpackages: :mod:`repro.geo` (districts, geocoding), :mod:`repro.yahooapi`
+(the simulated PlaceFinder), :mod:`repro.twitter` (synthetic platform),
+:mod:`repro.storage` (tweet/user stores), :mod:`repro.text` (normalisation,
+TF-IDF), :mod:`repro.grouping` (the paper's method), :mod:`repro.analysis`
+(study + reliability weights), :mod:`repro.events` (Toretter/Twitris and
+weighted localisation), :mod:`repro.datasets` and :mod:`repro.pipelines`
+(builders, funnel, experiment registry).
+"""
+
+from repro.analysis import (
+    ReliabilityTable,
+    StudyResult,
+    WeightingScheme,
+    render_comparison,
+    render_dataset_summary,
+    render_fig6,
+    render_fig7,
+    render_funnel,
+    render_tweet_distribution,
+    run_study,
+)
+from repro.errors import ReproError
+from repro.grouping import (
+    GroupStatistics,
+    LocationString,
+    TopKGroup,
+    UserGrouping,
+    compute_group_statistics,
+    group_users,
+)
+from repro.pipelines import (
+    EXPERIMENTS,
+    run_experiment,
+    run_korean_study,
+    run_ladygaga_study,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXPERIMENTS",
+    "GroupStatistics",
+    "LocationString",
+    "ReliabilityTable",
+    "ReproError",
+    "StudyResult",
+    "TopKGroup",
+    "UserGrouping",
+    "WeightingScheme",
+    "__version__",
+    "compute_group_statistics",
+    "group_users",
+    "render_comparison",
+    "render_dataset_summary",
+    "render_fig6",
+    "render_fig7",
+    "render_funnel",
+    "render_tweet_distribution",
+    "run_experiment",
+    "run_korean_study",
+    "run_ladygaga_study",
+    "run_study",
+]

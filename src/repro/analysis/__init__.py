@@ -1,0 +1,85 @@
+"""Analysis layer: the correlation study, reliability weights, reports.
+
+Public surface of :mod:`repro.analysis`:
+
+* :func:`run_study` / :class:`StudyResult` — the end-to-end study
+* :class:`ReliabilityTable` / :class:`WeightingScheme` — weight factors
+* ``render_*`` — plain-text renderings of every paper figure/table
+"""
+
+from repro.analysis.correlation import StudyResult, run_study
+from repro.analysis.export import (
+    export_group_statistics,
+    export_groupings,
+    export_observations,
+)
+from repro.analysis.mentions import (
+    MentionAgreement,
+    MentionCorrelationStudy,
+    render_mention_agreement,
+)
+from repro.analysis.reliability import ReliabilityTable, WeightingScheme
+from repro.analysis.regional import (
+    RegionalRow,
+    regional_breakdown,
+    render_regional_breakdown,
+)
+from repro.analysis.serialization import load_study, save_study
+from repro.analysis.stability import (
+    StabilityResult,
+    median_timestamp,
+    render_stability,
+    split_half_stability,
+)
+from repro.analysis.significance import (
+    ChiSquareResult,
+    ShareInterval,
+    bootstrap_share_intervals,
+    chi2_sf,
+    chi_square_independence,
+    compare_group_distributions,
+)
+from repro.analysis.report import (
+    render_comparison,
+    render_dataset_summary,
+    render_fig6,
+    render_fig7,
+    render_funnel,
+    render_merged_strings,
+    render_tweet_distribution,
+)
+
+__all__ = [
+    "ChiSquareResult",
+    "MentionAgreement",
+    "MentionCorrelationStudy",
+    "RegionalRow",
+    "ReliabilityTable",
+    "ShareInterval",
+    "StabilityResult",
+    "StudyResult",
+    "WeightingScheme",
+    "bootstrap_share_intervals",
+    "chi2_sf",
+    "chi_square_independence",
+    "compare_group_distributions",
+    "export_group_statistics",
+    "export_groupings",
+    "export_observations",
+    "load_study",
+    "median_timestamp",
+    "regional_breakdown",
+    "render_mention_agreement",
+    "render_regional_breakdown",
+    "render_stability",
+    "save_study",
+    "split_half_stability",
+    "render_comparison",
+    "render_dataset_summary",
+    "render_fig6",
+    "render_fig7",
+    "render_funnel",
+    "render_merged_strings",
+    "render_tweet_distribution",
+    "run_study",
+]

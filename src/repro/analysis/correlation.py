@@ -1,0 +1,93 @@
+"""The end-to-end correlation study (paper §III-§IV).
+
+Wires the substrates together: forward-geocode profiles, reverse-geocode
+GPS tweets through the simulated Yahoo client, run the text-based grouping
+method, and aggregate the per-group statistics that the paper's Figs. 6-7
+plot.  :func:`run_study` is the one call examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.refine import RefinementFunnel, RefinementPipeline
+from repro.geo.forward import TextGeocoder
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.region import District
+from repro.geo.reverse import ReverseGeocoder
+from repro.grouping.stats import GroupStatistics, compute_group_statistics
+from repro.grouping.topk import UserGrouping, group_users
+from repro.storage.tweetstore import TweetStore
+from repro.storage.userstore import UserStore
+from repro.twitter.models import GeotaggedObservation
+from repro.yahooapi.client import ClientStats, PlaceFinderClient
+
+
+@dataclass
+class StudyResult:
+    """Everything the study produces for one dataset.
+
+    Attributes:
+        dataset_name: Label for reports ("Korean", "Lady Gaga").
+        funnel: Refinement attrition accounting (experiment E9).
+        observations: The grouping method's input rows.
+        groupings: Per-user Top-k outcomes.
+        statistics: Per-group aggregates (experiments E1-E3).
+        profile_districts: Each study user's resolved profile district
+            (consumed by the localisation experiment).
+        api_stats: Simulated PlaceFinder usage during reverse geocoding.
+    """
+
+    dataset_name: str
+    funnel: RefinementFunnel
+    observations: list[GeotaggedObservation]
+    groupings: dict[int, UserGrouping]
+    statistics: GroupStatistics
+    profile_districts: dict[int, District]
+    api_stats: ClientStats
+
+
+def run_study(
+    users: UserStore,
+    tweets: TweetStore,
+    gazetteer: Gazetteer,
+    dataset_name: str = "dataset",
+    min_gps_tweets: int = 1,
+    placefinder: PlaceFinderClient | None = None,
+) -> StudyResult:
+    """Run the complete correlation study over a stored corpus.
+
+    Args:
+        users: Crawled / streamed accounts.
+        tweets: Their tweets.
+        gazetteer: District catalogue both geocoders resolve against.
+        dataset_name: Label used in reports.
+        min_gps_tweets: Study-entry threshold (paper: 1).
+        placefinder: Optionally inject a pre-configured client (custom
+            quota, failure plan); a fresh unlimited-quota client otherwise.
+
+    Returns:
+        The full :class:`StudyResult`.
+    """
+    text_geocoder = TextGeocoder(gazetteer)
+    if placefinder is None:
+        placefinder = PlaceFinderClient(
+            ReverseGeocoder(gazetteer), daily_quota=10**9
+        )
+    pipeline = RefinementPipeline(
+        text_geocoder=text_geocoder,
+        placefinder=placefinder,
+        min_gps_tweets=min_gps_tweets,
+    )
+    refined = pipeline.run(users, tweets)
+    groupings = group_users(refined.observations)
+    statistics = compute_group_statistics(groupings.values())
+    return StudyResult(
+        dataset_name=dataset_name,
+        funnel=refined.funnel,
+        observations=refined.observations,
+        groupings=groupings,
+        statistics=statistics,
+        profile_districts=refined.profile_districts,
+        api_stats=placefinder.stats,
+    )

@@ -1,0 +1,127 @@
+"""CSV export of study outputs.
+
+Downstream consumers that are not Python (spreadsheets, R, plotting
+toolchains) get the study's three core tables as plain CSV: the per-group
+statistics behind Figs. 6-7, the per-user grouping outcomes, and the raw
+observations.  Everything is stdlib ``csv`` — no dependency, no surprises
+with delimiters inside district names (which never contain commas, but
+quoting is on anyway).
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.grouping.stats import GroupStatistics
+from repro.grouping.topk import UserGrouping
+from repro.twitter.models import GeotaggedObservation
+
+
+def export_group_statistics(statistics: GroupStatistics, path: str | Path) -> int:
+    """Write the per-group table (Figs. 6-7 data) as CSV.
+
+    Returns the number of data rows written.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, quoting=csv.QUOTE_MINIMAL)
+        writer.writerow(
+            [
+                "group",
+                "users",
+                "user_share",
+                "avg_tweet_locations",
+                "tweets",
+                "tweet_share",
+                "avg_matched_share",
+            ]
+        )
+        for row in statistics.rows:
+            writer.writerow(
+                [
+                    row.group.value,
+                    row.user_count,
+                    f"{row.user_share:.6f}",
+                    f"{row.avg_tweet_locations:.4f}",
+                    row.tweet_count,
+                    f"{row.tweet_share:.6f}",
+                    f"{row.avg_matched_share:.6f}",
+                ]
+            )
+    return len(statistics.rows)
+
+
+def export_groupings(groupings: Iterable[UserGrouping], path: str | Path) -> int:
+    """Write per-user grouping outcomes as CSV (one row per user).
+
+    Returns the number of data rows written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, quoting=csv.QUOTE_MINIMAL)
+        writer.writerow(
+            [
+                "user_id",
+                "group",
+                "matched_rank",
+                "tweet_location_count",
+                "total_tweets",
+                "matched_tweets",
+                "matched_share",
+            ]
+        )
+        for grouping in groupings:
+            writer.writerow(
+                [
+                    grouping.user_id,
+                    grouping.group.value,
+                    "" if grouping.matched_rank is None else grouping.matched_rank,
+                    grouping.tweet_location_count,
+                    grouping.total_tweets,
+                    grouping.matched_tweets,
+                    f"{grouping.matched_share:.6f}",
+                ]
+            )
+            count += 1
+    return count
+
+
+def export_observations(
+    observations: Iterable[GeotaggedObservation], path: str | Path
+) -> int:
+    """Write raw per-tweet observations as CSV.
+
+    Returns the number of data rows written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, quoting=csv.QUOTE_MINIMAL)
+        writer.writerow(
+            [
+                "user_id",
+                "profile_state",
+                "profile_county",
+                "tweet_state",
+                "tweet_county",
+                "timestamp_ms",
+                "matched",
+            ]
+        )
+        for obs in observations:
+            writer.writerow(
+                [
+                    obs.user_id,
+                    obs.profile_state,
+                    obs.profile_county,
+                    obs.tweet_state,
+                    obs.tweet_county,
+                    obs.timestamp_ms,
+                    int(obs.matched),
+                ]
+            )
+            count += 1
+    return count

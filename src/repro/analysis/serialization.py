@@ -1,0 +1,150 @@
+"""Persistence of study results.
+
+The collection phase of the original study ran for weeks; the analysis
+phase should never have to repeat it.  This module serialises everything
+downstream consumers need — the per-user groupings, per-group statistics,
+funnel, and profile districts — to a single JSON document and restores it
+without re-running refinement or geocoding.
+
+The merged strings are stored in the paper's own ``record (count)`` text
+form, so a saved study doubles as a human-readable Table II dump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.correlation import StudyResult
+from repro.datasets.refine import RefinementFunnel
+from repro.errors import StorageError
+from repro.geo.gazetteer import Gazetteer
+from repro.grouping.merge import MergedString
+from repro.grouping.strings import LocationString
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import classify_rows
+from repro.twitter.models import GeotaggedObservation
+from repro.yahooapi.client import ClientStats
+
+_FORMAT_VERSION = 1
+
+
+def _merged_to_text(merged: tuple[MergedString, ...]) -> list[str]:
+    return [row.render() for row in merged]
+
+
+def _merged_from_text(rows: list[str]) -> list[MergedString]:
+    parsed = []
+    for row in rows:
+        record_text, _, count_text = row.rpartition(" (")
+        if not record_text or not count_text.endswith(")"):
+            raise StorageError(f"malformed merged-string row: {row!r}")
+        parsed.append(
+            MergedString(
+                record=LocationString.parse(record_text),
+                count=int(count_text[:-1]),
+            )
+        )
+    return parsed
+
+
+def save_study(study: StudyResult, path: str | Path) -> None:
+    """Write a study result to ``path`` as JSON."""
+    document: dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "dataset_name": study.dataset_name,
+        "funnel": study.funnel.as_dict(),
+        "observations": [
+            {
+                "user_id": o.user_id,
+                "ps": o.profile_state,
+                "pc": o.profile_county,
+                "ts": o.tweet_state,
+                "tc": o.tweet_county,
+                "t": o.timestamp_ms,
+            }
+            for o in study.observations
+        ],
+        "merged": {
+            str(user_id): _merged_to_text(grouping.merged)
+            for user_id, grouping in study.groupings.items()
+        },
+        "profile_districts": {
+            str(user_id): list(district.key())
+            for user_id, district in study.profile_districts.items()
+        },
+        "api_stats": study.api_stats.snapshot(),
+    }
+    Path(path).write_text(
+        json.dumps(document, ensure_ascii=False, indent=1), encoding="utf-8"
+    )
+
+
+def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
+    """Restore a study result saved by :func:`save_study`.
+
+    Groupings and statistics are *recomputed* from the stored merged
+    strings rather than trusted from disk, so a loaded study can never
+    disagree with its own observations.
+
+    Args:
+        path: The JSON document.
+        gazetteer: Catalogue to resolve stored profile-district keys
+            against (must contain every stored key).
+
+    Raises:
+        StorageError: on version mismatch or malformed content.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read study from {path}: {exc}") from exc
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(f"unsupported study format version: {version}")
+
+    observations = [
+        GeotaggedObservation(
+            user_id=int(o["user_id"]),
+            profile_state=o["ps"],
+            profile_county=o["pc"],
+            tweet_state=o["ts"],
+            tweet_county=o["tc"],
+            timestamp_ms=int(o.get("t", 0)),
+        )
+        for o in document["observations"]
+    ]
+
+    groupings = {}
+    for user_text, rows in document["merged"].items():
+        user_id = int(user_text)
+        groupings[user_id] = classify_rows(user_id, _merged_from_text(rows))
+
+    profile_districts = {}
+    for user_text, (state, county) in document["profile_districts"].items():
+        profile_districts[int(user_text)] = gazetteer.get(state, county)
+
+    funnel_data = dict(document["funnel"])
+    status_counts = funnel_data.pop("profile_status_counts", {})
+    funnel = RefinementFunnel(**funnel_data)
+    funnel.profile_status_counts.update(status_counts)
+
+    stats_data = document.get("api_stats", {})
+    api_stats = ClientStats(
+        requests=int(stats_data.get("requests", 0)),
+        cache_hits=int(stats_data.get("cache_hits", 0)),
+        failures_injected=int(stats_data.get("failures_injected", 0)),
+        no_result=int(stats_data.get("no_result", 0)),
+        simulated_latency_s=float(stats_data.get("simulated_latency_s", 0.0)),
+    )
+
+    return StudyResult(
+        dataset_name=document["dataset_name"],
+        funnel=funnel,
+        observations=observations,
+        groupings=groupings,
+        statistics=compute_group_statistics(groupings.values()),
+        profile_districts=profile_districts,
+        api_stats=api_stats,
+    )

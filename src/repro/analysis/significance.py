@@ -1,0 +1,226 @@
+"""Statistical significance machinery for the study's comparisons.
+
+The paper reports raw percentages; this module adds the uncertainty the
+figures deserve, implemented from scratch (no scipy dependency in the
+library core):
+
+* bootstrap confidence intervals on per-group user shares (resampling
+  users with replacement);
+* a chi-square test of independence between two datasets' group
+  distributions (the Korean-vs-Lady-Gaga comparison of slides 4-5), with
+  the p-value computed via the regularised upper incomplete gamma
+  function Q(k/2, x/2).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import InsufficientDataError
+from repro.grouping.topk import TopKGroup, UserGrouping
+
+
+@dataclass(frozen=True, slots=True)
+class ShareInterval:
+    """A bootstrap confidence interval for one group's user share."""
+
+    group: TopKGroup
+    share: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_share_intervals(
+    groupings: Iterable[UserGrouping],
+    n_resamples: int = 1_000,
+    confidence: float = 0.95,
+    seed: int = 7,
+) -> dict[TopKGroup, ShareInterval]:
+    """Percentile-bootstrap CIs for every group's user share.
+
+    Args:
+        groupings: The study's per-user outcomes.
+        n_resamples: Bootstrap resamples.
+        confidence: Interval mass (two-sided).
+        seed: RNG seed.
+
+    Raises:
+        InsufficientDataError: with no groupings.
+    """
+    assignments = [g.group for g in groupings]
+    if not assignments:
+        raise InsufficientDataError("no groupings to bootstrap")
+    n = len(assignments)
+    rng = random.Random(seed)
+    order = TopKGroup.reporting_order()
+
+    samples: dict[TopKGroup, list[float]] = {g: [] for g in order}
+    for _ in range(n_resamples):
+        counts = dict.fromkeys(order, 0)
+        for _ in range(n):
+            counts[assignments[rng.randrange(n)]] += 1
+        for group in order:
+            samples[group].append(counts[group] / n)
+
+    alpha = (1.0 - confidence) / 2.0
+    intervals = {}
+    base = {g: 0 for g in order}
+    for group in assignments:
+        base[group] += 1
+    for group in order:
+        ordered = sorted(samples[group])
+        low = ordered[int(alpha * n_resamples)]
+        high = ordered[min(n_resamples - 1, int((1.0 - alpha) * n_resamples))]
+        intervals[group] = ShareInterval(
+            group=group,
+            share=base[group] / n,
+            low=low,
+            high=high,
+            confidence=confidence,
+        )
+    return intervals
+
+
+@dataclass(frozen=True, slots=True)
+class ChiSquareResult:
+    """Outcome of a chi-square test of independence.
+
+    Attributes:
+        statistic: The chi-square statistic.
+        dof: Degrees of freedom.
+        p_value: Upper-tail probability under H0 (independence).
+    """
+
+    statistic: float
+    dof: int
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True if H0 is rejected at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def chi_square_independence(
+    counts_a: list[int], counts_b: list[int]
+) -> ChiSquareResult:
+    """Chi-square test: do two count vectors share one distribution?
+
+    Categories with zero total count are dropped (they contribute no
+    information and would divide by zero).
+
+    Raises:
+        InsufficientDataError: if fewer than two informative categories
+            remain or either sample is empty.
+    """
+    if len(counts_a) != len(counts_b):
+        raise InsufficientDataError("count vectors must align")
+    pairs = [(a, b) for a, b in zip(counts_a, counts_b) if a + b > 0]
+    if len(pairs) < 2:
+        raise InsufficientDataError("need >= 2 informative categories")
+    total_a = sum(a for a, _ in pairs)
+    total_b = sum(b for _, b in pairs)
+    if total_a == 0 or total_b == 0:
+        raise InsufficientDataError("both samples must be non-empty")
+    grand = total_a + total_b
+
+    statistic = 0.0
+    for a, b in pairs:
+        row = a + b
+        expected_a = row * total_a / grand
+        expected_b = row * total_b / grand
+        statistic += (a - expected_a) ** 2 / expected_a
+        statistic += (b - expected_b) ** 2 / expected_b
+    dof = len(pairs) - 1
+    return ChiSquareResult(
+        statistic=statistic, dof=dof, p_value=chi2_sf(statistic, dof)
+    )
+
+
+def chi2_sf(x: float, dof: int) -> float:
+    """Chi-square survival function P(X >= x) = Q(dof/2, x/2)."""
+    if x < 0:
+        return 1.0
+    if dof <= 0:
+        raise InsufficientDataError(f"dof must be positive, got {dof}")
+    return _regularized_gamma_q(dof / 2.0, x / 2.0)
+
+
+def _regularized_gamma_q(a: float, x: float) -> float:
+    """Regularised upper incomplete gamma Q(a, x) (Numerical Recipes)."""
+    if x < 0 or a <= 0:
+        raise InsufficientDataError("invalid arguments to Q(a, x)")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_p_series(a, x)
+    return _gamma_q_continued_fraction(a, x)
+
+
+def _gamma_p_series(a: float, x: float, max_iter: int = 500, eps: float = 1e-14) -> float:
+    """P(a, x) by series expansion (converges fast for x < a + 1)."""
+    log_prefactor = a * math.log(x) - x - math.lgamma(a)
+    term = 1.0 / a
+    total = term
+    denominator = a
+    for _ in range(max_iter):
+        denominator += 1.0
+        term *= x / denominator
+        total += term
+        if abs(term) < abs(total) * eps:
+            break
+    return total * math.exp(log_prefactor)
+
+
+def _gamma_q_continued_fraction(
+    a: float, x: float, max_iter: int = 500, eps: float = 1e-14
+) -> float:
+    """Q(a, x) by Lentz's continued fraction (converges for x >= a + 1)."""
+    tiny = 1e-300
+    log_prefactor = a * math.log(x) - x - math.lgamma(a)
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, max_iter + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h * math.exp(log_prefactor)
+
+
+def compare_group_distributions(
+    groupings_a: Iterable[UserGrouping], groupings_b: Iterable[UserGrouping]
+) -> ChiSquareResult:
+    """Chi-square comparison of two studies' Top-k user distributions.
+
+    This is the statistical backing for slides 4-5: are the Korean and
+    Lady Gaga populations distributed differently over the groups?
+    """
+    order = TopKGroup.reporting_order()
+    counts_a = dict.fromkeys(order, 0)
+    counts_b = dict.fromkeys(order, 0)
+    for grouping in groupings_a:
+        counts_a[grouping.group] += 1
+    for grouping in groupings_b:
+        counts_b[grouping.group] += 1
+    return chi_square_independence(
+        [counts_a[g] for g in order], [counts_b[g] for g in order]
+    )

@@ -1,0 +1,141 @@
+"""Temporal stability of the Top-k grouping — extension experiment.
+
+The paper classifies each user from their whole history; an event system
+consuming the weights needs to know whether that classification is a
+stable trait or a snapshot.  This analysis splits each user's geotagged
+observations at a time pivot (default: the corpus median timestamp), runs
+the grouping method on each half independently, and measures how often a
+user's group survives the split.
+
+High agreement means the weight factors can be learned once and reused;
+churn concentrated between adjacent groups (Top-1 <-> Top-2) is benign,
+churn into/out of None is not.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import InsufficientDataError
+from repro.grouping.topk import TopKGroup, group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+@dataclass
+class StabilityResult:
+    """Outcome of a split-half stability analysis.
+
+    Attributes:
+        pivot_ms: The split timestamp.
+        users_first / users_second: Study users in each half.
+        users_in_both: Users classifiable in both halves.
+        same_group: Users with identical groups in both halves.
+        adjacent: Users whose matched ranks differ by exactly one (or who
+            moved between Top-5 and Top-6+); counted among the changed.
+        transitions: (first-half group, second-half group) -> user count.
+    """
+
+    pivot_ms: int
+    users_first: int = 0
+    users_second: int = 0
+    users_in_both: int = 0
+    same_group: int = 0
+    adjacent: int = 0
+    transitions: Counter = field(default_factory=Counter)
+
+    @property
+    def agreement_rate(self) -> float:
+        """P(same group in both halves | classifiable in both)."""
+        if self.users_in_both == 0:
+            return 0.0
+        return self.same_group / self.users_in_both
+
+    @property
+    def none_churn_rate(self) -> float:
+        """P(exactly one half classified the user None | in both)."""
+        if self.users_in_both == 0:
+            return 0.0
+        churn = sum(
+            count
+            for (first, second), count in self.transitions.items()
+            if (first is TopKGroup.NONE) != (second is TopKGroup.NONE)
+        )
+        return churn / self.users_in_both
+
+
+def median_timestamp(observations: list[GeotaggedObservation]) -> int:
+    """Median observation timestamp (split pivot).
+
+    Raises:
+        InsufficientDataError: with no observations.
+    """
+    if not observations:
+        raise InsufficientDataError("no observations to take a median of")
+    stamps = sorted(o.timestamp_ms for o in observations)
+    return stamps[len(stamps) // 2]
+
+
+def split_half_stability(
+    observations: list[GeotaggedObservation], pivot_ms: int | None = None
+) -> StabilityResult:
+    """Run the split-half stability analysis.
+
+    Args:
+        observations: Timestamped study observations.
+        pivot_ms: Split point; the corpus median when omitted.
+
+    Raises:
+        InsufficientDataError: if either half ends up empty.
+    """
+    if pivot_ms is None:
+        pivot_ms = median_timestamp(observations)
+    first = [o for o in observations if o.timestamp_ms < pivot_ms]
+    second = [o for o in observations if o.timestamp_ms >= pivot_ms]
+    if not first or not second:
+        raise InsufficientDataError("split pivot leaves an empty half")
+
+    groups_first = group_users(first)
+    groups_second = group_users(second)
+
+    result = StabilityResult(
+        pivot_ms=pivot_ms,
+        users_first=len(groups_first),
+        users_second=len(groups_second),
+    )
+    for user_id in groups_first.keys() & groups_second.keys():
+        a = groups_first[user_id]
+        b = groups_second[user_id]
+        result.users_in_both += 1
+        result.transitions[(a.group, b.group)] += 1
+        if a.group is b.group:
+            result.same_group += 1
+        elif (
+            a.matched_rank is not None
+            and b.matched_rank is not None
+            and abs(a.matched_rank - b.matched_rank) == 1
+        ):
+            result.adjacent += 1
+    return result
+
+
+def render_stability(result: StabilityResult) -> str:
+    """Text artefact for the stability extension."""
+    heading = "Split-half stability of Top-k groups (extension)"
+    lines = [heading, "-" * len(heading)]
+    lines.append(f"split pivot (unix ms)        {result.pivot_ms}")
+    lines.append(f"study users, first half      {result.users_first:6d}")
+    lines.append(f"study users, second half     {result.users_second:6d}")
+    lines.append(f"classifiable in both         {result.users_in_both:6d}")
+    lines.append(
+        f"same group in both halves    {result.same_group:6d}  "
+        f"({result.agreement_rate:.1%})"
+    )
+    lines.append(f"adjacent-rank moves          {result.adjacent:6d}")
+    lines.append(f"None-group churn rate        {result.none_churn_rate:8.1%}")
+    lines.append("")
+    lines.append("largest transitions:")
+    for (first, second), count in result.transitions.most_common(8):
+        marker = "  (stable)" if first is second else ""
+        lines.append(f"  {first.value:<8} -> {second.value:<8} {count:5d}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``study``       — build a dataset and run the correlation study
+* ``experiment``  — render one of the E1-E10 artefacts
+* ``dataset``     — build a dataset and persist it as JSONL
+* ``localize``    — run the reliability-weighted localisation experiment
+
+Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.correlation import run_study
+from repro.analysis.regional import regional_breakdown, render_regional_breakdown
+from repro.analysis.reliability import ReliabilityTable
+from repro.analysis.report import (
+    render_fig6,
+    render_fig7,
+    render_funnel,
+    render_tweet_distribution,
+)
+from repro.analysis.serialization import load_study, save_study
+from repro.analysis.significance import bootstrap_share_intervals
+from repro.analysis.stability import render_stability, split_half_stability
+from repro.geo.gazetteer import Gazetteer
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
+from repro.errors import ReproError
+from repro.events.evaluation import (
+    LocalizationExperiment,
+    make_korean_scenarios,
+    render_localization_table,
+)
+from repro.pipelines.experiments import EXPERIMENTS, run_experiment
+from repro.twitter.tweetgen import CollectionWindow
+
+
+def _build_dataset(args: argparse.Namespace):
+    """Build the dataset selected by ``args`` (korean | ladygaga)."""
+    window = CollectionWindow(start_ms=1_314_835_200_000, days=args.days)
+    if args.dataset == "korean":
+        config = KoreanDatasetConfig(
+            population_size=args.population,
+            crawl_limit=min(args.users, args.population),
+            window=window,
+            seed=args.seed,
+            use_api_timelines=False,
+        )
+        return build_korean_dataset(config)
+    config = LadyGagaDatasetConfig(
+        population_size=args.population, window=window, seed=args.seed
+    )
+    return build_ladygaga_dataset(config)
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    study = run_study(
+        dataset.users, dataset.tweets, dataset.gazetteer, dataset_name=args.dataset
+    )
+    print(render_funnel(study.funnel))
+    print()
+    print(render_fig7(study.statistics))
+    print()
+    print(render_fig6(study.statistics))
+    print()
+    print(render_tweet_distribution(study.statistics))
+    print()
+    table = ReliabilityTable.from_statistics(study.statistics)
+    print("reliability weight factors:", table.as_dict())
+    if args.save:
+        save_study(study, args.save)
+        print(f"study saved to {args.save}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    gazetteer = Gazetteer.combined() if args.gazetteer == "combined" else Gazetteer.korean()
+    study = load_study(args.study, gazetteer)
+    print(f"loaded study {study.dataset_name!r}: "
+          f"{study.statistics.total_users} users, "
+          f"{len(study.observations)} observations")
+    print()
+    print(render_fig7(study.statistics))
+    print()
+    intervals = bootstrap_share_intervals(study.groupings.values(), seed=args.seed)
+    print("95% bootstrap confidence intervals on user shares:")
+    for group, ci in intervals.items():
+        print(f"  {group.value:<8} {ci.share:7.2%}  [{ci.low:6.2%}, {ci.high:6.2%}]")
+    print()
+    try:
+        rows = regional_breakdown(study.groupings, study.profile_districts, min_users=10)
+    except ReproError:
+        print("regional breakdown: too few users per region at this scale")
+    else:
+        print(render_regional_breakdown(rows))
+    print()
+    try:
+        print(render_stability(split_half_stability(study.observations)))
+    except ReproError:
+        print("stability analysis: too few timestamped observations")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    print(run_experiment(args.id, scale=args.scale))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    users_path = out_dir / f"{args.dataset}_users.jsonl"
+    tweets_path = out_dir / f"{args.dataset}_tweets.jsonl"
+    user_count = dataset.users.save(users_path)
+    tweet_count = dataset.tweets.save(tweets_path)
+    print(f"wrote {user_count} users to {users_path}")
+    print(f"wrote {tweet_count} tweets to {tweets_path}")
+    print(f"geotagged tweets: {dataset.tweets.gps_count()}")
+    return 0
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    args.dataset = "korean"  # localisation scenarios are Korean
+    dataset = _build_dataset(args)
+    study = run_study(dataset.users, dataset.tweets, dataset.gazetteer, "Korean")
+    experiment = LocalizationExperiment(
+        study, dataset.gazetteer, study.profile_districts, gps_rate=args.gps_rate
+    )
+    scenarios = make_korean_scenarios(dataset.gazetteer)
+    outcomes = experiment.run_localization(scenarios)
+    print(render_localization_table(outcomes))
+    print()
+    print("learned weight factors:", experiment.reliability_table.as_dict())
+    return 0
+
+
+def _add_build_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--population", type=int, default=2_000,
+                        help="accounts on the simulated platform")
+    parser.add_argument("--users", type=int, default=1_600,
+                        help="users the crawler collects (korean only)")
+    parser.add_argument("--days", type=int, default=60,
+                        help="collection-window length in days")
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Lee & Hwang (ICDE 2012): spatial "
+        "attributes on Twitter",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    study = subparsers.add_parser("study", help="run the correlation study")
+    study.add_argument("--dataset", choices=("korean", "ladygaga"), default="korean")
+    study.add_argument("--save", default="", help="save the study result as JSON")
+    _add_build_options(study)
+    study.set_defaults(func=_cmd_study)
+
+    report = subparsers.add_parser(
+        "report", help="extension analyses over a saved study"
+    )
+    report.add_argument("--study", required=True, help="path from `study --save`")
+    report.add_argument("--gazetteer", choices=("korean", "combined"), default="korean")
+    report.add_argument("--seed", type=int, default=7)
+    report.set_defaults(func=_cmd_report)
+
+    experiment = subparsers.add_parser("experiment", help="render an E1-E10 artefact")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", choices=("small", "default"), default="small")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    dataset = subparsers.add_parser("dataset", help="build and persist a dataset")
+    dataset.add_argument("--dataset", choices=("korean", "ladygaga"), default="korean")
+    dataset.add_argument("--out", default="./data", help="output directory")
+    _add_build_options(dataset)
+    dataset.set_defaults(func=_cmd_dataset)
+
+    localize = subparsers.add_parser(
+        "localize", help="reliability-weighted event localisation"
+    )
+    localize.add_argument("--gps-rate", type=float, default=0.2,
+                          help="fraction of witness reports carrying GPS")
+    _add_build_options(localize)
+    localize.set_defaults(func=_cmd_localize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Dataset builders and the §III-B refinement funnel.
+
+Public surface of :mod:`repro.datasets`:
+
+* :func:`build_korean_dataset` — the crawled Korean corpus (paper slide 1)
+* :func:`build_ladygaga_dataset` — the worldwide streaming corpus
+* :class:`RefinementPipeline` — crawled users -> grouping-ready rows
+"""
+
+from repro.datasets.korean import (
+    KoreanDataset,
+    KoreanDatasetConfig,
+    build_korean_dataset,
+)
+from repro.datasets.ladygaga import (
+    STREAMING_MOBILITY_MIX,
+    STREAMING_PROFILE_MIX,
+    LadyGagaDataset,
+    LadyGagaDatasetConfig,
+    build_ladygaga_dataset,
+)
+from repro.datasets.refine import (
+    RefinementFunnel,
+    RefinementPipeline,
+    RefinementResult,
+)
+
+__all__ = [
+    "STREAMING_MOBILITY_MIX",
+    "STREAMING_PROFILE_MIX",
+    "KoreanDataset",
+    "KoreanDatasetConfig",
+    "LadyGagaDataset",
+    "LadyGagaDatasetConfig",
+    "RefinementFunnel",
+    "RefinementPipeline",
+    "RefinementResult",
+    "build_korean_dataset",
+    "build_ladygaga_dataset",
+]

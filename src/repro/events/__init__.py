@@ -1,0 +1,84 @@
+"""Event detection and localisation — the paper's downstream consumers.
+
+Implements the two systems the paper positions itself as a preliminary
+study for (§II), plus its proposed improvement (§V):
+
+* Toretter path — :class:`EventTweetClassifier`, :class:`BurstDetector`,
+  :class:`KalmanLocalizer`, :class:`ParticleLocalizer`
+* Twitris path — :class:`TwitrisSummarizer`
+* the paper's contribution applied — :func:`build_measurements` with
+  :class:`~repro.analysis.reliability.ReliabilityTable` weights, and the
+  :class:`LocalizationExperiment` harness (experiment E10)
+"""
+
+from repro.events.burst import (
+    BurstAlarm,
+    BurstDetector,
+    ExponentialDecayFit,
+    fit_exponential_decay,
+)
+from repro.events.classifier import (
+    EventTweetClassifier,
+    LabeledTweet,
+    default_training_set,
+    extract_features,
+)
+from repro.events.evaluation import (
+    DetectionOutcome,
+    LocalizationExperiment,
+    LocalizationOutcome,
+    default_estimators,
+    make_korean_scenarios,
+    mean_error_by_scheme,
+    render_localization_table,
+)
+from repro.events.injector import EventTweetInjector
+from repro.events.kalman import KalmanLocalizer, Measurement
+from repro.events.online import OnlineAlarm, OnlineEventDetector, OnlineStats
+from repro.events.particle import ParticleLocalizer
+from repro.events.scenario import EventScenario, WitnessGenerator, WitnessReport
+from repro.events.trends import Trend, TrendDetector
+from repro.events.twitris import SliceKey, SliceSummary, TwitrisSummarizer
+from repro.events.weighted import (
+    MIN_PROFILE_WEIGHT,
+    MedianLocalizer,
+    WeightedCentroidLocalizer,
+    build_measurements,
+)
+
+__all__ = [
+    "MIN_PROFILE_WEIGHT",
+    "BurstAlarm",
+    "BurstDetector",
+    "DetectionOutcome",
+    "EventScenario",
+    "EventTweetClassifier",
+    "EventTweetInjector",
+    "ExponentialDecayFit",
+    "KalmanLocalizer",
+    "LabeledTweet",
+    "OnlineAlarm",
+    "OnlineEventDetector",
+    "OnlineStats",
+    "LocalizationExperiment",
+    "LocalizationOutcome",
+    "Measurement",
+    "MedianLocalizer",
+    "ParticleLocalizer",
+    "SliceKey",
+    "SliceSummary",
+    "Trend",
+    "TrendDetector",
+    "TwitrisSummarizer",
+    "WeightedCentroidLocalizer",
+    "WitnessGenerator",
+    "WitnessReport",
+    "build_measurements",
+    "default_estimators",
+    "default_training_set",
+    "extract_features",
+    "fit_exponential_decay",
+    "make_korean_scenarios",
+    "mean_error_by_scheme",
+    "render_localization_table",
+]

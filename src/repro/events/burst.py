@@ -1,0 +1,170 @@
+"""Temporal burst detection (Toretter's alarm stage).
+
+Sakaki et al. observe that event tweets arrive with an exponentially
+decaying rate after the event and raise an alarm when the number of
+positively classified tweets in a window makes the no-event hypothesis
+untenable.  We implement both pieces: a Poisson-surprise burst detector
+over a sliding window with a trailing baseline, and the exponential decay
+model fitted to post-alarm arrivals (useful for estimating event time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, InsufficientDataError
+
+
+@dataclass(frozen=True, slots=True)
+class BurstAlarm:
+    """A raised alarm.
+
+    Attributes:
+        window_start_ms / window_end_ms: The triggering window.
+        observed: Positive tweets in the window.
+        expected: Baseline expectation for the window.
+        surprise: ``-log10 P(X >= observed)`` under Poisson(expected).
+    """
+
+    window_start_ms: int
+    window_end_ms: int
+    observed: int
+    expected: float
+    surprise: float
+
+
+class BurstDetector:
+    """Sliding-window Poisson-surprise detector.
+
+    Args:
+        window_ms: Detection window length (Toretter used 10 minutes).
+        baseline_windows: Trailing windows forming the baseline rate.
+        surprise_threshold: Alarm when the Poisson surprise exceeds this
+            (3.0 ~= p < 0.001).
+        min_count: Never alarm on fewer than this many tweets, however
+            quiet the baseline.
+    """
+
+    def __init__(
+        self,
+        window_ms: int = 600_000,
+        baseline_windows: int = 12,
+        surprise_threshold: float = 3.0,
+        min_count: int = 3,
+    ):
+        if window_ms <= 0:
+            raise ConfigurationError("window_ms must be positive")
+        if baseline_windows <= 0:
+            raise ConfigurationError("baseline_windows must be positive")
+        self._window_ms = window_ms
+        self._baseline_windows = baseline_windows
+        self._surprise_threshold = surprise_threshold
+        self._min_count = min_count
+
+    def detect(self, timestamps_ms: list[int]) -> list[BurstAlarm]:
+        """Scan a stream of positive-tweet timestamps for bursts.
+
+        Args:
+            timestamps_ms: Posting times of positively classified tweets
+                (any order).
+
+        Returns:
+            Alarms in time order; consecutive alarming windows are merged
+            into one alarm anchored at the first window.
+        """
+        if not timestamps_ms:
+            return []
+        ordered = sorted(timestamps_ms)
+        start = ordered[0] - self._window_ms * self._baseline_windows
+        end = ordered[-1] + self._window_ms
+        counts: list[int] = []
+        edges: list[int] = []
+        cursor = start
+        index = 0
+        while cursor < end:
+            upper = cursor + self._window_ms
+            count = 0
+            while index < len(ordered) and ordered[index] < upper:
+                count += 1
+                index += 1
+            counts.append(count)
+            edges.append(cursor)
+            cursor = upper
+
+        alarms: list[BurstAlarm] = []
+        in_burst = False
+        for i, count in enumerate(counts):
+            baseline = counts[max(0, i - self._baseline_windows) : i]
+            expected = (sum(baseline) / len(baseline)) if baseline else 0.0
+            surprise = self._poisson_surprise(count, max(expected, 0.1))
+            alarming = count >= self._min_count and surprise >= self._surprise_threshold
+            if alarming and not in_burst:
+                alarms.append(
+                    BurstAlarm(
+                        window_start_ms=edges[i],
+                        window_end_ms=edges[i] + self._window_ms,
+                        observed=count,
+                        expected=expected,
+                        surprise=surprise,
+                    )
+                )
+            in_burst = alarming
+        return alarms
+
+    @staticmethod
+    def _poisson_surprise(observed: int, expected: float) -> float:
+        """``-log10 P(X >= observed)`` for X ~ Poisson(expected)."""
+        if observed == 0:
+            return 0.0
+        # log of the upper tail via the complement of the lower CDF,
+        # computed in log space for stability.
+        log_terms = []
+        log_fact = 0.0
+        for k in range(observed):
+            if k > 0:
+                log_fact += math.log(k)
+            log_terms.append(-expected + k * math.log(expected) - log_fact)
+        if not log_terms:
+            return 0.0
+        peak = max(log_terms)
+        lower = math.exp(peak) * sum(math.exp(t - peak) for t in log_terms)
+        tail = max(1e-300, 1.0 - lower)
+        return -math.log10(tail)
+
+
+@dataclass(frozen=True, slots=True)
+class ExponentialDecayFit:
+    """Fit of Toretter's post-event arrival model ``rate(t) ~ exp(-t/tau)``.
+
+    Attributes:
+        tau_ms: Fitted decay constant.
+        onset_ms: Assumed event onset (first tweet time).
+    """
+
+    tau_ms: float
+    onset_ms: int
+
+    def expected_fraction_within(self, horizon_ms: float) -> float:
+        """Fraction of all event tweets expected within ``horizon_ms``."""
+        if horizon_ms <= 0:
+            return 0.0
+        return 1.0 - math.exp(-horizon_ms / self.tau_ms)
+
+
+def fit_exponential_decay(timestamps_ms: list[int]) -> ExponentialDecayFit:
+    """Fit the decay constant from event-tweet timestamps by MLE.
+
+    For inter-event times of an exponential distribution the MLE of the
+    mean is the sample mean of offsets from onset.
+
+    Raises:
+        InsufficientDataError: with fewer than 3 tweets.
+    """
+    if len(timestamps_ms) < 3:
+        raise InsufficientDataError("need >= 3 timestamps to fit decay")
+    ordered = sorted(timestamps_ms)
+    onset = ordered[0]
+    offsets = [t - onset for t in ordered[1:]]
+    mean_offset = sum(offsets) / len(offsets)
+    return ExponentialDecayFit(tau_ms=max(1.0, mean_offset), onset_ms=onset)

@@ -1,0 +1,177 @@
+"""Event-tweet classifier (Toretter's first stage).
+
+Sakaki et al. classify tweets containing a query word ("earthquake",
+"shaking") as referring to an actual, current event or not, using an SVM
+over three feature groups: statistical (tweet length, position of the
+query word), keyword (the words themselves), and context (words around
+the query word).  We implement the same feature groups over a from-scratch
+logistic-regression model trained by gradient descent — linear decision
+surface, like the linear-kernel SVM the paper found best.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import InsufficientDataError
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledTweet:
+    """A training example: tweet text and whether it reports a live event."""
+
+    text: str
+    is_event: bool
+
+
+#: Words that signal a *report of a current event* near the query word.
+_POSITIVE_CONTEXT = frozenset(
+    "now just right happening felt feel strong big huge omg wow here".split()
+)
+#: Words that signal historical / hypothetical mentions.
+_NEGATIVE_CONTEXT = frozenset(
+    "if movie drill about remember anniversary insurance game song news".split()
+)
+
+
+def extract_features(text: str, query_words: Sequence[str]) -> list[float]:
+    """Toretter's three feature groups as a fixed-length vector.
+
+    Features (in order): token count, query-word presence, relative
+    position of the first query word, exclamation density, positive- and
+    negative-context counts, first-person marker, and a bias term.
+    """
+    tokens = tokenize(text, drop_stopwords=False)
+    lowered_query = {w.lower() for w in query_words}
+    count = len(tokens)
+    query_positions = [i for i, t in enumerate(tokens) if t in lowered_query]
+    has_query = 1.0 if query_positions else 0.0
+    rel_position = (query_positions[0] / max(1, count - 1)) if query_positions else 0.5
+    exclaim = min(3, text.count("!")) / 3.0
+    positive = sum(1 for t in tokens if t in _POSITIVE_CONTEXT)
+    negative = sum(1 for t in tokens if t in _NEGATIVE_CONTEXT)
+    first_person = 1.0 if any(t in ("i", "we", "my") for t in tokens) else 0.0
+    return [
+        min(count, 30) / 30.0,
+        has_query,
+        rel_position,
+        exclaim,
+        min(positive, 3) / 3.0,
+        min(negative, 3) / 3.0,
+        first_person,
+        1.0,  # bias
+    ]
+
+
+class EventTweetClassifier:
+    """Linear classifier over the Toretter feature groups.
+
+    Args:
+        query_words: The tracked event terms (Toretter: "earthquake",
+            "shaking").
+        learning_rate / epochs / seed: Gradient-descent hyperparameters.
+    """
+
+    def __init__(
+        self,
+        query_words: Sequence[str] = ("earthquake", "shaking"),
+        learning_rate: float = 0.5,
+        epochs: int = 200,
+        seed: int = 7,
+    ):
+        self._query_words = tuple(query_words)
+        self._learning_rate = learning_rate
+        self._epochs = epochs
+        self._seed = seed
+        self._weights: list[float] | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._weights is not None
+
+    def fit(self, examples: Sequence[LabeledTweet]) -> None:
+        """Train by full-batch logistic regression.
+
+        Raises:
+            InsufficientDataError: without both positive and negative
+                examples.
+        """
+        if not any(e.is_event for e in examples) or all(e.is_event for e in examples):
+            raise InsufficientDataError("training needs both classes")
+        rows = [extract_features(e.text, self._query_words) for e in examples]
+        labels = [1.0 if e.is_event else 0.0 for e in examples]
+        dim = len(rows[0])
+        rng = random.Random(self._seed)
+        weights = [rng.uniform(-0.01, 0.01) for _ in range(dim)]
+        n = len(rows)
+        for _ in range(self._epochs):
+            gradient = [0.0] * dim
+            for features, label in zip(rows, labels):
+                error = self._sigmoid(_dot(weights, features)) - label
+                for j, value in enumerate(features):
+                    gradient[j] += error * value
+            for j in range(dim):
+                weights[j] -= self._learning_rate * gradient[j] / n
+        self._weights = weights
+
+    def predict_proba(self, text: str) -> float:
+        """P(text reports a live event).
+
+        Raises:
+            InsufficientDataError: if the model is untrained.
+        """
+        if self._weights is None:
+            raise InsufficientDataError("classifier is not trained")
+        features = extract_features(text, self._query_words)
+        return self._sigmoid(_dot(self._weights, features))
+
+    def predict(self, text: str, threshold: float = 0.5) -> bool:
+        """Class decision at ``threshold``."""
+        return self.predict_proba(text) >= threshold
+
+    @staticmethod
+    def _sigmoid(x: float) -> float:
+        if x >= 0:
+            return 1.0 / (1.0 + math.exp(-x))
+        z = math.exp(x)
+        return z / (1.0 + z)
+
+
+def _dot(a: list[float], b: list[float]) -> float:
+    return sum(x * y for x, y in zip(a, b))
+
+
+def default_training_set() -> list[LabeledTweet]:
+    """A small built-in labelled corpus for the earthquake task."""
+    positives = [
+        "earthquake!! the whole building is shaking right now",
+        "whoa big earthquake just hit, everyone ok?",
+        "i felt a strong earthquake just now",
+        "shaking so hard here, earthquake??",
+        "earthquake happening now, things falling off shelves",
+        "we just felt an earthquake, that was huge",
+        "omg earthquake right now!!",
+        "my desk is shaking, earthquake again",
+        "strong shaking here, definitely an earthquake",
+        "just felt the ground shaking for a few seconds",
+    ]
+    negatives = [
+        "watching a movie about the big earthquake of 1995",
+        "earthquake insurance is so expensive these days",
+        "remember the earthquake drill tomorrow at school",
+        "that new song is shaking up the charts",
+        "the anniversary of the great earthquake is next week",
+        "if an earthquake hit this old building it would collapse",
+        "reading news about earthquake preparedness",
+        "this game has an earthquake spell, so cool",
+        "my dog is shaking because of the thunder",
+        "earthquake documentaries always make me anxious",
+    ]
+    return [LabeledTweet(t, True) for t in positives] + [
+        LabeledTweet(t, False) for t in negatives
+    ]

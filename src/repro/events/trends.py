@@ -1,0 +1,203 @@
+"""TwitterMonitor-style trend detection over the tweet stream.
+
+Mathioudakis & Koudas's TwitterMonitor (paper ref. [5]) detects *bursty
+keywords* in the live stream and groups co-occurring ones into trends.
+This module reproduces that pipeline in the same single-pass style as the
+rest of the events package:
+
+1. per-keyword arrival counting in a sliding window, against a trailing
+   per-keyword baseline;
+2. a keyword becomes *bursty* when its window count clears a Poisson-
+   aware threshold over its baseline expectation (ratio + sigma terms,
+   with an absolute floor, and only after a global warm-up so cold-start
+   windows cannot alarm off an empty baseline);
+3. bursty keywords that co-occur in the same tweets are grouped into one
+   :class:`Trend`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.text.tokenize import tokenize
+from repro.twitter.models import Tweet
+
+
+@dataclass(frozen=True, slots=True)
+class Trend:
+    """A detected trend.
+
+    Attributes:
+        keywords: The bursty keywords forming the trend, most-bursty first.
+        detected_at_ms: Stream time of detection.
+        tweet_count: Window tweets containing any trend keyword.
+        sample_text: One example tweet text.
+    """
+
+    keywords: tuple[str, ...]
+    detected_at_ms: int
+    tweet_count: int
+    sample_text: str
+
+
+class TrendDetector:
+    """Single-pass bursty-keyword trend detector.
+
+    Args:
+        window_ms: Sliding detection window.
+        baseline_windows: Trailing windows forming each keyword's
+            baseline.  The default spans a full day so the diurnal cycle
+            (evening peaks 10-15x the overnight trough) averages out —
+            a short trailing baseline would "detect" every morning.
+        burst_ratio: Window count must exceed ``burst_ratio x`` the
+            baseline per-window mean.
+        min_count: Absolute floor on the window count.
+        min_token_length: Ignore very short tokens.
+        cooldown_ms: Re-detection suppression per keyword.
+    """
+
+    def __init__(
+        self,
+        window_ms: int = 1_800_000,
+        baseline_windows: int = 48,
+        burst_ratio: float = 4.0,
+        min_count: int = 5,
+        min_token_length: int = 3,
+        cooldown_ms: int = 3_600_000,
+    ):
+        if window_ms <= 0 or baseline_windows <= 0:
+            raise ConfigurationError("window and baseline must be positive")
+        if burst_ratio <= 1.0:
+            raise ConfigurationError("burst_ratio must exceed 1")
+        self._window_ms = window_ms
+        self._baseline_windows = baseline_windows
+        self._burst_ratio = burst_ratio
+        self._min_count = min_count
+        self._min_token_length = min_token_length
+        self._cooldown_ms = cooldown_ms
+
+        #: (timestamp, tokens, text) tuples currently inside the window.
+        self._window: deque[tuple[int, tuple[str, ...], str]] = deque()
+        self._window_counts: Counter[str] = Counter()
+        #: Finished-window history per keyword (deque of counts).
+        self._history: dict[str, deque[int]] = defaultdict(
+            lambda: deque(maxlen=self._baseline_windows)
+        )
+        self._current_bucket: Counter[str] = Counter()
+        self._bucket_start_ms: int | None = None
+        self._windows_closed = 0
+        self._last_trend_ms: dict[str, int] = {}
+        self.trends: list[Trend] = []
+
+    # ------------------------------------------------------------------ api
+    def process(self, tweet: Tweet) -> Trend | None:
+        """Feed one tweet (stream order); returns a trend if one emerged."""
+        now = tweet.created_at_ms
+        tokens = tuple(
+            t for t in tokenize(tweet.text) if len(t) >= self._min_token_length
+        )
+        self._roll_buckets(now)
+        self._expire(now)
+
+        self._window.append((now, tokens, tweet.text))
+        unique = set(tokens)
+        for token in unique:
+            self._window_counts[token] += 1
+            self._current_bucket[token] += 1
+
+        bursty = self._bursty_keywords(now, unique)
+        if not bursty:
+            return None
+        trend = self._form_trend(now, bursty)
+        for keyword in trend.keywords:
+            self._last_trend_ms[keyword] = now
+        self.trends.append(trend)
+        return trend
+
+    def run(self, tweets: list[Tweet]) -> list[Trend]:
+        """Feed a whole stream; returns all detected trends."""
+        for tweet in tweets:
+            self.process(tweet)
+        return self.trends
+
+    # ------------------------------------------------------------- internals
+    def _roll_buckets(self, now_ms: int) -> None:
+        """Close finished baseline buckets (one per window length)."""
+        if self._bucket_start_ms is None:
+            self._bucket_start_ms = now_ms
+            return
+        while now_ms - self._bucket_start_ms >= self._window_ms:
+            for token, count in self._current_bucket.items():
+                self._history[token].append(count)
+            # Tokens absent from the bucket still saw a zero-count window.
+            for token in list(self._history):
+                if token not in self._current_bucket:
+                    self._history[token].append(0)
+            self._current_bucket = Counter()
+            self._bucket_start_ms += self._window_ms
+            self._windows_closed += 1
+
+    def _expire(self, now_ms: int) -> None:
+        horizon = now_ms - self._window_ms
+        while self._window and self._window[0][0] < horizon:
+            _, tokens, _ = self._window.popleft()
+            for token in set(tokens):
+                self._window_counts[token] -= 1
+                if self._window_counts[token] <= 0:
+                    del self._window_counts[token]
+
+    def _bursty_keywords(self, now_ms: int, candidates: set[str]) -> list[str]:
+        # Global warm-up: no keyword may trend before a full baseline's
+        # worth of windows has been observed.
+        if self._windows_closed < self._baseline_windows:
+            return []
+        bursty = []
+        for token in candidates:
+            count = self._window_counts.get(token, 0)
+            if count < self._min_count:
+                continue
+            last = self._last_trend_ms.get(token)
+            if last is not None and now_ms - last < self._cooldown_ms:
+                continue
+            history = self._history.get(token)
+            # A token with a short (or no) history was absent from the
+            # missing windows: average over the full warm-up span.
+            baseline = (sum(history) / self._baseline_windows) if history else 0.0
+            # Poisson-aware threshold: ratio term for large baselines, a
+            # six-sigma term so small baselines' natural fluctuations do
+            # not fire, and the absolute floor.
+            threshold = max(
+                float(self._min_count),
+                self._burst_ratio * baseline,
+                baseline + 6.0 * (baseline + 1.0) ** 0.5,
+            )
+            if count >= threshold:
+                bursty.append(token)
+        bursty.sort(key=lambda t: -self._window_counts[t])
+        return bursty
+
+    def _form_trend(self, now_ms: int, bursty: list[str]) -> Trend:
+        """Group co-occurring bursty keywords and pick a sample tweet."""
+        head = bursty[0]
+        grouped = [head]
+        head_tweets = [
+            (tokens, text) for _, tokens, text in self._window if head in tokens
+        ]
+        for keyword in bursty[1:]:
+            co_occurrence = sum(1 for tokens, _ in head_tweets if keyword in tokens)
+            if head_tweets and co_occurrence / len(head_tweets) >= 0.3:
+                grouped.append(keyword)
+        sample = head_tweets[-1][1] if head_tweets else ""
+        matching = sum(
+            1
+            for _, tokens, _ in self._window
+            if any(k in tokens for k in grouped)
+        )
+        return Trend(
+            keywords=tuple(grouped),
+            detected_at_ms=now_ms,
+            tweet_count=matching,
+            sample_text=sample,
+        )

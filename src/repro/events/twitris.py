@@ -1,0 +1,112 @@
+"""Twitris-style spatio-temporal-thematic summarisation.
+
+Nagarajan et al.'s Twitris browses "citizen sensor observations" along
+three dimensions — when, where, what — by extracting the TF-IDF-strongest
+terms from the tweets of a (location, day) slice (paper §II).  This module
+reproduces that pipeline on our corpus: GPS tweets are bucketed by
+(district, day) via reverse geocoding, a background corpus supplies
+document frequencies, and each slice yields its top themes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import InsufficientDataError
+from repro.geo.reverse import ReverseGeocoder
+from repro.text.tfidf import ScoredTerm, TfIdfCorpus
+from repro.text.tokenize import tokenize
+from repro.twitter.models import Tweet
+
+_DAY_MS = 86_400_000
+
+
+@dataclass(frozen=True, slots=True)
+class SliceKey:
+    """A (where, when) slice: district key plus day index."""
+
+    state: str
+    county: str
+    day: int  # unix day number (created_at_ms // _DAY_MS)
+
+
+@dataclass(frozen=True, slots=True)
+class SliceSummary:
+    """The thematic summary of one slice.
+
+    Attributes:
+        key: The slice.
+        tweet_count: Tweets in the slice.
+        top_terms: TF-IDF-ranked themes.
+    """
+
+    key: SliceKey
+    tweet_count: int
+    top_terms: tuple[ScoredTerm, ...]
+
+
+class TwitrisSummarizer:
+    """Builds spatio-temporal-thematic summaries over GPS tweets.
+
+    Args:
+        reverse_geocoder: Maps tweet GPS to districts (the "where" axis).
+    """
+
+    def __init__(self, reverse_geocoder: ReverseGeocoder):
+        self._reverse = reverse_geocoder
+        self._corpus = TfIdfCorpus()
+        self._slices: dict[SliceKey, list[list[str]]] = defaultdict(list)
+
+    @property
+    def corpus(self) -> TfIdfCorpus:
+        """The background TF-IDF corpus (all ingested tweets)."""
+        return self._corpus
+
+    def ingest(self, tweets: list[Tweet]) -> int:
+        """Fold tweets into the corpus and slice index.
+
+        Every tweet feeds the background corpus; only GPS tweets land in a
+        (district, day) slice.  Returns the number of sliced tweets.
+        """
+        sliced = 0
+        for tweet in tweets:
+            tokens = tokenize(tweet.text)
+            self._corpus.add_document(tokens)
+            if tweet.coordinates is None:
+                continue
+            result = self._reverse.try_resolve(tweet.coordinates)
+            if result is None:
+                continue
+            key = SliceKey(
+                state=result.path.state,
+                county=result.path.county,
+                day=tweet.created_at_ms // _DAY_MS,
+            )
+            self._slices[key].append(tokens)
+            sliced += 1
+        return sliced
+
+    def slice_keys(self) -> list[SliceKey]:
+        """All populated slices, sorted by (day, state, county)."""
+        return sorted(self._slices, key=lambda k: (k.day, k.state, k.county))
+
+    def summarize(self, key: SliceKey, top_k: int = 5) -> SliceSummary:
+        """Top themes of one slice.
+
+        Raises:
+            InsufficientDataError: for an unpopulated slice.
+        """
+        documents = self._slices.get(key)
+        if not documents:
+            raise InsufficientDataError(f"no tweets in slice {key}")
+        terms = self._corpus.score_slice(documents, top_k=top_k)
+        return SliceSummary(key=key, tweet_count=len(documents), top_terms=tuple(terms))
+
+    def summarize_all(self, top_k: int = 5, min_tweets: int = 3) -> list[SliceSummary]:
+        """Summaries for every slice with at least ``min_tweets`` tweets."""
+        return [
+            self.summarize(key, top_k=top_k)
+            for key in self.slice_keys()
+            if len(self._slices[key]) >= min_tweets
+        ]

@@ -1,0 +1,93 @@
+"""Reliability-weighted localisation — the paper's proposed improvement.
+
+Turns witness reports into estimator measurements: a GPS report is a
+weight-1.0 measurement at its coordinates; a non-GPS report contributes
+the witness's *profile-district centroid* weighted by the reliability the
+study assigned that user (§V: "determine the weight factor for the
+location information").  Simple estimators (weighted centroid, geographic
+median) live here; the Kalman and particle filters consume the same
+measurement lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reliability import ReliabilityTable, WeightingScheme
+from repro.errors import InsufficientDataError
+from repro.events.kalman import Measurement
+from repro.events.scenario import WitnessReport
+from repro.geo.point import GeoPoint, geographic_median
+from repro.geo.region import District
+from repro.grouping.topk import UserGrouping
+
+#: Floor for profile-based weights so estimators never divide by zero; a
+#: None-group profile still carries (almost) no influence.
+MIN_PROFILE_WEIGHT = 0.02
+
+
+def build_measurements(
+    reports: list[WitnessReport],
+    profile_districts: dict[int, District],
+    groupings: dict[int, UserGrouping],
+    table: ReliabilityTable,
+    scheme: WeightingScheme = WeightingScheme.GROUP_MATCHED_SHARE,
+) -> list[Measurement]:
+    """Convert witness reports to estimator measurements.
+
+    Reports without GPS *and* without a known profile district are
+    dropped — there is nothing to localise them with.
+    """
+    measurements: list[Measurement] = []
+    for report in reports:
+        if report.gps is not None:
+            measurements.append(
+                Measurement(point=report.gps, weight=1.0, timestamp_ms=report.timestamp_ms)
+            )
+            continue
+        district = profile_districts.get(report.user_id)
+        if district is None:
+            continue
+        weight = table.weight_for_user(groupings.get(report.user_id), scheme)
+        measurements.append(
+            Measurement(
+                point=district.center,
+                weight=min(1.0, max(MIN_PROFILE_WEIGHT, weight)),
+                timestamp_ms=report.timestamp_ms,
+            )
+        )
+    return measurements
+
+
+@dataclass(frozen=True, slots=True)
+class WeightedCentroidLocalizer:
+    """Weighted mean of measurement positions — the simplest estimator."""
+
+    def estimate(self, measurements: list[Measurement]) -> GeoPoint:
+        """Weighted arithmetic mean of lat/lon.
+
+        Raises:
+            InsufficientDataError: with no measurements.
+        """
+        if not measurements:
+            raise InsufficientDataError("no measurements to localise from")
+        total = sum(m.weight for m in measurements)
+        lat = sum(m.point.lat * m.weight for m in measurements) / total
+        lon = sum(m.point.lon * m.weight for m in measurements) / total
+        return GeoPoint(lat, lon)
+
+
+@dataclass(frozen=True, slots=True)
+class MedianLocalizer:
+    """Geographic median of measurement positions (Toretter's robust
+    "estimated median"); ignores weights by design."""
+
+    def estimate(self, measurements: list[Measurement]) -> GeoPoint:
+        """Weiszfeld geometric median of the positions.
+
+        Raises:
+            InsufficientDataError: with no measurements.
+        """
+        if not measurements:
+            raise InsufficientDataError("no measurements to localise from")
+        return geographic_median([m.point for m in measurements])

@@ -1,0 +1,60 @@
+"""Geographic substrate: points, districts, gazetteers, and geocoding.
+
+Public surface of :mod:`repro.geo`:
+
+* :class:`GeoPoint` plus great-circle helpers (:func:`haversine_km`, ...)
+* :class:`District`, :class:`AdminPath`, :class:`BoundingBox` region model
+* :class:`Gazetteer` with Korean / world / combined factory catalogues
+* :class:`ReverseGeocoder` (GPS -> admin path)
+* :class:`TextGeocoder` (free text -> district) and its status codes
+"""
+
+from repro.geo.forward import (
+    ForwardGeocodeResult,
+    GeocodeStatus,
+    TextGeocoder,
+)
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.mentions import PlaceMention, PlaceMentionExtractor
+from repro.geo.point import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    centroid,
+    destination_point,
+    geographic_median,
+    haversine_km,
+    initial_bearing_deg,
+    midpoint,
+)
+from repro.geo.region import (
+    AdminPath,
+    BoundingBox,
+    District,
+    DistrictKind,
+    RegionLevel,
+)
+from repro.geo.reverse import ReverseGeocodeResult, ReverseGeocoder
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "AdminPath",
+    "BoundingBox",
+    "District",
+    "DistrictKind",
+    "ForwardGeocodeResult",
+    "Gazetteer",
+    "GeocodeStatus",
+    "GeoPoint",
+    "PlaceMention",
+    "PlaceMentionExtractor",
+    "RegionLevel",
+    "ReverseGeocodeResult",
+    "ReverseGeocoder",
+    "TextGeocoder",
+    "centroid",
+    "destination_point",
+    "geographic_median",
+    "haversine_km",
+    "initial_bearing_deg",
+    "midpoint",
+]

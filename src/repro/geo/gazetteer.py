@@ -1,0 +1,210 @@
+"""Gazetteer: the district catalogue with name and spatial indexes.
+
+The gazetteer is the single source of truth shared by the synthetic data
+generators (which scatter GPS fixes inside districts), the reverse geocoder
+(which maps a fix back to a district), and the forward geocoder (which
+resolves free-text profile locations).  Keeping one catalogue guarantees
+the round trip "resident of X tweets near X's centroid -> reverse geocodes
+to X" that the study's matched-string logic depends on.
+
+Lookup structures:
+
+* ``by_key`` — exact ``(state, county)`` lookup.
+* ``alias index`` — lower-cased alias -> candidate districts (an alias such
+  as ``"jung-gu"`` is ambiguous across metropolitan cities, so the index
+  maps to a list).
+* ``spatial grid`` — a uniform lat/lon grid for nearest-centroid queries;
+  with a few hundred districts this keeps nearest-neighbour searches to a
+  handful of candidate cells instead of a full scan.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.errors import UnknownRegionError
+from repro.geo.point import GeoPoint
+from repro.geo.region import District
+
+
+class Gazetteer:
+    """An immutable catalogue of districts with fast lookups."""
+
+    def __init__(self, districts: Iterable[District], grid_deg: float = 0.5):
+        """Build a gazetteer over ``districts``.
+
+        Args:
+            districts: The districts to index.  ``(state, name)`` pairs must
+                be unique.
+            grid_deg: Cell size of the spatial index in degrees.
+        """
+        self._districts: tuple[District, ...] = tuple(districts)
+        if not self._districts:
+            raise UnknownRegionError("gazetteer requires at least one district")
+        self._grid_deg = grid_deg
+
+        self._by_key: dict[tuple[str, str], District] = {}
+        for district in self._districts:
+            key = district.key()
+            if key in self._by_key:
+                raise UnknownRegionError(f"duplicate district key {key}")
+            self._by_key[key] = district
+
+        self._by_alias: dict[str, list[District]] = defaultdict(list)
+        for district in self._districts:
+            for alias in district.aliases:
+                self._by_alias[alias].append(district)
+
+        self._grid: dict[tuple[int, int], list[District]] = defaultdict(list)
+        for district in self._districts:
+            self._grid[self._cell(district.center)].append(district)
+
+        self._states: dict[str, list[District]] = defaultdict(list)
+        for district in self._districts:
+            self._states[district.state].append(district)
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return len(self._districts)
+
+    def __iter__(self) -> Iterator[District]:
+        return iter(self._districts)
+
+    @property
+    def districts(self) -> tuple[District, ...]:
+        """All districts, in catalogue order."""
+        return self._districts
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        """All STATE-level names, sorted."""
+        return tuple(sorted(self._states))
+
+    def in_state(self, state: str) -> tuple[District, ...]:
+        """Districts belonging to ``state``.
+
+        Raises:
+            UnknownRegionError: if the state is not in the catalogue.
+        """
+        if state not in self._states:
+            raise UnknownRegionError(f"unknown state: {state!r}")
+        return tuple(self._states[state])
+
+    # ----------------------------------------------------------------- lookup
+    def get(self, state: str, county: str) -> District:
+        """Exact lookup by ``(state, county)``.
+
+        Raises:
+            UnknownRegionError: if no such district exists.
+        """
+        try:
+            return self._by_key[(state, county)]
+        except KeyError:
+            raise UnknownRegionError(f"unknown district: ({state!r}, {county!r})") from None
+
+    def find(self, state: str, county: str) -> District | None:
+        """Exact lookup returning ``None`` instead of raising."""
+        return self._by_key.get((state, county))
+
+    def lookup_alias(self, alias: str) -> tuple[District, ...]:
+        """All districts matching a lower-cased alias (possibly several)."""
+        return tuple(self._by_alias.get(alias.lower().strip(), ()))
+
+    # ---------------------------------------------------------------- spatial
+    def _cell(self, point: GeoPoint) -> tuple[int, int]:
+        return (
+            int(math.floor(point.lat / self._grid_deg)),
+            int(math.floor(point.lon / self._grid_deg)),
+        )
+
+    def _candidates(self, point: GeoPoint, ring: int) -> list[District]:
+        ci, cj = self._cell(point)
+        found: list[District] = []
+        for di in range(-ring, ring + 1):
+            for dj in range(-ring, ring + 1):
+                if max(abs(di), abs(dj)) != ring:
+                    continue  # only the ring's shell; inner rings already done
+                found.extend(self._grid.get((ci + di, cj + dj), ()))
+        return found
+
+    def nearest(self, point: GeoPoint) -> District:
+        """The district whose centroid is closest to ``point``.
+
+        Expands the search ring outwards through the grid; once a candidate
+        is found, one extra ring is scanned so a centroid just across a cell
+        boundary cannot be missed.
+        """
+        max_ring = int(math.ceil(360.0 / self._grid_deg))
+        best: District | None = None
+        best_d = math.inf
+        found_at: int | None = None
+        for ring in range(max_ring):
+            for district in self._candidates(point, ring):
+                d = district.center.distance_km(point)
+                if d < best_d:
+                    best, best_d = district, d
+            if best is not None:
+                if found_at is None:
+                    found_at = ring
+                elif ring > found_at:
+                    break  # scanned one extra shell beyond the first hit
+        if best is None:  # pragma: no cover - gazetteer is never empty
+            raise UnknownRegionError("nearest() on empty gazetteer")
+        return best
+
+    def nearest_within(self, point: GeoPoint, max_km: float) -> District | None:
+        """Like :meth:`nearest` but ``None`` if the best match is too far."""
+        district = self.nearest(point)
+        if district.center.distance_km(point) > max_km:
+            return None
+        return district
+
+    def within(self, point: GeoPoint, radius_km: float) -> tuple[District, ...]:
+        """All districts whose centroid is within ``radius_km`` of ``point``.
+
+        Used by event localisation to enumerate plausible witness districts.
+        """
+        # Ring radius in cells that safely covers radius_km at this latitude.
+        deg = radius_km / 111.32 + self._grid_deg
+        rings = int(math.ceil(deg / self._grid_deg))
+        hits = []
+        for ring in range(rings + 1):
+            for district in self._candidates(point, ring):
+                if district.center.distance_km(point) <= radius_km:
+                    hits.append(district)
+        hits.sort(key=lambda d: d.center.distance_km(point))
+        return tuple(hits)
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def korean(cls) -> "Gazetteer":
+        """The Korean administrative gazetteer used by the main study."""
+        from repro.geo.korea import korean_districts
+
+        return cls(korean_districts())
+
+    @classmethod
+    def world(cls) -> "Gazetteer":
+        """The world-city gazetteer used by the streaming dataset."""
+        from repro.geo.world import world_cities
+
+        return cls(world_cities(), grid_deg=2.0)
+
+    @classmethod
+    def combined(cls) -> "Gazetteer":
+        """Korean districts plus world cities (minus the duplicate Seoul).
+
+        The combined catalogue backs the Lady Gaga pipeline, whose stream
+        contains both Korean and worldwide users.
+        """
+        from repro.geo.korea import korean_districts
+        from repro.geo.world import world_cities
+
+        districts = list(korean_districts())
+        seen = {d.key() for d in districts}
+        for city in world_cities():
+            if city.key() not in seen and city.country != "South Korea":
+                districts.append(city)
+        return cls(districts, grid_deg=1.0)

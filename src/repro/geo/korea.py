@@ -1,0 +1,333 @@
+"""Gazetteer data for South Korean administrative districts (circa 2012).
+
+The study was run on Korean Twitter users, grouping locations by
+administrative district: the seven metropolitan cities (Seoul, Busan,
+Incheon, Daegu, Daejeon, Gwangju, Ulsan) are split into their *gu*
+districts because "these cities are too large and the populations are
+extremely high" (paper §III-B), while ordinary provinces (*-do*) are
+grouped at the city (*-si*) / county (*-gun*) level.
+
+Names are the conventional romanisations.  Centroids are approximate
+(city-hall neighbourhood accuracy); that is sufficient because both the
+synthetic GPS generator and the reverse geocoder share this single source
+of truth, so a fix drawn "in Yangcheon-gu" always reverse-geocodes to
+Yangcheon-gu.  Population weights are coarse relative magnitudes used when
+sampling synthetic residents; they only need to rank districts plausibly.
+"""
+
+from __future__ import annotations
+
+from repro.geo.point import GeoPoint
+from repro.geo.region import District, DistrictKind
+
+COUNTRY = "South Korea"
+
+#: STATE-level units that are metropolitan cities (split into districts).
+METROPOLITAN_STATES: frozenset[str] = frozenset(
+    {"Seoul", "Busan", "Incheon", "Daegu", "Daejeon", "Gwangju", "Ulsan"}
+)
+
+#: STATE-level units that are provinces (grouped at -si/-gun level).
+PROVINCE_STATES: frozenset[str] = frozenset(
+    {
+        "Gyeonggi-do",
+        "Gangwon-do",
+        "Chungcheongbuk-do",
+        "Chungcheongnam-do",
+        "Jeollabuk-do",
+        "Jeollanam-do",
+        "Gyeongsangbuk-do",
+        "Gyeongsangnam-do",
+        "Jeju-do",
+    }
+)
+
+# (name, state, kind, lat, lon, radius_km, population_weight, extra_aliases)
+_GU = DistrictKind.DISTRICT
+_SI = DistrictKind.CITY
+_GUN = DistrictKind.COUNTY
+
+_ROWS: tuple[tuple[str, str, DistrictKind, float, float, float, float, tuple[str, ...]], ...] = (
+    # --- Seoul: all 25 gu -------------------------------------------------
+    ("Jongno-gu", "Seoul", _GU, 37.573, 126.979, 3.5, 16.0, ("jongro",)),
+    ("Jung-gu", "Seoul", _GU, 37.564, 126.998, 3.0, 13.0, ()),
+    ("Yongsan-gu", "Seoul", _GU, 37.532, 126.990, 3.5, 23.0, ()),
+    ("Seongdong-gu", "Seoul", _GU, 37.563, 127.037, 3.2, 30.0, ()),
+    ("Gwangjin-gu", "Seoul", _GU, 37.538, 127.082, 3.2, 36.0, ()),
+    ("Dongdaemun-gu", "Seoul", _GU, 37.574, 127.040, 3.2, 36.0, ()),
+    ("Jungnang-gu", "Seoul", _GU, 37.606, 127.093, 3.5, 41.0, ()),
+    ("Seongbuk-gu", "Seoul", _GU, 37.589, 127.017, 3.8, 46.0, ()),
+    ("Gangbuk-gu", "Seoul", _GU, 37.640, 127.025, 3.5, 33.0, ()),
+    ("Dobong-gu", "Seoul", _GU, 37.669, 127.047, 3.5, 35.0, ()),
+    ("Nowon-gu", "Seoul", _GU, 37.654, 127.056, 4.0, 59.0, ()),
+    ("Eunpyeong-gu", "Seoul", _GU, 37.603, 126.929, 3.8, 49.0, ()),
+    ("Seodaemun-gu", "Seoul", _GU, 37.579, 126.937, 3.2, 31.0, ()),
+    ("Mapo-gu", "Seoul", _GU, 37.566, 126.902, 3.5, 38.0, ("hongdae",)),
+    ("Yangcheon-gu", "Seoul", _GU, 37.517, 126.867, 3.2, 48.0, ("yangchun-gu", "yangchun")),
+    ("Gangseo-gu", "Seoul", _GU, 37.551, 126.850, 4.0, 57.0, ()),
+    ("Guro-gu", "Seoul", _GU, 37.495, 126.888, 3.5, 42.0, ()),
+    ("Geumcheon-gu", "Seoul", _GU, 37.457, 126.895, 3.0, 24.0, ()),
+    ("Yeongdeungpo-gu", "Seoul", _GU, 37.526, 126.896, 3.5, 40.0, ("yeouido",)),
+    ("Dongjak-gu", "Seoul", _GU, 37.512, 126.940, 3.2, 40.0, ()),
+    ("Gwanak-gu", "Seoul", _GU, 37.478, 126.952, 3.8, 52.0, ()),
+    ("Seocho-gu", "Seoul", _GU, 37.484, 127.033, 4.2, 43.0, ()),
+    ("Gangnam-gu", "Seoul", _GU, 37.517, 127.047, 4.2, 56.0, ("kangnam",)),
+    ("Songpa-gu", "Seoul", _GU, 37.515, 127.106, 4.0, 66.0, ("jamsil",)),
+    ("Gangdong-gu", "Seoul", _GU, 37.530, 127.124, 3.5, 47.0, ()),
+    # --- Busan: 15 gu + 1 gun --------------------------------------------
+    ("Jung-gu", "Busan", _GU, 35.106, 129.032, 2.5, 5.0, ("nampo-dong",)),
+    ("Seo-gu", "Busan", _GU, 35.098, 129.024, 3.0, 12.0, ()),
+    ("Dong-gu", "Busan", _GU, 35.129, 129.045, 2.8, 10.0, ()),
+    ("Yeongdo-gu", "Busan", _GU, 35.091, 129.068, 3.0, 13.0, ()),
+    ("Busanjin-gu", "Busan", _GU, 35.163, 129.053, 3.5, 39.0, ("seomyeon",)),
+    ("Dongnae-gu", "Busan", _GU, 35.205, 129.084, 3.2, 28.0, ()),
+    ("Nam-gu", "Busan", _GU, 35.137, 129.084, 3.2, 29.0, ()),
+    ("Buk-gu", "Busan", _GU, 35.197, 128.990, 3.5, 31.0, ()),
+    ("Haeundae-gu", "Busan", _GU, 35.163, 129.164, 4.0, 42.0, ("haeundae",)),
+    ("Saha-gu", "Busan", _GU, 35.104, 128.975, 3.8, 35.0, ()),
+    ("Geumjeong-gu", "Busan", _GU, 35.243, 129.092, 3.8, 25.0, ()),
+    ("Gangseo-gu", "Busan", _GU, 35.212, 128.981, 4.5, 7.0, ()),
+    ("Yeonje-gu", "Busan", _GU, 35.176, 129.080, 2.8, 21.0, ()),
+    ("Suyeong-gu", "Busan", _GU, 35.146, 129.113, 2.8, 18.0, ("gwangalli",)),
+    ("Sasang-gu", "Busan", _GU, 35.152, 128.991, 3.5, 24.0, ()),
+    ("Gijang-gun", "Busan", _GUN, 35.245, 129.222, 6.0, 11.0, ()),
+    # --- Incheon: 8 gu + 2 gun -------------------------------------------
+    ("Jung-gu", "Incheon", _GU, 37.474, 126.621, 4.0, 10.0, ()),
+    ("Dong-gu", "Incheon", _GU, 37.474, 126.643, 2.5, 7.0, ()),
+    ("Nam-gu", "Incheon", _GU, 37.464, 126.650, 3.2, 41.0, ("michuhol",)),
+    ("Yeonsu-gu", "Incheon", _GU, 37.410, 126.678, 3.8, 28.0, ("songdo",)),
+    ("Namdong-gu", "Incheon", _GU, 37.447, 126.731, 4.0, 50.0, ()),
+    ("Bupyeong-gu", "Incheon", _GU, 37.507, 126.722, 3.5, 55.0, ()),
+    ("Gyeyang-gu", "Incheon", _GU, 37.538, 126.738, 3.5, 33.0, ()),
+    ("Seo-gu", "Incheon", _GU, 37.545, 126.676, 4.5, 42.0, ()),
+    ("Ganghwa-gun", "Incheon", _GUN, 37.747, 126.488, 10.0, 6.0, ()),
+    ("Ongjin-gun", "Incheon", _GUN, 37.447, 126.427, 12.0, 2.0, ()),
+    # --- Daegu: 7 gu + 1 gun ----------------------------------------------
+    ("Jung-gu", "Daegu", _GU, 35.869, 128.606, 2.5, 8.0, ()),
+    ("Dong-gu", "Daegu", _GU, 35.887, 128.636, 4.0, 34.0, ()),
+    ("Seo-gu", "Daegu", _GU, 35.872, 128.559, 3.0, 23.0, ()),
+    ("Nam-gu", "Daegu", _GU, 35.846, 128.597, 2.8, 17.0, ()),
+    ("Buk-gu", "Daegu", _GU, 35.886, 128.583, 4.0, 44.0, ()),
+    ("Suseong-gu", "Daegu", _GU, 35.858, 128.631, 3.8, 45.0, ()),
+    ("Dalseo-gu", "Daegu", _GU, 35.830, 128.533, 4.2, 60.0, ()),
+    ("Dalseong-gun", "Daegu", _GUN, 35.775, 128.431, 8.0, 18.0, ()),
+    # --- Daejeon: 5 gu ------------------------------------------------------
+    ("Dong-gu", "Daejeon", _GU, 36.312, 127.455, 4.0, 25.0, ()),
+    ("Jung-gu", "Daejeon", _GU, 36.326, 127.421, 3.5, 26.0, ()),
+    ("Seo-gu", "Daejeon", _GU, 36.355, 127.384, 4.0, 50.0, ()),
+    ("Yuseong-gu", "Daejeon", _GU, 36.362, 127.356, 4.5, 30.0, ("kaist",)),
+    ("Daedeok-gu", "Daejeon", _GU, 36.347, 127.416, 3.5, 21.0, ()),
+    # --- Gwangju: 5 gu -----------------------------------------------------
+    ("Dong-gu", "Gwangju", _GU, 35.146, 126.923, 3.0, 10.0, ()),
+    ("Seo-gu", "Gwangju", _GU, 35.152, 126.890, 3.2, 31.0, ()),
+    ("Nam-gu", "Gwangju", _GU, 35.133, 126.902, 3.0, 22.0, ()),
+    ("Buk-gu", "Gwangju", _GU, 35.174, 126.912, 4.0, 45.0, ()),
+    ("Gwangsan-gu", "Gwangju", _GU, 35.139, 126.794, 4.5, 38.0, ()),
+    # --- Ulsan: 4 gu + 1 gun ------------------------------------------------
+    ("Jung-gu", "Ulsan", _GU, 35.569, 129.333, 3.0, 24.0, ()),
+    ("Nam-gu", "Ulsan", _GU, 35.544, 129.330, 3.5, 35.0, ()),
+    ("Dong-gu", "Ulsan", _GU, 35.505, 129.417, 3.0, 18.0, ()),
+    ("Buk-gu", "Ulsan", _GU, 35.583, 129.361, 3.5, 19.0, ()),
+    ("Ulju-gun", "Ulsan", _GUN, 35.522, 129.243, 9.0, 20.0, ()),
+    # --- Gyeonggi-do: cities and counties (2012 boundaries) ----------------
+    ("Suwon-si", "Gyeonggi-do", _SI, 37.263, 127.029, 6.0, 110.0, ()),
+    ("Seongnam-si", "Gyeonggi-do", _SI, 37.420, 127.127, 6.0, 98.0, ("bundang", "pangyo")),
+    ("Uijeongbu-si", "Gyeonggi-do", _SI, 37.738, 127.034, 4.5, 43.0, ()),
+    ("Anyang-si", "Gyeonggi-do", _SI, 37.394, 126.957, 4.5, 60.0, ()),
+    ("Bucheon-si", "Gyeonggi-do", _SI, 37.503, 126.766, 4.5, 87.0, ()),
+    ("Gwangmyeong-si", "Gyeonggi-do", _SI, 37.479, 126.865, 3.5, 35.0, ()),
+    ("Pyeongtaek-si", "Gyeonggi-do", _SI, 36.992, 127.113, 7.0, 43.0, ()),
+    ("Dongducheon-si", "Gyeonggi-do", _SI, 37.904, 127.060, 4.0, 10.0, ()),
+    ("Ansan-si", "Gyeonggi-do", _SI, 37.322, 126.831, 5.5, 71.0, ()),
+    ("Goyang-si", "Gyeonggi-do", _SI, 37.658, 126.832, 6.5, 96.0, ("ilsan",)),
+    ("Gwacheon-si", "Gyeonggi-do", _SI, 37.429, 126.988, 3.0, 7.0, ()),
+    ("Guri-si", "Gyeonggi-do", _SI, 37.594, 127.130, 3.2, 19.0, ()),
+    ("Namyangju-si", "Gyeonggi-do", _SI, 37.636, 127.217, 7.0, 56.0, ()),
+    ("Osan-si", "Gyeonggi-do", _SI, 37.150, 127.077, 3.5, 20.0, ()),
+    ("Siheung-si", "Gyeonggi-do", _SI, 37.380, 126.803, 5.0, 41.0, ()),
+    ("Gunpo-si", "Gyeonggi-do", _SI, 37.362, 126.935, 3.2, 29.0, ()),
+    ("Uiwang-si", "Gyeonggi-do", _SI, 37.345, 126.968, 3.5, 15.0, ()),
+    ("Hanam-si", "Gyeonggi-do", _SI, 37.539, 127.215, 3.8, 15.0, ()),
+    ("Yongin-si", "Gyeonggi-do", _SI, 37.241, 127.178, 7.5, 89.0, ()),
+    ("Paju-si", "Gyeonggi-do", _SI, 37.760, 126.780, 7.0, 37.0, ()),
+    ("Icheon-si", "Gyeonggi-do", _SI, 37.272, 127.435, 6.0, 20.0, ()),
+    ("Anseong-si", "Gyeonggi-do", _SI, 37.008, 127.280, 6.5, 18.0, ()),
+    ("Gimpo-si", "Gyeonggi-do", _SI, 37.615, 126.716, 5.5, 28.0, ()),
+    ("Hwaseong-si", "Gyeonggi-do", _SI, 37.200, 126.831, 8.0, 51.0, ("dongtan",)),
+    ("Gwangju-si", "Gyeonggi-do", _SI, 37.429, 127.255, 6.0, 26.0, ()),
+    ("Yangju-si", "Gyeonggi-do", _SI, 37.785, 127.046, 5.5, 20.0, ()),
+    ("Pocheon-si", "Gyeonggi-do", _SI, 37.895, 127.200, 7.5, 16.0, ()),
+    ("Yeoju-gun", "Gyeonggi-do", _GUN, 37.298, 127.637, 7.0, 11.0, ("yeoju",)),
+    ("Gapyeong-gun", "Gyeonggi-do", _GUN, 37.831, 127.510, 9.0, 6.0, ()),
+    ("Yangpyeong-gun", "Gyeonggi-do", _GUN, 37.492, 127.488, 9.0, 10.0, ()),
+    ("Yeoncheon-gun", "Gyeonggi-do", _GUN, 38.096, 127.075, 9.0, 4.0, ()),
+    # --- Gangwon-do ---------------------------------------------------------
+    ("Chuncheon-si", "Gangwon-do", _SI, 37.881, 127.730, 6.5, 27.0, ()),
+    ("Wonju-si", "Gangwon-do", _SI, 37.342, 127.920, 6.5, 31.0, ()),
+    ("Gangneung-si", "Gangwon-do", _SI, 37.752, 128.876, 6.5, 22.0, ()),
+    ("Sokcho-si", "Gangwon-do", _SI, 38.207, 128.592, 4.5, 9.0, ()),
+    ("Donghae-si", "Gangwon-do", _SI, 37.525, 129.114, 4.5, 9.0, ()),
+    ("Taebaek-si", "Gangwon-do", _SI, 37.164, 128.985, 5.5, 5.0, ()),
+    ("Samcheok-si", "Gangwon-do", _SI, 37.450, 129.165, 6.5, 7.0, ()),
+    ("Hongcheon-gun", "Gangwon-do", _GUN, 37.697, 127.889, 10.0, 7.0, ()),
+    ("Hoengseong-gun", "Gangwon-do", _GUN, 37.491, 127.985, 9.0, 5.0, ()),
+    ("Pyeongchang-gun", "Gangwon-do", _GUN, 37.371, 128.390, 10.0, 4.0, ()),
+    ("Jeongseon-gun", "Gangwon-do", _GUN, 37.380, 128.660, 9.0, 4.0, ()),
+    ("Cheorwon-gun", "Gangwon-do", _GUN, 38.147, 127.313, 9.0, 5.0, ()),
+    ("Inje-gun", "Gangwon-do", _GUN, 38.069, 128.170, 10.0, 3.0, ()),
+    ("Yangyang-gun", "Gangwon-do", _GUN, 38.075, 128.619, 7.5, 3.0, ()),
+    ("Yeongwol-gun", "Gangwon-do", _GUN, 37.184, 128.462, 9.0, 4.0, ()),
+    # --- Chungcheongbuk-do ---------------------------------------------------
+    ("Cheongju-si", "Chungcheongbuk-do", _SI, 36.642, 127.489, 6.0, 67.0, ()),
+    ("Chungju-si", "Chungcheongbuk-do", _SI, 36.991, 127.926, 6.5, 21.0, ()),
+    ("Jecheon-si", "Chungcheongbuk-do", _SI, 37.132, 128.191, 6.0, 14.0, ()),
+    ("Boeun-gun", "Chungcheongbuk-do", _GUN, 36.489, 127.729, 8.0, 3.0, ()),
+    ("Okcheon-gun", "Chungcheongbuk-do", _GUN, 36.306, 127.571, 8.0, 5.0, ()),
+    ("Yeongdong-gun", "Chungcheongbuk-do", _GUN, 36.175, 127.783, 8.5, 5.0, ()),
+    ("Jincheon-gun", "Chungcheongbuk-do", _GUN, 36.855, 127.436, 7.5, 6.0, ()),
+    ("Goesan-gun", "Chungcheongbuk-do", _GUN, 36.815, 127.787, 8.5, 4.0, ()),
+    ("Eumseong-gun", "Chungcheongbuk-do", _GUN, 36.940, 127.690, 8.0, 8.0, ()),
+    ("Danyang-gun", "Chungcheongbuk-do", _GUN, 36.985, 128.365, 8.5, 3.0, ()),
+    # --- Chungcheongnam-do ---------------------------------------------------
+    ("Cheonan-si", "Chungcheongnam-do", _SI, 36.815, 127.114, 6.0, 57.0, ()),
+    ("Asan-si", "Chungcheongnam-do", _SI, 36.790, 127.002, 6.0, 27.0, ()),
+    ("Gongju-si", "Chungcheongnam-do", _SI, 36.446, 127.119, 6.5, 11.0, ()),
+    ("Seosan-si", "Chungcheongnam-do", _SI, 36.785, 126.450, 6.5, 16.0, ()),
+    ("Nonsan-si", "Chungcheongnam-do", _SI, 36.187, 127.099, 6.5, 12.0, ()),
+    ("Boryeong-si", "Chungcheongnam-do", _SI, 36.333, 126.613, 6.5, 10.0, ()),
+    ("Dangjin-si", "Chungcheongnam-do", _SI, 36.890, 126.646, 7.0, 14.0, ("dangjin-gun",)),
+    ("Hongseong-gun", "Chungcheongnam-do", _GUN, 36.601, 126.661, 7.5, 9.0, ()),
+    ("Yesan-gun", "Chungcheongnam-do", _GUN, 36.682, 126.845, 7.5, 8.0, ()),
+    ("Buyeo-gun", "Chungcheongnam-do", _GUN, 36.276, 126.910, 8.0, 7.0, ()),
+    ("Seocheon-gun", "Chungcheongnam-do", _GUN, 36.080, 126.692, 7.5, 5.0, ()),
+    ("Taean-gun", "Chungcheongnam-do", _GUN, 36.746, 126.298, 8.0, 6.0, ()),
+    ("Geumsan-gun", "Chungcheongnam-do", _GUN, 36.109, 127.488, 8.0, 5.0, ()),
+    # --- Jeollabuk-do ---------------------------------------------------------
+    ("Jeonju-si", "Jeollabuk-do", _SI, 35.824, 127.148, 5.5, 65.0, ()),
+    ("Gunsan-si", "Jeollabuk-do", _SI, 35.968, 126.737, 6.0, 27.0, ()),
+    ("Iksan-si", "Jeollabuk-do", _SI, 35.948, 126.958, 6.0, 30.0, ()),
+    ("Jeongeup-si", "Jeollabuk-do", _SI, 35.570, 126.856, 6.5, 11.0, ()),
+    ("Namwon-si", "Jeollabuk-do", _SI, 35.416, 127.390, 7.0, 8.0, ()),
+    ("Gimje-si", "Jeollabuk-do", _SI, 35.804, 126.881, 7.0, 9.0, ()),
+    ("Wanju-gun", "Jeollabuk-do", _GUN, 35.905, 127.162, 8.5, 9.0, ()),
+    ("Muju-gun", "Jeollabuk-do", _GUN, 36.007, 127.661, 9.0, 2.0, ()),
+    ("Sunchang-gun", "Jeollabuk-do", _GUN, 35.374, 127.138, 8.0, 3.0, ()),
+    ("Gochang-gun", "Jeollabuk-do", _GUN, 35.436, 126.702, 8.0, 6.0, ()),
+    ("Buan-gun", "Jeollabuk-do", _GUN, 35.732, 126.733, 8.0, 6.0, ()),
+    # --- Jeollanam-do ----------------------------------------------------------
+    ("Mokpo-si", "Jeollanam-do", _SI, 34.812, 126.392, 4.5, 24.0, ()),
+    ("Yeosu-si", "Jeollanam-do", _SI, 34.760, 127.662, 6.0, 29.0, ()),
+    ("Suncheon-si", "Jeollanam-do", _SI, 34.951, 127.487, 6.0, 27.0, ()),
+    ("Naju-si", "Jeollanam-do", _SI, 35.016, 126.711, 6.5, 9.0, ()),
+    ("Gwangyang-si", "Jeollanam-do", _SI, 34.940, 127.696, 6.5, 15.0, ()),
+    ("Damyang-gun", "Jeollanam-do", _GUN, 35.321, 126.988, 7.5, 5.0, ()),
+    ("Goheung-gun", "Jeollanam-do", _GUN, 34.611, 127.285, 9.0, 7.0, ()),
+    ("Boseong-gun", "Jeollanam-do", _GUN, 34.771, 127.080, 8.0, 4.0, ()),
+    ("Hwasun-gun", "Jeollanam-do", _GUN, 35.064, 126.986, 8.0, 6.0, ()),
+    ("Haenam-gun", "Jeollanam-do", _GUN, 34.573, 126.599, 9.0, 7.0, ()),
+    ("Yeongam-gun", "Jeollanam-do", _GUN, 34.800, 126.697, 8.0, 6.0, ()),
+    ("Muan-gun", "Jeollanam-do", _GUN, 34.990, 126.481, 8.0, 7.0, ()),
+    ("Wando-gun", "Jeollanam-do", _GUN, 34.311, 126.755, 9.0, 5.0, ()),
+    ("Jindo-gun", "Jeollanam-do", _GUN, 34.487, 126.263, 9.0, 3.0, ()),
+    # --- Gyeongsangbuk-do --------------------------------------------------------
+    ("Pohang-si", "Gyeongsangbuk-do", _SI, 36.019, 129.343, 6.5, 52.0, ()),
+    ("Gyeongju-si", "Gyeongsangbuk-do", _SI, 35.856, 129.225, 7.5, 26.0, ()),
+    ("Gumi-si", "Gyeongsangbuk-do", _SI, 36.120, 128.344, 6.0, 41.0, ()),
+    ("Andong-si", "Gyeongsangbuk-do", _SI, 36.568, 128.730, 7.0, 17.0, ()),
+    ("Gimcheon-si", "Gyeongsangbuk-do", _SI, 36.140, 128.114, 6.5, 14.0, ()),
+    ("Yeongju-si", "Gyeongsangbuk-do", _SI, 36.806, 128.624, 7.0, 11.0, ()),
+    ("Yeongcheon-si", "Gyeongsangbuk-do", _SI, 35.973, 128.939, 7.0, 10.0, ()),
+    ("Sangju-si", "Gyeongsangbuk-do", _SI, 36.411, 128.159, 7.5, 10.0, ()),
+    ("Mungyeong-si", "Gyeongsangbuk-do", _SI, 36.587, 128.187, 7.5, 7.0, ()),
+    ("Gyeongsan-si", "Gyeongsangbuk-do", _SI, 35.825, 128.741, 6.0, 24.0, ()),
+    ("Uiseong-gun", "Gyeongsangbuk-do", _GUN, 36.353, 128.697, 9.0, 5.0, ()),
+    ("Yeongdeok-gun", "Gyeongsangbuk-do", _GUN, 36.415, 129.366, 8.5, 4.0, ()),
+    ("Cheongdo-gun", "Gyeongsangbuk-do", _GUN, 35.647, 128.734, 8.0, 4.0, ()),
+    ("Seongju-gun", "Gyeongsangbuk-do", _GUN, 35.919, 128.283, 8.0, 4.0, ()),
+    ("Chilgok-gun", "Gyeongsangbuk-do", _GUN, 35.996, 128.402, 7.5, 11.0, ()),
+    ("Uljin-gun", "Gyeongsangbuk-do", _GUN, 36.993, 129.401, 9.0, 5.0, ()),
+    # --- Gyeongsangnam-do ----------------------------------------------------------
+    ("Changwon-si", "Gyeongsangnam-do", _SI, 35.228, 128.681, 7.0, 108.0, ("masan", "jinhae")),
+    ("Jinju-si", "Gyeongsangnam-do", _SI, 35.180, 128.108, 6.0, 34.0, ()),
+    ("Gimhae-si", "Gyeongsangnam-do", _SI, 35.228, 128.889, 6.0, 50.0, ()),
+    ("Yangsan-si", "Gyeongsangnam-do", _SI, 35.335, 129.037, 5.5, 26.0, ()),
+    ("Tongyeong-si", "Gyeongsangnam-do", _SI, 34.854, 128.433, 5.0, 14.0, ()),
+    ("Geoje-si", "Gyeongsangnam-do", _SI, 34.880, 128.621, 6.5, 23.0, ()),
+    ("Miryang-si", "Gyeongsangnam-do", _SI, 35.504, 128.747, 7.0, 11.0, ()),
+    ("Sacheon-si", "Gyeongsangnam-do", _SI, 35.004, 128.064, 6.5, 11.0, ()),
+    ("Haman-gun", "Gyeongsangnam-do", _GUN, 35.272, 128.406, 7.5, 7.0, ()),
+    ("Changnyeong-gun", "Gyeongsangnam-do", _GUN, 35.545, 128.492, 8.0, 6.0, ()),
+    ("Namhae-gun", "Gyeongsangnam-do", _GUN, 34.838, 127.893, 8.0, 5.0, ()),
+    ("Hadong-gun", "Gyeongsangnam-do", _GUN, 35.067, 127.751, 8.5, 5.0, ()),
+    ("Geochang-gun", "Gyeongsangnam-do", _GUN, 35.687, 127.909, 8.5, 6.0, ()),
+    ("Hapcheon-gun", "Gyeongsangnam-do", _GUN, 35.567, 128.166, 8.5, 5.0, ()),
+    # --- Jeju-do ----------------------------------------------------------------------
+    ("Jeju-si", "Jeju-do", _SI, 33.500, 126.531, 7.0, 42.0, ("jeju",)),
+    ("Seogwipo-si", "Jeju-do", _SI, 33.254, 126.560, 7.0, 16.0, ()),
+)
+
+
+def _derive_aliases(name: str, extra: tuple[str, ...]) -> tuple[str, ...]:
+    """Aliases users type in free-text profiles: with and without suffix."""
+    lower = name.lower()
+    aliases = {lower}
+    for suffix in ("-gu", "-si", "-gun"):
+        if lower.endswith(suffix):
+            aliases.add(lower.removesuffix(suffix))
+    aliases.update(a.lower() for a in extra)
+    return tuple(sorted(aliases))
+
+
+def korean_districts() -> tuple[District, ...]:
+    """Build the full Korean district list (fresh tuple each call)."""
+    return tuple(
+        District(
+            name=name,
+            state=state,
+            country=COUNTRY,
+            kind=kind,
+            center=GeoPoint(lat, lon),
+            radius_km=radius_km,
+            aliases=_derive_aliases(name, extra),
+            population_weight=weight,
+        )
+        for name, state, kind, lat, lon, radius_km, weight, extra in _ROWS
+    )
+
+
+#: Alternative romanisations of STATE-level names seen in profiles.
+STATE_ALIASES: dict[str, str] = {
+    "seoul": "Seoul",
+    "soul": "Seoul",
+    "busan": "Busan",
+    "pusan": "Busan",
+    "incheon": "Incheon",
+    "inchon": "Incheon",
+    "daegu": "Daegu",
+    "taegu": "Daegu",
+    "daejeon": "Daejeon",
+    "taejon": "Daejeon",
+    "gwangju": "Gwangju",
+    "kwangju": "Gwangju",
+    "ulsan": "Ulsan",
+    "gyeonggi": "Gyeonggi-do",
+    "gyeonggi-do": "Gyeonggi-do",
+    "kyonggi": "Gyeonggi-do",
+    "gangwon": "Gangwon-do",
+    "gangwon-do": "Gangwon-do",
+    "chungbuk": "Chungcheongbuk-do",
+    "chungcheongbuk-do": "Chungcheongbuk-do",
+    "chungnam": "Chungcheongnam-do",
+    "chungcheongnam-do": "Chungcheongnam-do",
+    "jeonbuk": "Jeollabuk-do",
+    "jeollabuk-do": "Jeollabuk-do",
+    "jeonnam": "Jeollanam-do",
+    "jeollanam-do": "Jeollanam-do",
+    "gyeongbuk": "Gyeongsangbuk-do",
+    "gyeongsangbuk-do": "Gyeongsangbuk-do",
+    "gyeongnam": "Gyeongsangnam-do",
+    "gyeongsangnam-do": "Gyeongsangnam-do",
+    "jeju": "Jeju-do",
+    "jeju-do": "Jeju-do",
+    "jejudo": "Jeju-do",
+}

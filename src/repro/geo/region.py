@@ -1,0 +1,152 @@
+"""Administrative-region model used by the gazetteer.
+
+The paper groups locations by Korean administrative districts: provinces
+(*-do*) and metropolitan cities at the top level (the Yahoo API's
+``<state>``), and cities (*-si*) / districts (*-gu*) / counties (*-gun*)
+below them (the API's ``<county>``).  Metropolitan cities are "too large
+and the populations are extremely high", so the paper splits them into
+their districts; ordinary provinces are grouped at the city level.
+
+A :class:`District` is modelled as a centroid plus an effective radius.
+That is coarse compared to true polygon boundaries, but reverse geocoding
+in this reproduction assigns a point to the *nearest* district centroid
+(weighted by radius), which reproduces the only property the study needs:
+a deterministic point -> (state, county) mapping consistent with the
+generator that scatters synthetic GPS fixes around those same centroids.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidCoordinateError
+from repro.geo.point import GeoPoint
+
+
+class RegionLevel(enum.Enum):
+    """Administrative level of a region, mirroring the Yahoo response."""
+
+    COUNTRY = "country"
+    STATE = "state"  # province (-do) or metropolitan city
+    COUNTY = "county"  # city (-si), district (-gu), or county (-gun)
+    TOWN = "town"  # neighbourhood (-dong); finest level, informational only
+
+
+class DistrictKind(enum.Enum):
+    """Kind of COUNTY-level unit; drives grouping granularity decisions."""
+
+    CITY = "si"  # city within a province
+    DISTRICT = "gu"  # district within a metropolitan city
+    COUNTY = "gun"  # rural county
+    WORLD_CITY = "city"  # non-Korean city (Lady Gaga dataset)
+
+
+@dataclass(frozen=True, slots=True)
+class AdminPath:
+    """The (country, state, county, town) tuple the Yahoo API returns.
+
+    ``town`` is optional; the study only consumes ``state`` and ``county``.
+    """
+
+    country: str
+    state: str
+    county: str
+    town: str = ""
+
+    def key(self) -> tuple[str, str]:
+        """The (state, county) pair the grouping method operates on."""
+        return (self.state, self.county)
+
+    def __str__(self) -> str:
+        parts = [self.country, self.state, self.county]
+        if self.town:
+            parts.append(self.town)
+        return " / ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned lat/lon bounding box (no antimeridian crossing)."""
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self) -> None:
+        if self.south > self.north:
+            raise InvalidCoordinateError(f"south {self.south} > north {self.north}")
+        if self.west > self.east:
+            raise InvalidCoordinateError(f"west {self.west} > east {self.east}")
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Return True if ``point`` lies inside (inclusive) the box."""
+        return self.south <= point.lat <= self.north and self.west <= point.lon <= self.east
+
+    def center(self) -> GeoPoint:
+        """Centre of the box."""
+        return GeoPoint((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """Return a copy grown by ``margin_deg`` on every side (clamped)."""
+        return BoundingBox(
+            max(-90.0, self.south - margin_deg),
+            max(-180.0, self.west - margin_deg),
+            min(90.0, self.north + margin_deg),
+            min(180.0, self.east + margin_deg),
+        )
+
+    @classmethod
+    def around(cls, center: GeoPoint, half_side_km: float) -> "BoundingBox":
+        """Build a box of roughly ``2 * half_side_km`` per side around a point."""
+        import math
+
+        dlat = half_side_km / 111.32
+        dlon = half_side_km / (111.32 * max(0.01, math.cos(math.radians(center.lat))))
+        return cls(
+            max(-90.0, center.lat - dlat),
+            max(-180.0, center.lon - dlon),
+            min(90.0, center.lat + dlat),
+            min(180.0, center.lon + dlon),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class District:
+    """A COUNTY-level administrative unit known to the gazetteer.
+
+    Attributes:
+        name: Canonical romanised name (e.g. ``"Yangcheon-gu"``).
+        state: Name of the parent STATE-level unit (e.g. ``"Seoul"``).
+        country: Country name (``"South Korea"`` for the Korean gazetteer).
+        kind: Whether this is a -si, -gu, -gun, or a world city.
+        center: Approximate centroid of the unit.
+        radius_km: Effective radius; synthetic GPS fixes for residents are
+            scattered within it and reverse geocoding treats it as the
+            district's size prior.
+        aliases: Alternative spellings users type in profiles (lower-cased
+            matching), e.g. ``("yangcheon", "yangchun-gu")``.
+        population_weight: Relative sampling weight when drawing residents.
+    """
+
+    name: str
+    state: str
+    country: str
+    kind: DistrictKind
+    center: GeoPoint
+    radius_km: float
+    aliases: tuple[str, ...] = field(default=())
+    population_weight: float = 1.0
+
+    def admin_path(self, town: str = "") -> AdminPath:
+        """The Yahoo-style admin path for this district."""
+        return AdminPath(country=self.country, state=self.state, county=self.name, town=town)
+
+    def key(self) -> tuple[str, str]:
+        """The (state, county) grouping key."""
+        return (self.state, self.name)
+
+    def contains(self, point: GeoPoint, slack: float = 1.0) -> bool:
+        """True if ``point`` is within ``slack * radius_km`` of the centroid."""
+        return self.center.distance_km(point) <= self.radius_km * slack

@@ -1,0 +1,90 @@
+"""Reverse geocoding: GPS coordinates -> administrative path.
+
+This is the library-level equivalent of the Yahoo PlaceFinder lookups the
+paper performed for every GPS-tagged tweet (paper §III-B, Fig. 5).  The
+:mod:`repro.yahooapi` package wraps this resolver in an XML/HTTP-shaped
+client; pipelines that do not need the API simulation can call the
+resolver directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeocodingError
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint
+from repro.geo.region import AdminPath, District
+
+
+@dataclass(frozen=True, slots=True)
+class ReverseGeocodeResult:
+    """Result of a reverse-geocode lookup.
+
+    Attributes:
+        path: The administrative path (country/state/county/town).
+        district: The matched gazetteer district.
+        distance_km: Distance from the query point to the district centroid.
+        quality: 0-100 score in the PlaceFinder style; decays with distance
+            relative to the district radius.
+    """
+
+    path: AdminPath
+    district: District
+    distance_km: float
+    quality: int
+
+
+class ReverseGeocoder:
+    """Maps GPS points to the nearest gazetteer district.
+
+    Args:
+        gazetteer: District catalogue to resolve against.
+        max_distance_km: Points farther than this from every district
+            centroid are considered unresolvable (ocean, wilderness).
+    """
+
+    def __init__(self, gazetteer: Gazetteer, max_distance_km: float = 150.0):
+        self._gazetteer = gazetteer
+        self._max_distance_km = max_distance_km
+
+    @property
+    def gazetteer(self) -> Gazetteer:
+        """The underlying district catalogue."""
+        return self._gazetteer
+
+    def resolve(self, point: GeoPoint) -> ReverseGeocodeResult:
+        """Resolve ``point`` to a district.
+
+        Raises:
+            GeocodingError: if no district lies within ``max_distance_km``.
+        """
+        district = self._gazetteer.nearest(point)
+        distance_km = district.center.distance_km(point)
+        if distance_km > self._max_distance_km:
+            raise GeocodingError(
+                f"no district within {self._max_distance_km:.0f} km of {point}"
+            )
+        return ReverseGeocodeResult(
+            path=district.admin_path(),
+            district=district,
+            distance_km=distance_km,
+            quality=self._quality(distance_km, district.radius_km),
+        )
+
+    def try_resolve(self, point: GeoPoint) -> ReverseGeocodeResult | None:
+        """Like :meth:`resolve` but ``None`` on failure."""
+        try:
+            return self.resolve(point)
+        except GeocodingError:
+            return None
+
+    @staticmethod
+    def _quality(distance_km: float, radius_km: float) -> int:
+        """PlaceFinder-style quality score: 87 inside the district (the score
+        the real API reports for coordinate-level matches), decaying once
+        the point falls outside the nominal radius."""
+        if distance_km <= radius_km:
+            return 87
+        overshoot = (distance_km - radius_km) / max(radius_km, 0.1)
+        return max(10, int(87 - 20 * overshoot))

@@ -1,0 +1,110 @@
+"""World-city gazetteer for the streaming ("Lady Gaga") dataset.
+
+The slides appended to the paper compare the Korean crawl against a second
+dataset collected through the Streaming API on a worldwide topical keyword.
+Its users are spread across major world cities, so the gazetteer here maps
+the globe at city granularity: ``state`` is the country subdivision the
+Yahoo API would return (US state, UK constituent country, etc.) and
+``county`` is the city itself.
+
+Coordinates are city-centre approximations; radii are generous because the
+fixture population roams whole metro areas.
+"""
+
+from __future__ import annotations
+
+from repro.geo.point import GeoPoint
+from repro.geo.region import District, DistrictKind
+
+_CITY = DistrictKind.WORLD_CITY
+
+# (city, state/subdivision, country, lat, lon, radius_km, weight, aliases)
+_ROWS: tuple[tuple[str, str, str, float, float, float, float, tuple[str, ...]], ...] = (
+    ("New York", "New York", "United States", 40.713, -74.006, 20.0, 90.0, ("nyc", "new york city", "manhattan", "brooklyn")),
+    ("Los Angeles", "California", "United States", 34.052, -118.244, 25.0, 70.0, ("la", "hollywood")),
+    ("Chicago", "Illinois", "United States", 41.878, -87.630, 18.0, 45.0, ("chi-town",)),
+    ("Houston", "Texas", "United States", 29.760, -95.370, 22.0, 35.0, ()),
+    ("Dallas", "Texas", "United States", 32.777, -96.797, 20.0, 30.0, ()),
+    ("Austin", "Texas", "United States", 30.267, -97.743, 15.0, 18.0, ("atx",)),
+    ("Philadelphia", "Pennsylvania", "United States", 39.953, -75.164, 15.0, 28.0, ("philly",)),
+    ("Phoenix", "Arizona", "United States", 33.448, -112.074, 20.0, 24.0, ()),
+    ("San Francisco", "California", "United States", 37.775, -122.419, 12.0, 35.0, ("sf", "bay area")),
+    ("San Diego", "California", "United States", 32.716, -117.161, 16.0, 22.0, ()),
+    ("Seattle", "Washington", "United States", 47.606, -122.332, 14.0, 26.0, ()),
+    ("Boston", "Massachusetts", "United States", 42.360, -71.059, 12.0, 26.0, ()),
+    ("Miami", "Florida", "United States", 25.762, -80.192, 15.0, 28.0, ()),
+    ("Orlando", "Florida", "United States", 28.538, -81.379, 14.0, 14.0, ()),
+    ("Atlanta", "Georgia", "United States", 33.749, -84.388, 18.0, 30.0, ("atl",)),
+    ("Washington", "District of Columbia", "United States", 38.907, -77.037, 14.0, 28.0, ("dc", "washington dc")),
+    ("Detroit", "Michigan", "United States", 42.331, -83.046, 16.0, 16.0, ()),
+    ("Minneapolis", "Minnesota", "United States", 44.978, -93.265, 14.0, 14.0, ()),
+    ("Denver", "Colorado", "United States", 39.739, -104.990, 15.0, 16.0, ()),
+    ("Las Vegas", "Nevada", "United States", 36.170, -115.140, 15.0, 16.0, ("vegas",)),
+    ("Nashville", "Tennessee", "United States", 36.163, -86.781, 14.0, 12.0, ()),
+    ("Portland", "Oregon", "United States", 45.515, -122.679, 13.0, 14.0, ("pdx",)),
+    ("Toronto", "Ontario", "Canada", 43.653, -79.383, 18.0, 34.0, ()),
+    ("Vancouver", "British Columbia", "Canada", 49.283, -123.121, 14.0, 16.0, ()),
+    ("Montreal", "Quebec", "Canada", 45.502, -73.567, 15.0, 20.0, ()),
+    ("Mexico City", "Mexico City", "Mexico", 19.433, -99.133, 22.0, 40.0, ("cdmx", "df")),
+    ("Sao Paulo", "Sao Paulo", "Brazil", -23.551, -46.633, 25.0, 45.0, ("sampa",)),
+    ("Rio de Janeiro", "Rio de Janeiro", "Brazil", -22.907, -43.173, 20.0, 30.0, ("rio",)),
+    ("Buenos Aires", "Buenos Aires", "Argentina", -34.603, -58.382, 20.0, 26.0, ()),
+    ("Santiago", "Santiago Metropolitan", "Chile", -33.449, -70.669, 18.0, 16.0, ()),
+    ("Bogota", "Bogota", "Colombia", 4.711, -74.072, 18.0, 18.0, ()),
+    ("London", "England", "United Kingdom", 51.507, -0.128, 20.0, 60.0, ("ldn",)),
+    ("Manchester", "England", "United Kingdom", 53.481, -2.242, 12.0, 16.0, ()),
+    ("Birmingham", "England", "United Kingdom", 52.486, -1.890, 12.0, 14.0, ("brum",)),
+    ("Glasgow", "Scotland", "United Kingdom", 55.861, -4.250, 11.0, 10.0, ()),
+    ("Dublin", "Leinster", "Ireland", 53.349, -6.260, 12.0, 12.0, ()),
+    ("Paris", "Ile-de-France", "France", 48.857, 2.352, 15.0, 38.0, ()),
+    ("Berlin", "Berlin", "Germany", 52.520, 13.405, 16.0, 26.0, ()),
+    ("Munich", "Bavaria", "Germany", 48.135, 11.582, 12.0, 14.0, ("muenchen",)),
+    ("Amsterdam", "North Holland", "Netherlands", 52.368, 4.904, 10.0, 16.0, ()),
+    ("Madrid", "Community of Madrid", "Spain", 40.417, -3.703, 15.0, 24.0, ()),
+    ("Barcelona", "Catalonia", "Spain", 41.387, 2.170, 12.0, 22.0, ("bcn",)),
+    ("Rome", "Lazio", "Italy", 41.903, 12.496, 14.0, 18.0, ("roma",)),
+    ("Milan", "Lombardy", "Italy", 45.464, 9.190, 12.0, 16.0, ("milano",)),
+    ("Stockholm", "Stockholm", "Sweden", 59.329, 18.069, 12.0, 12.0, ()),
+    ("Istanbul", "Istanbul", "Turkey", 41.008, 28.978, 20.0, 26.0, ()),
+    ("Moscow", "Moscow", "Russia", 55.756, 37.617, 20.0, 22.0, ()),
+    ("Tokyo", "Tokyo", "Japan", 35.690, 139.692, 22.0, 50.0, ()),
+    ("Osaka", "Osaka", "Japan", 34.694, 135.502, 16.0, 24.0, ()),
+    ("Nagoya", "Aichi", "Japan", 35.181, 136.906, 14.0, 14.0, ()),
+    ("Singapore", "Singapore", "Singapore", 1.352, 103.820, 14.0, 22.0, ("sg",)),
+    ("Hong Kong", "Hong Kong", "China", 22.319, 114.170, 14.0, 22.0, ("hk",)),
+    ("Manila", "Metro Manila", "Philippines", 14.600, 120.984, 18.0, 34.0, ()),
+    ("Jakarta", "Jakarta", "Indonesia", -6.208, 106.846, 20.0, 40.0, ("jkt",)),
+    ("Bangkok", "Bangkok", "Thailand", 13.756, 100.502, 18.0, 26.0, ("bkk",)),
+    ("Kuala Lumpur", "Kuala Lumpur", "Malaysia", 3.139, 101.687, 15.0, 18.0, ("kl",)),
+    ("Mumbai", "Maharashtra", "India", 19.076, 72.878, 20.0, 30.0, ("bombay",)),
+    ("Delhi", "Delhi", "India", 28.614, 77.209, 20.0, 28.0, ("new delhi",)),
+    ("Sydney", "New South Wales", "Australia", -33.869, 151.209, 18.0, 26.0, ()),
+    ("Melbourne", "Victoria", "Australia", -37.814, 144.963, 18.0, 24.0, ()),
+    ("Gold Coast", "Queensland", "Australia", -28.017, 153.400, 14.0, 8.0, ("gold coast australia",)),
+    ("Auckland", "Auckland", "New Zealand", -36.848, 174.763, 14.0, 10.0, ()),
+    ("Seoul", "Seoul", "South Korea", 37.566, 126.978, 18.0, 20.0, ("seoul korea",)),
+    ("Johannesburg", "Gauteng", "South Africa", -26.204, 28.047, 18.0, 14.0, ("joburg",)),
+    ("Lagos", "Lagos", "Nigeria", 6.524, 3.379, 18.0, 16.0, ()),
+    ("Cairo", "Cairo", "Egypt", 30.044, 31.236, 18.0, 16.0, ()),
+)
+
+
+def world_cities() -> tuple[District, ...]:
+    """Build the world-city district list (fresh tuple each call)."""
+    districts = []
+    for city, state, country, lat, lon, radius_km, weight, extra in _ROWS:
+        aliases = {city.lower()}
+        aliases.update(a.lower() for a in extra)
+        districts.append(
+            District(
+                name=city,
+                state=state,
+                country=country,
+                kind=_CITY,
+                center=GeoPoint(lat, lon),
+                radius_km=radius_km,
+                aliases=tuple(sorted(aliases)),
+                population_weight=weight,
+            )
+        )
+    return tuple(districts)

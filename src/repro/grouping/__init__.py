@@ -1,0 +1,39 @@
+"""The paper's core contribution: the text-based grouping method.
+
+Pipeline (paper §III-B): per-tweet :class:`LocationString` records ->
+:func:`merge_strings` (merge identical records, order by count) ->
+matched-string detection -> :class:`TopKGroup` classification ->
+:func:`compute_group_statistics` (the Figs. 6-7 aggregates).
+"""
+
+from repro.grouping.incremental import IncrementalGrouper
+from repro.grouping.merge import (
+    MergedString,
+    TieBreak,
+    matched_rank,
+    merge_strings,
+    total_tweets,
+    tweet_location_count,
+)
+from repro.grouping.stats import GroupRow, GroupStatistics, compute_group_statistics
+from repro.grouping.strings import DELIMITER, LocationString
+from repro.grouping.topk import TopKGroup, UserGrouping, classify_rows, group_users
+
+__all__ = [
+    "DELIMITER",
+    "GroupRow",
+    "GroupStatistics",
+    "IncrementalGrouper",
+    "LocationString",
+    "MergedString",
+    "TieBreak",
+    "TopKGroup",
+    "UserGrouping",
+    "classify_rows",
+    "compute_group_statistics",
+    "group_users",
+    "matched_rank",
+    "merge_strings",
+    "total_tweets",
+    "tweet_location_count",
+]

@@ -1,0 +1,138 @@
+"""Per-group statistics — the numbers behind the paper's Figs. 6-7.
+
+Aggregates :class:`~repro.grouping.topk.UserGrouping` outcomes into the
+three series the paper (and its slide deck) reports:
+
+* number of users per group, with percentages (Fig. 7);
+* average number of tweet districts per user in each group (Fig. 6);
+* number of geotagged tweets per group, with percentages (slide 3).
+
+Plus the paper's closing aggregate: the overall average number of tweet
+districts per user, weighted by group sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import InsufficientDataError
+from repro.grouping.topk import TopKGroup, UserGrouping
+
+
+@dataclass(frozen=True, slots=True)
+class GroupRow:
+    """Aggregates for one Top-k group.
+
+    Attributes:
+        group: The group.
+        user_count: Users classified into it.
+        user_share: Fraction of all users (0..1).
+        avg_tweet_locations: Mean distinct tweet districts per user.
+        tweet_count: Geotagged tweets contributed by the group's users.
+        tweet_share: Fraction of all geotagged tweets (0..1).
+        avg_matched_share: Mean fraction of a user's tweets posted at the
+            profile district (0 for None by construction).
+    """
+
+    group: TopKGroup
+    user_count: int
+    user_share: float
+    avg_tweet_locations: float
+    tweet_count: int
+    tweet_share: float
+    avg_matched_share: float
+
+
+@dataclass(frozen=True, slots=True)
+class GroupStatistics:
+    """The full per-group table plus paper-level aggregates.
+
+    Attributes:
+        rows: One row per group, in reporting order (groups with zero
+            users still get a row so figures always have 7 bars).
+        total_users: All classified users.
+        total_tweets: All geotagged tweets.
+        overall_avg_tweet_locations: User-weighted mean distinct districts
+            (the paper's closing statistic, ~3 for the Korean dataset).
+    """
+
+    rows: tuple[GroupRow, ...]
+    total_users: int
+    total_tweets: int
+    overall_avg_tweet_locations: float
+
+    def row(self, group: TopKGroup) -> GroupRow:
+        """The row for ``group`` (always present)."""
+        for row in self.rows:
+            if row.group is group:
+                return row
+        raise InsufficientDataError(f"no row for {group}")  # pragma: no cover
+
+    def user_share(self, *groups: TopKGroup) -> float:
+        """Combined user share of the given groups (e.g. Top-1 + Top-2)."""
+        return sum(self.row(g).user_share for g in groups)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Nested-dict view keyed by group label, for reports and JSON."""
+        return {
+            row.group.value: {
+                "users": row.user_count,
+                "user_share": round(row.user_share, 4),
+                "avg_tweet_locations": round(row.avg_tweet_locations, 2),
+                "tweets": row.tweet_count,
+                "tweet_share": round(row.tweet_share, 4),
+                "avg_matched_share": round(row.avg_matched_share, 4),
+            }
+            for row in self.rows
+        }
+
+
+def compute_group_statistics(
+    groupings: Iterable[UserGrouping],
+) -> GroupStatistics:
+    """Aggregate user groupings into the per-group statistics table.
+
+    Raises:
+        InsufficientDataError: if no groupings are supplied.
+    """
+    by_group: dict[TopKGroup, list[UserGrouping]] = {
+        g: [] for g in TopKGroup.reporting_order()
+    }
+    total_users = 0
+    total_tweets = 0
+    for grouping in groupings:
+        by_group[grouping.group].append(grouping)
+        total_users += 1
+        total_tweets += grouping.total_tweets
+    if total_users == 0:
+        raise InsufficientDataError("no user groupings to aggregate")
+
+    rows = []
+    weighted_locations = 0.0
+    for group in TopKGroup.reporting_order():
+        members = by_group[group]
+        count = len(members)
+        tweet_count = sum(m.total_tweets for m in members)
+        avg_locations = (
+            sum(m.tweet_location_count for m in members) / count if count else 0.0
+        )
+        avg_matched = sum(m.matched_share for m in members) / count if count else 0.0
+        weighted_locations += sum(m.tweet_location_count for m in members)
+        rows.append(
+            GroupRow(
+                group=group,
+                user_count=count,
+                user_share=count / total_users,
+                avg_tweet_locations=avg_locations,
+                tweet_count=tweet_count,
+                tweet_share=tweet_count / total_tweets if total_tweets else 0.0,
+                avg_matched_share=avg_matched,
+            )
+        )
+    return GroupStatistics(
+        rows=tuple(rows),
+        total_users=total_users,
+        total_tweets=total_tweets,
+        overall_avg_tweet_locations=weighted_locations / total_users,
+    )

@@ -1,0 +1,142 @@
+"""Top-k classification of users — the paper's grouping of §III-B/§IV.
+
+"We categorized a user into the Top-k group when the matched string is
+placed k-th in the list."  The reported groups are Top-1 through Top-5, a
+collective Top-6+ bucket, and None for users whose profile district never
+appears among their tweet districts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import InsufficientDataError
+from repro.grouping.merge import (
+    MergedString,
+    TieBreak,
+    matched_rank,
+    merge_strings,
+    total_tweets,
+    tweet_location_count,
+)
+from repro.grouping.strings import LocationString
+from repro.twitter.models import GeotaggedObservation
+
+
+class TopKGroup(enum.Enum):
+    """The paper's user groups, in reporting order."""
+
+    TOP_1 = "Top-1"
+    TOP_2 = "Top-2"
+    TOP_3 = "Top-3"
+    TOP_4 = "Top-4"
+    TOP_5 = "Top-5"
+    TOP_6_PLUS = "Top-6+"
+    NONE = "None"
+
+    @classmethod
+    def from_rank(cls, rank: int | None) -> "TopKGroup":
+        """Map a 1-based matched-string rank (or ``None``) to its group."""
+        if rank is None:
+            return cls.NONE
+        if rank < 1:
+            raise InsufficientDataError(f"rank must be >= 1, got {rank}")
+        if rank <= 5:
+            return cls(f"Top-{rank}")
+        return cls.TOP_6_PLUS
+
+    @classmethod
+    def reporting_order(cls) -> tuple["TopKGroup", ...]:
+        """Groups in the order the paper's figures list them."""
+        return (
+            cls.TOP_1,
+            cls.TOP_2,
+            cls.TOP_3,
+            cls.TOP_4,
+            cls.TOP_5,
+            cls.TOP_6_PLUS,
+            cls.NONE,
+        )
+
+    @property
+    def is_matched_group(self) -> bool:
+        """True for every group except None."""
+        return self is not TopKGroup.NONE
+
+
+@dataclass(frozen=True, slots=True)
+class UserGrouping:
+    """One user's grouping outcome.
+
+    Attributes:
+        user_id: The user.
+        group: Assigned Top-k group.
+        matched_rank: 1-based rank of the matched string (None group: None).
+        merged: The user's ordered merged strings (Table II view).
+        tweet_location_count: Distinct districts the user tweeted from.
+        total_tweets: Geotagged tweets behind the grouping.
+        matched_tweets: Tweets posted in the profile district.
+    """
+
+    user_id: int
+    group: TopKGroup
+    matched_rank: int | None
+    merged: tuple[MergedString, ...]
+    tweet_location_count: int
+    total_tweets: int
+    matched_tweets: int
+
+    @property
+    def matched_share(self) -> float:
+        """Fraction of the user's geotagged tweets posted at the profile
+        district (0.0 for the None group)."""
+        if self.total_tweets == 0:
+            return 0.0
+        return self.matched_tweets / self.total_tweets
+
+
+def classify_rows(user_id: int, rows: list[MergedString]) -> UserGrouping:
+    """Classify one user from an already merged, ordered list.
+
+    Raises:
+        InsufficientDataError: if the list is empty.
+    """
+    if not rows:
+        raise InsufficientDataError(f"user {user_id} has no location strings")
+    rank = matched_rank(rows)
+    matched = sum(row.count for row in rows if row.is_matched)
+    return UserGrouping(
+        user_id=user_id,
+        group=TopKGroup.from_rank(rank),
+        matched_rank=rank,
+        merged=tuple(rows),
+        tweet_location_count=tweet_location_count(rows),
+        total_tweets=total_tweets(rows),
+        matched_tweets=matched,
+    )
+
+
+def group_users(
+    observations: Iterable[GeotaggedObservation],
+    tie_break: TieBreak = TieBreak.STRING_ASC,
+) -> dict[int, UserGrouping]:
+    """Run the full grouping method over per-tweet observations.
+
+    This is the end-to-end §III-B pipeline: build location strings, merge
+    and order per user, find matched strings, classify into Top-k groups.
+
+    Args:
+        observations: Per-tweet observation rows.
+        tie_break: Equal-count ordering policy (the paper leaves this
+            unspecified; see ``bench_ablation_tiebreak``).
+
+    Returns:
+        Per-user grouping outcomes keyed by user id.
+    """
+    records = [LocationString.from_observation(obs) for obs in observations]
+    merged = merge_strings(records, tie_break=tie_break)
+    return {
+        user_id: classify_rows(user_id, rows) for user_id, rows in merged.items()
+    }

@@ -1,0 +1,32 @@
+"""End-to-end pipelines and the experiment registry.
+
+Public surface of :mod:`repro.pipelines`:
+
+* :func:`run_korean_study` / :func:`run_ladygaga_study` — one-call studies
+* :data:`EXPERIMENTS` / :func:`run_experiment` — the E1-E10 registry
+* :func:`get_context` — shared, memoised experiment inputs
+"""
+
+from repro.pipelines.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    get_context,
+    run_experiment,
+)
+from repro.pipelines.study import (
+    KoreanStudyOutput,
+    LadyGagaStudyOutput,
+    run_korean_study,
+    run_ladygaga_study,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "KoreanStudyOutput",
+    "LadyGagaStudyOutput",
+    "get_context",
+    "run_experiment",
+    "run_korean_study",
+    "run_ladygaga_study",
+]

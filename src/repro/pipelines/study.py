@@ -1,0 +1,67 @@
+"""One-call pipelines: build a dataset and run the study on it.
+
+These are the library's front doors.  ``run_korean_study()`` is the whole
+paper in one call: build the crawled corpus, refine it, group users, and
+return the :class:`~repro.analysis.correlation.StudyResult` whose
+statistics are Figs. 6-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.correlation import StudyResult, run_study
+from repro.datasets.korean import KoreanDataset, KoreanDatasetConfig, build_korean_dataset
+from repro.datasets.ladygaga import (
+    LadyGagaDataset,
+    LadyGagaDatasetConfig,
+    build_ladygaga_dataset,
+)
+
+
+@dataclass
+class KoreanStudyOutput:
+    """A built Korean dataset together with its study result."""
+
+    dataset: KoreanDataset
+    study: StudyResult
+
+
+@dataclass
+class LadyGagaStudyOutput:
+    """A built streaming dataset together with its study result."""
+
+    dataset: LadyGagaDataset
+    study: StudyResult
+
+
+def run_korean_study(
+    config: KoreanDatasetConfig | None = None,
+    min_gps_tweets: int = 1,
+) -> KoreanStudyOutput:
+    """Build the Korean dataset and run the full correlation study."""
+    dataset = build_korean_dataset(config)
+    study = run_study(
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name="Korean",
+        min_gps_tweets=min_gps_tweets,
+    )
+    return KoreanStudyOutput(dataset=dataset, study=study)
+
+
+def run_ladygaga_study(
+    config: LadyGagaDatasetConfig | None = None,
+    min_gps_tweets: int = 1,
+) -> LadyGagaStudyOutput:
+    """Build the streaming dataset and run the full correlation study."""
+    dataset = build_ladygaga_dataset(config)
+    study = run_study(
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name="Lady Gaga",
+        min_gps_tweets=min_gps_tweets,
+    )
+    return LadyGagaStudyOutput(dataset=dataset, study=study)

@@ -1,0 +1,14 @@
+"""Storage substrate: tweet and user stores with JSONL persistence.
+
+Public surface of :mod:`repro.storage`:
+
+* :class:`TweetStore` — indexed tweet corpus (user/time/GPS indexes)
+* :class:`UserStore` — account catalogue
+* :class:`TweetQuery` / :class:`TimeRange` — conjunctive query model
+"""
+
+from repro.storage.query import TimeRange, TweetQuery
+from repro.storage.tweetstore import TweetStore
+from repro.storage.userstore import UserStore
+
+__all__ = ["TimeRange", "TweetQuery", "TweetStore", "UserStore"]

@@ -1,0 +1,86 @@
+"""Composable query predicates for the tweet store.
+
+A tiny conjunctive query model: each :class:`TweetQuery` is a bundle of
+optional constraints; the store picks the most selective available index
+and filters the remainder.  This mirrors the shape of the ad-hoc queries
+the study runs — "all GPS-tagged tweets of user X", "tweets in this time
+window containing 'earthquake'", "tweets inside this bounding box".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geo.region import BoundingBox
+from repro.twitter.models import Tweet
+
+
+@dataclass(frozen=True, slots=True)
+class TimeRange:
+    """A half-open time interval ``[start_ms, end_ms)``."""
+
+    start_ms: int
+    end_ms: int
+
+    def __post_init__(self) -> None:
+        if self.start_ms > self.end_ms:
+            raise ConfigurationError(
+                f"time range start {self.start_ms} after end {self.end_ms}"
+            )
+
+    def contains(self, timestamp_ms: int) -> bool:
+        """True if the timestamp falls inside the interval."""
+        return self.start_ms <= timestamp_ms < self.end_ms
+
+    @property
+    def span_ms(self) -> int:
+        """Interval length in milliseconds."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True, slots=True)
+class TweetQuery:
+    """A conjunctive tweet query.
+
+    Attributes:
+        user_id: Restrict to one author.
+        time_range: Restrict to a posting-time interval.
+        has_gps: Require (True) or forbid (False) GPS coordinates.
+        keyword: Case-insensitive substring of the text.
+        bbox: Coordinates inside this box (implies ``has_gps=True``).
+    """
+
+    user_id: int | None = None
+    time_range: TimeRange | None = None
+    has_gps: bool | None = None
+    keyword: str | None = None
+    bbox: BoundingBox | None = None
+
+    def matches(self, tweet: Tweet) -> bool:
+        """Evaluate all constraints against one tweet."""
+        if self.user_id is not None and tweet.user_id != self.user_id:
+            return False
+        if self.time_range is not None and not self.time_range.contains(
+            tweet.created_at_ms
+        ):
+            return False
+        if self.has_gps is not None and tweet.has_gps != self.has_gps:
+            return False
+        if self.bbox is not None:
+            if tweet.coordinates is None or not self.bbox.contains(tweet.coordinates):
+                return False
+        if self.keyword is not None and self.keyword.lower() not in tweet.text.lower():
+            return False
+        return True
+
+    @property
+    def is_unconstrained(self) -> bool:
+        """True when the query matches everything (full scan)."""
+        return (
+            self.user_id is None
+            and self.time_range is None
+            and self.has_gps is None
+            and self.keyword is None
+            and self.bbox is None
+        )

@@ -1,0 +1,176 @@
+"""Tweet store: append-only log persistence with in-memory indexes.
+
+The study's collection phase gathered millions of tweets; everything
+downstream (refinement, grouping, event detection) queries them by user,
+time, GPS presence, or keyword.  The store keeps tweets in insertion
+order, maintains secondary indexes, and can persist to / recover from an
+append-only JSONL log — one JSON document per line, so a partially
+written final line (a crash mid-append) is detected and ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, bisect_right, insort
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import DuplicateKeyError, NotFoundError, StorageError
+from repro.storage.query import TweetQuery
+from repro.twitter.models import Tweet
+
+
+class TweetStore:
+    """In-memory tweet store with optional JSONL persistence.
+
+    Indexes maintained on insert:
+
+    * primary — tweet id -> tweet
+    * by user — user id -> tweet ids in time order
+    * by time — global ``(created_at_ms, tweet_id)`` ordering
+    * gps — the subset of ids carrying coordinates
+    """
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, Tweet] = {}
+        self._by_user: dict[int, list[int]] = {}
+        self._time_index: list[tuple[int, int]] = []  # (created_at_ms, tweet_id)
+        self._gps_ids: set[int] = set()
+
+    # ----------------------------------------------------------------- write
+    def insert(self, tweet: Tweet) -> None:
+        """Insert one tweet.
+
+        Raises:
+            DuplicateKeyError: if the tweet id is already present.
+        """
+        if tweet.tweet_id in self._by_id:
+            raise DuplicateKeyError(f"tweet {tweet.tweet_id} already stored")
+        self._by_id[tweet.tweet_id] = tweet
+        self._by_user.setdefault(tweet.user_id, [])
+        insort(self._by_user[tweet.user_id], tweet.tweet_id)
+        insort(self._time_index, (tweet.created_at_ms, tweet.tweet_id))
+        if tweet.has_gps:
+            self._gps_ids.add(tweet.tweet_id)
+
+    def insert_many(self, tweets: Iterable[Tweet]) -> int:
+        """Insert tweets, skipping duplicates; returns the inserted count."""
+        inserted = 0
+        for tweet in tweets:
+            try:
+                self.insert(tweet)
+            except DuplicateKeyError:
+                continue
+            inserted += 1
+        return inserted
+
+    # ------------------------------------------------------------------ read
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Tweet]:
+        """Iterate all tweets in time order."""
+        for _, tweet_id in self._time_index:
+            yield self._by_id[tweet_id]
+
+    def get(self, tweet_id: int) -> Tweet:
+        """Primary-key lookup.
+
+        Raises:
+            NotFoundError: if the id is unknown.
+        """
+        try:
+            return self._by_id[tweet_id]
+        except KeyError:
+            raise NotFoundError(f"tweet {tweet_id} not stored") from None
+
+    def user_ids(self) -> list[int]:
+        """Distinct author ids, sorted."""
+        return sorted(self._by_user)
+
+    def by_user(self, user_id: int) -> list[Tweet]:
+        """A user's tweets in time order (empty list if none)."""
+        return [self._by_id[tid] for tid in self._by_user.get(user_id, [])]
+
+    def gps_count(self) -> int:
+        """Number of GPS-tagged tweets."""
+        return len(self._gps_ids)
+
+    def gps_tweets(self) -> list[Tweet]:
+        """All GPS-tagged tweets in id order."""
+        return [self._by_id[tid] for tid in sorted(self._gps_ids)]
+
+    def query(self, query: TweetQuery) -> list[Tweet]:
+        """Evaluate a conjunctive query.
+
+        Index selection: a ``user_id`` constraint scans only that user's
+        timeline; otherwise a ``time_range`` binary-searches the global
+        time index; a bare ``has_gps=True`` (or bbox) uses the GPS subset;
+        anything else is a full scan.  Results come back in time order.
+        """
+        candidates = self._candidates(query)
+        return [t for t in candidates if query.matches(t)]
+
+    def _candidates(self, query: TweetQuery) -> list[Tweet]:
+        if query.user_id is not None:
+            return self.by_user(query.user_id)
+        if query.time_range is not None:
+            lo = bisect_left(self._time_index, (query.time_range.start_ms, -1))
+            hi = bisect_right(self._time_index, (query.time_range.end_ms, -1))
+            return [self._by_id[tid] for _, tid in self._time_index[lo:hi]]
+        if query.has_gps is True or query.bbox is not None:
+            return self.gps_tweets()
+        return list(self)
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> int:
+        """Write all tweets as JSONL (time order); returns the line count."""
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as handle:
+            for tweet in self:
+                handle.write(json.dumps(tweet.to_dict(), ensure_ascii=False))
+                handle.write("\n")
+                count += 1
+        return count
+
+    def append_log(self, path: str | Path, tweets: Iterable[Tweet]) -> int:
+        """Append tweets to an existing JSONL log (crash-tolerant format)."""
+        path = Path(path)
+        count = 0
+        with path.open("a", encoding="utf-8") as handle:
+            for tweet in tweets:
+                handle.write(json.dumps(tweet.to_dict(), ensure_ascii=False))
+                handle.write("\n")
+                count += 1
+        return count
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TweetStore":
+        """Rebuild a store from a JSONL log.
+
+        A torn final line (no trailing newline, or unparseable JSON on the
+        last line) is dropped silently — the crash-recovery contract of an
+        append-only log.  Corruption anywhere else raises.
+
+        Raises:
+            StorageError: if a non-final line is corrupt.
+        """
+        path = Path(path)
+        store = cls()
+        with path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        # A well-formed log ends with "\n", so the final split element is "".
+        torn_tail = lines and lines[-1] != ""
+        body = lines[:-1]
+        for index, line in enumerate(body):
+            try:
+                store.insert(Tweet.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise StorageError(f"{path}:{index + 1}: corrupt record: {exc}") from exc
+        if torn_tail:
+            try:
+                store.insert(Tweet.from_dict(json.loads(lines[-1])))
+            except (json.JSONDecodeError, KeyError, ValueError):
+                pass  # torn final record: expected crash artefact
+        return store

@@ -1,0 +1,129 @@
+"""User store: the account catalogue with profile-based lookups.
+
+Holds the crawled accounts and answers the refinement phase's questions:
+iterate everyone, look up by id or screen name, and (after the forward
+geocoder has classified profiles) partition by profile quality.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import DuplicateKeyError, NotFoundError, StorageError
+from repro.twitter.models import TwitterUser
+
+
+class UserStore:
+    """In-memory user catalogue with JSONL persistence."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, TwitterUser] = {}
+        self._by_screen_name: dict[str, int] = {}
+
+    # ----------------------------------------------------------------- write
+    def insert(self, user: TwitterUser) -> None:
+        """Insert one account.
+
+        Raises:
+            DuplicateKeyError: on a duplicate user id or screen name.
+        """
+        if user.user_id in self._by_id:
+            raise DuplicateKeyError(f"user {user.user_id} already stored")
+        lowered = user.screen_name.lower()
+        if lowered in self._by_screen_name:
+            raise DuplicateKeyError(f"screen name {user.screen_name!r} already stored")
+        self._by_id[user.user_id] = user
+        self._by_screen_name[lowered] = user.user_id
+
+    def insert_many(self, users: Iterable[TwitterUser]) -> int:
+        """Insert accounts, skipping duplicates; returns the inserted count."""
+        inserted = 0
+        for user in users:
+            try:
+                self.insert(user)
+            except DuplicateKeyError:
+                continue
+            inserted += 1
+        return inserted
+
+    def upsert(self, user: TwitterUser) -> None:
+        """Insert or replace by user id (screen-name index kept consistent)."""
+        existing = self._by_id.get(user.user_id)
+        if existing is not None:
+            self._by_screen_name.pop(existing.screen_name.lower(), None)
+            self._by_id.pop(user.user_id)
+        self.insert(user)
+
+    # ------------------------------------------------------------------ read
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[TwitterUser]:
+        """Iterate accounts in user-id order."""
+        for user_id in sorted(self._by_id):
+            yield self._by_id[user_id]
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._by_id
+
+    def get(self, user_id: int) -> TwitterUser:
+        """Primary-key lookup.
+
+        Raises:
+            NotFoundError: if the id is unknown.
+        """
+        try:
+            return self._by_id[user_id]
+        except KeyError:
+            raise NotFoundError(f"user {user_id} not stored") from None
+
+    def by_screen_name(self, screen_name: str) -> TwitterUser:
+        """Case-insensitive screen-name lookup.
+
+        Raises:
+            NotFoundError: if the handle is unknown.
+        """
+        user_id = self._by_screen_name.get(screen_name.lower())
+        if user_id is None:
+            raise NotFoundError(f"screen name {screen_name!r} not stored")
+        return self._by_id[user_id]
+
+    def with_profile_location(self) -> list[TwitterUser]:
+        """Accounts whose profile-location field is non-empty."""
+        return [u for u in self if u.profile_location.strip()]
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> int:
+        """Write all accounts as JSONL; returns the line count."""
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as handle:
+            for user in self:
+                handle.write(json.dumps(user.to_dict(), ensure_ascii=False))
+                handle.write("\n")
+                count += 1
+        return count
+
+    @classmethod
+    def load(cls, path: str | Path) -> "UserStore":
+        """Rebuild a store from a JSONL file.
+
+        Raises:
+            StorageError: on any corrupt record.
+        """
+        path = Path(path)
+        store = cls()
+        with path.open("r", encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    store.insert(TwitterUser.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                    raise StorageError(
+                        f"{path}:{index + 1}: corrupt record: {exc}"
+                    ) from exc
+        return store

@@ -1,0 +1,62 @@
+"""Text substrate: normalisation, tokenisation, vagueness, TF-IDF.
+
+Public surface of :mod:`repro.text`:
+
+* :func:`normalize_text` and friends — canonical surface forms
+* :func:`tokenize` / :func:`tokenize_tweet` — Twitter-aware tokenisation
+* :func:`is_vague` / :func:`is_country_only` — the paper's profile filters
+* :func:`parse_profile_location` — structural profile-field parsing
+* :class:`TfIdfCorpus` — corpus statistics behind Twitris-style summaries
+"""
+
+from repro.text.normalize import (
+    collapse_spaces,
+    hangul_ratio,
+    is_hangul,
+    normalize_text,
+    strip_punctuation,
+)
+from repro.text.profile_parser import (
+    ParsedProfileLocation,
+    ProfileShape,
+    parse_profile_location,
+)
+from repro.text.tfidf import ScoredTerm, TfIdfCorpus, cosine_similarity
+from repro.text.tokenize import (
+    STOPWORDS,
+    TweetTokens,
+    ngrams,
+    tokenize,
+    tokenize_tweet,
+)
+from repro.text.vague import (
+    COUNTRY_PHRASES,
+    VAGUE_PHRASES,
+    is_country_only,
+    is_informative,
+    is_vague,
+)
+
+__all__ = [
+    "COUNTRY_PHRASES",
+    "STOPWORDS",
+    "VAGUE_PHRASES",
+    "ParsedProfileLocation",
+    "ProfileShape",
+    "ScoredTerm",
+    "TfIdfCorpus",
+    "TweetTokens",
+    "collapse_spaces",
+    "cosine_similarity",
+    "hangul_ratio",
+    "is_country_only",
+    "is_hangul",
+    "is_informative",
+    "is_vague",
+    "ngrams",
+    "normalize_text",
+    "parse_profile_location",
+    "strip_punctuation",
+    "tokenize",
+    "tokenize_tweet",
+]

@@ -1,0 +1,74 @@
+"""Text normalisation for free-form Twitter fields.
+
+Profile locations on Twitter are "not normalized or geocoded in any way"
+(paper §III-A): users mix scripts, casing, decorations, and punctuation.
+Normalisation here is deliberately conservative — it canonicalises
+whitespace, case, and punctuation without guessing at semantics, so the
+downstream parsers see a predictable surface form.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+_WHITESPACE_RE = re.compile(r"\s+")
+# Decorations users append to locations: hearts, stars, tildes, repeated
+# punctuation.  Kept as a character class so genuinely meaningful ASCII
+# punctuation (comma, slash, hyphen, period) survives.
+_DECORATION_RE = re.compile(r"[~♥★☆♡♪!^*_=+|<>{}\[\]\"`]+")
+_EMOTICON_RE = re.compile(r"[:;]-?[)(DPpo]|[)(]{2,}")
+
+
+def normalize_text(text: str) -> str:
+    """Canonicalise a free-text field.
+
+    Applies NFKC unicode normalisation, strips decorations and emoticons,
+    lower-cases, and collapses whitespace.  Returns ``""`` for input that
+    is nothing but decoration.
+    """
+    text = unicodedata.normalize("NFKC", text)
+    text = _EMOTICON_RE.sub(" ", text)
+    text = _DECORATION_RE.sub(" ", text)
+    text = text.lower()
+    text = _WHITESPACE_RE.sub(" ", text)
+    return text.strip()
+
+
+def strip_punctuation(text: str, keep: str = "-") -> str:
+    """Remove punctuation except the characters in ``keep``.
+
+    Hyphens are kept by default because Korean romanisations are
+    hyphenated ("Yangcheon-gu").
+    """
+    kept = []
+    for ch in text:
+        category = unicodedata.category(ch)
+        if category.startswith("P") and ch not in keep:
+            kept.append(" ")
+        else:
+            kept.append(ch)
+    return _WHITESPACE_RE.sub(" ", "".join(kept)).strip()
+
+
+def collapse_spaces(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and trim."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def is_hangul(ch: str) -> bool:
+    """True if ``ch`` is a Hangul syllable or jamo."""
+    code = ord(ch)
+    return (
+        0xAC00 <= code <= 0xD7A3  # syllables
+        or 0x1100 <= code <= 0x11FF  # jamo
+        or 0x3130 <= code <= 0x318F  # compatibility jamo
+    )
+
+
+def hangul_ratio(text: str) -> float:
+    """Fraction of non-space characters that are Hangul (0.0 for empty)."""
+    chars = [ch for ch in text if not ch.isspace()]
+    if not chars:
+        return 0.0
+    return sum(1 for ch in chars if is_hangul(ch)) / len(chars)

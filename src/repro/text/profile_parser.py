@@ -1,0 +1,109 @@
+"""Structural parsing of the profile-location field.
+
+Fig. 3 of the paper shows the variety users type into the 30-character
+profile location: clean "district, city" forms, exact addresses, raw GPS
+coordinates, decorated junk ("darangland :)"), and *multiple* locations at
+once ("Gold Coast Australia / 서울 양천구") where "we do not know which the
+current location of the user is".
+
+This module performs the *structural* pass: it splits a raw field into
+candidate location phrases, pulls out embedded coordinates, and classifies
+the overall shape.  Resolving a phrase to an actual district is the
+forward geocoder's job (:mod:`repro.geo.forward`).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.text.normalize import collapse_spaces, normalize_text
+
+#: Separators that signal several locations listed in one field.
+_MULTI_SPLIT_RE = re.compile(r"\s*(?:/|\||;|&|,\s*and\s+|\s+and\s+|·)\s*", re.IGNORECASE)
+
+#: A latitude,longitude pair embedded in text.
+_COORD_RE = re.compile(
+    r"(?P<lat>[+-]?\d{1,2}(?:\.\d+)?)\s*,\s*(?P<lon>[+-]?\d{1,3}(?:\.\d+)?)"
+)
+
+#: Road-ish tokens; a field with one of these *and* a house number is an
+#: address ("3 Jibong-ro", "123 Main Street").
+_ROAD_TOKEN_RE = re.compile(
+    r"(?:\w+-(?:ro|gil|dong)|\b(?:ro|gil|st|street|ave|avenue|road)\b)",
+    re.IGNORECASE,
+)
+_HOUSE_NUMBER_RE = re.compile(r"\b\d{1,5}\b")
+
+
+class ProfileShape(enum.Enum):
+    """Structural classification of a profile-location field."""
+
+    EMPTY = "empty"
+    COORDINATES = "coordinates"  # raw GPS pair in the field
+    SINGLE = "single"  # one candidate phrase
+    MULTI = "multi"  # several locations listed ("A / B")
+    ADDRESS = "address"  # street-address detail present
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedProfileLocation:
+    """Result of structurally parsing a profile-location field.
+
+    Attributes:
+        raw: Original field text.
+        shape: Overall structural classification.
+        phrases: Candidate location phrases, normalised, in field order.
+        coordinates: ``(lat, lon)`` if a coordinate pair was embedded.
+    """
+
+    raw: str
+    shape: ProfileShape
+    phrases: tuple[str, ...] = field(default=())
+    coordinates: tuple[float, float] | None = None
+
+
+def _plausible_coords(lat: float, lon: float) -> bool:
+    """Reject comma-lists of small integers masquerading as coordinates."""
+    if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+        return False
+    # A genuine GPS pair in a profile nearly always carries decimals.
+    return abs(lat) != int(abs(lat)) or abs(lon) != int(abs(lon))
+
+
+def parse_profile_location(raw: str) -> ParsedProfileLocation:
+    """Parse the raw profile-location field into structured candidates.
+
+    The comma is ambiguous: it separates listed locations *and* joins
+    "district, city" pairs.  The splitter therefore treats slash-like
+    separators as multi-location markers but keeps commas inside a single
+    phrase, matching how the paper's examples read.
+    """
+    if not raw or not raw.strip():
+        return ParsedProfileLocation(raw=raw, shape=ProfileShape.EMPTY)
+
+    coord_match = _COORD_RE.search(raw)
+    if coord_match:
+        lat = float(coord_match.group("lat"))
+        lon = float(coord_match.group("lon"))
+        if _plausible_coords(lat, lon):
+            remainder = collapse_spaces(_COORD_RE.sub(" ", raw))
+            phrases = tuple(p for p in (normalize_text(remainder),) if p)
+            return ParsedProfileLocation(
+                raw=raw,
+                shape=ProfileShape.COORDINATES,
+                phrases=phrases,
+                coordinates=(lat, lon),
+            )
+
+    pieces = [normalize_text(p) for p in _MULTI_SPLIT_RE.split(raw)]
+    phrases = tuple(p for p in pieces if p)
+    if not phrases:
+        return ParsedProfileLocation(raw=raw, shape=ProfileShape.EMPTY)
+    if len(phrases) > 1:
+        return ParsedProfileLocation(raw=raw, shape=ProfileShape.MULTI, phrases=phrases)
+
+    is_address = bool(_ROAD_TOKEN_RE.search(raw)) and bool(_HOUSE_NUMBER_RE.search(raw))
+    shape = ProfileShape.ADDRESS if is_address else ProfileShape.SINGLE
+    return ParsedProfileLocation(raw=raw, shape=shape, phrases=phrases)

@@ -1,0 +1,120 @@
+"""TF-IDF corpus statistics.
+
+Twitris "used the TFIDF algorithm to extract popular terms in a day"
+(paper §II).  This module provides the corpus model behind that: document
+frequencies accumulated over a reference corpus, per-document or per-slice
+term frequencies, and top-k term extraction.
+
+The implementation favours streaming updates (documents can be added one
+at a time) because the Twitris-style summariser slices the tweet stream by
+(day, district) and scores each slice against the global corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import InsufficientDataError
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredTerm:
+    """A term with its TF-IDF score within some slice."""
+
+    term: str
+    score: float
+    tf: int
+    df: int
+
+
+class TfIdfCorpus:
+    """Incrementally built TF-IDF corpus.
+
+    Documents are token lists; :meth:`add_text` tokenises raw text for
+    convenience.  IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1``
+    so unseen terms in a scored slice still get a finite weight.
+    """
+
+    def __init__(self) -> None:
+        self._doc_count = 0
+        self._doc_freq: Counter[str] = Counter()
+
+    @property
+    def doc_count(self) -> int:
+        """Number of documents folded into the corpus."""
+        return self._doc_count
+
+    def document_frequency(self, term: str) -> int:
+        """How many corpus documents contain ``term``."""
+        return self._doc_freq[term]
+
+    def add_document(self, tokens: Iterable[str]) -> None:
+        """Fold one tokenised document into the corpus statistics."""
+        unique = set(tokens)
+        if not unique:
+            return
+        self._doc_count += 1
+        self._doc_freq.update(unique)
+
+    def add_text(self, text: str) -> None:
+        """Tokenise ``text`` and fold it in as one document."""
+        self.add_document(tokenize(text))
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of ``term``."""
+        return math.log((1 + self._doc_count) / (1 + self._doc_freq[term])) + 1.0
+
+    def score_slice(
+        self, documents: Iterable[Iterable[str]], top_k: int = 10
+    ) -> list[ScoredTerm]:
+        """Score the terms of a document slice against the corpus.
+
+        Args:
+            documents: Tokenised documents forming the slice (e.g. all
+                tweets from one district on one day).
+            top_k: Number of top-scoring terms to return.
+
+        Returns:
+            Terms sorted by descending TF-IDF score (ties: ascending term).
+
+        Raises:
+            InsufficientDataError: if the corpus is empty.
+        """
+        if self._doc_count == 0:
+            raise InsufficientDataError("cannot score against an empty corpus")
+        tf: Counter[str] = Counter()
+        for doc in documents:
+            tf.update(doc)
+        scored = [
+            ScoredTerm(term=t, score=count * self.idf(t), tf=count, df=self._doc_freq[t])
+            for t, count in tf.items()
+        ]
+        scored.sort(key=lambda s: (-s.score, s.term))
+        return scored[:top_k]
+
+    def vectorize(self, tokens: Iterable[str]) -> dict[str, float]:
+        """L2-normalised TF-IDF vector of one document (sparse dict form)."""
+        tf = Counter(tokens)
+        vector = {t: count * self.idf(t) for t, count in tf.items()}
+        norm = math.sqrt(sum(v * v for v in vector.values()))
+        if norm == 0.0:
+            return {}
+        return {t: v / norm for t, v in vector.items()}
+
+
+def cosine_similarity(a: dict[str, float], b: dict[str, float]) -> float:
+    """Cosine similarity of two sparse vectors (0.0 if either is empty)."""
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(v * b.get(t, 0.0) for t, v in a.items())
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)

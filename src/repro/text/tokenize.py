@@ -1,0 +1,74 @@
+"""Tokenisation for tweets and profile fields.
+
+A small, dependency-free tokenizer tuned for Twitter text: it understands
+@mentions, #hashtags, URLs, and keeps hyphenated romanised place names
+("Yangcheon-gu") as single tokens.  Used by the TF-IDF machinery behind
+the Twitris-style summaries and by the event-tweet classifier.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+")
+_MENTION_RE = re.compile(r"@\w+")
+_HASHTAG_RE = re.compile(r"#\w+")
+_TOKEN_RE = re.compile(r"[A-Za-z가-힣][A-Za-z가-힣'-]*|\d+(?:\.\d+)?")
+
+#: Minimal English stopword list; enough to keep TF-IDF summaries clean.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and are as at be but by for from had has have i if in into is it its
+    just me my no not of on or our so than that the their then there these
+    they this to up was we were what when where which who will with you your
+    rt via amp
+    """.split()
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TweetTokens:
+    """Structured token view of a tweet."""
+
+    words: tuple[str, ...]
+    hashtags: tuple[str, ...]
+    mentions: tuple[str, ...]
+    urls: tuple[str, ...]
+
+    def all_terms(self) -> tuple[str, ...]:
+        """Words plus hashtag bodies — the term universe for TF-IDF."""
+        return self.words + tuple(tag.lstrip("#") for tag in self.hashtags)
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> list[str]:
+    """Tokenise plain text to lower-case word tokens.
+
+    Args:
+        text: Input text (any script).
+        drop_stopwords: Remove common English stopwords.
+    """
+    text = _URL_RE.sub(" ", text)
+    tokens = [t.lower() for t in _TOKEN_RE.findall(text)]
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def tokenize_tweet(text: str) -> TweetTokens:
+    """Tokenise a tweet into words, hashtags, mentions, and URLs."""
+    urls = tuple(_URL_RE.findall(text))
+    text_wo_urls = _URL_RE.sub(" ", text)
+    mentions = tuple(m.lower() for m in _MENTION_RE.findall(text_wo_urls))
+    hashtags = tuple(h.lower() for h in _HASHTAG_RE.findall(text_wo_urls))
+    stripped = _MENTION_RE.sub(" ", text_wo_urls)
+    stripped = _HASHTAG_RE.sub(" ", stripped)
+    words = tuple(tokenize(stripped))
+    return TweetTokens(words=words, hashtags=hashtags, mentions=mentions, urls=urls)
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """Contiguous n-grams of ``tokens`` (empty list if too short)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

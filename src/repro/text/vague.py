@@ -1,0 +1,112 @@
+"""Detection of vague and insufficient profile locations.
+
+The paper removes users with *vague* ("my home", "Earth") and
+*insufficient* ("Seoul", "Korea" — a bare metro or country without a
+district) profile locations (§III-B).  This module implements both tests
+on normalised text; the forward geocoder decides sufficiency for place
+names it actually resolves, while the phrase lists here catch the
+non-place junk.
+"""
+
+from __future__ import annotations
+
+from repro.text.normalize import normalize_text
+
+#: Whole-field values that name no real place at all.
+VAGUE_PHRASES: frozenset[str] = frozenset(
+    {
+        "earth",
+        "planet earth",
+        "the earth",
+        "world",
+        "the world",
+        "worldwide",
+        "everywhere",
+        "somewhere",
+        "nowhere",
+        "anywhere",
+        "here",
+        "right here",
+        "home",
+        "my home",
+        "sweet home",
+        "my house",
+        "my room",
+        "my bed",
+        "in my bed",
+        "my heart",
+        "in your heart",
+        "internet",
+        "the internet",
+        "online",
+        "web",
+        "cyberspace",
+        "twitter",
+        "twitterland",
+        "heaven",
+        "hell",
+        "moon",
+        "the moon",
+        "mars",
+        "space",
+        "outer space",
+        "universe",
+        "the universe",
+        "asia",
+        "europe",
+        "wonderland",
+        "neverland",
+        "darangland",
+        "지구",  # "Earth" in Korean
+        "우주",  # "universe"
+        "우리집",  # "my home"
+        "집",  # "home"
+        "인터넷",  # "internet"
+    }
+)
+
+#: Country-level names: real places, but insufficient for district grouping.
+COUNTRY_PHRASES: frozenset[str] = frozenset(
+    {
+        "korea",
+        "south korea",
+        "republic of korea",
+        "rok",
+        "대한민국",
+        "한국",
+        "usa",
+        "united states",
+        "america",
+        "uk",
+        "united kingdom",
+        "japan",
+        "china",
+        "france",
+        "germany",
+        "canada",
+        "australia",
+        "brazil",
+    }
+)
+
+
+def is_vague(text: str) -> bool:
+    """True if the whole field is a known non-place phrase or empty."""
+    normalized = normalize_text(text)
+    if not normalized:
+        return True
+    return normalized in VAGUE_PHRASES
+
+
+def is_country_only(text: str) -> bool:
+    """True if the field names only a country (insufficient granularity)."""
+    return normalize_text(text) in COUNTRY_PHRASES
+
+
+def is_informative(text: str) -> bool:
+    """True if the field is neither vague nor country-only.
+
+    This is the cheap textual prefilter; whether an informative-looking
+    field actually resolves to a district is the forward geocoder's call.
+    """
+    return not is_vague(text) and not is_country_only(text)

@@ -1,0 +1,68 @@
+"""Snowflake-style id generation for synthetic users and tweets.
+
+Twitter's ids encode a millisecond timestamp, a worker id, and a sequence
+number.  Reproducing that layout keeps tweet ids monotone in time, which
+the Search API simulator's ``since_id`` / ``max_id`` cursoring relies on —
+exactly the property real collection code depends on.
+"""
+
+from __future__ import annotations
+
+#: Twitter's snowflake epoch (2010-11-04T01:42:54.657Z) in milliseconds.
+SNOWFLAKE_EPOCH_MS = 1_288_834_974_657
+
+_TIMESTAMP_BITS = 41
+_WORKER_BITS = 10
+_SEQUENCE_BITS = 12
+_MAX_SEQUENCE = (1 << _SEQUENCE_BITS) - 1
+_MAX_WORKER = (1 << _WORKER_BITS) - 1
+
+
+class SnowflakeGenerator:
+    """Deterministic snowflake id generator.
+
+    Args:
+        worker_id: 10-bit worker field (0-1023).
+
+    Raises:
+        ValueError: if ``worker_id`` is out of range.
+    """
+
+    def __init__(self, worker_id: int = 0):
+        if not 0 <= worker_id <= _MAX_WORKER:
+            raise ValueError(f"worker_id must be 0..{_MAX_WORKER}, got {worker_id}")
+        self._worker_id = worker_id
+        self._last_ms = -1
+        self._sequence = 0
+
+    def next_id(self, timestamp_ms: int) -> int:
+        """Generate the next id for ``timestamp_ms`` (unix milliseconds).
+
+        Ids are strictly increasing across calls: a timestamp earlier than
+        the previous call's is clamped forward, and the sequence field
+        rolls the timestamp forward when more than 4096 ids share one
+        millisecond.
+        """
+        if timestamp_ms < self._last_ms:
+            timestamp_ms = self._last_ms
+        if timestamp_ms == self._last_ms:
+            self._sequence += 1
+            if self._sequence > _MAX_SEQUENCE:
+                timestamp_ms += 1
+                self._sequence = 0
+        else:
+            self._sequence = 0
+        self._last_ms = timestamp_ms
+        elapsed = timestamp_ms - SNOWFLAKE_EPOCH_MS
+        if elapsed < 0:
+            raise ValueError(f"timestamp {timestamp_ms} predates the snowflake epoch")
+        return (
+            (elapsed << (_WORKER_BITS + _SEQUENCE_BITS))
+            | (self._worker_id << _SEQUENCE_BITS)
+            | self._sequence
+        )
+
+
+def snowflake_timestamp_ms(snowflake_id: int) -> int:
+    """Recover the unix-millisecond timestamp embedded in a snowflake id."""
+    return (snowflake_id >> (_WORKER_BITS + _SEQUENCE_BITS)) + SNOWFLAKE_EPOCH_MS

@@ -1,0 +1,230 @@
+"""Data models for synthetic Twitter users and tweets.
+
+These mirror the fields the study consumes (paper §III-A): each user's
+free-text profile location, and each tweet's optional GPS coordinates.
+Ground-truth fields (home district, mobility class) are carried alongside
+so experiments can validate the pipeline against what the generator
+actually did — something the original study could never do with live data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geo.point import GeoPoint
+
+
+class MobilityClass(enum.Enum):
+    """Ground-truth mobility archetype of a synthetic user.
+
+    The paper speculates about exactly these behaviours (§IV): users who
+    tweet mostly from their profile location, commuters who "stay outside
+    for work and return home late only for sleep", and users who "stick in
+    a specific place" that is not their stated location.
+    """
+
+    HOME_ANCHORED = "home_anchored"  # most tweets at the profile district
+    COMMUTER = "commuter"  # workplace district dominates, home second
+    WANDERER = "wanderer"  # many districts, none dominant
+    RELOCATED = "relocated"  # profile says hometown; tweets never there
+    FIXED_ELSEWHERE = "fixed_elsewhere"  # low mobility, but not at profile
+
+
+class ProfileStyle(enum.Enum):
+    """How a synthetic user filled in the profile-location field."""
+
+    DISTRICT = "district"  # "Yangcheon-gu, Seoul" — well defined
+    CITY_ONLY = "city_only"  # bare metro name — insufficient
+    COUNTRY_ONLY = "country_only"  # "Korea" — insufficient
+    VAGUE = "vague"  # "my home", "Earth"
+    COORDINATES = "coordinates"  # raw GPS pair in the field
+    MULTI = "multi"  # several locations listed
+    GARBAGE = "garbage"  # unresolvable junk
+    EMPTY = "empty"  # field left blank
+
+
+@dataclass(frozen=True, slots=True)
+class TwitterUser:
+    """A synthetic Twitter user.
+
+    Attributes:
+        user_id: Numeric account id.
+        screen_name: Handle without the ``@``.
+        profile_location: Raw free-text location field (may be empty).
+        created_at_ms: Account creation time, unix milliseconds.
+        has_smartphone: Whether the user can attach GPS to tweets.
+        home_state / home_county: Ground-truth residence district key.
+        mobility: Ground-truth mobility archetype.
+        profile_style: Ground-truth shape of the profile field.
+        followers / friends: Follower-graph degree summary (filled by the
+            graph generator; 0 until then).
+    """
+
+    user_id: int
+    screen_name: str
+    profile_location: str
+    created_at_ms: int
+    has_smartphone: bool
+    home_state: str
+    home_county: str
+    mobility: MobilityClass
+    profile_style: ProfileStyle
+    followers: int = 0
+    friends: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable dict (enums as values)."""
+        return {
+            "user_id": self.user_id,
+            "screen_name": self.screen_name,
+            "profile_location": self.profile_location,
+            "created_at_ms": self.created_at_ms,
+            "has_smartphone": self.has_smartphone,
+            "home_state": self.home_state,
+            "home_county": self.home_county,
+            "mobility": self.mobility.value,
+            "profile_style": self.profile_style.value,
+            "followers": self.followers,
+            "friends": self.friends,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TwitterUser":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            user_id=int(data["user_id"]),
+            screen_name=str(data["screen_name"]),
+            profile_location=str(data["profile_location"]),
+            created_at_ms=int(data["created_at_ms"]),
+            has_smartphone=bool(data["has_smartphone"]),
+            home_state=str(data["home_state"]),
+            home_county=str(data["home_county"]),
+            mobility=MobilityClass(data["mobility"]),
+            profile_style=ProfileStyle(data["profile_style"]),
+            followers=int(data.get("followers", 0)),
+            friends=int(data.get("friends", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Tweet:
+    """A synthetic tweet.
+
+    Attributes:
+        tweet_id: Snowflake id (monotone in time).
+        user_id: Author's account id.
+        created_at_ms: Posting time, unix milliseconds.
+        text: Tweet body.
+        coordinates: GPS fix if posted from a smart mobile device.
+        true_state / true_county: Ground-truth district the author was in
+            when posting (set even when ``coordinates`` is None).
+    """
+
+    tweet_id: int
+    user_id: int
+    created_at_ms: int
+    text: str
+    coordinates: GeoPoint | None = None
+    true_state: str = ""
+    true_county: str = ""
+
+    @property
+    def has_gps(self) -> bool:
+        """True if the tweet carries GPS coordinates."""
+        return self.coordinates is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable dict."""
+        data: dict[str, Any] = {
+            "tweet_id": self.tweet_id,
+            "user_id": self.user_id,
+            "created_at_ms": self.created_at_ms,
+            "text": self.text,
+            "true_state": self.true_state,
+            "true_county": self.true_county,
+        }
+        if self.coordinates is not None:
+            data["lat"] = self.coordinates.lat
+            data["lon"] = self.coordinates.lon
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Tweet":
+        """Inverse of :meth:`to_dict`."""
+        coordinates = None
+        if "lat" in data and "lon" in data:
+            coordinates = GeoPoint(float(data["lat"]), float(data["lon"]))
+        return cls(
+            tweet_id=int(data["tweet_id"]),
+            user_id=int(data["user_id"]),
+            created_at_ms=int(data["created_at_ms"]),
+            text=str(data["text"]),
+            coordinates=coordinates,
+            true_state=str(data.get("true_state", "")),
+            true_county=str(data.get("true_county", "")),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GeotaggedObservation:
+    """One (profile district, tweet district) observation for the study.
+
+    This is the row the grouping method consumes after reverse geocoding:
+    paper Table I's ``user id # state # county # state # county`` record in
+    structured form.  ``timestamp_ms`` carries the tweet's posting time so
+    temporal analyses (e.g. group stability across window halves) can
+    split the observation stream.
+    """
+
+    user_id: int
+    profile_state: str
+    profile_county: str
+    tweet_state: str
+    tweet_county: str
+    timestamp_ms: int = 0
+
+    def profile_key(self) -> tuple[str, str]:
+        """The profile-side (state, county)."""
+        return (self.profile_state, self.profile_county)
+
+    def tweet_key(self) -> tuple[str, str]:
+        """The tweet-side (state, county)."""
+        return (self.tweet_state, self.tweet_county)
+
+    @property
+    def matched(self) -> bool:
+        """True when the tweet was posted in the profile district."""
+        return self.profile_key() == self.tweet_key()
+
+
+@dataclass(frozen=True, slots=True)
+class FollowerEdge:
+    """A directed follower edge: ``follower`` follows ``followee``."""
+
+    follower_id: int
+    followee_id: int
+
+
+@dataclass
+class DatasetSummary:
+    """Slide-1-style dataset summary (users / tweets / collection API)."""
+
+    name: str
+    collection_api: str
+    user_count: int = 0
+    tweet_count: int = 0
+    geotagged_tweet_count: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable dict."""
+        return {
+            "name": self.name,
+            "collection_api": self.collection_api,
+            "user_count": self.user_count,
+            "tweet_count": self.tweet_count,
+            "geotagged_tweet_count": self.geotagged_tweet_count,
+            **self.extra,
+        }

@@ -1,0 +1,31 @@
+"""Simulated Yahoo PlaceFinder API (XML reverse geocoding).
+
+The paper resolved GPS coordinates to administrative districts through the
+Yahoo Open API (Fig. 5).  This package reproduces that dependency: the
+same XML document shape, a client with cache/quota/latency accounting, and
+deterministic transient-failure injection for exercising retry paths.
+"""
+
+from repro.yahooapi.client import (
+    ERROR_NO_RESULT,
+    ClientStats,
+    FailurePlan,
+    PlaceFinderClient,
+)
+from repro.yahooapi.xml import (
+    PlaceFinderResponse,
+    parse_response,
+    render_error,
+    render_success,
+)
+
+__all__ = [
+    "ERROR_NO_RESULT",
+    "ClientStats",
+    "FailurePlan",
+    "PlaceFinderClient",
+    "PlaceFinderResponse",
+    "parse_response",
+    "render_error",
+    "render_success",
+]

@@ -1,0 +1,122 @@
+"""Unit tests for the end-to-end correlation study on a hand-built corpus.
+
+A tiny, fully controlled corpus where every user's expected Top-k outcome
+is known exactly — the study must recover it through forward geocoding,
+the simulated Yahoo client, and the grouping method.
+"""
+
+import pytest
+
+from repro.analysis.correlation import run_study
+from repro.geo.gazetteer import Gazetteer
+from repro.grouping.topk import TopKGroup
+from repro.storage.tweetstore import TweetStore
+from repro.storage.userstore import UserStore
+from repro.twitter.idgen import SnowflakeGenerator
+from repro.twitter.models import MobilityClass, ProfileStyle, Tweet, TwitterUser
+
+
+def _user(user_id, profile_location, home=("Seoul", "Mapo-gu")):
+    return TwitterUser(
+        user_id=user_id,
+        screen_name=f"u{user_id}",
+        profile_location=profile_location,
+        created_at_ms=1_300_000_000_000,
+        has_smartphone=True,
+        home_state=home[0],
+        home_county=home[1],
+        mobility=MobilityClass.HOME_ANCHORED,
+        profile_style=ProfileStyle.DISTRICT,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    gazetteer = Gazetteer.korean()
+    idgen = SnowflakeGenerator()
+    base_ms = 1_314_835_200_000
+
+    users = UserStore()
+    tweets = TweetStore()
+
+    def add_gps_tweets(user_id, district_key, count):
+        district = gazetteer.get(*district_key)
+        for i in range(count):
+            ts = base_ms + user_id * 10_000 + i * 1_000
+            tweets.insert(
+                Tweet(
+                    tweet_id=idgen.next_id(ts),
+                    user_id=user_id,
+                    created_at_ms=ts,
+                    text="hello",
+                    coordinates=district.center,
+                    true_state=district.state,
+                    true_county=district.name,
+                )
+            )
+
+    # User 1: Top-1 (mostly tweets at home Mapo-gu).
+    users.insert(_user(1, "Mapo-gu, Seoul"))
+    add_gps_tweets(1, ("Seoul", "Mapo-gu"), 5)
+    add_gps_tweets(1, ("Seoul", "Jongno-gu"), 2)
+
+    # User 2: Top-2 (work district dominates, home second).
+    users.insert(_user(2, "Uiwang-si, Gyeonggi-do", home=("Gyeonggi-do", "Uiwang-si")))
+    add_gps_tweets(2, ("Gyeonggi-do", "Seongnam-si"), 4)
+    add_gps_tweets(2, ("Gyeonggi-do", "Uiwang-si"), 2)
+
+    # User 3: None (never tweets at stated home).
+    users.insert(_user(3, "Haeundae, Busan", home=("Busan", "Haeundae-gu")))
+    add_gps_tweets(3, ("Busan", "Suyeong-gu"), 3)
+
+    # User 4: vague profile -> filtered out despite GPS tweets.
+    users.insert(_user(4, "Earth"))
+    add_gps_tweets(4, ("Seoul", "Mapo-gu"), 3)
+
+    # User 5: well-defined profile but no GPS tweets -> filtered out.
+    users.insert(_user(5, "Nowon-gu, Seoul", home=("Seoul", "Nowon-gu")))
+    tweets.insert(
+        Tweet(
+            tweet_id=idgen.next_id(base_ms + 999_000),
+            user_id=5,
+            created_at_ms=base_ms + 999_000,
+            text="no gps here",
+        )
+    )
+
+    return users, tweets, gazetteer
+
+
+def test_study_recovers_expected_groups(corpus):
+    users, tweets, gazetteer = corpus
+    result = run_study(users, tweets, gazetteer, dataset_name="hand")
+
+    assert result.funnel.crawled_users == 5
+    assert result.funnel.well_defined_users == 4  # user 4 dropped (vague)
+    assert result.funnel.users_with_gps == 3  # user 5 dropped (no GPS)
+    assert result.funnel.study_users == 3
+
+    assert result.groupings[1].group is TopKGroup.TOP_1
+    assert result.groupings[2].group is TopKGroup.TOP_2
+    assert result.groupings[3].group is TopKGroup.NONE
+    assert 4 not in result.groupings
+    assert 5 not in result.groupings
+
+
+def test_study_statistics_and_profiles(corpus):
+    users, tweets, gazetteer = corpus
+    result = run_study(users, tweets, gazetteer)
+
+    assert result.statistics.total_users == 3
+    assert result.statistics.total_tweets == 16
+    assert result.profile_districts[1].key() == ("Seoul", "Mapo-gu")
+    assert result.profile_districts[3].key() == ("Busan", "Haeundae-gu")
+    # The simulated Yahoo client was actually exercised.
+    assert result.api_stats.requests > 0
+
+
+def test_min_gps_threshold(corpus):
+    users, tweets, gazetteer = corpus
+    result = run_study(users, tweets, gazetteer, min_gps_tweets=4)
+    # Only users 1 (7 GPS tweets) and 2 (6) qualify.
+    assert set(result.groupings) == {1, 2}

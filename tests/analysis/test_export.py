@@ -1,0 +1,81 @@
+"""Unit tests for CSV export, plus scipy cross-validation of chi2_sf."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_group_statistics,
+    export_groupings,
+    export_observations,
+)
+from repro.analysis.significance import chi2_sf
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+        timestamp_ms=user_id * 1000,
+    )
+
+
+@pytest.fixture
+def study_bits():
+    observations = (
+        [_obs(1, "A", "A")] * 3 + [_obs(1, "A", "B")] + [_obs(2, "B", "C")] * 2
+    )
+    groupings = group_users(observations)
+    return observations, groupings, compute_group_statistics(groupings.values())
+
+
+class TestCsvExports:
+    def test_group_statistics_csv(self, study_bits, tmp_path):
+        _, _, stats = study_bits
+        path = tmp_path / "stats.csv"
+        assert export_group_statistics(stats, path) == 7
+        with path.open(newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 7
+        top1 = next(r for r in rows if r["group"] == "Top-1")
+        assert int(top1["users"]) == 1
+        assert float(top1["user_share"]) == pytest.approx(0.5)
+
+    def test_groupings_csv(self, study_bits, tmp_path):
+        _, groupings, _ = study_bits
+        path = tmp_path / "groupings.csv"
+        assert export_groupings(groupings.values(), path) == 2
+        with path.open(newline="") as handle:
+            rows = {int(r["user_id"]): r for r in csv.DictReader(handle)}
+        assert rows[1]["group"] == "Top-1"
+        assert rows[1]["matched_rank"] == "1"
+        assert rows[2]["group"] == "None"
+        assert rows[2]["matched_rank"] == ""  # None serialised as empty
+
+    def test_observations_csv(self, study_bits, tmp_path):
+        observations, _, _ = study_bits
+        path = tmp_path / "observations.csv"
+        assert export_observations(observations, path) == 6
+        with path.open(newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert sum(int(r["matched"]) for r in rows) == 3
+        assert rows[0]["profile_state"] == "Seoul"
+
+
+class TestChi2AgainstScipy:
+    """Cross-validate the from-scratch chi-square survival function
+    against scipy's reference implementation."""
+
+    @pytest.mark.parametrize("dof", [1, 2, 3, 5, 10, 25])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 3.84, 10.0, 35.0, 80.0])
+    def test_matches_scipy(self, x, dof):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        ours = chi2_sf(x, dof)
+        reference = float(scipy_stats.chi2.sf(x, dof))
+        assert ours == pytest.approx(reference, rel=1e-9, abs=1e-12)

@@ -1,0 +1,93 @@
+"""Unit tests for the mention-vs-GPS correlation study."""
+
+import pytest
+
+from repro.analysis.mentions import MentionCorrelationStudy, render_mention_agreement
+from repro.errors import InsufficientDataError
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.mentions import PlaceMentionExtractor
+from repro.geo.reverse import ReverseGeocoder
+from repro.twitter.models import Tweet
+
+
+@pytest.fixture(scope="module")
+def study(korean_gazetteer):
+    return MentionCorrelationStudy(
+        PlaceMentionExtractor(korean_gazetteer),
+        ReverseGeocoder(korean_gazetteer),
+    )
+
+
+def _tweet(tweet_id, text, district=None):
+    return Tweet(
+        tweet_id=tweet_id,
+        user_id=tweet_id,
+        created_at_ms=1_314_835_200_000 + tweet_id,
+        text=text,
+        coordinates=district.center if district is not None else None,
+    )
+
+
+class TestCorrelation:
+    def test_agreeing_mention(self, study, korean_gazetteer):
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        result = study.run([_tweet(1, "coffee in gangnam now", gangnam)])
+        assert result.gps_tweets == 1
+        assert result.tweets_with_mentions == 1
+        assert result.agreements == 1
+        assert result.agreement_rate == 1.0
+        assert result.median_distance_km < gangnam.radius_km
+
+    def test_disagreeing_mention(self, study, korean_gazetteer):
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        result = study.run([_tweet(1, "missing haeundae so much", gangnam)])
+        assert result.tweets_with_mentions == 1
+        assert result.agreements == 0
+        assert result.same_state == 0  # Haeundae is in Busan
+        assert result.median_distance_km > 100.0
+
+    def test_same_state_counted(self, study, korean_gazetteer):
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        result = study.run([_tweet(1, "heading to hongdae later", gangnam)])
+        assert result.agreements == 0
+        assert result.same_state == 1  # Mapo-gu is also Seoul
+
+    def test_tweets_without_mentions_counted(self, study, korean_gazetteer):
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        result = study.run(
+            [_tweet(1, "so sleepy today", gangnam), _tweet(2, "in gangnam", gangnam)]
+        )
+        assert result.gps_tweets == 2
+        assert result.tweets_with_mentions == 1
+
+    def test_non_gps_tweets_ignored(self, study, korean_gazetteer):
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        result = study.run(
+            [_tweet(1, "in gangnam", gangnam), _tweet(2, "in gangnam but no gps")]
+        )
+        assert result.gps_tweets == 1
+
+    def test_all_non_gps_raises(self, study):
+        with pytest.raises(InsufficientDataError):
+            study.run([_tweet(1, "no gps anywhere")])
+
+    def test_render(self, study, korean_gazetteer):
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        result = study.run([_tweet(1, "coffee in gangnam", gangnam)])
+        text = render_mention_agreement(result)
+        assert "third spatial attribute" in text
+        assert "100.0%" in text
+
+
+class TestOnGeneratedCorpus:
+    def test_generated_mentions_mostly_agree(self, small_ctx):
+        """The tweet generator mentions the *current* district by name, so
+        mention-vs-GPS agreement must be high on the synthetic corpus."""
+        gazetteer = small_ctx.korean_dataset.gazetteer
+        study = MentionCorrelationStudy(
+            PlaceMentionExtractor(gazetteer), ReverseGeocoder(gazetteer)
+        )
+        result = study.run(list(small_ctx.korean_dataset.tweets.gps_tweets()))
+        assert result.tweets_with_mentions > 20
+        assert result.same_state_rate > 0.8
+        assert result.agreement_rate > 0.5

@@ -1,0 +1,91 @@
+"""Unit tests for the regional breakdown."""
+
+import pytest
+
+from repro.analysis.regional import regional_breakdown, render_regional_breakdown
+from repro.errors import InsufficientDataError
+from repro.grouping.topk import group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, state, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state=state,
+        profile_county=profile_county,
+        tweet_state=state,
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def fixture_data(korean_gazetteer):
+    observations = []
+    profile_districts = {}
+    # 12 Seoul users: 6 Top-1, 6 None.
+    for uid in range(12):
+        county = "Mapo-gu"
+        profile_districts[uid] = korean_gazetteer.get("Seoul", county)
+        if uid < 6:
+            observations.append(_obs(uid, "Seoul", county, county))
+        else:
+            observations.append(_obs(uid, "Seoul", county, "Guro-gu"))
+    # 10 Gyeonggi users: all Top-1.
+    for uid in range(100, 110):
+        county = "Suwon-si"
+        profile_districts[uid] = korean_gazetteer.get("Gyeonggi-do", county)
+        observations.append(_obs(uid, "Gyeonggi-do", county, county))
+    # 3 Busan users: below min_users, dropped.
+    for uid in range(200, 203):
+        county = "Haeundae-gu"
+        profile_districts[uid] = korean_gazetteer.get("Busan", county)
+        observations.append(_obs(uid, "Busan", county, county))
+    return group_users(observations), profile_districts
+
+
+class TestBreakdown:
+    def test_rows_and_shares(self, fixture_data):
+        groupings, profile_districts = fixture_data
+        rows = regional_breakdown(groupings, profile_districts, min_users=10)
+        states = {r.state: r for r in rows}
+        assert set(states) == {"Seoul", "Gyeonggi-do"}
+        assert states["Seoul"].users == 12
+        assert states["Seoul"].top1_share == pytest.approx(0.5)
+        assert states["Seoul"].matched_share == pytest.approx(0.5)
+        assert states["Gyeonggi-do"].top1_share == 1.0
+
+    def test_sorted_by_size(self, fixture_data):
+        groupings, profile_districts = fixture_data
+        rows = regional_breakdown(groupings, profile_districts, min_users=10)
+        assert [r.users for r in rows] == sorted(
+            (r.users for r in rows), reverse=True
+        )
+
+    def test_small_regions_dropped(self, fixture_data):
+        groupings, profile_districts = fixture_data
+        rows = regional_breakdown(groupings, profile_districts, min_users=10)
+        assert all(r.state != "Busan" for r in rows)
+
+    def test_no_region_clears_threshold(self, fixture_data):
+        groupings, profile_districts = fixture_data
+        with pytest.raises(InsufficientDataError):
+            regional_breakdown(groupings, profile_districts, min_users=1_000)
+
+    def test_render(self, fixture_data):
+        groupings, profile_districts = fixture_data
+        text = render_regional_breakdown(
+            regional_breakdown(groupings, profile_districts, min_users=10)
+        )
+        assert "Seoul" in text
+        assert "Top-1" in text
+
+    def test_on_generated_corpus(self, small_ctx):
+        rows = regional_breakdown(
+            small_ctx.korean_study.groupings,
+            small_ctx.korean_study.profile_districts,
+            min_users=5,
+        )
+        assert rows
+        assert sum(r.users for r in rows) <= small_ctx.korean_study.statistics.total_users
+        for row in rows:
+            assert 0.0 <= row.top1_share <= row.matched_share <= 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for reliability weight factors."""
+
+import pytest
+
+from repro.analysis.reliability import ReliabilityTable, WeightingScheme
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import TopKGroup, group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def study():
+    observations = (
+        [_obs(1, "A", "A")] * 8 + [_obs(1, "A", "B")] * 2     # Top-1, 80% matched
+        + [_obs(2, "B", "C")] * 6 + [_obs(2, "B", "B")] * 4   # Top-2, 40% matched
+        + [_obs(3, "C", "D")] * 5                             # None
+    )
+    groupings = group_users(observations)
+    return groupings, compute_group_statistics(groupings.values())
+
+
+class TestTable:
+    def test_group_weights_are_matched_shares(self, study):
+        _, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        assert table.weight_for_group(TopKGroup.TOP_1) == pytest.approx(0.8)
+        assert table.weight_for_group(TopKGroup.TOP_2) == pytest.approx(0.4)
+        assert table.weight_for_group(TopKGroup.NONE) == 0.0
+
+    def test_prior_is_share_weighted_mean(self, study):
+        _, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        assert table.prior == pytest.approx((0.8 + 0.4 + 0.0) / 3)
+
+    def test_as_dict_reporting_order(self, study):
+        _, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        keys = list(table.as_dict())
+        assert keys[0] == "Top-1"
+        assert keys[-2] == "None"
+        assert keys[-1] == "prior"
+
+
+class TestSchemes:
+    def test_uniform_always_one(self, study):
+        groupings, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        for grouping in groupings.values():
+            assert table.weight_for_user(grouping, WeightingScheme.UNIFORM) == 1.0
+        assert table.weight_for_user(None, WeightingScheme.UNIFORM) == 1.0
+
+    def test_rank_reciprocal(self, study):
+        groupings, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        assert table.weight_for_user(groupings[1], WeightingScheme.RANK_RECIPROCAL) == 1.0
+        assert table.weight_for_user(groupings[2], WeightingScheme.RANK_RECIPROCAL) == 0.5
+        assert table.weight_for_user(groupings[3], WeightingScheme.RANK_RECIPROCAL) == 0.0
+
+    def test_group_matched_share_scheme(self, study):
+        groupings, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        assert table.weight_for_user(groupings[1]) == pytest.approx(0.8)
+        assert table.weight_for_user(groupings[3]) == 0.0
+
+    def test_unknown_user_gets_prior(self, study):
+        _, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        assert table.weight_for_user(None) == table.prior
+        assert table.weight_for_user(None, WeightingScheme.RANK_RECIPROCAL) == table.prior
+
+    def test_weight_ordering_matches_groups(self, study):
+        """Higher-ranked groups must never weigh less than lower ones."""
+        _, stats = study
+        table = ReliabilityTable.from_statistics(stats)
+        assert (
+            table.weight_for_group(TopKGroup.TOP_1)
+            >= table.weight_for_group(TopKGroup.TOP_2)
+            >= table.weight_for_group(TopKGroup.NONE)
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.analysis.report import (
+    render_comparison,
+    render_dataset_summary,
+    render_fig6,
+    render_fig7,
+    render_funnel,
+    render_merged_strings,
+    render_tweet_distribution,
+)
+from repro.datasets.refine import RefinementFunnel
+from repro.grouping.merge import merge_strings
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.strings import LocationString
+from repro.grouping.topk import group_users
+from repro.twitter.models import DatasetSummary, GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def stats():
+    observations = (
+        [_obs(1, "A", "A")] * 3 + [_obs(1, "A", "B")]
+        + [_obs(2, "B", "C")] * 2
+    )
+    return compute_group_statistics(group_users(observations).values())
+
+
+class TestFigureRenderers:
+    def test_fig6_has_all_groups_and_overall(self, stats):
+        text = render_fig6(stats)
+        for label in ("Top-1", "Top-5", "Top-6+", "None", "overall"):
+            assert label in text
+
+    def test_fig7_counts_and_percentages(self, stats):
+        text = render_fig7(stats)
+        assert "50.00%" in text  # both users split Top-1 / None
+        assert "total" in text
+
+    def test_tweet_distribution(self, stats):
+        text = render_tweet_distribution(stats)
+        assert "Number of tweets" in text
+        assert str(stats.total_tweets) in text
+
+    def test_custom_title(self, stats):
+        assert render_fig6(stats, title="My title").startswith("My title")
+
+
+class TestComparison:
+    def test_both_metrics(self, stats):
+        users_text = render_comparison(stats, stats, metric="user_share")
+        locations_text = render_comparison(stats, stats, metric="avg_tweet_locations")
+        assert "Korean" in users_text and "Lady Gaga" in users_text
+        assert "Average number" in locations_text
+
+    def test_unknown_metric_rejected(self, stats):
+        with pytest.raises(ValueError):
+            render_comparison(stats, stats, metric="nope")
+
+
+class TestOtherRenderers:
+    def test_funnel(self):
+        funnel = RefinementFunnel(crawled_users=100, well_defined_users=40,
+                                  users_with_gps=10, total_tweets=5000,
+                                  gps_tweets=50, resolved_observations=45,
+                                  study_users=9)
+        funnel.profile_status_counts["vague"] = 30
+        text = render_funnel(funnel)
+        assert "crawled users" in text
+        assert "vague" in text
+        assert "9" in text
+
+    def test_dataset_summary(self):
+        text = render_dataset_summary(
+            DatasetSummary(name="Korean", collection_api="Search API",
+                           user_count=10, tweet_count=100, geotagged_tweet_count=5),
+            DatasetSummary(name="Lady Gaga", collection_api="Streaming API",
+                           user_count=7, tweet_count=70, geotagged_tweet_count=3),
+        )
+        assert "Korean" in text and "Lady Gaga" in text
+        assert "Search API" in text
+
+    def test_merged_strings_marks_match(self):
+        records = [
+            LocationString(1, "Seoul", "A", "Seoul", "A"),
+            LocationString(1, "Seoul", "A", "Seoul", "B"),
+        ]
+        merged = merge_strings(records)
+        text = render_merged_strings(merged[1])
+        assert "<- matched" in text
+        assert text.count("<- matched") == 1

@@ -1,0 +1,66 @@
+"""Unit tests for study-result persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.serialization import load_study, save_study
+from repro.errors import StorageError
+
+
+@pytest.fixture(scope="module")
+def saved_path(small_ctx, tmp_path_factory):
+    path = tmp_path_factory.mktemp("study") / "korean_study.json"
+    save_study(small_ctx.korean_study, path)
+    return path
+
+
+class TestRoundtrip:
+    def test_groupings_survive(self, saved_path, small_ctx):
+        loaded = load_study(saved_path, small_ctx.korean_dataset.gazetteer)
+        original = small_ctx.korean_study
+        assert set(loaded.groupings) == set(original.groupings)
+        for user_id, grouping in original.groupings.items():
+            restored = loaded.groupings[user_id]
+            assert restored.group is grouping.group
+            assert restored.matched_rank == grouping.matched_rank
+            assert restored.total_tweets == grouping.total_tweets
+            assert list(restored.merged) == list(grouping.merged)
+
+    def test_statistics_recomputed_identically(self, saved_path, small_ctx):
+        loaded = load_study(saved_path, small_ctx.korean_dataset.gazetteer)
+        assert loaded.statistics == small_ctx.korean_study.statistics
+
+    def test_observations_and_profiles(self, saved_path, small_ctx):
+        loaded = load_study(saved_path, small_ctx.korean_dataset.gazetteer)
+        original = small_ctx.korean_study
+        assert loaded.observations == original.observations
+        assert {
+            u: d.key() for u, d in loaded.profile_districts.items()
+        } == {u: d.key() for u, d in original.profile_districts.items()}
+
+    def test_funnel_and_api_stats(self, saved_path, small_ctx):
+        loaded = load_study(saved_path, small_ctx.korean_dataset.gazetteer)
+        original = small_ctx.korean_study
+        assert loaded.funnel.as_dict() == original.funnel.as_dict()
+        assert loaded.api_stats.requests == original.api_stats.requests
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path, korean_gazetteer):
+        with pytest.raises(StorageError):
+            load_study(tmp_path / "nope.json", korean_gazetteer)
+
+    def test_bad_json(self, tmp_path, korean_gazetteer):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_study(path, korean_gazetteer)
+
+    def test_version_mismatch(self, saved_path, tmp_path, korean_gazetteer):
+        document = json.loads(saved_path.read_text(encoding="utf-8"))
+        document["format_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_study(path, korean_gazetteer)

@@ -1,0 +1,26 @@
+"""Persistence round trip for the worldwide (combined-gazetteer) study."""
+
+from repro.analysis.serialization import load_study, save_study
+
+
+def test_ladygaga_study_roundtrip(small_ctx, tmp_path):
+    """World-city district keys (spaces, non-Korean states) must survive
+    the save/load cycle against the combined gazetteer."""
+    original = small_ctx.ladygaga_study
+    path = tmp_path / "ladygaga_study.json"
+    save_study(original, path)
+
+    loaded = load_study(path, small_ctx.ladygaga_dataset.gazetteer)
+
+    assert loaded.dataset_name == "Lady Gaga"
+    assert loaded.statistics == original.statistics
+    assert set(loaded.groupings) == set(original.groupings)
+    # World-city profile districts resolve back to identical keys.
+    assert {
+        u: d.key() for u, d in loaded.profile_districts.items()
+    } == {u: d.key() for u, d in original.profile_districts.items()}
+    # At least one non-Korean district must be present to make the test
+    # meaningful.
+    assert any(
+        d.country != "South Korea" for d in loaded.profile_districts.values()
+    )

@@ -1,0 +1,174 @@
+"""Unit and property tests for the significance machinery."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.significance import (
+    bootstrap_share_intervals,
+    chi2_sf,
+    chi_square_independence,
+    compare_group_distributions,
+)
+from repro.errors import InsufficientDataError
+from repro.grouping.topk import TopKGroup, group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+def _groupings(top1_users, none_users):
+    observations = []
+    for uid in range(top1_users):
+        observations.append(_obs(uid, "A", "A"))
+    for uid in range(1000, 1000 + none_users):
+        observations.append(_obs(uid, "A", "B"))
+    return group_users(observations)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize(
+        "x,dof,expected",
+        [
+            (0.0, 1, 1.0),
+            (3.841, 1, 0.05),       # classic 5 % critical value
+            (5.991, 2, 0.05),
+            (16.919, 9, 0.05),
+            (6.635, 1, 0.01),
+        ],
+    )
+    def test_critical_values(self, x, dof, expected):
+        assert chi2_sf(x, dof) == pytest.approx(expected, abs=2e-4)
+
+    def test_negative_x(self):
+        assert chi2_sf(-1.0, 3) == 1.0
+
+    def test_invalid_dof(self):
+        with pytest.raises(InsufficientDataError):
+            chi2_sf(1.0, 0)
+
+    @given(st.floats(min_value=0.01, max_value=200.0), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=100)
+    def test_is_valid_survival_function(self, x, dof):
+        p = chi2_sf(x, dof)
+        assert 0.0 <= p <= 1.0
+        # Monotone decreasing in x.
+        assert chi2_sf(x + 1.0, dof) <= p + 1e-12
+
+    def test_matches_exact_formula_dof2(self):
+        # For dof=2 the survival function is exactly exp(-x/2).
+        for x in (0.5, 1.0, 4.0, 10.0, 40.0):
+            assert chi2_sf(x, 2) == pytest.approx(math.exp(-x / 2.0), rel=1e-9)
+
+
+class TestChiSquareIndependence:
+    def test_identical_distributions_not_significant(self):
+        result = chi_square_independence([50, 30, 20], [100, 60, 40])
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+        assert result.p_value == pytest.approx(1.0, abs=1e-9)
+        assert not result.significant()
+
+    def test_clearly_different_distributions(self):
+        result = chi_square_independence([90, 10], [10, 90])
+        assert result.significant(alpha=0.001)
+        assert result.dof == 1
+
+    def test_zero_categories_dropped(self):
+        result = chi_square_independence([50, 0, 50], [40, 0, 60])
+        assert result.dof == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InsufficientDataError):
+            chi_square_independence([1, 2], [1, 2, 3])
+
+    def test_empty_sample(self):
+        with pytest.raises(InsufficientDataError):
+            chi_square_independence([0, 0], [5, 5])
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=200), min_size=2, max_size=7),
+        st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=60)
+    def test_scaled_sample_is_independent(self, counts, factor):
+        """A sample vs a scaled copy of itself has statistic ~0."""
+        scaled = [c * factor for c in counts]
+        result = chi_square_independence(counts, scaled)
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBootstrap:
+    def test_intervals_bracket_share(self):
+        groupings = _groupings(top1_users=60, none_users=40)
+        intervals = bootstrap_share_intervals(groupings.values(), n_resamples=400)
+        top1 = intervals[TopKGroup.TOP_1]
+        assert top1.share == pytest.approx(0.6)
+        assert top1.contains(top1.share)
+        assert 0.0 <= top1.low <= top1.share <= top1.high <= 1.0
+
+    def test_more_users_tighter_interval(self):
+        small = bootstrap_share_intervals(
+            _groupings(30, 20).values(), n_resamples=400
+        )[TopKGroup.TOP_1]
+        large = bootstrap_share_intervals(
+            _groupings(600, 400).values(), n_resamples=400
+        )[TopKGroup.TOP_1]
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic(self):
+        groupings = _groupings(30, 20)
+        a = bootstrap_share_intervals(groupings.values(), seed=3)
+        b = bootstrap_share_intervals(groupings.values(), seed=3)
+        assert a == b
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            bootstrap_share_intervals([])
+
+    def test_coverage_sanity(self):
+        """~95 % of bootstrap intervals from repeated draws of a known
+        Bernoulli(0.6) population should cover 0.6."""
+        rng = random.Random(9)
+        covered = 0
+        trials = 30
+        for trial in range(trials):
+            top1 = sum(1 for _ in range(200) if rng.random() < 0.6)
+            groupings = _groupings(top1, 200 - top1)
+            interval = bootstrap_share_intervals(
+                groupings.values(), n_resamples=300, seed=trial
+            )[TopKGroup.TOP_1]
+            if interval.contains(0.6):
+                covered += 1
+        assert covered >= trials * 0.8
+
+
+class TestCompareDistributions:
+    def test_same_population_not_significant(self):
+        groupings = _groupings(60, 40)
+        result = compare_group_distributions(groupings.values(), groupings.values())
+        assert not result.significant()
+
+    def test_opposite_populations_significant(self):
+        a = _groupings(90, 10)
+        b = _groupings(10, 90)
+        result = compare_group_distributions(a.values(), b.values())
+        assert result.significant(alpha=0.001)
+
+    def test_korean_vs_ladygaga(self, small_ctx):
+        result = compare_group_distributions(
+            small_ctx.korean_study.groupings.values(),
+            small_ctx.ladygaga_study.groupings.values(),
+        )
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.dof >= 1

@@ -1,0 +1,118 @@
+"""Unit tests for the split-half stability analysis."""
+
+import pytest
+
+from repro.analysis.stability import (
+    median_timestamp,
+    render_stability,
+    split_half_stability,
+)
+from repro.errors import InsufficientDataError
+from repro.grouping.topk import TopKGroup
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county, timestamp_ms):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+        timestamp_ms=timestamp_ms,
+    )
+
+
+def _stable_user(user_id, start_ms):
+    """A user who is Top-1 in both halves."""
+    rows = []
+    for i in range(6):
+        rows.append(_obs(user_id, "A", "A", start_ms + i))
+    for i in range(2):
+        rows.append(_obs(user_id, "A", "B", start_ms + 100 + i))
+    for i in range(6):
+        rows.append(_obs(user_id, "A", "A", start_ms + 1_000 + i))
+    return rows
+
+
+def _flipping_user(user_id, start_ms):
+    """Top-1 in the first half, None in the second (moved away)."""
+    rows = [_obs(user_id, "A", "A", start_ms + i) for i in range(5)]
+    rows += [_obs(user_id, "A", "C", start_ms + 1_000 + i) for i in range(5)]
+    return rows
+
+
+class TestMedian:
+    def test_median(self):
+        observations = [_obs(1, "A", "A", t) for t in (5, 1, 9)]
+        assert median_timestamp(observations) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            median_timestamp([])
+
+
+class TestSplitHalf:
+    def test_stable_user_agrees(self):
+        result = split_half_stability(_stable_user(1, 0), pivot_ms=500)
+        assert result.users_in_both == 1
+        assert result.same_group == 1
+        assert result.agreement_rate == 1.0
+        assert result.transitions[(TopKGroup.TOP_1, TopKGroup.TOP_1)] == 1
+
+    def test_flipping_user_counted_as_churn(self):
+        result = split_half_stability(_flipping_user(2, 0), pivot_ms=500)
+        assert result.users_in_both == 1
+        assert result.same_group == 0
+        assert result.none_churn_rate == 1.0
+        assert result.transitions[(TopKGroup.TOP_1, TopKGroup.NONE)] == 1
+
+    def test_user_in_one_half_only_excluded(self):
+        observations = _stable_user(1, 0) + [
+            _obs(9, "B", "B", 10)  # user 9 tweets only in the first half
+        ]
+        result = split_half_stability(observations, pivot_ms=500)
+        assert result.users_first == 2
+        assert result.users_second == 1
+        assert result.users_in_both == 1
+
+    def test_default_pivot_is_median(self):
+        observations = _stable_user(1, 0)
+        auto = split_half_stability(observations)
+        manual = split_half_stability(
+            observations, pivot_ms=median_timestamp(observations)
+        )
+        assert auto.transitions == manual.transitions
+
+    def test_degenerate_pivot_raises(self):
+        observations = _stable_user(1, 0)
+        with pytest.raises(InsufficientDataError):
+            split_half_stability(observations, pivot_ms=-1)
+
+    def test_mixed_population(self):
+        observations = []
+        for uid in range(10):
+            observations += _stable_user(uid, 0)
+        for uid in range(100, 104):
+            observations += _flipping_user(uid, 0)
+        result = split_half_stability(observations, pivot_ms=500)
+        assert result.users_in_both == 14
+        assert result.same_group == 10
+        assert result.agreement_rate == pytest.approx(10 / 14)
+        assert result.none_churn_rate == pytest.approx(4 / 14)
+
+    def test_render(self):
+        result = split_half_stability(_stable_user(1, 0), pivot_ms=500)
+        text = render_stability(result)
+        assert "Split-half stability" in text
+        assert "(stable)" in text
+
+
+class TestOnGeneratedCorpus:
+    def test_study_groups_are_reasonably_stable(self, small_ctx):
+        observations = small_ctx.korean_study.observations
+        result = split_half_stability(observations)
+        assert result.users_in_both > 30
+        # Mobility is a persistent trait in the generator, so groups
+        # should agree across halves far above chance (1/7).
+        assert result.agreement_rate > 0.45

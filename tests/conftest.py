@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (gazetteers, the small-scale experiment context) are
+session-scoped; everything else builds fresh per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.gazetteer import Gazetteer
+from repro.pipelines.experiments import ExperimentContext, get_context
+
+
+@pytest.fixture(scope="session")
+def korean_gazetteer() -> Gazetteer:
+    return Gazetteer.korean()
+
+
+@pytest.fixture(scope="session")
+def world_gazetteer() -> Gazetteer:
+    return Gazetteer.world()
+
+
+@pytest.fixture(scope="session")
+def combined_gazetteer() -> Gazetteer:
+    return Gazetteer.combined()
+
+
+@pytest.fixture(scope="session")
+def small_ctx() -> ExperimentContext:
+    """Both datasets + both studies at the test ("small") scale."""
+    return get_context("small")

@@ -1,0 +1,77 @@
+"""Unit tests for the Korean dataset builder."""
+
+import pytest
+
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.errors import ConfigurationError
+from repro.twitter.tweetgen import CollectionWindow
+
+FAST = KoreanDatasetConfig(
+    population_size=250,
+    crawl_limit=200,
+    window=CollectionWindow(start_ms=1_314_835_200_000, days=10),
+    use_api_timelines=False,
+    seed=17,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_korean_dataset(FAST)
+
+
+class TestConfig:
+    def test_crawl_limit_bounded(self):
+        with pytest.raises(ConfigurationError):
+            KoreanDatasetConfig(population_size=10, crawl_limit=20)
+
+    def test_paper_scale_documented(self):
+        config = KoreanDatasetConfig.paper_scale()
+        assert config.crawl_limit == 52_200
+        assert not config.use_api_timelines
+
+
+class TestBuild:
+    def test_counts(self, dataset):
+        assert len(dataset.users) == 200
+        assert len(dataset.tweets) > 0
+        assert dataset.summary.user_count == 200
+        assert dataset.summary.tweet_count == len(dataset.tweets)
+        assert dataset.summary.geotagged_tweet_count == dataset.tweets.gps_count()
+
+    def test_every_tweet_belongs_to_a_crawled_user(self, dataset):
+        for user_id in dataset.tweets.user_ids():
+            assert user_id in dataset.users
+
+    def test_crawl_provenance(self, dataset):
+        assert dataset.crawl.api_calls > 0
+        assert dataset.crawl.user_ids[0] == dataset.crawl.users[0].user_id
+        assert dataset.summary.extra["crawl_api_calls"] == dataset.crawl.api_calls
+
+    def test_deterministic(self):
+        a = build_korean_dataset(FAST)
+        b = build_korean_dataset(FAST)
+        assert [u.user_id for u in a.users] == [u.user_id for u in b.users]
+        assert len(a.tweets) == len(b.tweets)
+
+    def test_api_and_bulk_paths_agree(self):
+        config_api = KoreanDatasetConfig(
+            population_size=120,
+            crawl_limit=100,
+            window=CollectionWindow(start_ms=1_314_835_200_000, days=7),
+            use_api_timelines=True,
+            seed=23,
+        )
+        config_bulk = KoreanDatasetConfig(
+            population_size=120,
+            crawl_limit=100,
+            window=CollectionWindow(start_ms=1_314_835_200_000, days=7),
+            use_api_timelines=False,
+            seed=23,
+        )
+        via_api = build_korean_dataset(config_api)
+        via_bulk = build_korean_dataset(config_bulk)
+        assert len(via_api.tweets) == len(via_bulk.tweets)
+        assert sorted(t.tweet_id for t in via_api.tweets) == sorted(
+            t.tweet_id for t in via_bulk.tweets
+        )

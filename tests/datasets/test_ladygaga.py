@@ -1,0 +1,59 @@
+"""Unit tests for the streaming (Lady Gaga) dataset builder."""
+
+import pytest
+
+from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
+from repro.twitter.tweetgen import CollectionWindow
+
+FAST = LadyGagaDatasetConfig(
+    population_size=300,
+    window=CollectionWindow(start_ms=1_314_835_200_000, days=10),
+    seed=19,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_ladygaga_dataset(FAST)
+
+
+class TestBuild:
+    def test_every_tweet_matches_track(self, dataset):
+        for tweet in dataset.tweets:
+            assert "lady gaga" in tweet.text.lower()
+
+    def test_users_are_exactly_stream_authors(self, dataset):
+        authors = {t.user_id for t in dataset.tweets}
+        stored = {u.user_id for u in dataset.users}
+        assert stored == authors
+
+    def test_stream_stats_consistent(self, dataset):
+        assert dataset.stream_stats.delivered == len(dataset.tweets)
+        assert dataset.stream_stats.filtered_out > 0
+
+    def test_summary(self, dataset):
+        assert dataset.summary.name == "Lady Gaga"
+        assert "Streaming API" in dataset.summary.collection_api
+        assert dataset.summary.extra["track"] == "lady gaga"
+
+    def test_worldwide_population(self, dataset):
+        states = {u.home_state for u in dataset.users}
+        # The combined gazetteer spans the globe; the sample should too.
+        assert len(states) > 10
+
+    def test_deterministic(self):
+        a = build_ladygaga_dataset(FAST)
+        b = build_ladygaga_dataset(FAST)
+        assert len(a.tweets) == len(b.tweets)
+        assert [u.user_id for u in a.users] == [u.user_id for u in b.users]
+
+    def test_stream_limit(self):
+        limited = build_ladygaga_dataset(
+            LadyGagaDatasetConfig(
+                population_size=300,
+                window=CollectionWindow(start_ms=1_314_835_200_000, days=10),
+                seed=19,
+                stream_limit=50,
+            )
+        )
+        assert len(limited.tweets) == 50

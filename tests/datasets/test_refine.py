@@ -1,0 +1,88 @@
+"""Unit tests for the refinement pipeline's funnel accounting."""
+
+import pytest
+
+from repro.datasets.refine import RefinementPipeline
+from repro.geo.forward import TextGeocoder
+from repro.geo.reverse import ReverseGeocoder
+from repro.twitter.models import ProfileStyle
+from repro.yahooapi.client import FailurePlan, PlaceFinderClient
+
+
+@pytest.fixture(scope="module")
+def refined(small_ctx):
+    dataset = small_ctx.korean_dataset
+    pipeline = RefinementPipeline(
+        text_geocoder=TextGeocoder(dataset.gazetteer),
+        placefinder=PlaceFinderClient(
+            ReverseGeocoder(dataset.gazetteer), daily_quota=10**9
+        ),
+    )
+    return pipeline.run(dataset.users, dataset.tweets)
+
+
+class TestFunnelConsistency:
+    def test_counts_add_up(self, refined, small_ctx):
+        funnel = refined.funnel
+        assert funnel.crawled_users == len(small_ctx.korean_dataset.users)
+        assert sum(funnel.profile_status_counts.values()) == funnel.crawled_users
+        assert funnel.well_defined_users == funnel.profile_status_counts["resolved"]
+        assert funnel.users_with_gps <= funnel.well_defined_users
+        assert funnel.study_users <= funnel.users_with_gps
+        assert funnel.gps_tweets <= funnel.total_tweets
+
+    def test_observations_belong_to_study_users(self, refined):
+        study_ids = set(refined.study_users)
+        assert {o.user_id for o in refined.observations} == study_ids
+        assert set(refined.profile_districts) == study_ids
+
+    def test_observation_profile_matches_resolved_district(self, refined):
+        for obs in refined.observations:
+            district = refined.profile_districts[obs.user_id]
+            assert (obs.profile_state, obs.profile_county) == district.key()
+
+    def test_vague_profiles_excluded(self, refined, small_ctx):
+        for user_id in refined.study_users:
+            user = small_ctx.korean_dataset.users.get(user_id)
+            assert user.profile_style not in (
+                ProfileStyle.VAGUE,
+                ProfileStyle.EMPTY,
+                ProfileStyle.COUNTRY_ONLY,
+                ProfileStyle.CITY_ONLY,
+            )
+
+    def test_study_users_have_gps_tweets(self, refined, small_ctx):
+        tweets = small_ctx.korean_dataset.tweets
+        for user_id in refined.study_users:
+            assert any(t.has_gps for t in tweets.by_user(user_id))
+
+
+class TestThreshold:
+    def test_min_gps_tweets_filters(self, small_ctx):
+        dataset = small_ctx.korean_dataset
+        make = lambda threshold: RefinementPipeline(  # noqa: E731
+            text_geocoder=TextGeocoder(dataset.gazetteer),
+            placefinder=PlaceFinderClient(
+                ReverseGeocoder(dataset.gazetteer), daily_quota=10**9
+            ),
+            min_gps_tweets=threshold,
+        ).run(dataset.users, dataset.tweets)
+        loose = make(1)
+        strict = make(5)
+        assert strict.funnel.study_users < loose.funnel.study_users
+
+
+class TestResilience:
+    def test_transient_api_failures_survived(self, small_ctx):
+        dataset = small_ctx.korean_dataset
+        placefinder = PlaceFinderClient(
+            ReverseGeocoder(dataset.gazetteer),
+            daily_quota=10**9,
+            failure_plan=FailurePlan(every_n=7),
+        )
+        pipeline = RefinementPipeline(
+            text_geocoder=TextGeocoder(dataset.gazetteer), placefinder=placefinder
+        )
+        refined = pipeline.run(dataset.users, dataset.tweets)
+        assert placefinder.stats.failures_injected > 0
+        assert refined.funnel.study_users > 0

@@ -1,0 +1,93 @@
+"""Unit tests for burst detection and the decay model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.events.burst import BurstDetector, fit_exponential_decay
+
+MINUTE_MS = 60_000
+
+
+def _background(rng, start_ms, hours, per_hour):
+    """A quiet Poisson-ish background of positive tweets."""
+    stamps = []
+    for hour in range(hours):
+        for _ in range(per_hour):
+            stamps.append(start_ms + hour * 3_600_000 + rng.randrange(3_600_000))
+    return stamps
+
+
+class TestDetector:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstDetector(window_ms=0)
+        with pytest.raises(ConfigurationError):
+            BurstDetector(baseline_windows=0)
+
+    def test_empty_input(self):
+        assert BurstDetector().detect([]) == []
+
+    def test_detects_injected_burst(self):
+        rng = random.Random(7)
+        start = 1_314_835_200_000
+        stamps = _background(rng, start, hours=6, per_hour=2)
+        burst_at = start + 3 * 3_600_000
+        stamps += [burst_at + i * 20_000 for i in range(30)]  # 30 tweets in 10 min
+        alarms = BurstDetector().detect(stamps)
+        assert alarms
+        first = alarms[0]
+        assert abs(first.window_start_ms - burst_at) <= 2 * 600_000
+        assert first.observed >= 10
+        assert first.surprise >= 3.0
+
+    def test_quiet_background_no_alarm(self):
+        rng = random.Random(11)
+        stamps = _background(rng, 1_314_835_200_000, hours=12, per_hour=2)
+        assert BurstDetector(min_count=6).detect(stamps) == []
+
+    def test_min_count_suppresses_tiny_spikes(self):
+        # Two tweets in one window after dead silence: surprising but tiny.
+        stamps = [1_314_835_200_000, 1_314_835_210_000]
+        assert BurstDetector(min_count=3).detect(stamps) == []
+
+    def test_consecutive_windows_merge_into_one_alarm(self):
+        start = 1_314_835_200_000
+        # A 30-minute sustained burst (3 windows), preceded by silence...
+        background = [start - i * 3_600_000 for i in range(1, 5)]
+        burst = [start + i * 30_000 for i in range(60)]
+        alarms = BurstDetector().detect(background + burst)
+        assert len(alarms) == 1
+
+    def test_alarm_fields_consistent(self):
+        start = 1_314_835_200_000
+        burst = [start + i * 10_000 for i in range(20)]
+        alarms = BurstDetector().detect(burst)
+        for alarm in alarms:
+            assert alarm.window_end_ms - alarm.window_start_ms == 600_000
+            assert alarm.observed >= 3
+
+
+class TestDecayFit:
+    def test_needs_three_points(self):
+        with pytest.raises(InsufficientDataError):
+            fit_exponential_decay([1, 2])
+
+    def test_recovers_scale(self):
+        rng = random.Random(13)
+        onset = 1_000_000
+        tau = 120_000.0
+        stamps = [onset] + [
+            onset + int(rng.expovariate(1.0 / tau)) for _ in range(500)
+        ]
+        fit = fit_exponential_decay(stamps)
+        assert fit.onset_ms == onset
+        assert fit.tau_ms == pytest.approx(tau, rel=0.2)
+
+    def test_expected_fraction_monotone(self):
+        fit = fit_exponential_decay([0, 100, 200, 400])
+        fractions = [fit.expected_fraction_within(h) for h in (0, 100, 1_000, 10_000)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for the event-tweet classifier."""
+
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.events.classifier import (
+    EventTweetClassifier,
+    LabeledTweet,
+    default_training_set,
+    extract_features,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    classifier = EventTweetClassifier()
+    classifier.fit(default_training_set())
+    return classifier
+
+
+class TestFeatures:
+    def test_fixed_length(self):
+        a = extract_features("earthquake now!", ("earthquake",))
+        b = extract_features("", ("earthquake",))
+        assert len(a) == len(b) == 8
+
+    def test_query_presence_flag(self):
+        with_query = extract_features("big earthquake here", ("earthquake",))
+        without = extract_features("big sandwich here", ("earthquake",))
+        assert with_query[1] == 1.0
+        assert without[1] == 0.0
+
+    def test_bias_term(self):
+        assert extract_features("anything", ("q",))[-1] == 1.0
+
+
+class TestTraining:
+    def test_untrained_raises(self):
+        with pytest.raises(InsufficientDataError):
+            EventTweetClassifier().predict_proba("earthquake!")
+
+    def test_single_class_rejected(self):
+        classifier = EventTweetClassifier()
+        with pytest.raises(InsufficientDataError):
+            classifier.fit([LabeledTweet("a", True), LabeledTweet("b", True)])
+
+    def test_is_trained_flag(self, trained):
+        assert trained.is_trained
+        assert not EventTweetClassifier().is_trained
+
+    def test_training_separates_training_data(self, trained):
+        correct = sum(
+            1
+            for example in default_training_set()
+            if trained.predict(example.text) == example.is_event
+        )
+        assert correct / len(default_training_set()) >= 0.9
+
+
+class TestPrediction:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "earthquake!! everything shaking right now",
+            "whoa just felt a strong earthquake here",
+            "omg big earthquake happening now",
+        ],
+    )
+    def test_live_reports_positive(self, trained, text):
+        assert trained.predict(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "watching a documentary about the earthquake anniversary",
+            "earthquake insurance quotes are wild",
+            "remember the earthquake drill tomorrow",
+        ],
+    )
+    def test_historical_mentions_negative(self, trained, text):
+        assert not trained.predict(text)
+
+    def test_proba_in_unit_interval(self, trained):
+        for text in ("earthquake now", "nice weather", ""):
+            assert 0.0 <= trained.predict_proba(text) <= 1.0
+
+    def test_threshold_moves_decision(self, trained):
+        text = "earthquake!! shaking right now"
+        assert trained.predict(text, threshold=0.5)
+        assert not trained.predict(text, threshold=1.01)
+
+    def test_deterministic_training(self):
+        a = EventTweetClassifier(seed=3)
+        b = EventTweetClassifier(seed=3)
+        a.fit(default_training_set())
+        b.fit(default_training_set())
+        text = "did you feel that earthquake just now"
+        assert a.predict_proba(text) == pytest.approx(b.predict_proba(text))

@@ -1,0 +1,99 @@
+"""Integration tests for the E10 localisation experiment."""
+
+import pytest
+
+from repro.analysis.reliability import WeightingScheme
+from repro.errors import InsufficientDataError
+from repro.events.evaluation import (
+    LocalizationExperiment,
+    make_korean_scenarios,
+    mean_error_by_scheme,
+    render_localization_table,
+)
+from repro.events.scenario import EventScenario
+from repro.geo.point import GeoPoint
+
+
+@pytest.fixture(scope="module")
+def experiment(small_ctx):
+    return LocalizationExperiment(
+        small_ctx.korean_study,
+        small_ctx.korean_dataset.gazetteer,
+        small_ctx.korean_study.profile_districts,
+        gps_rate=0.2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def scenarios(small_ctx):
+    return make_korean_scenarios(small_ctx.korean_dataset.gazetteer)
+
+
+@pytest.fixture(scope="module")
+def outcomes(experiment, scenarios):
+    return experiment.run_localization(scenarios)
+
+
+class TestLocalization:
+    def test_all_combinations_present(self, outcomes, scenarios):
+        names = {o.scenario_name for o in outcomes}
+        estimators = {o.estimator for o in outcomes}
+        schemes = {o.scheme for o in outcomes}
+        assert len(estimators) == 4
+        assert len(schemes) == 3
+        assert names <= {s.name for s in scenarios}
+
+    def test_errors_finite_and_positive(self, outcomes):
+        for outcome in outcomes:
+            assert 0.0 <= outcome.error_km < 2_000.0
+            assert outcome.witness_count > 0
+            assert 0 <= outcome.gps_count <= outcome.witness_count
+
+    def test_weighting_beats_uniform_for_kalman(self, outcomes):
+        means = mean_error_by_scheme(outcomes)
+        uniform = means[("kalman", WeightingScheme.UNIFORM)]
+        weighted = means[("kalman", WeightingScheme.GROUP_MATCHED_SHARE)]
+        assert weighted < uniform
+
+    def test_render_table(self, outcomes):
+        text = render_localization_table(outcomes)
+        assert "kalman" in text
+        assert "uniform" in text
+        assert "group_matched_share" in text
+
+    def test_no_witness_scenario_raises(self, experiment):
+        # An event in the middle of the Pacific draws no witnesses.
+        lonely = EventScenario(
+            name="nowhere",
+            epicenter=GeoPoint(0.0, -150.0),
+            onset_ms=1_320_000_000_000,
+        )
+        with pytest.raises(InsufficientDataError):
+            experiment.run_localization([lonely])
+
+
+class TestDetection:
+    def test_detection_outcomes(self, experiment, scenarios):
+        outcomes = experiment.run_detection(scenarios)
+        assert len(outcomes) == len(scenarios)
+        detected = [o for o in outcomes if o.detected]
+        assert detected, "at least one scenario must be detected"
+        for outcome in detected:
+            assert outcome.latency_ms is not None
+            assert 0 <= outcome.latency_ms <= 3_600_000  # within an hour
+
+    def test_reliability_table_exposed(self, experiment):
+        table = experiment.reliability_table
+        assert 0.0 <= table.prior <= 1.0
+
+    def test_onset_estimation(self, experiment, scenarios):
+        outcomes = experiment.run_detection(scenarios)
+        fitted = [o for o in outcomes if o.onset_error_ms is not None]
+        assert fitted, "scenarios with >=3 positives must get an onset fit"
+        for outcome in fitted:
+            # First report arrives after (never before) the true onset,
+            # within a few mean report delays.
+            assert 0 <= outcome.onset_error_ms <= 30 * 60_000
+            assert outcome.decay_tau_ms is not None
+            assert outcome.decay_tau_ms > 0

@@ -1,0 +1,178 @@
+"""Unit and property tests for the four location estimators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.events.kalman import KalmanLocalizer, Measurement
+from repro.events.particle import ParticleLocalizer
+from repro.events.weighted import MedianLocalizer, WeightedCentroidLocalizer
+from repro.geo.point import GeoPoint
+
+TRUE_POINT = GeoPoint(37.50, 127.00)
+
+ALL_ESTIMATORS = [
+    WeightedCentroidLocalizer(),
+    MedianLocalizer(),
+    KalmanLocalizer(),
+    ParticleLocalizer(seed=7),
+]
+
+
+def _cluster(center, count, spread_deg=0.02, weight=1.0):
+    """Deterministic ring of measurements around a centre."""
+    measurements = []
+    for i in range(count):
+        offset = spread_deg * ((i % 5) - 2) / 2.0
+        measurements.append(
+            Measurement(
+                point=GeoPoint(center.lat + offset, center.lon - offset),
+                weight=weight,
+                timestamp_ms=i,
+            )
+        )
+    return measurements
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: type(e).__name__)
+    def test_empty_raises(self, estimator):
+        with pytest.raises(InsufficientDataError):
+            estimator.estimate([])
+
+    @pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: type(e).__name__)
+    def test_single_measurement(self, estimator):
+        m = Measurement(point=TRUE_POINT, weight=1.0)
+        estimate = estimator.estimate([m])
+        assert estimate.distance_km(TRUE_POINT) < 15.0
+
+    @pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: type(e).__name__)
+    def test_converges_on_tight_cluster(self, estimator):
+        measurements = _cluster(TRUE_POINT, 30)
+        estimate = estimator.estimate(measurements)
+        assert estimate.distance_km(TRUE_POINT) < 5.0
+
+    @pytest.mark.parametrize("estimator", ALL_ESTIMATORS, ids=lambda e: type(e).__name__)
+    def test_deterministic(self, estimator):
+        measurements = _cluster(TRUE_POINT, 20)
+        a = estimator.estimate(measurements)
+        b = estimator.estimate(measurements)
+        assert a.lat == pytest.approx(b.lat, abs=1e-9)
+        assert a.lon == pytest.approx(b.lon, abs=1e-9)
+
+
+class TestWeighting:
+    @pytest.mark.parametrize(
+        "estimator",
+        [WeightedCentroidLocalizer(), KalmanLocalizer()],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_downweighted_outlier_pulls_less(self, estimator):
+        cluster = _cluster(TRUE_POINT, 15)
+        outlier_point = GeoPoint(35.2, 129.0)  # ~320 km away
+
+        heavy = cluster + [Measurement(point=outlier_point, weight=1.0, timestamp_ms=99)]
+        light = cluster + [Measurement(point=outlier_point, weight=0.05, timestamp_ms=99)]
+
+        error_heavy = estimator.estimate(heavy).distance_km(TRUE_POINT)
+        error_light = estimator.estimate(light).distance_km(TRUE_POINT)
+        assert error_light < error_heavy
+
+    def test_particle_weighting_avoids_early_lock_in(self):
+        """The particle filter's failure mode: unreliable reports that
+        arrive *first* lock the particle cloud onto the wrong place.
+        Downweighting them (as the reliability table does for None-group
+        profiles) lets later trustworthy reports recover the true
+        location.  A single late outlier is instead absorbed by
+        resampling, which is why the per-outlier test above covers only
+        the centroid and Kalman estimators."""
+        wrong_center = GeoPoint(37.0, 126.4)  # ~70 km off
+        estimator = ParticleLocalizer(seed=7)
+
+        def reports(wrong_weight):
+            early_wrong = [
+                Measurement(
+                    point=GeoPoint(wrong_center.lat + 0.01 * ((i % 5) - 2),
+                                   wrong_center.lon - 0.01 * ((i % 5) - 2)),
+                    weight=wrong_weight,
+                    timestamp_ms=i,
+                )
+                for i in range(8)
+            ]
+            late_good = [
+                Measurement(
+                    point=GeoPoint(TRUE_POINT.lat + 0.01 * ((i % 5) - 2),
+                                   TRUE_POINT.lon - 0.01 * ((i % 5) - 2)),
+                    weight=1.0,
+                    timestamp_ms=100 + i,
+                )
+                for i in range(8)
+            ]
+            return early_wrong + late_good
+
+        error_equal = estimator.estimate(reports(1.0)).distance_km(TRUE_POINT)
+        error_down = estimator.estimate(reports(0.05)).distance_km(TRUE_POINT)
+        assert error_down < error_equal
+        assert error_down < 15.0
+
+    def test_centroid_exact_weighted_mean(self):
+        measurements = [
+            Measurement(point=GeoPoint(0.0, 0.0), weight=0.25),
+            Measurement(point=GeoPoint(1.0, 1.0), weight=0.75),
+        ]
+        estimate = WeightedCentroidLocalizer().estimate(measurements)
+        assert estimate.lat == pytest.approx(0.75)
+        assert estimate.lon == pytest.approx(0.75)
+
+    def test_median_ignores_weights(self):
+        cluster = _cluster(TRUE_POINT, 9)
+        outlier = Measurement(point=GeoPoint(35.2, 129.0), weight=1.0, timestamp_ms=50)
+        down = Measurement(point=GeoPoint(35.2, 129.0), weight=0.05, timestamp_ms=50)
+        median = MedianLocalizer()
+        a = median.estimate(cluster + [outlier])
+        b = median.estimate(cluster + [down])
+        assert a.distance_km(b) < 0.001
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            Measurement(point=TRUE_POINT, weight=0.0)
+        with pytest.raises(InsufficientDataError):
+            Measurement(point=TRUE_POINT, weight=1.5)
+
+
+class TestRobustness:
+    def test_median_more_robust_than_centroid(self):
+        cluster = _cluster(TRUE_POINT, 10)
+        outliers = [
+            Measurement(point=GeoPoint(35.2, 129.0), weight=1.0, timestamp_ms=90 + i)
+            for i in range(3)
+        ]
+        measurements = cluster + outliers
+        centroid_error = WeightedCentroidLocalizer().estimate(measurements).distance_km(TRUE_POINT)
+        median_error = MedianLocalizer().estimate(measurements).distance_km(TRUE_POINT)
+        assert median_error < centroid_error
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=36.0, max_value=38.0),
+                st.floats(min_value=126.0, max_value=128.0),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_inside_measurement_hull_band(self, rows):
+        measurements = [
+            Measurement(point=GeoPoint(lat, lon), weight=w, timestamp_ms=i)
+            for i, (lat, lon, w) in enumerate(rows)
+        ]
+        lats = [m.point.lat for m in measurements]
+        lons = [m.point.lon for m in measurements]
+        for estimator in (WeightedCentroidLocalizer(), KalmanLocalizer(), MedianLocalizer()):
+            estimate = estimator.estimate(measurements)
+            assert min(lats) - 0.1 <= estimate.lat <= max(lats) + 0.1
+            assert min(lons) - 0.1 <= estimate.lon <= max(lons) + 0.1

@@ -1,0 +1,115 @@
+"""Integration tests for the online detector and event injection."""
+
+import pytest
+
+from repro.analysis.reliability import ReliabilityTable
+from repro.errors import ConfigurationError
+from repro.events.evaluation import make_korean_scenarios
+from repro.events.injector import EventTweetInjector
+from repro.events.online import OnlineEventDetector
+
+
+@pytest.fixture(scope="module")
+def scenario(small_ctx):
+    return make_korean_scenarios(
+        small_ctx.korean_dataset.gazetteer,
+        onset_ms=1_316_000_000_000,  # inside the small window
+    )[0]
+
+
+@pytest.fixture(scope="module")
+def stream(small_ctx, scenario):
+    injector = EventTweetInjector(small_ctx.korean_dataset.gazetteer, gps_rate=0.2)
+    background = list(small_ctx.korean_dataset.tweets)
+    return injector.inject(scenario, small_ctx.korean_study.groupings, background)
+
+
+def _detector(small_ctx, **kwargs):
+    study = small_ctx.korean_study
+    return OnlineEventDetector(
+        reliability=ReliabilityTable.from_statistics(study.statistics),
+        profile_districts=study.profile_districts,
+        groupings=study.groupings,
+        **kwargs,
+    )
+
+
+class TestInjector:
+    def test_stream_stays_ordered(self, stream):
+        ids = [t.tweet_id for t in stream]
+        assert ids == sorted(ids)
+
+    def test_event_tweets_present(self, small_ctx, scenario):
+        injector = EventTweetInjector(small_ctx.korean_dataset.gazetteer)
+        event_tweets = injector.event_tweets(
+            scenario, small_ctx.korean_study.groupings
+        )
+        assert event_tweets
+        for tweet in event_tweets:
+            assert "earthquake" in tweet.text or "shaking" in tweet.text
+            assert tweet.created_at_ms >= scenario.onset_ms
+
+    def test_background_untouched(self, small_ctx, scenario):
+        injector = EventTweetInjector(small_ctx.korean_dataset.gazetteer)
+        background = list(small_ctx.korean_dataset.tweets)
+        before = len(background)
+        merged = injector.inject(
+            scenario, small_ctx.korean_study.groupings, background
+        )
+        assert len(background) == before
+        assert len(merged) > before
+
+    def test_invalid_gps_rate(self, small_ctx):
+        with pytest.raises(ConfigurationError):
+            EventTweetInjector(small_ctx.korean_dataset.gazetteer, gps_rate=2.0)
+
+
+class TestOnlineDetector:
+    def test_config_validation(self, small_ctx):
+        with pytest.raises(ConfigurationError):
+            _detector(small_ctx, alarm_threshold=0)
+        with pytest.raises(ConfigurationError):
+            _detector(small_ctx, window_ms=0)
+
+    def test_quiet_stream_no_alarm(self, small_ctx):
+        detector = _detector(small_ctx)
+        stats = detector.run(list(small_ctx.korean_dataset.tweets))
+        assert stats.alarms == []
+        assert stats.tweets_seen == len(small_ctx.korean_dataset.tweets)
+
+    def test_detects_injected_event(self, small_ctx, scenario, stream):
+        detector = _detector(small_ctx, alarm_threshold=4)
+        stats = detector.run(stream)
+        assert stats.alarms, "the injected quake must raise an alarm"
+        first = stats.alarms[0]
+        assert first.triggered_at_ms >= scenario.onset_ms
+        # Alarm within an hour of onset.
+        assert first.triggered_at_ms - scenario.onset_ms < 3_600_000
+
+    def test_alarm_localizes_near_epicenter(self, small_ctx, scenario, stream):
+        detector = _detector(small_ctx, alarm_threshold=4)
+        stats = detector.run(stream)
+        estimates = [a.estimate for a in stats.alarms if a.estimate is not None]
+        assert estimates
+        best = min(e.distance_km(scenario.epicenter) for e in estimates)
+        assert best < scenario.felt_radius_km, (
+            f"estimate {best:.1f} km from epicentre"
+        )
+
+    def test_cooldown_limits_alarm_rate(self, small_ctx, stream):
+        noisy = _detector(small_ctx, alarm_threshold=4, cooldown_ms=10**12)
+        stats = noisy.run(stream)
+        assert len(stats.alarms) <= 1
+
+    def test_funnel_counters_monotone(self, small_ctx, stream):
+        detector = _detector(small_ctx, alarm_threshold=4)
+        stats = detector.run(stream)
+        assert stats.tweets_seen >= stats.keyword_hits >= stats.classified_positive
+
+    def test_measurements_mix_gps_and_profiles(self, small_ctx, stream):
+        detector = _detector(small_ctx, alarm_threshold=4)
+        stats = detector.run(stream)
+        first = stats.alarms[0]
+        assert first.gps_measurements + first.profile_measurements > 0
+        # With gps_rate 0.2 most localisable reports come from profiles.
+        assert first.profile_measurements >= first.gps_measurements

@@ -1,0 +1,130 @@
+"""Edge-case tests for the online detector's window and weighting logic."""
+
+import pytest
+
+from repro.analysis.reliability import ReliabilityTable
+from repro.events.online import OnlineEventDetector
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import group_users
+from repro.twitter.idgen import SnowflakeGenerator
+from repro.twitter.models import GeotaggedObservation, Tweet
+
+BASE_MS = 1_314_835_200_000
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def detector_parts(korean_gazetteer):
+    observations = (
+        [_obs(1, "Mapo-gu", "Mapo-gu")] * 9 + [_obs(1, "Mapo-gu", "Jung-gu")]
+        + [_obs(2, "Gangnam-gu", "Jung-gu")] * 5
+    )
+    groupings = group_users(observations)
+    table = ReliabilityTable.from_statistics(
+        compute_group_statistics(groupings.values())
+    )
+    profiles = {
+        1: korean_gazetteer.get("Seoul", "Mapo-gu"),
+        2: korean_gazetteer.get("Seoul", "Gangnam-gu"),
+    }
+    return table, profiles, groupings
+
+
+def _detector(parts, **kwargs):
+    table, profiles, groupings = parts
+    return OnlineEventDetector(
+        reliability=table,
+        profile_districts=profiles,
+        groupings=groupings,
+        **kwargs,
+    )
+
+
+def _event_tweet(idgen, user_id, offset_ms, text="earthquake!! shaking right now"):
+    ts = BASE_MS + offset_ms
+    return Tweet(
+        tweet_id=idgen.next_id(ts), user_id=user_id, created_at_ms=ts, text=text
+    )
+
+
+class TestWindowMechanics:
+    def test_window_expiry_prevents_stale_alarm(self, detector_parts):
+        """Positives spread wider than the window never accumulate."""
+        detector = _detector(detector_parts, alarm_threshold=3, window_ms=600_000)
+        idgen = SnowflakeGenerator()
+        # One positive every 15 minutes: window (10 min) holds at most one.
+        for i in range(10):
+            alarm = detector.process(_event_tweet(idgen, 1, i * 900_000))
+            assert alarm is None
+        assert detector.stats.classified_positive == 10
+        assert detector.stats.alarms == []
+
+    def test_cooldown_rearms_after_expiry(self, detector_parts):
+        detector = _detector(
+            detector_parts, alarm_threshold=2, window_ms=600_000, cooldown_ms=3_600_000
+        )
+        idgen = SnowflakeGenerator()
+        # First burst -> one alarm.
+        detector.process(_event_tweet(idgen, 1, 0))
+        first = detector.process(_event_tweet(idgen, 1, 30_000))
+        assert first is not None
+        # Second burst inside cooldown -> suppressed.
+        detector.process(_event_tweet(idgen, 1, 60_000))
+        assert len(detector.stats.alarms) == 1
+        # Third burst after cooldown -> fires again.
+        detector.process(_event_tweet(idgen, 1, 4_000_000))
+        second = detector.process(_event_tweet(idgen, 1, 4_030_000))
+        assert second is not None
+        assert len(detector.stats.alarms) == 2
+
+    def test_unknown_author_without_gps_not_localisable(self, detector_parts):
+        """A positive tweet from outside the study adds to the count but
+        contributes no measurement."""
+        detector = _detector(detector_parts, alarm_threshold=2)
+        idgen = SnowflakeGenerator()
+        detector.process(_event_tweet(idgen, 999, 0))
+        alarm = detector.process(_event_tweet(idgen, 998, 10_000))
+        assert alarm is not None
+        assert alarm.window_positive_count == 2
+        assert alarm.gps_measurements == 0
+        assert alarm.profile_measurements == 0
+        assert alarm.estimate is None
+
+    def test_profile_weight_floor_applied(self, detector_parts, korean_gazetteer):
+        """A None-group witness still yields a (floored) measurement."""
+        detector = _detector(detector_parts, alarm_threshold=2)
+        idgen = SnowflakeGenerator()
+        detector.process(_event_tweet(idgen, 2, 0))  # user 2: None group
+        alarm = detector.process(_event_tweet(idgen, 2, 10_000))
+        assert alarm is not None
+        assert alarm.profile_measurements == 2
+        assert alarm.estimate is not None
+        gangnam = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        assert alarm.estimate.distance_km(gangnam.center) < 50.0
+
+    def test_keyword_prefilter_blocks_classifier(self, detector_parts):
+        detector = _detector(detector_parts, alarm_threshold=1)
+        idgen = SnowflakeGenerator()
+        detector.process(_event_tweet(idgen, 1, 0, text="lovely coffee morning"))
+        assert detector.stats.keyword_hits == 0
+        assert detector.stats.classified_positive == 0
+
+    def test_historical_mention_filtered_by_classifier(self, detector_parts):
+        detector = _detector(detector_parts, alarm_threshold=1)
+        idgen = SnowflakeGenerator()
+        detector.process(
+            _event_tweet(
+                idgen, 1, 0, text="remember the earthquake drill tomorrow at school"
+            )
+        )
+        assert detector.stats.keyword_hits == 1
+        assert detector.stats.classified_positive == 0

@@ -1,0 +1,117 @@
+"""Unit tests for event scenarios and witness generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events.scenario import EventScenario, WitnessGenerator
+from repro.geo.point import GeoPoint
+from repro.grouping.topk import group_users
+from repro.twitter.models import GeotaggedObservation
+
+ONSET_MS = 1_320_000_000_000
+
+
+def _obs(user_id, profile_county, tweet_county, state="Seoul"):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state=state,
+        profile_county=profile_county,
+        tweet_state=state,
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def groupings():
+    """Users concentrated in Seoul, one firmly in Busan."""
+    observations = []
+    for uid in range(1, 30):
+        observations += [_obs(uid, "Mapo-gu", "Mapo-gu")] * 4
+        observations += [_obs(uid, "Mapo-gu", "Gangnam-gu")]
+    observations += [_obs(99, "Haeundae-gu", "Haeundae-gu", state="Busan")] * 5
+    return group_users(observations)
+
+
+@pytest.fixture
+def seoul_scenario(korean_gazetteer):
+    return EventScenario(
+        name="test-quake",
+        epicenter=korean_gazetteer.get("Seoul", "Mapo-gu").center,
+        onset_ms=ONSET_MS,
+        felt_radius_km=30.0,
+        report_probability=1.0,
+    )
+
+
+class TestScenarioValidation:
+    def test_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            EventScenario("x", GeoPoint(0, 0), 0, felt_radius_km=0.0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            EventScenario("x", GeoPoint(0, 0), 0, report_probability=0.0)
+
+
+class TestWitnessGeneration:
+    def test_reports_time_ordered_after_onset(
+        self, korean_gazetteer, groupings, seoul_scenario
+    ):
+        generator = WitnessGenerator(korean_gazetteer, seed=5)
+        reports = generator.generate(seoul_scenario, groupings)
+        assert reports
+        stamps = [r.timestamp_ms for r in reports]
+        assert stamps == sorted(stamps)
+        assert all(ts >= ONSET_MS for ts in stamps)
+
+    def test_witnesses_within_felt_radius(
+        self, korean_gazetteer, groupings, seoul_scenario
+    ):
+        generator = WitnessGenerator(korean_gazetteer, seed=5)
+        for report in generator.generate(seoul_scenario, groupings):
+            distance = report.true_district.center.distance_km(
+                seoul_scenario.epicenter
+            )
+            assert distance <= seoul_scenario.felt_radius_km
+
+    def test_busan_user_never_witnesses_seoul_quake(
+        self, korean_gazetteer, groupings, seoul_scenario
+    ):
+        generator = WitnessGenerator(korean_gazetteer, seed=5)
+        reports = generator.generate(seoul_scenario, groupings)
+        assert all(r.user_id != 99 for r in reports)
+
+    def test_gps_rate_extremes(self, korean_gazetteer, groupings, seoul_scenario):
+        all_gps = WitnessGenerator(korean_gazetteer, gps_rate=1.0, seed=5).generate(
+            seoul_scenario, groupings
+        )
+        no_gps = WitnessGenerator(korean_gazetteer, gps_rate=0.0, seed=5).generate(
+            seoul_scenario, groupings
+        )
+        assert all(r.gps is not None for r in all_gps)
+        assert all(r.gps is None for r in no_gps)
+
+    def test_gps_equals_true_position_when_present(
+        self, korean_gazetteer, groupings, seoul_scenario
+    ):
+        generator = WitnessGenerator(korean_gazetteer, gps_rate=1.0, seed=5)
+        for report in generator.generate(seoul_scenario, groupings):
+            assert report.gps == report.true_position
+
+    def test_text_contains_event_keyword(
+        self, korean_gazetteer, groupings, seoul_scenario
+    ):
+        generator = WitnessGenerator(korean_gazetteer, seed=5)
+        for report in generator.generate(seoul_scenario, groupings):
+            assert "earthquake" in report.text.lower() or "shaking" in report.text.lower()
+
+    def test_deterministic(self, korean_gazetteer, groupings, seoul_scenario):
+        a = WitnessGenerator(korean_gazetteer, seed=5).generate(seoul_scenario, groupings)
+        b = WitnessGenerator(korean_gazetteer, seed=5).generate(seoul_scenario, groupings)
+        assert [(r.user_id, r.timestamp_ms) for r in a] == [
+            (r.user_id, r.timestamp_ms) for r in b
+        ]
+
+    def test_invalid_gps_rate(self, korean_gazetteer):
+        with pytest.raises(ConfigurationError):
+            WitnessGenerator(korean_gazetteer, gps_rate=1.5)

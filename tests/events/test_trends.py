@@ -1,0 +1,119 @@
+"""Unit tests for TwitterMonitor-style trend detection."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events.trends import TrendDetector
+from repro.twitter.idgen import SnowflakeGenerator
+from repro.twitter.models import Tweet
+
+BASE_MS = 1_314_835_200_000
+_CHATTER = (
+    "so sleepy today honestly",
+    "what should i have for lunch",
+    "this weather is something else",
+    "watching the game tonight with friends",
+    "coffee first then everything else",
+)
+
+
+def _stream(texts_with_offsets):
+    idgen = SnowflakeGenerator(worker_id=5)
+    tweets = []
+    for offset_ms, text in texts_with_offsets:
+        ts = BASE_MS + offset_ms
+        tweets.append(
+            Tweet(tweet_id=idgen.next_id(ts), user_id=1, created_at_ms=ts, text=text)
+        )
+    return tweets
+
+
+def _background(hours, per_hour=6, seed=3):
+    rng = random.Random(seed)
+    rows = []
+    for hour in range(hours):
+        for _ in range(per_hour):
+            rows.append(
+                (hour * 3_600_000 + rng.randrange(3_600_000), rng.choice(_CHATTER))
+            )
+    rows.sort()
+    return rows
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrendDetector(window_ms=0)
+        with pytest.raises(ConfigurationError):
+            TrendDetector(burst_ratio=1.0)
+
+
+class TestDetection:
+    def test_quiet_stream_no_trends(self):
+        detector = TrendDetector(min_count=8)
+        trends = detector.run(_stream(_background(hours=30)))
+        assert trends == []
+
+    def test_detects_injected_burst(self):
+        rows = _background(hours=30)
+        burst_start = 27 * 3_600_000
+        rows += [
+            (burst_start + i * 60_000, "earthquake everything is shaking")
+            for i in range(12)
+        ]
+        rows.sort()
+        detector = TrendDetector(min_count=5)
+        trends = detector.run(_stream(rows))
+        assert trends
+        assert "earthquake" in trends[0].keywords
+        assert trends[0].tweet_count >= 5
+        assert "earthquake" in trends[0].sample_text
+
+    def test_cooccurring_keywords_grouped(self):
+        rows = _background(hours=30)
+        burst_start = 27 * 3_600_000
+        rows += [
+            (burst_start + i * 60_000, "earthquake shaking downtown everyone outside")
+            for i in range(12)
+        ]
+        rows.sort()
+        detector = TrendDetector(min_count=5)
+        trends = detector.run(_stream(rows))
+        assert trends
+        keywords = trends[0].keywords
+        assert "earthquake" in keywords and "shaking" in keywords
+
+    def test_cooldown_suppresses_rediscovery(self):
+        rows = _background(hours=30)
+        burst_start = 27 * 3_600_000
+        rows += [
+            (burst_start + i * 60_000, "earthquake again earthquake")
+            for i in range(30)
+        ]
+        rows.sort()
+        detector = TrendDetector(min_count=5, cooldown_ms=10**12)
+        trends = detector.run(_stream(rows))
+        quake_trends = [t for t in trends if "earthquake" in t.keywords]
+        assert len(quake_trends) == 1
+
+    def test_steady_chatter_keyword_never_trends(self):
+        # "coffee" appears constantly; a constant rate is not a burst.
+        rows = _background(hours=36, per_hour=10)
+        detector = TrendDetector(min_count=5, burst_ratio=3.0)
+        trends = detector.run(_stream(rows))
+        assert all("coffee" not in t.keywords for t in trends)
+
+    def test_detection_time_in_burst_window(self):
+        rows = _background(hours=30)
+        burst_start = 27 * 3_600_000
+        rows += [
+            (burst_start + i * 60_000, "earthquake shaking now") for i in range(12)
+        ]
+        rows.sort()
+        detector = TrendDetector(min_count=5)
+        trends = detector.run(_stream(rows))
+        first = trends[0]
+        assert BASE_MS + burst_start <= first.detected_at_ms
+        assert first.detected_at_ms <= BASE_MS + burst_start + 30 * 60_000

@@ -1,0 +1,94 @@
+"""Unit tests for Twitris-style spatio-temporal-thematic summaries."""
+
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.events.twitris import SliceKey, TwitrisSummarizer
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.reverse import ReverseGeocoder
+from repro.twitter.models import Tweet
+
+DAY_MS = 86_400_000
+BASE_MS = 1_314_835_200_000
+
+
+def _tweet(tweet_id, text, district, day_offset=0, gps=True):
+    return Tweet(
+        tweet_id=tweet_id,
+        user_id=tweet_id,
+        created_at_ms=BASE_MS + day_offset * DAY_MS,
+        text=text,
+        coordinates=district.center if gps else None,
+        true_state=district.state,
+        true_county=district.name,
+    )
+
+
+@pytest.fixture
+def summarizer(korean_gazetteer):
+    return TwitrisSummarizer(ReverseGeocoder(korean_gazetteer))
+
+
+@pytest.fixture
+def gangnam(korean_gazetteer):
+    return korean_gazetteer.get("Seoul", "Gangnam-gu")
+
+
+@pytest.fixture
+def haeundae(korean_gazetteer):
+    return korean_gazetteer.get("Busan", "Haeundae-gu")
+
+
+class TestIngest:
+    def test_only_gps_tweets_sliced(self, summarizer, gangnam):
+        sliced = summarizer.ingest(
+            [
+                _tweet(1, "coffee time", gangnam),
+                _tweet(2, "no gps here", gangnam, gps=False),
+            ]
+        )
+        assert sliced == 1
+        assert summarizer.corpus.doc_count == 2  # both feed the corpus
+
+    def test_slices_keyed_by_district_and_day(self, summarizer, gangnam, haeundae):
+        summarizer.ingest(
+            [
+                _tweet(1, "a", gangnam, day_offset=0),
+                _tweet(2, "b", gangnam, day_offset=1),
+                _tweet(3, "c", haeundae, day_offset=0),
+            ]
+        )
+        keys = summarizer.slice_keys()
+        assert len(keys) == 3
+        assert keys == sorted(keys, key=lambda k: (k.day, k.state, k.county))
+
+
+class TestSummaries:
+    def test_event_terms_surface(self, summarizer, gangnam):
+        chatter = [
+            _tweet(i, "coffee and weather talk", gangnam) for i in range(1, 30)
+        ]
+        event = [
+            _tweet(100 + i, "earthquake shaking earthquake", gangnam, day_offset=3)
+            for i in range(5)
+        ]
+        summarizer.ingest(chatter + event)
+        key = SliceKey(
+            state="Seoul", county="Gangnam-gu", day=(BASE_MS + 3 * DAY_MS) // DAY_MS
+        )
+        summary = summarizer.summarize(key, top_k=2)
+        assert summary.top_terms[0].term == "earthquake"
+        assert summary.tweet_count == 5
+
+    def test_unpopulated_slice_raises(self, summarizer):
+        with pytest.raises(InsufficientDataError):
+            summarizer.summarize(SliceKey("Seoul", "Gangnam-gu", 0))
+
+    def test_summarize_all_min_tweets(self, summarizer, gangnam, haeundae):
+        summarizer.ingest(
+            [_tweet(i, "hello", gangnam) for i in range(1, 5)]
+            + [_tweet(10, "solo", haeundae)]
+        )
+        summaries = summarizer.summarize_all(min_tweets=3)
+        assert len(summaries) == 1
+        assert summaries[0].key.county == "Gangnam-gu"

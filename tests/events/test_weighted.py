@@ -1,0 +1,97 @@
+"""Unit tests for measurement construction from witness reports."""
+
+import pytest
+
+from repro.analysis.reliability import ReliabilityTable, WeightingScheme
+from repro.events.scenario import WitnessReport
+from repro.events.weighted import MIN_PROFILE_WEIGHT, build_measurements
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def study(korean_gazetteer):
+    observations = (
+        [_obs(1, "Mapo-gu", "Mapo-gu")] * 9 + [_obs(1, "Mapo-gu", "Jung-gu")]
+        + [_obs(2, "Gangnam-gu", "Jung-gu")] * 5
+    )
+    groupings = group_users(observations)
+    table = ReliabilityTable.from_statistics(
+        compute_group_statistics(groupings.values())
+    )
+    profiles = {
+        1: korean_gazetteer.get("Seoul", "Mapo-gu"),
+        2: korean_gazetteer.get("Seoul", "Gangnam-gu"),
+    }
+    return groupings, table, profiles
+
+
+def _report(user_id, korean_gazetteer, gps=None):
+    district = korean_gazetteer.get("Seoul", "Mapo-gu")
+    return WitnessReport(
+        user_id=user_id,
+        timestamp_ms=1_000,
+        text="earthquake!",
+        gps=gps,
+        true_position=district.center,
+        true_district=district,
+    )
+
+
+class TestBuildMeasurements:
+    def test_gps_report_gets_weight_one(self, korean_gazetteer, study):
+        groupings, table, profiles = study
+        point = korean_gazetteer.get("Seoul", "Mapo-gu").center
+        reports = [_report(1, korean_gazetteer, gps=point)]
+        [m] = build_measurements(reports, profiles, groupings, table)
+        assert m.weight == 1.0
+        assert m.point == point
+
+    def test_profile_report_uses_centroid_and_group_weight(
+        self, korean_gazetteer, study
+    ):
+        groupings, table, profiles = study
+        reports = [_report(1, korean_gazetteer)]
+        [m] = build_measurements(reports, profiles, groupings, table)
+        assert m.point == profiles[1].center
+        assert m.weight == pytest.approx(
+            table.weight_for_group(groupings[1].group)
+        )
+
+    def test_none_group_user_gets_floor_weight(self, korean_gazetteer, study):
+        groupings, table, profiles = study
+        reports = [_report(2, korean_gazetteer)]
+        [m] = build_measurements(reports, profiles, groupings, table)
+        assert m.weight == MIN_PROFILE_WEIGHT
+
+    def test_unknown_profile_dropped(self, korean_gazetteer, study):
+        groupings, table, _ = study
+        reports = [_report(7, korean_gazetteer)]
+        assert build_measurements(reports, {}, groupings, table) == []
+
+    def test_uniform_scheme_flattens_weights(self, korean_gazetteer, study):
+        groupings, table, profiles = study
+        reports = [_report(1, korean_gazetteer), _report(2, korean_gazetteer)]
+        measurements = build_measurements(
+            reports, profiles, groupings, table, WeightingScheme.UNIFORM
+        )
+        assert all(m.weight == 1.0 for m in measurements)
+
+    def test_rank_reciprocal_scheme(self, korean_gazetteer, study):
+        groupings, table, profiles = study
+        reports = [_report(1, korean_gazetteer)]
+        [m] = build_measurements(
+            reports, profiles, groupings, table, WeightingScheme.RANK_RECIPROCAL
+        )
+        assert m.weight == 1.0  # Top-1 user: 1/1

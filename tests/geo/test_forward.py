@@ -1,0 +1,131 @@
+"""Unit tests for forward geocoding of profile-location fields.
+
+The cases mirror the paper's Fig. 3 menagerie: clean district mentions,
+bare metros, countries, vague junk, coordinates, and multi-location
+fields.
+"""
+
+import pytest
+
+from repro.geo.forward import GeocodeStatus, TextGeocoder
+from repro.geo.gazetteer import Gazetteer
+
+
+@pytest.fixture(scope="module")
+def geocoder():
+    return TextGeocoder(Gazetteer.korean())
+
+
+@pytest.fixture(scope="module")
+def world_geocoder():
+    return TextGeocoder(Gazetteer.combined())
+
+
+class TestResolved:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Yangcheon-gu, Seoul", ("Seoul", "Yangcheon-gu")),
+            ("Seoul Yangcheon-gu", ("Seoul", "Yangcheon-gu")),
+            ("yangcheon", ("Seoul", "Yangcheon-gu")),
+            ("Yangchun-gu", ("Seoul", "Yangcheon-gu")),  # the paper's spelling
+            ("Uiwang-si, Gyeonggi-do", ("Gyeonggi-do", "Uiwang-si")),
+            ("Bucheon", ("Gyeonggi-do", "Bucheon-si")),
+            ("Jung-gu, Busan", ("Busan", "Jung-gu")),
+            ("busan jung-gu", ("Busan", "Jung-gu")),
+            ("HAEUNDAE", ("Busan", "Haeundae-gu")),
+            ("Suwon-si", ("Gyeonggi-do", "Suwon-si")),
+        ],
+    )
+    def test_clean_mentions_resolve(self, geocoder, text, expected):
+        result = geocoder.geocode(text)
+        assert result.status is GeocodeStatus.RESOLVED
+        assert result.district is not None
+        assert result.district.key() == expected
+        assert result.is_well_defined
+
+    def test_coordinates_in_profile_resolve(self, geocoder):
+        result = geocoder.geocode("37.5326, 126.9904")
+        assert result.status is GeocodeStatus.RESOLVED
+        assert result.district.key() == ("Seoul", "Yongsan-gu")
+
+    def test_ocean_coordinates_unresolved(self, geocoder):
+        result = geocoder.geocode("30.0, 140.0")
+        assert result.status is GeocodeStatus.UNRESOLVED
+
+
+class TestInsufficient:
+    @pytest.mark.parametrize("text", ["Seoul", "seoul", "Busan", "Gyeonggi-do"])
+    def test_bare_state_is_state_only(self, geocoder, text):
+        result = geocoder.geocode(text)
+        assert result.status is GeocodeStatus.STATE_ONLY
+        assert not result.is_well_defined
+
+    @pytest.mark.parametrize("text", ["Korea", "South Korea", "대한민국"])
+    def test_country_only(self, geocoder, text):
+        assert geocoder.geocode(text).status is GeocodeStatus.COUNTRY_ONLY
+
+    @pytest.mark.parametrize("text", ["my home", "Earth", "darangland :)", "우리집", "somewhere"])
+    def test_vague(self, geocoder, text):
+        assert geocoder.geocode(text).status is GeocodeStatus.VAGUE
+
+    @pytest.mark.parametrize("text", ["", "   ", "~*~*~", "♥♥♥"])
+    def test_empty_or_decoration_only(self, geocoder, text):
+        assert geocoder.geocode(text).status in (
+            GeocodeStatus.EMPTY,
+            GeocodeStatus.VAGUE,
+        )
+
+    def test_garbage_unresolved(self, geocoder):
+        assert geocoder.geocode("xyzzy plugh").status is GeocodeStatus.UNRESOLVED
+
+
+class TestAmbiguous:
+    def test_bare_jung_gu_is_ambiguous(self, geocoder):
+        # Jung-gu exists in six metropolitan cities.
+        result = geocoder.geocode("Jung-gu")
+        assert result.status is GeocodeStatus.AMBIGUOUS
+        assert len(result.candidates) >= 5
+
+    def test_state_mention_disambiguates(self, geocoder):
+        result = geocoder.geocode("Jung-gu, Daegu")
+        assert result.status is GeocodeStatus.RESOLVED
+        assert result.district.key() == ("Daegu", "Jung-gu")
+
+    def test_multi_location_is_ambiguous(self, world_geocoder):
+        # The paper's Fig. 3 example: two resolvable places in one field.
+        result = world_geocoder.geocode("Gold Coast Australia / Seoul Yangcheon-gu")
+        assert result.status is GeocodeStatus.AMBIGUOUS
+        keys = {d.key() for d in result.candidates}
+        assert ("Queensland", "Gold Coast") in keys
+        assert ("Seoul", "Yangcheon-gu") in keys
+
+    def test_multi_with_one_resolvable_resolves(self, geocoder):
+        result = geocoder.geocode("Bucheon / my hometown somewhere")
+        assert result.status is GeocodeStatus.RESOLVED
+        assert result.district.key() == ("Gyeonggi-do", "Bucheon-si")
+
+    def test_multi_same_place_twice_resolves(self, geocoder):
+        result = geocoder.geocode("Bucheon / bucheon-si")
+        assert result.status is GeocodeStatus.RESOLVED
+
+
+class TestWorld:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("NYC", ("New York", "New York")),
+            ("London", ("England", "London")),
+            ("Tokyo", ("Tokyo", "Tokyo")),
+            ("Gold Coast Australia", ("Queensland", "Gold Coast")),
+            ("Paris", ("Ile-de-France", "Paris")),
+        ],
+    )
+    def test_world_cities_resolve(self, world_geocoder, text, expected):
+        result = world_geocoder.geocode(text)
+        assert result.status is GeocodeStatus.RESOLVED
+        assert result.district.key() == expected
+
+    def test_korean_districts_still_resolve_in_combined(self, world_geocoder):
+        result = world_geocoder.geocode("Yangcheon-gu, Seoul")
+        assert result.status is GeocodeStatus.RESOLVED

@@ -1,0 +1,123 @@
+"""Unit and property tests for the gazetteer's indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnknownRegionError
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint
+from repro.geo.region import District, DistrictKind
+
+
+def _district(name: str, state: str, lat: float, lon: float) -> District:
+    return District(
+        name=name,
+        state=state,
+        country="South Korea",
+        kind=DistrictKind.CITY,
+        center=GeoPoint(lat, lon),
+        radius_km=5.0,
+        aliases=(name.lower(),),
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(UnknownRegionError):
+            Gazetteer([])
+
+    def test_duplicate_keys_rejected(self):
+        d = _district("A-si", "X-do", 37.0, 127.0)
+        with pytest.raises(UnknownRegionError):
+            Gazetteer([d, d])
+
+    def test_len_and_iteration(self, korean_gazetteer):
+        assert len(korean_gazetteer) == len(list(korean_gazetteer))
+
+
+class TestLookups:
+    def test_get_known(self, korean_gazetteer):
+        d = korean_gazetteer.get("Seoul", "Gangnam-gu")
+        assert d.state == "Seoul"
+        assert d.name == "Gangnam-gu"
+
+    def test_get_unknown_raises(self, korean_gazetteer):
+        with pytest.raises(UnknownRegionError):
+            korean_gazetteer.get("Seoul", "Nonexistent-gu")
+
+    def test_find_returns_none(self, korean_gazetteer):
+        assert korean_gazetteer.find("Seoul", "Nonexistent-gu") is None
+
+    def test_alias_ambiguity(self, korean_gazetteer):
+        # "Jung-gu" exists in several metropolitan cities.
+        hits = korean_gazetteer.lookup_alias("jung-gu")
+        states = {d.state for d in hits}
+        assert {"Seoul", "Busan", "Incheon", "Daegu", "Daejeon", "Ulsan"} <= states
+
+    def test_alias_case_insensitive(self, korean_gazetteer):
+        assert korean_gazetteer.lookup_alias("GANGNAM") == korean_gazetteer.lookup_alias(
+            "gangnam"
+        )
+
+    def test_in_state(self, korean_gazetteer):
+        seoul = korean_gazetteer.in_state("Seoul")
+        assert len(seoul) == 25  # all 25 gu
+        assert all(d.state == "Seoul" for d in seoul)
+
+    def test_in_state_unknown_raises(self, korean_gazetteer):
+        with pytest.raises(UnknownRegionError):
+            korean_gazetteer.in_state("Atlantis")
+
+
+class TestSpatial:
+    def test_nearest_at_centroid(self, korean_gazetteer):
+        target = korean_gazetteer.get("Seoul", "Mapo-gu")
+        assert korean_gazetteer.nearest(target.center).key() == target.key()
+
+    @given(
+        st.floats(min_value=33.2, max_value=38.2),
+        st.floats(min_value=126.2, max_value=129.5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nearest_matches_brute_force(self, lat, lon):
+        gazetteer = Gazetteer.korean()
+        point = GeoPoint(lat, lon)
+        fast = gazetteer.nearest(point)
+        brute = min(gazetteer.districts, key=lambda d: d.center.distance_km(point))
+        assert fast.center.distance_km(point) == pytest.approx(
+            brute.center.distance_km(point), abs=1e-9
+        )
+
+    def test_nearest_within_cutoff(self, korean_gazetteer):
+        # Middle of the East Sea: far from everything at 10 km cutoff.
+        sea = GeoPoint(37.5, 131.5)
+        assert korean_gazetteer.nearest_within(sea, max_km=10.0) is None
+        assert korean_gazetteer.nearest_within(sea, max_km=500.0) is not None
+
+    def test_within_radius_sorted(self, korean_gazetteer):
+        center = korean_gazetteer.get("Seoul", "Jongno-gu").center
+        hits = korean_gazetteer.within(center, radius_km=10.0)
+        distances = [d.center.distance_km(center) for d in hits]
+        assert distances == sorted(distances)
+        assert all(dist <= 10.0 for dist in distances)
+        assert len(hits) >= 5  # central Seoul is dense
+
+    def test_within_zero_radius(self, korean_gazetteer):
+        center = korean_gazetteer.get("Seoul", "Jongno-gu").center
+        hits = korean_gazetteer.within(center, radius_km=0.0)
+        assert [d.key() for d in hits] == [("Seoul", "Jongno-gu")]
+
+
+class TestFactories:
+    def test_world_gazetteer(self, world_gazetteer):
+        assert world_gazetteer.find("New York", "New York") is not None
+        assert len(world_gazetteer) > 50
+
+    def test_combined_has_both(self, combined_gazetteer):
+        assert combined_gazetteer.find("Seoul", "Gangnam-gu") is not None
+        assert combined_gazetteer.find("England", "London") is not None
+
+    def test_combined_no_duplicate_seoul(self, combined_gazetteer):
+        keys = [d.key() for d in combined_gazetteer.districts]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,75 @@
+"""Sanity checks over the embedded Korean gazetteer data."""
+
+from repro.geo.korea import (
+    COUNTRY,
+    METROPOLITAN_STATES,
+    PROVINCE_STATES,
+    STATE_ALIASES,
+    korean_districts,
+)
+from repro.geo.region import DistrictKind
+
+
+def test_every_district_in_a_known_state():
+    states = METROPOLITAN_STATES | PROVINCE_STATES
+    for district in korean_districts():
+        assert district.state in states, district.name
+
+
+def test_unique_state_county_keys():
+    keys = [d.key() for d in korean_districts()]
+    assert len(keys) == len(set(keys))
+
+
+def test_seoul_has_25_gu():
+    seoul = [d for d in korean_districts() if d.state == "Seoul"]
+    assert len(seoul) == 25
+    assert all(d.kind is DistrictKind.DISTRICT for d in seoul)
+
+
+def test_all_metropolitan_states_present():
+    present = {d.state for d in korean_districts()}
+    assert METROPOLITAN_STATES <= present
+
+
+def test_coordinates_inside_korea():
+    for district in korean_districts():
+        assert 33.0 <= district.center.lat <= 38.7, district.name
+        assert 124.5 <= district.center.lon <= 130.0, district.name
+
+
+def test_country_and_weights(korean_gazetteer):
+    for district in korean_gazetteer:
+        assert district.country == COUNTRY
+        assert district.population_weight > 0
+        assert district.radius_km > 0
+
+
+def test_aliases_are_lowercase_and_include_name():
+    for district in korean_districts():
+        assert district.name.lower() in district.aliases
+        assert all(a == a.lower() for a in district.aliases)
+
+
+def test_metro_kinds_match_state_type():
+    for district in korean_districts():
+        if district.state in METROPOLITAN_STATES:
+            assert district.kind in (DistrictKind.DISTRICT, DistrictKind.COUNTY)
+        else:
+            assert district.kind in (DistrictKind.CITY, DistrictKind.COUNTY)
+
+
+def test_state_aliases_point_at_real_states():
+    states = METROPOLITAN_STATES | PROVINCE_STATES
+    for alias, canonical in STATE_ALIASES.items():
+        assert alias == alias.lower()
+        assert canonical in states
+
+
+def test_paper_example_districts_exist(korean_gazetteer):
+    # The paper's Tables I-II use these exact districts.
+    assert korean_gazetteer.find("Seoul", "Yangcheon-gu") is not None
+    assert korean_gazetteer.find("Seoul", "Seodaemun-gu") is not None
+    assert korean_gazetteer.find("Seoul", "Jung-gu") is not None
+    assert korean_gazetteer.find("Gyeonggi-do", "Uiwang-si") is not None
+    assert korean_gazetteer.find("Gyeonggi-do", "Seongnam-si") is not None

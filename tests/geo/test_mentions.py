@@ -1,0 +1,57 @@
+"""Unit tests for the place-mention extractor (third spatial attribute)."""
+
+import pytest
+
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.mentions import PlaceMentionExtractor
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return PlaceMentionExtractor(Gazetteer.korean())
+
+
+class TestExtraction:
+    def test_single_unambiguous_mention(self, extractor):
+        mentions = extractor.extract("having coffee in Yangcheon-gu today")
+        assert len(mentions) == 1
+        assert mentions[0].district.key() == ("Seoul", "Yangcheon-gu")
+        assert mentions[0].matched_alias == "yangcheon-gu"
+
+    def test_ambiguous_name_skipped(self, extractor):
+        # "Jung-gu" maps to six cities: unusable as a mention.
+        assert extractor.extract("walking around Jung-gu tonight") == []
+
+    def test_multiple_mentions(self, extractor):
+        mentions = extractor.extract("from Bucheon to Suwon-si by bus")
+        keys = {m.district.key() for m in mentions}
+        assert ("Gyeonggi-do", "Bucheon-si") in keys
+        assert ("Gyeonggi-do", "Suwon-si") in keys
+
+    def test_mentions_ordered_by_position(self, extractor):
+        mentions = extractor.extract("gangnam then haeundae tomorrow")
+        assert [m.district.name for m in mentions] == ["Gangnam-gu", "Haeundae-gu"]
+        assert mentions[0].token_start < mentions[1].token_start
+
+    def test_no_mentions(self, extractor):
+        assert extractor.extract("just a normal day, nothing here") == []
+        assert extractor.extract("") == []
+
+    def test_longest_match_wins(self, extractor):
+        # "gold coast australia" must not fire on sub-tokens; test the
+        # Korean analogue: "yangcheon-gu" not double-counted as
+        # "yangcheon" + leftover.
+        mentions = extractor.extract("in yangcheon-gu now")
+        assert len(mentions) == 1
+        assert mentions[0].token_count == 1
+
+    def test_first_helper(self, extractor):
+        assert extractor.first("nothing to see") is None
+        mention = extractor.first("dinner at hongdae tonight")
+        assert mention is not None
+        assert mention.district.key() == ("Seoul", "Mapo-gu")  # hongdae alias
+
+    def test_case_and_decoration_insensitive(self, extractor):
+        mentions = extractor.extract("HAEUNDAE!!! ♥")
+        assert len(mentions) == 1
+        assert mentions[0].district.name == "Haeundae-gu"

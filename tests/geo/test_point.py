@@ -1,0 +1,161 @@
+"""Unit and property tests for geographic points and great-circle math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidCoordinateError
+from repro.geo.point import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    centroid,
+    destination_point,
+    geographic_median,
+    haversine_km,
+    initial_bearing_deg,
+    midpoint,
+)
+
+lats = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+lons = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+points = st.builds(GeoPoint, lats, lons)
+
+
+class TestGeoPointValidation:
+    def test_valid_point(self):
+        p = GeoPoint(37.5326, 126.9904)
+        assert p.lat == 37.5326
+        assert p.lon == 126.9904
+
+    @pytest.mark.parametrize("lat,lon", [(91.0, 0.0), (-90.1, 0.0), (0.0, 181.0), (0.0, -180.5)])
+    def test_out_of_range_rejected(self, lat, lon):
+        with pytest.raises(InvalidCoordinateError):
+            GeoPoint(lat, lon)
+
+    @pytest.mark.parametrize("lat,lon", [(float("nan"), 0.0), (0.0, float("inf"))])
+    def test_non_finite_rejected(self, lat, lon):
+        with pytest.raises(InvalidCoordinateError):
+            GeoPoint(lat, lon)
+
+    def test_boundary_values_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_immutable(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lat = 1.0  # type: ignore[misc]
+
+
+class TestParse:
+    def test_parse_roundtrip(self):
+        p = GeoPoint(37.5326, 126.9904)
+        assert GeoPoint.parse(str(p)) == p
+
+    def test_parse_with_spaces(self):
+        assert GeoPoint.parse(" 37.5 , 127.0 ") == GeoPoint(37.5, 127.0)
+
+    @pytest.mark.parametrize("text", ["37.5", "a,b", "1,2,3", "", "37.5;127.0"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(InvalidCoordinateError):
+            GeoPoint.parse(text)
+
+
+class TestHaversine:
+    def test_known_distance_seoul_busan(self):
+        seoul = GeoPoint(37.5665, 126.9780)
+        busan = GeoPoint(35.1796, 129.0756)
+        # Real-world distance is ~325 km.
+        assert haversine_km(seoul, busan) == pytest.approx(325.0, abs=10.0)
+
+    def test_identity_is_zero(self):
+        p = GeoPoint(10.0, 20.0)
+        assert haversine_km(p, p) == 0.0
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), rel=1e-9)
+
+    @given(points, points)
+    def test_range(self, a, b):
+        d = haversine_km(a, b)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(points, points, points)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+class TestDestinationAndBearing:
+    def test_destination_north(self):
+        start = GeoPoint(0.0, 0.0)
+        end = destination_point(start, 0.0, 111.0)
+        assert end.lat == pytest.approx(1.0, abs=0.01)
+        assert end.lon == pytest.approx(0.0, abs=0.01)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(InvalidCoordinateError):
+            destination_point(GeoPoint(0, 0), 0.0, -1.0)
+
+    @given(points, st.floats(min_value=0.0, max_value=359.9), st.floats(min_value=0.1, max_value=500.0))
+    @settings(max_examples=80)
+    def test_destination_distance_consistent(self, start, bearing, distance):
+        end = destination_point(start, bearing, distance)
+        assert haversine_km(start, end) == pytest.approx(distance, rel=1e-3)
+
+    @given(points, st.floats(min_value=0.0, max_value=359.9))
+    @settings(max_examples=60)
+    def test_bearing_points_toward_destination(self, start, bearing):
+        end = destination_point(start, bearing, 50.0)
+        recovered = initial_bearing_deg(start, end)
+        delta = abs((recovered - bearing + 180.0) % 360.0 - 180.0)
+        assert delta < 1.0
+
+
+class TestMidpointCentroidMedian:
+    def test_midpoint_on_equator(self):
+        m = midpoint(GeoPoint(0.0, 0.0), GeoPoint(0.0, 10.0))
+        assert m.lat == pytest.approx(0.0, abs=1e-9)
+        assert m.lon == pytest.approx(5.0, abs=1e-6)
+
+    @given(points, points)
+    @settings(max_examples=60)
+    def test_midpoint_equidistant(self, a, b):
+        m = midpoint(a, b)
+        assert haversine_km(a, m) == pytest.approx(haversine_km(b, m), abs=1e-3)
+
+    def test_centroid_empty_rejected(self):
+        with pytest.raises(InvalidCoordinateError):
+            centroid([])
+
+    def test_centroid_of_single_point(self):
+        p = GeoPoint(37.0, 127.0)
+        c = centroid([p])
+        assert c.lat == pytest.approx(p.lat, abs=1e-9)
+        assert c.lon == pytest.approx(p.lon, abs=1e-9)
+
+    def test_centroid_of_symmetric_cluster(self):
+        pts = [GeoPoint(1.0, 0.0), GeoPoint(-1.0, 0.0), GeoPoint(0.0, 1.0), GeoPoint(0.0, -1.0)]
+        c = centroid(pts)
+        assert abs(c.lat) < 1e-6
+        assert abs(c.lon) < 1e-6
+
+    def test_median_robust_to_outlier(self):
+        cluster = [GeoPoint(37.5, 127.0)] * 9
+        outlier = GeoPoint(35.0, 129.0)
+        med = geographic_median(cluster + [outlier])
+        cen = centroid(cluster + [outlier])
+        target = GeoPoint(37.5, 127.0)
+        assert haversine_km(med, target) < haversine_km(cen, target)
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(InvalidCoordinateError):
+            geographic_median([])
+
+    def test_median_of_identical_points(self):
+        p = GeoPoint(10.0, 10.0)
+        med = geographic_median([p, p, p])
+        assert haversine_km(med, p) < 0.01

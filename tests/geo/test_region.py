@@ -1,0 +1,94 @@
+"""Unit tests for the administrative-region model."""
+
+import pytest
+
+from repro.errors import InvalidCoordinateError
+from repro.geo.point import GeoPoint
+from repro.geo.region import (
+    AdminPath,
+    BoundingBox,
+    District,
+    DistrictKind,
+)
+
+
+@pytest.fixture
+def yangcheon() -> District:
+    return District(
+        name="Yangcheon-gu",
+        state="Seoul",
+        country="South Korea",
+        kind=DistrictKind.DISTRICT,
+        center=GeoPoint(37.517, 126.867),
+        radius_km=3.2,
+        aliases=("yangcheon", "yangcheon-gu"),
+    )
+
+
+class TestAdminPath:
+    def test_key_is_state_county(self):
+        path = AdminPath("South Korea", "Seoul", "Jung-gu", "Myeong-dong")
+        assert path.key() == ("Seoul", "Jung-gu")
+
+    def test_str_with_and_without_town(self):
+        with_town = AdminPath("KR", "Seoul", "Jung-gu", "Myeong-dong")
+        without = AdminPath("KR", "Seoul", "Jung-gu")
+        assert "Myeong-dong" in str(with_town)
+        assert str(without).endswith("Jung-gu")
+
+
+class TestBoundingBox:
+    def test_contains_inclusive(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.contains(GeoPoint(0.0, 0.0))
+        assert box.contains(GeoPoint(10.0, 10.0))
+        assert box.contains(GeoPoint(5.0, 5.0))
+        assert not box.contains(GeoPoint(10.1, 5.0))
+        assert not box.contains(GeoPoint(5.0, -0.1))
+
+    def test_invalid_boxes_rejected(self):
+        with pytest.raises(InvalidCoordinateError):
+            BoundingBox(10.0, 0.0, 0.0, 10.0)
+        with pytest.raises(InvalidCoordinateError):
+            BoundingBox(0.0, 10.0, 10.0, 0.0)
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+        assert box.center() == GeoPoint(5.0, 10.0)
+
+    def test_expanded_clamps_to_globe(self):
+        box = BoundingBox(-89.0, -179.0, 89.0, 179.0).expanded(5.0)
+        assert box.south == -90.0
+        assert box.north == 90.0
+        assert box.west == -180.0
+        assert box.east == 180.0
+
+    def test_around_contains_center_and_radius(self):
+        center = GeoPoint(37.5, 127.0)
+        box = BoundingBox.around(center, half_side_km=10.0)
+        assert box.contains(center)
+        # Points just inside the half-side must be contained.
+        assert box.contains(center.destination(0.0, 9.0))
+        assert box.contains(center.destination(90.0, 9.0))
+        # Points well beyond must not.
+        assert not box.contains(center.destination(0.0, 25.0))
+
+
+class TestDistrict:
+    def test_admin_path(self, yangcheon):
+        path = yangcheon.admin_path(town="Mok-dong")
+        assert path.country == "South Korea"
+        assert path.state == "Seoul"
+        assert path.county == "Yangcheon-gu"
+        assert path.town == "Mok-dong"
+
+    def test_key(self, yangcheon):
+        assert yangcheon.key() == ("Seoul", "Yangcheon-gu")
+
+    def test_contains_by_radius(self, yangcheon):
+        assert yangcheon.contains(yangcheon.center)
+        near = yangcheon.center.destination(45.0, 2.0)
+        far = yangcheon.center.destination(45.0, 10.0)
+        assert yangcheon.contains(near)
+        assert not yangcheon.contains(far)
+        assert yangcheon.contains(far, slack=4.0)

@@ -1,0 +1,106 @@
+"""Unit and property tests: incremental grouping == batch grouping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.grouping.incremental import IncrementalGrouper
+from repro.grouping.merge import TieBreak
+from repro.grouping.topk import TopKGroup, group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+class TestBasics:
+    def test_unseen_user(self):
+        grouper = IncrementalGrouper()
+        assert grouper.group_of(1) is None
+        with pytest.raises(InsufficientDataError):
+            grouper.classify(1)
+
+    def test_single_observation(self):
+        grouper = IncrementalGrouper()
+        grouper.add(_obs(1, "A", "A"))
+        assert grouper.group_of(1) is TopKGroup.TOP_1
+        assert grouper.observation_count(1) == 1
+
+    def test_group_evolves_with_stream(self):
+        grouper = IncrementalGrouper()
+        grouper.add(_obs(1, "A", "A"))
+        assert grouper.group_of(1) is TopKGroup.TOP_1
+        # Two tweets from elsewhere demote the matched string to rank 2.
+        grouper.add(_obs(1, "A", "B"))
+        grouper.add(_obs(1, "A", "B"))
+        assert grouper.group_of(1) is TopKGroup.TOP_2
+        # Catch back up.
+        grouper.add(_obs(1, "A", "A"))
+        grouper.add(_obs(1, "A", "A"))
+        assert grouper.group_of(1) is TopKGroup.TOP_1
+
+    def test_user_ids_sorted(self):
+        grouper = IncrementalGrouper()
+        grouper.add(_obs(5, "A", "A"))
+        grouper.add(_obs(2, "A", "A"))
+        assert grouper.user_ids == [2, 5]
+
+
+@st.composite
+def _streams(draw):
+    profiles = draw(
+        st.fixed_dictionaries(
+            {u: st.sampled_from(["A", "B", "C"]) for u in range(1, 6)}
+        )
+    )
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),
+                st.sampled_from(["A", "B", "C", "D", "E"]),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    return [_obs(u, profiles[u], t) for u, t in pairs]
+
+
+class TestEquivalence:
+    @given(_streams())
+    @settings(max_examples=100)
+    def test_matches_batch_at_end(self, observations):
+        grouper = IncrementalGrouper()
+        grouper.add_many(observations)
+        incremental = grouper.classify_all()
+        batch = group_users(observations)
+        assert set(incremental) == set(batch)
+        for user_id in batch:
+            assert incremental[user_id] == batch[user_id]
+
+    @given(_streams(), st.integers(min_value=1, max_value=79))
+    @settings(max_examples=60)
+    def test_matches_batch_at_every_prefix(self, observations, cut):
+        cut = min(cut, len(observations))
+        prefix = observations[:cut]
+        grouper = IncrementalGrouper()
+        grouper.add_many(prefix)
+        assert grouper.classify_all() == group_users(prefix)
+
+    @given(_streams())
+    @settings(max_examples=40)
+    def test_tie_break_policies_match_batch(self, observations):
+        for policy in TieBreak:
+            grouper = IncrementalGrouper(tie_break=policy)
+            grouper.add_many(observations)
+            assert grouper.classify_all() == group_users(
+                observations, tie_break=policy
+            )

@@ -1,0 +1,119 @@
+"""Unit and property tests for per-group statistics (Figs. 6-7 math)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import TopKGroup, group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state="Seoul",
+        profile_county=profile_county,
+        tweet_state="Seoul",
+        tweet_county=tweet_county,
+    )
+
+
+@pytest.fixture
+def hand_stats():
+    """Two Top-1 users (2 and 3 districts), one None user (1 district)."""
+    observations = (
+        [_obs(1, "A", "A")] * 4 + [_obs(1, "A", "B")]          # Top-1, 2 districts
+        + [_obs(2, "B", "B")] * 2 + [_obs(2, "B", "C")] + [_obs(2, "B", "D")]  # Top-1, 3
+        + [_obs(3, "C", "D")] * 3                              # None, 1 district
+    )
+    return compute_group_statistics(group_users(observations).values())
+
+
+class TestHandExample:
+    def test_user_counts(self, hand_stats):
+        assert hand_stats.total_users == 3
+        assert hand_stats.row(TopKGroup.TOP_1).user_count == 2
+        assert hand_stats.row(TopKGroup.NONE).user_count == 1
+        assert hand_stats.row(TopKGroup.TOP_2).user_count == 0
+
+    def test_user_shares(self, hand_stats):
+        assert hand_stats.row(TopKGroup.TOP_1).user_share == pytest.approx(2 / 3)
+        assert hand_stats.row(TopKGroup.NONE).user_share == pytest.approx(1 / 3)
+
+    def test_avg_tweet_locations(self, hand_stats):
+        assert hand_stats.row(TopKGroup.TOP_1).avg_tweet_locations == pytest.approx(2.5)
+        assert hand_stats.row(TopKGroup.NONE).avg_tweet_locations == pytest.approx(1.0)
+
+    def test_overall_average_weighted_by_users(self, hand_stats):
+        assert hand_stats.overall_avg_tweet_locations == pytest.approx((2 + 3 + 1) / 3)
+
+    def test_tweet_counts(self, hand_stats):
+        assert hand_stats.total_tweets == 12
+        assert hand_stats.row(TopKGroup.TOP_1).tweet_count == 9
+        assert hand_stats.row(TopKGroup.NONE).tweet_count == 3
+
+    def test_avg_matched_share(self, hand_stats):
+        # User 1: 4/5 matched; user 2: 2/4 matched -> mean 0.65.
+        assert hand_stats.row(TopKGroup.TOP_1).avg_matched_share == pytest.approx(0.65)
+        assert hand_stats.row(TopKGroup.NONE).avg_matched_share == 0.0
+
+    def test_as_dict_shape(self, hand_stats):
+        table = hand_stats.as_dict()
+        assert set(table) == {g.value for g in TopKGroup.reporting_order()}
+        assert table["Top-1"]["users"] == 2
+
+    def test_user_share_combination(self, hand_stats):
+        combined = hand_stats.user_share(TopKGroup.TOP_1, TopKGroup.NONE)
+        assert combined == pytest.approx(1.0)
+
+
+class TestEdgeCases:
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            compute_group_statistics([])
+
+    def test_all_rows_present_even_when_empty(self):
+        stats = compute_group_statistics(group_users([_obs(1, "A", "A")]).values())
+        assert len(stats.rows) == 7
+        assert stats.row(TopKGroup.TOP_5).user_count == 0
+        assert stats.row(TopKGroup.TOP_5).avg_tweet_locations == 0.0
+
+
+observation_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from(["A", "B", "C"]),
+        st.sampled_from(["A", "B", "C", "D", "E"]),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestProperties:
+    @given(observation_lists)
+    @settings(max_examples=100)
+    def test_shares_sum_to_one(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        stats = compute_group_statistics(group_users(observations).values())
+        assert sum(r.user_share for r in stats.rows) == pytest.approx(1.0)
+        assert sum(r.tweet_share for r in stats.rows) == pytest.approx(1.0)
+
+    @given(observation_lists)
+    @settings(max_examples=100)
+    def test_totals_match_input(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        stats = compute_group_statistics(group_users(observations).values())
+        assert stats.total_tweets == len(observations)
+        assert stats.total_users == len({o.user_id for o in observations})
+
+    @given(observation_lists)
+    @settings(max_examples=60)
+    def test_overall_average_in_group_range(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        stats = compute_group_statistics(group_users(observations).values())
+        populated = [r.avg_tweet_locations for r in stats.rows if r.user_count]
+        assert min(populated) - 1e-9 <= stats.overall_avg_tweet_locations
+        assert stats.overall_avg_tweet_locations <= max(populated) + 1e-9

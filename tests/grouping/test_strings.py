@@ -1,0 +1,87 @@
+"""Unit and property tests for location strings (paper Table I)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.grouping.strings import DELIMITER, LocationString
+from repro.twitter.models import GeotaggedObservation
+
+field_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=16,
+)
+records = st.builds(
+    LocationString,
+    st.integers(min_value=0, max_value=10**9),
+    field_names, field_names, field_names, field_names,
+)
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        record = LocationString(40932, "Seoul", "Yangcheon-gu", "Seoul", "Seodaemun-gu")
+        assert record.render() == "40932#Seoul#Yangcheon-gu#Seoul#Seodaemun-gu"
+        assert not record.is_matched
+
+    def test_matched_string(self):
+        record = LocationString(40932, "Seoul", "Yangcheon-gu", "Seoul", "Yangcheon-gu")
+        assert record.is_matched
+
+    def test_same_county_different_state_not_matched(self):
+        # "Jung-gu" exists in both Seoul and Busan; only the full
+        # (state, county) pair matches.
+        record = LocationString(1, "Seoul", "Jung-gu", "Busan", "Jung-gu")
+        assert not record.is_matched
+
+    def test_delimiter_in_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            LocationString(1, "Se#oul", "A", "B", "C")
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            LocationString(1, "", "A", "B", "C")
+
+    def test_keys(self):
+        record = LocationString(7, "Gyeonggi-do", "Uiwang-si", "Gyeonggi-do", "Seongnam-si")
+        assert record.profile_key() == ("Gyeonggi-do", "Uiwang-si")
+        assert record.tweet_key() == ("Gyeonggi-do", "Seongnam-si")
+
+
+class TestParse:
+    def test_parse_paper_row(self):
+        record = LocationString.parse("71#Gyeonggi-do#Uiwang-si#Gyeonggi-do#Uiwang-si")
+        assert record.user_id == 71
+        assert record.is_matched
+
+    @pytest.mark.parametrize(
+        "text",
+        ["1#a#b#c", "1#a#b#c#d#e", "x#a#b#c#d", "", "1"],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(AnalysisError):
+            LocationString.parse(text)
+
+    @given(records)
+    @settings(max_examples=100)
+    def test_render_parse_roundtrip(self, record):
+        assert LocationString.parse(record.render()) == record
+
+
+class TestFromObservation:
+    def test_fields_copied(self):
+        obs = GeotaggedObservation(
+            user_id=5,
+            profile_state="Seoul",
+            profile_county="Jung-gu",
+            tweet_state="Seoul",
+            tweet_county="Jung-gu",
+        )
+        record = LocationString.from_observation(obs)
+        assert record.user_id == 5
+        assert record.is_matched == obs.matched
+        assert DELIMITER not in "".join(
+            (record.profile_state, record.profile_county)
+        )

@@ -1,0 +1,185 @@
+"""Unit and property tests for Top-k classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.grouping.merge import merge_strings
+from repro.grouping.strings import LocationString
+from repro.grouping.topk import TopKGroup, classify_rows, group_users
+from repro.twitter.models import GeotaggedObservation
+
+
+def _obs(user_id, profile_county, tweet_county, state="Seoul"):
+    return GeotaggedObservation(
+        user_id=user_id,
+        profile_state=state,
+        profile_county=profile_county,
+        tweet_state=state,
+        tweet_county=tweet_county,
+    )
+
+
+class TestFromRank:
+    @pytest.mark.parametrize(
+        "rank,expected",
+        [
+            (1, TopKGroup.TOP_1), (2, TopKGroup.TOP_2), (3, TopKGroup.TOP_3),
+            (4, TopKGroup.TOP_4), (5, TopKGroup.TOP_5),
+            (6, TopKGroup.TOP_6_PLUS), (17, TopKGroup.TOP_6_PLUS),
+            (None, TopKGroup.NONE),
+        ],
+    )
+    def test_mapping(self, rank, expected):
+        assert TopKGroup.from_rank(rank) is expected
+
+    def test_invalid_rank(self):
+        with pytest.raises(InsufficientDataError):
+            TopKGroup.from_rank(0)
+
+    def test_reporting_order(self):
+        order = TopKGroup.reporting_order()
+        assert order[0] is TopKGroup.TOP_1
+        assert order[-1] is TopKGroup.NONE
+        assert len(order) == 7
+
+    def test_is_matched_group(self):
+        assert TopKGroup.TOP_3.is_matched_group
+        assert not TopKGroup.NONE.is_matched_group
+
+
+class TestClassify:
+    def test_paper_top1_user(self):
+        # User 40932: matched string ranked first -> Top-1.
+        observations = (
+            [_obs(40932, "Yangcheon-gu", "Yangcheon-gu")] * 3
+            + [_obs(40932, "Yangcheon-gu", "Jung-gu")] * 2
+            + [_obs(40932, "Yangcheon-gu", "Seodaemun-gu")]
+        )
+        grouping = group_users(observations)[40932]
+        assert grouping.group is TopKGroup.TOP_1
+        assert grouping.matched_rank == 1
+        assert grouping.total_tweets == 6
+        assert grouping.matched_tweets == 3
+        assert grouping.tweet_location_count == 3
+        assert grouping.matched_share == pytest.approx(0.5)
+
+    def test_paper_top2_user(self):
+        # User 7471 in the paper's Table II narrative: matched second.
+        observations = (
+            [_obs(7471, "Uiwang-si", "Seongnam-si", state="Gyeonggi-do")] * 3
+            + [_obs(7471, "Uiwang-si", "Uiwang-si", state="Gyeonggi-do")] * 2
+        )
+        grouping = group_users(observations)[7471]
+        assert grouping.group is TopKGroup.TOP_2
+        assert grouping.matched_rank == 2
+
+    def test_none_user(self):
+        observations = [_obs(9, "Mapo-gu", "Jung-gu"), _obs(9, "Mapo-gu", "Guro-gu")]
+        grouping = group_users(observations)[9]
+        assert grouping.group is TopKGroup.NONE
+        assert grouping.matched_rank is None
+        assert grouping.matched_tweets == 0
+        assert grouping.matched_share == 0.0
+
+    def test_classify_empty_rows_raises(self):
+        with pytest.raises(InsufficientDataError):
+            classify_rows(1, [])
+
+    def test_single_matched_tweet_is_top1(self):
+        grouping = group_users([_obs(3, "Mapo-gu", "Mapo-gu")])[3]
+        assert grouping.group is TopKGroup.TOP_1
+        assert grouping.matched_share == 1.0
+
+
+@st.composite
+def _observation_triples(draw, max_users=6, max_size=80):
+    """(user, profile, tweet) triples with one fixed profile per user."""
+    profiles = draw(
+        st.fixed_dictionaries(
+            {u: st.sampled_from(["A", "B", "C"]) for u in range(1, max_users + 1)}
+        )
+    )
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=max_users),
+                st.sampled_from(["A", "B", "C", "D", "E", "F", "G"]),
+            ),
+            min_size=1,
+            max_size=max_size,
+        )
+    )
+    return [(u, profiles[u], t) for u, t in pairs]
+
+
+observation_lists = _observation_triples()
+
+
+class TestProperties:
+    @given(observation_lists)
+    @settings(max_examples=100)
+    def test_every_user_classified_once(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        groupings = group_users(observations)
+        assert set(groupings) == {o.user_id for o in observations}
+
+    @given(observation_lists)
+    @settings(max_examples=100)
+    def test_rank_bounded_by_distinct_locations(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        for grouping in group_users(observations).values():
+            if grouping.matched_rank is not None:
+                assert 1 <= grouping.matched_rank <= grouping.tweet_location_count
+
+    @given(observation_lists)
+    @settings(max_examples=100)
+    def test_none_iff_never_matched(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        matched_users = {o.user_id for o in observations if o.matched}
+        for user_id, grouping in group_users(observations).items():
+            if user_id in matched_users:
+                assert grouping.group is not TopKGroup.NONE
+            else:
+                assert grouping.group is TopKGroup.NONE
+
+    @given(observation_lists)
+    @settings(max_examples=100)
+    def test_matched_tweets_consistent(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        for user_id, grouping in group_users(observations).items():
+            expected = sum(
+                1 for o in observations if o.user_id == user_id and o.matched
+            )
+            assert grouping.matched_tweets == expected
+
+    @given(observation_lists, st.randoms())
+    @settings(max_examples=60)
+    def test_invariant_under_shuffle(self, triples, rng):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        original = {u: g.group for u, g in group_users(observations).items()}
+        reshuffled = {u: g.group for u, g in group_users(shuffled).items()}
+        assert original == reshuffled
+
+    @given(observation_lists)
+    @settings(max_examples=60)
+    def test_rank1_means_matched_is_modal(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        for grouping in group_users(observations).values():
+            if grouping.group is TopKGroup.TOP_1:
+                max_count = max(m.count for m in grouping.merged)
+                assert grouping.matched_tweets == max_count
+
+
+class TestMergedViewConsistency:
+    @given(observation_lists)
+    @settings(max_examples=60)
+    def test_grouping_merged_matches_merge_strings(self, triples):
+        observations = [_obs(u, p, t) for u, p, t in triples]
+        records = [LocationString.from_observation(o) for o in observations]
+        merged = merge_strings(records)
+        for user_id, grouping in group_users(observations).items():
+            assert list(grouping.merged) == merged[user_id]

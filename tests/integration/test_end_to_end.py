@@ -1,0 +1,98 @@
+"""End-to-end integration tests with ground-truth validation.
+
+Because the corpus is synthetic, we can check the study's conclusions
+against what the generator actually did — the validation the original
+paper could never perform:
+
+* users generated RELOCATED / FIXED_ELSEWHERE must land in the None group;
+* HOME_ANCHORED users overwhelmingly land in Top-1;
+* the headline numbers hold at test scale.
+"""
+
+import pytest
+
+from repro.grouping.topk import TopKGroup
+from repro.twitter.models import MobilityClass
+
+
+@pytest.fixture(scope="module")
+def study(small_ctx):
+    return small_ctx.korean_study
+
+
+@pytest.fixture(scope="module")
+def users(small_ctx):
+    return small_ctx.korean_dataset.users
+
+
+class TestGroundTruth:
+    def test_relocated_users_are_none_group(self, study, users):
+        for user_id, grouping in study.groupings.items():
+            mobility = users.get(user_id).mobility
+            if mobility in (MobilityClass.RELOCATED, MobilityClass.FIXED_ELSEWHERE):
+                assert grouping.group is TopKGroup.NONE, (
+                    f"user {user_id} ({mobility}) classified {grouping.group}"
+                )
+
+    def test_home_anchored_mostly_top1(self, study, users):
+        anchored = [
+            g
+            for uid, g in study.groupings.items()
+            if users.get(uid).mobility is MobilityClass.HOME_ANCHORED
+        ]
+        assert anchored
+        top1 = sum(1 for g in anchored if g.group is TopKGroup.TOP_1)
+        # Sampling noise (few GPS tweets per user) can demote some, but the
+        # clear majority must rank home first.
+        assert top1 / len(anchored) > 0.6
+
+    def test_none_group_users_never_matched(self, study):
+        for grouping in study.groupings.values():
+            if grouping.group is TopKGroup.NONE:
+                assert grouping.matched_tweets == 0
+
+    def test_profile_district_is_ground_truth_home(self, study, users):
+        """The forward geocoder must recover the generator's home district
+        for every study user (their profiles are the well-defined ones)."""
+        agree = sum(
+            1
+            for uid, district in study.profile_districts.items()
+            if district.key()
+            == (users.get(uid).home_state, users.get(uid).home_county)
+        )
+        assert agree / len(study.profile_districts) > 0.95
+
+
+class TestHeadlineNumbers:
+    def test_top12_share_near_half(self, study):
+        share = study.statistics.user_share(TopKGroup.TOP_1, TopKGroup.TOP_2)
+        assert 0.35 <= share <= 0.70
+
+    def test_none_share_near_third(self, study):
+        share = study.statistics.row(TopKGroup.NONE).user_share
+        assert 0.15 <= share <= 0.50
+
+    def test_overall_avg_locations_near_three(self, study):
+        assert 1.5 <= study.statistics.overall_avg_tweet_locations <= 5.0
+
+    def test_none_group_roams_less_than_top_groups_average(self, study):
+        rows = study.statistics.rows
+        none_avg = study.statistics.row(TopKGroup.NONE).avg_tweet_locations
+        matched_avgs = [
+            r.avg_tweet_locations for r in rows if r.group.is_matched_group and r.user_count
+        ]
+        assert none_avg < max(matched_avgs)
+
+
+class TestCrossDataset:
+    def test_both_studies_produced_users(self, small_ctx):
+        assert small_ctx.korean_study.statistics.total_users > 50
+        assert small_ctx.ladygaga_study.statistics.total_users > 20
+
+    def test_streaming_users_contribute_fewer_tweets(self, small_ctx):
+        korean = small_ctx.korean_study.statistics
+        gaga = small_ctx.ladygaga_study.statistics
+        assert (
+            gaga.total_tweets / gaga.total_users
+            < korean.total_tweets / korean.total_users
+        )

@@ -1,0 +1,98 @@
+"""Property-based tests of the whole study pipeline.
+
+Random (tiny) platform configurations go through dataset build +
+refinement + grouping; the structural invariants must hold for every
+configuration, not just the calibrated defaults.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import run_study
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.grouping.topk import TopKGroup
+from repro.twitter.models import MobilityClass, ProfileStyle
+from repro.twitter.population import (
+    DEFAULT_MOBILITY_MIX,
+    DEFAULT_PROFILE_STYLE_MIX,
+)
+from repro.twitter.tweetgen import CollectionWindow
+
+
+@st.composite
+def tiny_configs(draw):
+    """A small random platform configuration."""
+    population = draw(st.integers(min_value=40, max_value=120))
+    crawl = draw(st.integers(min_value=30, max_value=population))
+    days = draw(st.integers(min_value=5, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return KoreanDatasetConfig(
+        population_size=population,
+        crawl_limit=crawl,
+        window=CollectionWindow(start_ms=1_314_835_200_000, days=days),
+        seed=seed,
+        use_api_timelines=False,
+    )
+
+
+class TestPipelineInvariants:
+    @given(tiny_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_structural_invariants_hold(self, config):
+        dataset = build_korean_dataset(config)
+        study = run_study(dataset.users, dataset.tweets, dataset.gazetteer)
+
+        funnel = study.funnel
+        # Funnel is monotone.
+        assert funnel.crawled_users == config.crawl_limit
+        assert funnel.well_defined_users <= funnel.crawled_users
+        assert funnel.users_with_gps <= funnel.well_defined_users
+        assert funnel.study_users <= funnel.users_with_gps
+        assert funnel.gps_tweets <= funnel.total_tweets
+        assert sum(funnel.profile_status_counts.values()) == funnel.crawled_users
+
+        # Observations and groupings are consistent.
+        assert len(study.observations) == funnel.resolved_observations
+        assert set(study.groupings) == {o.user_id for o in study.observations}
+        assert set(study.profile_districts) == set(study.groupings)
+
+        if study.groupings:
+            stats = study.statistics
+            assert stats.total_users == funnel.study_users
+            assert stats.total_tweets == len(study.observations)
+            assert abs(sum(r.user_share for r in stats.rows) - 1.0) < 1e-9
+            for grouping in study.groupings.values():
+                assert grouping.total_tweets >= 1
+                if grouping.group is TopKGroup.NONE:
+                    assert grouping.matched_tweets == 0
+                else:
+                    assert grouping.matched_tweets >= 1
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_mobility_ground_truth_always_respected(self, seed):
+        config = KoreanDatasetConfig(
+            population_size=80,
+            crawl_limit=70,
+            window=CollectionWindow(start_ms=1_314_835_200_000, days=10),
+            seed=seed,
+            use_api_timelines=False,
+        )
+        dataset = build_korean_dataset(config)
+        study = run_study(dataset.users, dataset.tweets, dataset.gazetteer)
+        for user_id, grouping in study.groupings.items():
+            user = dataset.users.get(user_id)
+            if user.mobility in (
+                MobilityClass.RELOCATED,
+                MobilityClass.FIXED_ELSEWHERE,
+            ) and user.profile_style is ProfileStyle.DISTRICT:
+                assert grouping.group is TopKGroup.NONE, (
+                    f"seed {seed}: {user.mobility} user {user_id} "
+                    f"classified {grouping.group}"
+                )
+
+
+def test_default_mixes_are_normalisable():
+    """The documented default mixes stay valid probability weights."""
+    assert abs(sum(DEFAULT_MOBILITY_MIX.values()) - 1.0) < 1e-9
+    assert abs(sum(DEFAULT_PROFILE_STYLE_MIX.values()) - 1.0) < 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--population", "400", "--users", "300", "--days", "10", "--seed", "13"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_id_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.dataset == "korean"
+        assert args.seed == 7
+
+
+class TestStudy:
+    def test_korean_study_output(self, capsys):
+        assert main(["study", "--dataset", "korean", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Refinement funnel" in out
+        assert "Number of users in each group" in out
+        assert "reliability weight factors" in out
+
+    def test_ladygaga_study_output(self, capsys):
+        assert main(["study", "--dataset", "ladygaga", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Refinement funnel" in out
+
+
+class TestDataset:
+    def test_writes_jsonl(self, capsys, tmp_path):
+        out_dir = tmp_path / "data"
+        code = main(["dataset", "--dataset", "korean", "--out", str(out_dir), *FAST])
+        assert code == 0
+        assert (out_dir / "korean_users.jsonl").exists()
+        assert (out_dir / "korean_tweets.jsonl").exists()
+        out = capsys.readouterr().out
+        assert "wrote 300 users" in out
+
+
+class TestStudySaveAndReport:
+    def test_save_then_report(self, capsys, tmp_path):
+        saved = tmp_path / "study.json"
+        code = main(["study", "--dataset", "korean", "--save", str(saved), *FAST])
+        assert code == 0
+        assert saved.exists()
+        capsys.readouterr()
+
+        code = main(["report", "--study", str(saved)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded study 'korean'" in out
+        assert "bootstrap confidence intervals" in out
+        assert "Split-half stability" in out
+        # At this tiny scale the regional table may fall below min_users;
+        # either the table or the explicit notice must be printed.
+        assert "by profile region" in out or "too few users per region" in out
+
+    def test_report_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["report", "--study", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_renders_artefact(self, capsys, small_ctx):
+        assert main(["experiment", "E2", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of users in each group" in out
+
+
+class TestLocalize:
+    def test_localization_table(self, capsys):
+        code = main(
+            ["localize", "--population", "900", "--users", "700", "--days", "20",
+             "--seed", "13", "--gps-rate", "0.3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimator x weighting scheme" in out
+        assert "learned weight factors" in out

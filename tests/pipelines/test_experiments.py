@@ -1,0 +1,49 @@
+"""Unit tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipelines.experiments import EXPERIMENTS, get_context, run_experiment
+
+
+class TestRegistry:
+    def test_all_design_ids_present(self):
+        assert set(EXPERIMENTS) == {
+            "E1", "E2", "E3", "E4", "E5", "E6+E7", "E8", "E9", "E10",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("E99", scale="small")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_context("galactic")
+
+    def test_context_memoised(self, small_ctx):
+        assert get_context("small") is small_ctx
+
+
+class TestArtefacts:
+    @pytest.mark.parametrize(
+        "experiment_id,expected_fragment",
+        [
+            ("E1", "Average number of tweet locations"),
+            ("E2", "Number of users in each group"),
+            ("E3", "Number of tweets in each group"),
+            ("E4", "Korean vs Lady Gaga"),
+            ("E5", "Average number of tweet locations"),
+            ("E6+E7", "<- matched"),
+            ("E8", "Dataset summary"),
+            ("E9", "Refinement funnel"),
+        ],
+    )
+    def test_experiment_renders(self, small_ctx, experiment_id, expected_fragment):
+        text = run_experiment(experiment_id, scale="small")
+        assert expected_fragment in text
+
+    def test_e10_renders_and_reports_weights(self, small_ctx):
+        text = run_experiment("E10", scale="small")
+        assert "estimator" in text
+        assert "learned weight factors" in text
+        assert "group_matched_share" in text

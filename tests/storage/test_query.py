@@ -1,0 +1,76 @@
+"""Unit tests for the query model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.point import GeoPoint
+from repro.geo.region import BoundingBox
+from repro.storage.query import TimeRange, TweetQuery
+from repro.twitter.models import Tweet
+
+
+def _tweet(tweet_id=1, user_id=10, created_at_ms=1000, text="hello world", gps=None):
+    return Tweet(
+        tweet_id=tweet_id,
+        user_id=user_id,
+        created_at_ms=created_at_ms,
+        text=text,
+        coordinates=gps,
+    )
+
+
+class TestTimeRange:
+    def test_half_open(self):
+        window = TimeRange(100, 200)
+        assert window.contains(100)
+        assert window.contains(199)
+        assert not window.contains(200)
+        assert not window.contains(99)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TimeRange(200, 100)
+
+    def test_span(self):
+        assert TimeRange(100, 250).span_ms == 150
+
+
+class TestTweetQuery:
+    def test_unconstrained_matches_all(self):
+        assert TweetQuery().is_unconstrained
+        assert TweetQuery().matches(_tweet())
+
+    def test_user_constraint(self):
+        query = TweetQuery(user_id=10)
+        assert query.matches(_tweet(user_id=10))
+        assert not query.matches(_tweet(user_id=11))
+
+    def test_time_constraint(self):
+        query = TweetQuery(time_range=TimeRange(500, 1500))
+        assert query.matches(_tweet(created_at_ms=1000))
+        assert not query.matches(_tweet(created_at_ms=2000))
+
+    def test_gps_constraint_both_ways(self):
+        gps = GeoPoint(37.5, 127.0)
+        assert TweetQuery(has_gps=True).matches(_tweet(gps=gps))
+        assert not TweetQuery(has_gps=True).matches(_tweet())
+        assert TweetQuery(has_gps=False).matches(_tweet())
+        assert not TweetQuery(has_gps=False).matches(_tweet(gps=gps))
+
+    def test_keyword_case_insensitive(self):
+        query = TweetQuery(keyword="HELLO")
+        assert query.matches(_tweet(text="well hello there"))
+        assert not query.matches(_tweet(text="goodbye"))
+
+    def test_bbox_implies_gps(self):
+        box = BoundingBox(37.0, 126.0, 38.0, 128.0)
+        query = TweetQuery(bbox=box)
+        assert query.matches(_tweet(gps=GeoPoint(37.5, 127.0)))
+        assert not query.matches(_tweet(gps=GeoPoint(35.0, 129.0)))
+        assert not query.matches(_tweet())  # no GPS at all
+
+    def test_conjunction(self):
+        query = TweetQuery(user_id=10, keyword="hello", has_gps=False)
+        assert query.matches(_tweet())
+        assert not query.matches(_tweet(user_id=11))
+        assert not query.matches(_tweet(text="nope"))

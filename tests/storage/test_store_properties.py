@@ -1,0 +1,89 @@
+"""Property-based tests of tweet-store index consistency.
+
+Random batches of tweets go in; every index and the persistence round
+trip must agree with a brute-force model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import GeoPoint
+from repro.storage.query import TimeRange, TweetQuery
+from repro.storage.tweetstore import TweetStore
+from repro.twitter.models import Tweet
+
+
+@st.composite
+def tweet_batches(draw):
+    """A batch of tweets with unique ids and assorted GPS/users/times."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10_000),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    tweets = []
+    for tweet_id in ids:
+        user_id = draw(st.integers(min_value=1, max_value=5))
+        created = draw(st.integers(min_value=0, max_value=100_000))
+        gps = draw(st.booleans())
+        tweets.append(
+            Tweet(
+                tweet_id=tweet_id,
+                user_id=user_id,
+                created_at_ms=created,
+                text=draw(st.sampled_from(["hello", "coffee", "earthquake now"])),
+                coordinates=GeoPoint(37.5, 127.0) if gps else None,
+            )
+        )
+    return tweets
+
+
+class TestIndexConsistency:
+    @given(tweet_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_all_indexes_agree_with_model(self, tweets):
+        store = TweetStore()
+        store.insert_many(tweets)
+
+        assert len(store) == len(tweets)
+        # Time iteration order.
+        stamps = [t.created_at_ms for t in store]
+        assert stamps == sorted(stamps)
+        # GPS index.
+        assert store.gps_count() == sum(1 for t in tweets if t.has_gps)
+        # Per-user timelines.
+        for user_id in {t.user_id for t in tweets}:
+            expected = sorted(
+                (t.tweet_id for t in tweets if t.user_id == user_id)
+            )
+            assert [t.tweet_id for t in store.by_user(user_id)] == expected
+
+    @given(
+        tweet_batches(),
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_query_equals_brute_force(self, tweets, a, b):
+        store = TweetStore()
+        store.insert_many(tweets)
+        lo, hi = min(a, b), max(a, b)
+        query = TweetQuery(time_range=TimeRange(lo, hi), has_gps=True)
+        indexed = {t.tweet_id for t in store.query(query)}
+        brute = {t.tweet_id for t in tweets if query.matches(t)}
+        assert indexed == brute
+
+    @given(tweet_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_persistence_roundtrip(self, tmp_path_factory, tweets):
+        store = TweetStore()
+        store.insert_many(tweets)
+        path = tmp_path_factory.mktemp("store") / "tweets.jsonl"
+        store.save(path)
+        loaded = TweetStore.load(path)
+        assert len(loaded) == len(store)
+        assert [t.tweet_id for t in loaded] == [t.tweet_id for t in store]

@@ -1,0 +1,93 @@
+"""Unit tests for the user store."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, NotFoundError, StorageError
+from repro.storage.userstore import UserStore
+from repro.twitter.models import MobilityClass, ProfileStyle, TwitterUser
+
+
+def _user(user_id, screen_name=None, profile_location="Seoul Mapo-gu"):
+    return TwitterUser(
+        user_id=user_id,
+        screen_name=screen_name or f"user{user_id}",
+        profile_location=profile_location,
+        created_at_ms=1_300_000_000_000,
+        has_smartphone=True,
+        home_state="Seoul",
+        home_county="Mapo-gu",
+        mobility=MobilityClass.HOME_ANCHORED,
+        profile_style=ProfileStyle.DISTRICT,
+    )
+
+
+@pytest.fixture
+def store():
+    s = UserStore()
+    s.insert_many([_user(1), _user(2, profile_location=""), _user(3)])
+    return s
+
+
+class TestInsert:
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(DuplicateKeyError):
+            store.insert(_user(1, screen_name="other"))
+
+    def test_duplicate_screen_name_rejected(self, store):
+        with pytest.raises(DuplicateKeyError):
+            store.insert(_user(9, screen_name="USER1"))  # case-insensitive
+
+    def test_insert_many_skips_duplicates(self, store):
+        assert store.insert_many([_user(1), _user(4)]) == 1
+
+    def test_upsert_replaces(self, store):
+        store.upsert(_user(1, screen_name="renamed"))
+        assert store.get(1).screen_name == "renamed"
+        assert store.by_screen_name("renamed").user_id == 1
+        with pytest.raises(NotFoundError):
+            store.by_screen_name("user1")
+        assert len(store) == 3
+
+
+class TestRead:
+    def test_get(self, store):
+        assert store.get(2).user_id == 2
+        with pytest.raises(NotFoundError):
+            store.get(99)
+
+    def test_contains(self, store):
+        assert 1 in store
+        assert 99 not in store
+
+    def test_iteration_ordered_by_id(self, store):
+        assert [u.user_id for u in store] == [1, 2, 3]
+
+    def test_by_screen_name_case_insensitive(self, store):
+        assert store.by_screen_name("UsEr3").user_id == 3
+
+    def test_with_profile_location(self, store):
+        assert [u.user_id for u in store.with_profile_location()] == [1, 3]
+
+
+class TestPersistence:
+    def test_roundtrip(self, store, tmp_path):
+        path = tmp_path / "users.jsonl"
+        assert store.save(path) == 3
+        loaded = UserStore.load(path)
+        assert len(loaded) == 3
+        assert loaded.get(1) == store.get(1)
+
+    def test_corrupt_record_raises(self, store, tmp_path):
+        path = tmp_path / "users.jsonl"
+        store.save(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("NOT JSON\n")
+        with pytest.raises(StorageError):
+            UserStore.load(path)
+
+    def test_blank_lines_ignored(self, store, tmp_path):
+        path = tmp_path / "users.jsonl"
+        store.save(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert len(UserStore.load(path)) == 3

@@ -1,0 +1,74 @@
+"""Unit tests for text normalisation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalize import (
+    collapse_spaces,
+    hangul_ratio,
+    is_hangul,
+    normalize_text,
+    strip_punctuation,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases_and_trims(self):
+        assert normalize_text("  SEOUL  Korea ") == "seoul korea"
+
+    def test_strips_decorations(self):
+        assert normalize_text("~Seoul♥") == "seoul"
+        assert normalize_text("Seoul!!!") == "seoul"
+
+    def test_strips_emoticons(self):
+        assert normalize_text("darangland :)") == "darangland"
+        assert normalize_text("home ;-)") == "home"
+
+    def test_pure_decoration_becomes_empty(self):
+        assert normalize_text("~*~ ♥♥ ~*~") == ""
+
+    def test_keeps_meaningful_punctuation(self):
+        assert normalize_text("Yangcheon-gu, Seoul") == "yangcheon-gu, seoul"
+
+    def test_nfkc_normalisation(self):
+        # Full-width latin compatibility characters fold to ASCII.
+        assert normalize_text("Ｓｅｏｕｌ") == "seoul"
+
+    def test_keeps_hangul(self):
+        assert normalize_text("서울 양천구") == "서울 양천구"
+
+    @given(st.text(max_size=60))
+    def test_idempotent(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+    @given(st.text(max_size=60))
+    def test_no_double_spaces_or_edges(self, text):
+        result = normalize_text(text)
+        assert "  " not in result
+        assert result == result.strip()
+
+
+class TestStripPunctuation:
+    def test_keeps_hyphen_by_default(self):
+        assert strip_punctuation("yangcheon-gu, seoul") == "yangcheon-gu seoul"
+
+    def test_custom_keep(self):
+        assert strip_punctuation("a.b-c", keep=".") == "a.b c"
+
+    def test_collapse_spaces(self):
+        assert collapse_spaces("a   b \t c") == "a b c"
+
+
+class TestHangul:
+    def test_is_hangul(self):
+        assert is_hangul("한")
+        assert is_hangul("ㄱ")
+        assert not is_hangul("a")
+        assert not is_hangul("1")
+
+    def test_hangul_ratio(self):
+        assert hangul_ratio("서울") == 1.0
+        assert hangul_ratio("seoul") == 0.0
+        assert hangul_ratio("") == 0.0
+        assert 0.0 < hangul_ratio("서울 seoul") < 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for structural profile-location parsing."""
+
+import pytest
+
+from repro.text.profile_parser import ProfileShape, parse_profile_location
+
+
+class TestShapes:
+    def test_empty(self):
+        assert parse_profile_location("").shape is ProfileShape.EMPTY
+        assert parse_profile_location("   ").shape is ProfileShape.EMPTY
+
+    def test_single(self):
+        parsed = parse_profile_location("Yangcheon-gu, Seoul")
+        assert parsed.shape is ProfileShape.SINGLE
+        assert parsed.phrases == ("yangcheon-gu, seoul",)
+
+    def test_multi_slash(self):
+        parsed = parse_profile_location("Gold Coast Australia / 서울 양천구")
+        assert parsed.shape is ProfileShape.MULTI
+        assert len(parsed.phrases) == 2
+
+    @pytest.mark.parametrize("sep", ["|", ";", "&", " and "])
+    def test_multi_separators(self, sep):
+        parsed = parse_profile_location(f"Seoul{sep}Busan")
+        assert parsed.shape is ProfileShape.MULTI
+
+    def test_comma_stays_single(self):
+        # "district, city" must not be split into two locations.
+        parsed = parse_profile_location("Jung-gu, Busan")
+        assert parsed.shape is ProfileShape.SINGLE
+
+    def test_coordinates(self):
+        parsed = parse_profile_location("37.5326,126.9904")
+        assert parsed.shape is ProfileShape.COORDINATES
+        assert parsed.coordinates == (37.5326, 126.9904)
+
+    def test_coordinates_with_label(self):
+        parsed = parse_profile_location("home: 37.5326, 126.9904")
+        assert parsed.shape is ProfileShape.COORDINATES
+        assert parsed.phrases  # the leftover "home:" text survives
+
+    def test_integer_pair_not_coordinates(self):
+        # "2, 73" reads like a list, not a GPS fix.
+        parsed = parse_profile_location("2, 73")
+        assert parsed.shape is not ProfileShape.COORDINATES
+
+    def test_out_of_range_pair_not_coordinates(self):
+        parsed = parse_profile_location("99.5, 200.1")
+        assert parsed.shape is not ProfileShape.COORDINATES
+
+    def test_address_detected(self):
+        parsed = parse_profile_location("3 Jibong-ro, Bucheon-si")
+        assert parsed.shape is ProfileShape.ADDRESS
+
+    def test_raw_preserved(self):
+        raw = "  Seoul / Busan  "
+        assert parse_profile_location(raw).raw == raw

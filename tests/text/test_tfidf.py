@@ -1,0 +1,103 @@
+"""Unit and property tests for the TF-IDF corpus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.text.tfidf import TfIdfCorpus, cosine_similarity
+
+words = st.text(alphabet="abcdefg", min_size=1, max_size=4)
+documents = st.lists(words, min_size=1, max_size=8)
+
+
+@pytest.fixture
+def corpus():
+    c = TfIdfCorpus()
+    c.add_text("coffee in gangnam this morning")
+    c.add_text("coffee again coffee always")
+    c.add_text("earthquake drill at school")
+    c.add_text("rainy day in seoul")
+    return c
+
+
+class TestCorpus:
+    def test_doc_count(self, corpus):
+        assert corpus.doc_count == 4
+
+    def test_document_frequency(self, corpus):
+        assert corpus.document_frequency("coffee") == 2
+        assert corpus.document_frequency("unseen") == 0
+
+    def test_add_document_dedupes_within_doc(self):
+        c = TfIdfCorpus()
+        c.add_document(["a", "a", "a"])
+        assert c.document_frequency("a") == 1
+
+    def test_empty_document_ignored(self):
+        c = TfIdfCorpus()
+        c.add_document([])
+        assert c.doc_count == 0
+
+    def test_idf_rarer_is_larger(self, corpus):
+        assert corpus.idf("earthquake") > corpus.idf("coffee")
+
+    def test_idf_unseen_largest(self, corpus):
+        seen_max = max(corpus.idf(t) for t in ("coffee", "earthquake", "rainy"))
+        assert corpus.idf("neverseen") >= seen_max
+
+
+class TestScoreSlice:
+    def test_rare_terms_rank_high(self, corpus):
+        slice_docs = [["earthquake", "earthquake", "coffee"]]
+        top = corpus.score_slice(slice_docs, top_k=2)
+        assert top[0].term == "earthquake"
+        assert top[0].tf == 2
+
+    def test_top_k_limits(self, corpus):
+        top = corpus.score_slice([["a", "b", "c", "d"]], top_k=2)
+        assert len(top) == 2
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(InsufficientDataError):
+            TfIdfCorpus().score_slice([["a"]])
+
+    def test_deterministic_tie_break(self, corpus):
+        top = corpus.score_slice([["zzz", "aaa"]], top_k=2)
+        assert [t.term for t in top] == ["aaa", "zzz"]  # equal scores: term asc
+
+
+class TestVectorize:
+    def test_unit_norm(self, corpus):
+        vector = corpus.vectorize(["coffee", "gangnam"])
+        norm = sum(v * v for v in vector.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_empty_tokens(self, corpus):
+        assert corpus.vectorize([]) == {}
+
+
+class TestCosine:
+    def test_identical_vectors(self, corpus):
+        v = corpus.vectorize(["coffee", "rainy"])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_disjoint_vectors(self, corpus):
+        a = corpus.vectorize(["coffee"])
+        b = corpus.vectorize(["earthquake"])
+        assert cosine_similarity(a, b) == pytest.approx(0.0)
+
+    def test_empty_vector(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    @given(documents, documents)
+    @settings(max_examples=60)
+    def test_bounds_and_symmetry(self, doc_a, doc_b):
+        c = TfIdfCorpus()
+        c.add_document(doc_a)
+        c.add_document(doc_b)
+        a = c.vectorize(doc_a)
+        b = c.vectorize(doc_b)
+        sim = cosine_similarity(a, b)
+        assert -1e-9 <= sim <= 1.0 + 1e-9
+        assert sim == pytest.approx(cosine_similarity(b, a), abs=1e-9)

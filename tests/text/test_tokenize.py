@@ -1,0 +1,74 @@
+"""Unit tests for the Twitter-aware tokenizer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import STOPWORDS, ngrams, tokenize, tokenize_tweet
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Having coffee near the station") == [
+            "having", "coffee", "near", "station",
+        ]
+
+    def test_stopwords_removed_by_default(self):
+        assert "the" not in tokenize("the quick fox")
+
+    def test_stopwords_kept_on_request(self):
+        assert "the" in tokenize("the quick fox", drop_stopwords=False)
+
+    def test_keeps_hyphenated_place_names(self):
+        assert "yangcheon-gu" in tokenize("in Yangcheon-gu today")
+
+    def test_urls_removed(self):
+        tokens = tokenize("look at this http://example.com/x?y=1 wow")
+        assert all("http" not in t and "example" not in t for t in tokens)
+
+    def test_numbers_kept(self):
+        assert "3.5" in tokenize("magnitude 3.5 quake")
+
+    def test_hangul_tokens(self):
+        assert "지진" in tokenize("지진 발생")
+
+
+class TestTokenizeTweet:
+    def test_separates_entities(self):
+        tokens = tokenize_tweet("@friend check #earthquake news http://t.co/abc now!")
+        assert tokens.mentions == ("@friend",)
+        assert tokens.hashtags == ("#earthquake",)
+        assert tokens.urls == ("http://t.co/abc",)
+        assert "check" in tokens.words
+        assert "news" in tokens.words
+
+    def test_all_terms_includes_hashtag_bodies(self):
+        tokens = tokenize_tweet("#earthquake in town")
+        assert "earthquake" in tokens.all_terms()
+
+    def test_no_entities(self):
+        tokens = tokenize_tweet("plain text only")
+        assert tokens.mentions == ()
+        assert tokens.hashtags == ()
+        assert tokens.urls == ()
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short_gives_empty(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), max_size=10),
+           st.integers(min_value=1, max_value=4))
+    def test_count_formula(self, tokens, n):
+        assert len(ngrams(tokens, n)) == max(0, len(tokens) - n + 1)
+
+
+def test_stopwords_are_lowercase():
+    assert all(w == w.lower() for w in STOPWORDS)

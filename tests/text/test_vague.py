@@ -1,0 +1,42 @@
+"""Unit tests for vague / insufficient profile-location detection."""
+
+import pytest
+
+from repro.text.vague import is_country_only, is_informative, is_vague
+
+
+class TestVague:
+    @pytest.mark.parametrize(
+        "text",
+        ["Earth", "my home", "MY HOME", "  the internet ", "darangland :)",
+         "우리집", "지구", "everywhere", "Heaven", ""],
+    )
+    def test_vague_phrases(self, text):
+        assert is_vague(text)
+
+    @pytest.mark.parametrize("text", ["Seoul", "Yangcheon-gu", "Bucheon-si", "NYC"])
+    def test_real_places_not_vague(self, text):
+        assert not is_vague(text)
+
+    def test_decorated_vague_phrase(self):
+        assert is_vague("~my home~")
+
+
+class TestCountryOnly:
+    @pytest.mark.parametrize(
+        "text", ["Korea", "south korea", "대한민국", "USA", "Japan", "REPUBLIC OF KOREA"]
+    )
+    def test_countries(self, text):
+        assert is_country_only(text)
+
+    @pytest.mark.parametrize("text", ["Seoul", "Korea Town LA", "South Korea Seoul"])
+    def test_non_bare_countries(self, text):
+        assert not is_country_only(text)
+
+
+class TestInformative:
+    def test_informative_is_neither(self):
+        assert is_informative("Yangcheon-gu, Seoul")
+        assert not is_informative("Earth")
+        assert not is_informative("Korea")
+        assert not is_informative("")

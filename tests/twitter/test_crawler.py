@@ -1,0 +1,94 @@
+"""Unit tests for the follower-BFS crawler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.gazetteer import Gazetteer
+from repro.twitter.api import RateLimitPolicy, RestApi
+from repro.twitter.crawler import CrawlConfig, FollowerCrawler
+from repro.twitter.population import PopulationConfig, PopulationGenerator
+from repro.twitter.social_graph import FollowerGraph, GraphConfig
+
+
+@pytest.fixture(scope="module")
+def platform():
+    population = PopulationGenerator(
+        Gazetteer.korean(), PopulationConfig(size=150, seed=31)
+    ).generate()
+    graph = FollowerGraph.generate(
+        [s.user.user_id for s in population], GraphConfig(seed=31)
+    )
+    users = {s.user.user_id: s.user for s in population}
+    return users, graph
+
+
+def _make_api(platform, **kwargs):
+    users, graph = platform
+    return RestApi(users=users, graph=graph, tweets_by_user={}, **kwargs)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrawlConfig(max_users=0)
+        with pytest.raises(ConfigurationError):
+            CrawlConfig(max_users=1, max_api_calls=0)
+
+
+class TestCrawl:
+    def test_collects_exactly_max_users(self, platform):
+        api = _make_api(platform)
+        crawler = FollowerCrawler(api, CrawlConfig(max_users=40))
+        result = crawler.crawl(platform[1].seed_user_id)
+        assert len(result.users) == 40
+        assert len(set(result.user_ids)) == 40
+
+    def test_unlimited_crawl_discovers_everyone(self, platform):
+        users, graph = platform
+        api = _make_api(platform)
+        crawler = FollowerCrawler(api, CrawlConfig(max_users=10_000))
+        result = crawler.crawl(graph.seed_user_id)
+        assert set(result.user_ids) == set(users)
+        assert result.frontier_exhausted
+
+    def test_seed_collected_first(self, platform):
+        api = _make_api(platform)
+        crawler = FollowerCrawler(api, CrawlConfig(max_users=10))
+        result = crawler.crawl(platform[1].seed_user_id)
+        assert result.user_ids[0] == platform[1].seed_user_id
+
+    def test_rate_limits_waited_out(self, platform):
+        api = _make_api(
+            platform,
+            follower_limit=RateLimitPolicy(window_s=900.0, calls_per_window=3),
+        )
+        crawler = FollowerCrawler(api, CrawlConfig(max_users=10_000))
+        result = crawler.crawl(platform[1].seed_user_id)
+        assert set(result.user_ids) == set(platform[0])
+        assert result.rate_limit_waits > 0
+        assert result.simulated_duration_s > 900.0
+
+    def test_api_call_budget_respected(self, platform):
+        api = _make_api(platform)
+        crawler = FollowerCrawler(api, CrawlConfig(max_users=10_000, max_api_calls=5))
+        result = crawler.crawl(platform[1].seed_user_id)
+        assert result.api_calls <= 5
+        assert len(result.users) < len(platform[0])
+
+    def test_uses_batch_hydration(self, platform):
+        api = _make_api(platform)
+        crawler = FollowerCrawler(api, CrawlConfig(max_users=10_000))
+        result = crawler.crawl(platform[1].seed_user_id)
+        # Only the seed goes through users/show; everyone else arrives in
+        # users/lookup batches (150 users -> far fewer than 150 calls).
+        assert api.usage.user_lookup_calls == 1
+        assert api.usage.batch_lookup_calls <= len(result.users) // 50 + 2
+
+    def test_deterministic(self, platform):
+        result_a = FollowerCrawler(
+            _make_api(platform), CrawlConfig(max_users=60)
+        ).crawl(platform[1].seed_user_id)
+        result_b = FollowerCrawler(
+            _make_api(platform), CrawlConfig(max_users=60)
+        ).crawl(platform[1].seed_user_id)
+        assert result_a.user_ids == result_b.user_ids

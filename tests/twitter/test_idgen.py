@@ -1,0 +1,67 @@
+"""Unit and property tests for snowflake id generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twitter.idgen import (
+    SNOWFLAKE_EPOCH_MS,
+    SnowflakeGenerator,
+    snowflake_timestamp_ms,
+)
+
+timestamps = st.integers(
+    min_value=SNOWFLAKE_EPOCH_MS + 1, max_value=SNOWFLAKE_EPOCH_MS + 10**11
+)
+
+
+class TestSnowflake:
+    def test_timestamp_roundtrip(self):
+        gen = SnowflakeGenerator()
+        ts = SNOWFLAKE_EPOCH_MS + 123_456_789
+        assert snowflake_timestamp_ms(gen.next_id(ts)) == ts
+
+    def test_worker_id_bounds(self):
+        SnowflakeGenerator(worker_id=0)
+        SnowflakeGenerator(worker_id=1023)
+        with pytest.raises(ValueError):
+            SnowflakeGenerator(worker_id=1024)
+        with pytest.raises(ValueError):
+            SnowflakeGenerator(worker_id=-1)
+
+    def test_pre_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            SnowflakeGenerator().next_id(SNOWFLAKE_EPOCH_MS - 1)
+
+    def test_same_millisecond_distinct_ids(self):
+        gen = SnowflakeGenerator()
+        ts = SNOWFLAKE_EPOCH_MS + 1000
+        ids = [gen.next_id(ts) for _ in range(100)]
+        assert len(set(ids)) == 100
+
+    def test_sequence_overflow_rolls_timestamp(self):
+        gen = SnowflakeGenerator()
+        ts = SNOWFLAKE_EPOCH_MS + 1000
+        ids = [gen.next_id(ts) for _ in range(5000)]
+        assert len(set(ids)) == 5000
+        assert snowflake_timestamp_ms(ids[-1]) > ts
+
+    def test_backwards_timestamp_clamped(self):
+        gen = SnowflakeGenerator()
+        first = gen.next_id(SNOWFLAKE_EPOCH_MS + 5000)
+        second = gen.next_id(SNOWFLAKE_EPOCH_MS + 1000)  # clock went backwards
+        assert second > first
+
+    @given(st.lists(timestamps, min_size=2, max_size=50))
+    @settings(max_examples=100)
+    def test_strictly_increasing_for_sorted_input(self, stamps):
+        gen = SnowflakeGenerator(worker_id=3)
+        ids = [gen.next_id(ts) for ts in sorted(stamps)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    @given(timestamps, st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=60)
+    def test_id_time_ordering_matches_snowflake_epoch(self, ts, worker):
+        gen = SnowflakeGenerator(worker_id=worker)
+        assert snowflake_timestamp_ms(gen.next_id(ts)) == ts

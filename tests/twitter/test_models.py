@@ -1,0 +1,91 @@
+"""Unit and property tests for the Twitter data models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import GeoPoint
+from repro.twitter.models import (
+    GeotaggedObservation,
+    MobilityClass,
+    ProfileStyle,
+    Tweet,
+    TwitterUser,
+)
+
+safe_text = st.text(max_size=30)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=15,
+)
+
+users = st.builds(
+    TwitterUser,
+    user_id=st.integers(min_value=1, max_value=10**9),
+    screen_name=names,
+    profile_location=safe_text,
+    created_at_ms=st.integers(min_value=0, max_value=2**41),
+    has_smartphone=st.booleans(),
+    home_state=names,
+    home_county=names,
+    mobility=st.sampled_from(MobilityClass),
+    profile_style=st.sampled_from(ProfileStyle),
+    followers=st.integers(min_value=0, max_value=10**6),
+    friends=st.integers(min_value=0, max_value=10**6),
+)
+
+coordinates = st.one_of(
+    st.none(),
+    st.builds(
+        GeoPoint,
+        st.floats(min_value=-89.0, max_value=89.0),
+        st.floats(min_value=-179.0, max_value=179.0),
+    ),
+)
+tweets = st.builds(
+    Tweet,
+    tweet_id=st.integers(min_value=1, max_value=2**63),
+    user_id=st.integers(min_value=1, max_value=10**9),
+    created_at_ms=st.integers(min_value=0, max_value=2**41),
+    text=safe_text,
+    coordinates=coordinates,
+    true_state=names,
+    true_county=names,
+)
+
+
+class TestSerialization:
+    @given(users)
+    @settings(max_examples=100)
+    def test_user_roundtrip(self, user):
+        assert TwitterUser.from_dict(user.to_dict()) == user
+
+    @given(tweets)
+    @settings(max_examples=100)
+    def test_tweet_roundtrip(self, tweet):
+        assert Tweet.from_dict(tweet.to_dict()) == tweet
+
+    def test_tweet_dict_omits_coords_when_absent(self):
+        tweet = Tweet(tweet_id=1, user_id=2, created_at_ms=3, text="x")
+        data = tweet.to_dict()
+        assert "lat" not in data and "lon" not in data
+        assert not tweet.has_gps
+
+    def test_tweet_with_gps(self):
+        tweet = Tweet(
+            tweet_id=1, user_id=2, created_at_ms=3, text="x",
+            coordinates=GeoPoint(37.5, 127.0),
+        )
+        assert tweet.has_gps
+        assert tweet.to_dict()["lat"] == 37.5
+
+
+class TestGeotaggedObservation:
+    def test_matched(self):
+        obs = GeotaggedObservation(1, "Seoul", "Jung-gu", "Seoul", "Jung-gu")
+        assert obs.matched
+        assert obs.profile_key() == obs.tweet_key()
+
+    def test_not_matched_across_states(self):
+        obs = GeotaggedObservation(1, "Seoul", "Jung-gu", "Busan", "Jung-gu")
+        assert not obs.matched

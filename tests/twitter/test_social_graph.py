@@ -1,0 +1,122 @@
+"""Unit and property tests for the follower graph."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFoundError
+from repro.twitter.social_graph import FollowerGraph, GraphConfig
+
+
+def _reachable_by_follower_bfs(graph: FollowerGraph, seed: int) -> set[int]:
+    seen = {seed}
+    queue = deque([seed])
+    while queue:
+        current = queue.popleft()
+        for follower in graph.followers_of(current):
+            if follower not in seen:
+                seen.add(follower)
+                queue.append(follower)
+    return seen
+
+
+class TestBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FollowerGraph([])
+
+    def test_add_edge_and_degree(self):
+        graph = FollowerGraph([1, 2])
+        assert graph.add_edge(1, 2)
+        assert not graph.add_edge(1, 2)  # duplicate
+        assert graph.degree(2) == (1, 0)
+        assert graph.degree(1) == (0, 1)
+
+    def test_self_follow_rejected(self):
+        graph = FollowerGraph([1])
+        with pytest.raises(ConfigurationError):
+            graph.add_edge(1, 1)
+
+    def test_unknown_users_rejected(self):
+        graph = FollowerGraph([1])
+        with pytest.raises(NotFoundError):
+            graph.add_edge(1, 99)
+        with pytest.raises(NotFoundError):
+            graph.followers_of(99)
+
+    def test_edges_listing(self):
+        graph = FollowerGraph([1, 2, 3])
+        graph.add_edge(2, 1)
+        graph.add_edge(3, 1)
+        edges = graph.edges()
+        assert len(edges) == 2
+        assert graph.edge_count() == 2
+        assert all(e.followee_id == 1 for e in edges)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        ids = list(range(100))
+        a = FollowerGraph.generate(ids, GraphConfig(seed=3))
+        b = FollowerGraph.generate(ids, GraphConfig(seed=3))
+        assert a.edges() == b.edges()
+
+    def test_all_reachable_from_seed(self):
+        ids = list(range(500))
+        graph = FollowerGraph.generate(ids, GraphConfig(seed=7))
+        reachable = _reachable_by_follower_bfs(graph, graph.seed_user_id)
+        assert reachable == set(ids)
+
+    @given(st.integers(min_value=2, max_value=120), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_reachability_property(self, size, seed):
+        ids = list(range(1000, 1000 + size))
+        graph = FollowerGraph.generate(ids, GraphConfig(seed=seed))
+        assert _reachable_by_follower_bfs(graph, graph.seed_user_id) == set(ids)
+
+    def test_mean_follows_scales_edges(self):
+        ids = list(range(300))
+        sparse = FollowerGraph.generate(ids, GraphConfig(mean_follows=2, seed=1))
+        dense = FollowerGraph.generate(ids, GraphConfig(mean_follows=10, seed=1))
+        assert dense.edge_count() > sparse.edge_count()
+
+    def test_popularity_skew(self):
+        # Preferential attachment must produce a heavy-tailed in-degree:
+        # the most-followed account has far more followers than the median.
+        ids = list(range(800))
+        graph = FollowerGraph.generate(ids, GraphConfig(seed=5))
+        followers = sorted(len(graph.followers_of(u)) for u in ids)
+        top = followers[-1]
+        median = followers[len(followers) // 2]
+        assert top > max(10, 5 * max(1, median))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GraphConfig(mean_follows=0)
+        with pytest.raises(ConfigurationError):
+            GraphConfig(preferential_fraction=1.5)
+
+
+class TestNetworkxExport:
+    def test_structure_preserved(self):
+        ids = list(range(200))
+        graph = FollowerGraph.generate(ids, GraphConfig(seed=11))
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == len(ids)
+        assert nx_graph.number_of_edges() == graph.edge_count()
+        # Spot-check directionality: u -> v iff u follows v.
+        some_user = ids[50]
+        assert set(nx_graph.successors(some_user)) == set(
+            graph.following_of(some_user)
+        )
+        assert set(nx_graph.predecessors(some_user)) == set(
+            graph.followers_of(some_user)
+        )
+
+    def test_weakly_connected(self):
+        import networkx as nx
+
+        graph = FollowerGraph.generate(list(range(300)), GraphConfig(seed=2))
+        assert nx.is_weakly_connected(graph.to_networkx())

@@ -1,0 +1,115 @@
+"""Unit tests for tweet generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.gazetteer import Gazetteer
+from repro.twitter.population import PopulationConfig, PopulationGenerator
+from repro.twitter.tweetgen import CollectionWindow, TweetGenerator
+
+START_MS = 1_314_835_200_000
+
+
+@pytest.fixture(scope="module")
+def population():
+    return PopulationGenerator(
+        Gazetteer.korean(), PopulationConfig(size=60, seed=5)
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TweetGenerator(CollectionWindow(start_ms=START_MS, days=30), seed=5)
+
+
+class TestWindow:
+    def test_invalid_days(self):
+        with pytest.raises(ConfigurationError):
+            CollectionWindow(start_ms=0, days=0)
+
+    def test_end(self):
+        window = CollectionWindow(start_ms=1000, days=2)
+        assert window.end_ms == 1000 + 2 * 86_400_000
+
+    def test_default(self):
+        assert CollectionWindow.default().days == 90
+
+
+class TestGeneration:
+    def test_tweets_inside_window(self, generator, population):
+        window = generator.window
+        for synthetic in population[:20]:
+            for tweet in generator.tweets_for(synthetic):
+                assert window.start_ms <= tweet.created_at_ms < window.end_ms
+
+    def test_sorted_by_time_and_id(self, generator, population):
+        for synthetic in population[:20]:
+            tweets = generator.tweets_for(synthetic)
+            stamps = [t.created_at_ms for t in tweets]
+            ids = [t.tweet_id for t in tweets]
+            assert stamps == sorted(stamps)
+            assert ids == sorted(ids)
+
+    def test_deterministic_per_user(self, population):
+        window = CollectionWindow(start_ms=START_MS, days=30)
+        a = TweetGenerator(window, seed=5).tweets_for(population[0])
+        b = TweetGenerator(window, seed=5).tweets_for(population[0])
+        assert [t.text for t in a] == [t.text for t in b]
+        assert [t.created_at_ms for t in a] == [t.created_at_ms for t in b]
+
+    def test_user_order_independence(self, generator, population):
+        forward = {s.user.user_id: generator.tweets_for(s) for s in population[:10]}
+        gen2 = TweetGenerator(CollectionWindow(start_ms=START_MS, days=30), seed=5)
+        backward = {
+            s.user.user_id: gen2.tweets_for(s) for s in reversed(population[:10])
+        }
+        for uid in forward:
+            assert [t.text for t in forward[uid]] == [t.text for t in backward[uid]]
+
+    def test_no_gps_without_smartphone(self, generator, population):
+        for synthetic in population:
+            if synthetic.gps_attach_prob == 0.0:
+                assert all(not t.has_gps for t in generator.tweets_for(synthetic))
+
+    def test_gps_rate_roughly_matches(self, generator, population):
+        heavy = max(population, key=lambda s: s.gps_attach_prob * s.tweets_per_day)
+        tweets = generator.tweets_for(heavy)
+        if len(tweets) >= 50:
+            rate = sum(1 for t in tweets if t.has_gps) / len(tweets)
+            assert rate == pytest.approx(heavy.gps_attach_prob, abs=0.2)
+
+    def test_true_district_in_mobility_support(self, generator, population):
+        for synthetic in population[:20]:
+            support = {d.key() for d in synthetic.mobility_profile.districts}
+            for tweet in generator.tweets_for(synthetic):
+                assert (tweet.true_state, tweet.true_county) in support
+
+    def test_gps_point_inside_true_district(self, generator, population, korean_gazetteer):
+        for synthetic in population[:20]:
+            for tweet in generator.tweets_for(synthetic):
+                if not tweet.has_gps:
+                    continue
+                district = korean_gazetteer.get(tweet.true_state, tweet.true_county)
+                distance = district.center.distance_km(tweet.coordinates)
+                assert distance <= district.radius_km * 0.8 + 1e-6
+
+    def test_at_least_one_tweet_each(self, generator, population):
+        for synthetic in population:
+            assert len(generator.tweets_for(synthetic)) >= 1
+
+    def test_stream_globally_ordered(self, generator, population):
+        stream = list(generator.stream(population[:15]))
+        ids = [t.tweet_id for t in stream]
+        assert ids == sorted(ids)
+        assert len(stream) == sum(
+            len(generator.tweets_for(s)) for s in population[:15]
+        )
+
+    def test_global_id_time_coherence(self, generator, population):
+        """Sorting the whole corpus by id must equal sorting by time —
+        the property stream consumers (trend windows, Streaming API
+        replay) rely on.  A shared snowflake generator across users
+        silently breaks this by clamping timestamps forward."""
+        stream = list(generator.stream(population))
+        stamps = [t.created_at_ms for t in stream]  # stream is id-ordered
+        assert stamps == sorted(stamps)

@@ -1,0 +1,104 @@
+"""Unit tests for the simulated PlaceFinder client."""
+
+import pytest
+
+from repro.errors import RateLimitExceededError, ServiceUnavailableError
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint
+from repro.geo.reverse import ReverseGeocoder
+from repro.yahooapi.client import FailurePlan, PlaceFinderClient
+
+
+@pytest.fixture
+def client(korean_gazetteer):
+    return PlaceFinderClient(ReverseGeocoder(korean_gazetteer), daily_quota=100)
+
+
+SEOUL_POINT = GeoPoint(37.5326, 126.9904)
+OCEAN_POINT = GeoPoint(30.0, 140.0)
+
+
+class TestLookups:
+    def test_success(self, client):
+        response = client.reverse_geocode(SEOUL_POINT)
+        assert response.ok
+        assert response.path.state == "Seoul"
+
+    def test_no_result_is_error_response(self, client):
+        response = client.reverse_geocode(OCEAN_POINT)
+        assert not response.ok
+        assert client.stats.no_result == 1
+
+    def test_resolve_admin_path(self, client):
+        path = client.resolve_admin_path(SEOUL_POINT)
+        assert path is not None and path.state == "Seoul"
+        assert client.resolve_admin_path(OCEAN_POINT) is None
+
+
+class TestCache:
+    def test_repeat_lookup_hits_cache(self, client):
+        client.reverse_geocode(SEOUL_POINT)
+        client.reverse_geocode(SEOUL_POINT)
+        assert client.stats.requests == 1
+        assert client.stats.cache_hits == 1
+
+    def test_nearby_points_share_cache_cell(self, client):
+        client.reverse_geocode(GeoPoint(37.53260, 126.99040))
+        client.reverse_geocode(GeoPoint(37.53262, 126.99041))  # same 0.001° cell
+        assert client.stats.requests == 1
+
+    def test_distant_points_do_not(self, client):
+        client.reverse_geocode(SEOUL_POINT)
+        client.reverse_geocode(GeoPoint(35.1, 129.0))
+        assert client.stats.requests == 2
+
+    def test_clear_cache(self, client):
+        client.reverse_geocode(SEOUL_POINT)
+        client.clear_cache()
+        client.reverse_geocode(SEOUL_POINT)
+        assert client.stats.requests == 2
+        assert client.cache_size == 1
+
+
+class TestQuota:
+    def test_quota_exhaustion_raises(self, korean_gazetteer):
+        client = PlaceFinderClient(ReverseGeocoder(korean_gazetteer), daily_quota=3)
+        for i in range(3):
+            client.reverse_geocode(GeoPoint(37.0 + i * 0.1, 127.0))
+        with pytest.raises(RateLimitExceededError) as exc_info:
+            client.reverse_geocode(GeoPoint(36.0, 127.5))
+        assert exc_info.value.retry_after_s > 0
+
+    def test_cache_hits_do_not_consume_quota(self, korean_gazetteer):
+        client = PlaceFinderClient(ReverseGeocoder(korean_gazetteer), daily_quota=1)
+        for _ in range(10):
+            client.reverse_geocode(SEOUL_POINT)
+        assert client.stats.requests == 1
+
+
+class TestFailureInjection:
+    def test_every_n_fails(self, korean_gazetteer):
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            failure_plan=FailurePlan(every_n=2),
+        )
+        client.reverse_geocode(GeoPoint(37.0, 127.0))  # request 1: ok
+        with pytest.raises(ServiceUnavailableError):
+            client.reverse_geocode(GeoPoint(36.0, 127.5))  # request 2: fails
+        assert client.stats.failures_injected == 1
+
+    def test_resolve_admin_path_retries(self, korean_gazetteer):
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            failure_plan=FailurePlan(every_n=2),
+        )
+        client.reverse_geocode(GeoPoint(37.0, 127.0))  # burn request 1
+        # Request 2 fails, retry succeeds as request 3.
+        path = client.resolve_admin_path(SEOUL_POINT)
+        assert path is not None
+        assert client.stats.failures_injected == 1
+
+    def test_latency_accounted(self, client):
+        client.reverse_geocode(SEOUL_POINT)
+        client.reverse_geocode(GeoPoint(35.1, 129.0))
+        assert client.stats.simulated_latency_s == pytest.approx(0.1)
