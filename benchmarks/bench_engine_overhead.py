@@ -1,0 +1,225 @@
+"""Staged-engine overhead and sharding benchmark (BENCH_engine.json).
+
+Measures, at the default benchmark scale:
+
+* the seed ``run_study`` monolith (verbatim pre-refactor copy, kept below
+  as the reference) vs the staged ``StudyEngine`` on one serial shard —
+  the engine's structural overhead must stay within 10%;
+* serial vs process-pool sharding of the study phase.
+
+With ``REPRO_PAPER_SCALE=1`` the serial-vs-sharded comparison also runs
+on ``KoreanDatasetConfig.paper_scale()`` (minutes, several GiB).  The
+process-pool-beats-serial assertion applies wherever more than one CPU
+core is available; on single-core machines the timings are still
+recorded, flagged ``single_core``.
+
+Everything is written machine-readable to
+``benchmarks/output/BENCH_engine.json`` so the bench trajectory
+accumulates across runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.correlation import StudyResult, run_study
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.datasets.refine import RefinementFunnel
+from repro.engine import EngineConfig
+from repro.geo.forward import GeocodeStatus, TextGeocoder
+from repro.geo.reverse import ReverseGeocoder
+from repro.grouping.stats import compute_group_statistics
+from repro.grouping.topk import group_users
+from repro.twitter.models import GeotaggedObservation
+from repro.yahooapi.client import PlaceFinderClient
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_engine.json"
+
+#: Shard count for the process-pool comparison.
+SHARDS = max(4, os.cpu_count() or 1)
+
+
+def seed_monolith(users, tweets, gazetteer, dataset_name="dataset"):
+    """The pre-refactor ``run_study``, verbatim — the overhead baseline."""
+    text_geocoder = TextGeocoder(gazetteer)
+    placefinder = PlaceFinderClient(ReverseGeocoder(gazetteer), daily_quota=10**9)
+
+    funnel = RefinementFunnel()
+    funnel.crawled_users = len(users)
+    funnel.total_tweets = len(tweets)
+    funnel.gps_tweets = tweets.gps_count()
+
+    profile_districts = {}
+    for user in users:
+        result = text_geocoder.geocode(user.profile_location)
+        funnel.profile_status_counts[result.status.value] += 1
+        if result.status is GeocodeStatus.RESOLVED and result.district is not None:
+            profile_districts[user.user_id] = result.district
+    funnel.well_defined_users = len(profile_districts)
+
+    observations, study_users, kept = [], {}, {}
+    for user_id, district in profile_districts.items():
+        gps_tweets = [t for t in tweets.by_user(user_id) if t.has_gps]
+        if not gps_tweets:
+            continue
+        funnel.users_with_gps += 1
+        user_rows = []
+        for tweet in gps_tweets:
+            path = placefinder.resolve_admin_path(tweet.coordinates)
+            if path is None:
+                funnel.unresolvable_gps_tweets += 1
+                continue
+            user_rows.append(
+                GeotaggedObservation(
+                    user_id=user_id,
+                    profile_state=district.state,
+                    profile_county=district.name,
+                    tweet_state=path.state,
+                    tweet_county=path.county,
+                    timestamp_ms=tweet.created_at_ms,
+                )
+            )
+        if not user_rows:
+            continue
+        observations.extend(user_rows)
+        study_users[user_id] = users.get(user_id)
+        kept[user_id] = district
+
+    funnel.resolved_observations = len(observations)
+    funnel.study_users = len(study_users)
+    groupings = group_users(observations)
+    statistics = compute_group_statistics(groupings.values())
+    return StudyResult(
+        dataset_name=dataset_name,
+        funnel=funnel,
+        observations=observations,
+        groupings=groupings,
+        statistics=statistics,
+        profile_districts=kept,
+        api_stats=placefinder.stats,
+    )
+
+
+def _best_of(fn, rounds=3):
+    """Best-of-N wall time (the stablest point statistic for short runs)."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _merge_into_report(payload: dict) -> None:
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    report = {}
+    if _OUTPUT.exists():
+        report = json.loads(_OUTPUT.read_text(encoding="utf-8"))
+    report.update(payload)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def test_engine_overhead_and_sharding(ctx):
+    users = ctx.korean_dataset.users
+    tweets = ctx.korean_dataset.tweets
+    gazetteer = ctx.korean_dataset.gazetteer
+
+    seed_s, seed_result = _best_of(
+        lambda: seed_monolith(users, tweets, gazetteer, "Korean")
+    )
+    engine_s, engine_result = _best_of(
+        lambda: run_study(users, tweets, gazetteer, "Korean")
+    )
+    assert engine_result.statistics == seed_result.statistics
+    assert engine_result.api_stats == seed_result.api_stats
+    overhead = (engine_s - seed_s) / seed_s
+
+    serial_sharded_s, _ = _best_of(
+        lambda: run_study(
+            users, tweets, gazetteer, "Korean",
+            engine_config=EngineConfig(shards=SHARDS, backend="serial"),
+        ),
+        rounds=1,
+    )
+    process_s, process_result = _best_of(
+        lambda: run_study(
+            users, tweets, gazetteer, "Korean",
+            engine_config=EngineConfig(shards=SHARDS, backend="process"),
+        ),
+        rounds=1,
+    )
+    assert process_result.statistics == seed_result.statistics
+
+    cpu = os.cpu_count() or 1
+    _merge_into_report(
+        {
+            "default_scale": {
+                "seed_monolith_s": round(seed_s, 4),
+                "engine_serial_s": round(engine_s, 4),
+                "overhead_pct": round(overhead * 100, 2),
+                "sharded_serial_s": round(serial_sharded_s, 4),
+                "sharded_process_s": round(process_s, 4),
+                "shards": SHARDS,
+                "cpu_count": cpu,
+                "single_core": cpu < 2,
+            }
+        }
+    )
+
+    print(
+        f"\nengine overhead: seed {seed_s:.3f}s vs engine {engine_s:.3f}s "
+        f"({overhead:+.1%}); {SHARDS}-shard serial {serial_sharded_s:.3f}s, "
+        f"process {process_s:.3f}s on {cpu} cpu(s)"
+    )
+    assert overhead <= 0.10, (
+        f"staged engine overhead {overhead:.1%} exceeds the 10% budget "
+        f"(seed {seed_s:.3f}s, engine {engine_s:.3f}s)"
+    )
+    if cpu >= 2:
+        assert process_s < serial_sharded_s, (
+            f"process pool ({process_s:.3f}s) should beat serial "
+            f"({serial_sharded_s:.3f}s) on {cpu} cores"
+        )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale run is opt-in: set REPRO_PAPER_SCALE=1",
+)
+def test_engine_sharding_paper_scale():
+    dataset = build_korean_dataset(KoreanDatasetConfig.paper_scale())
+
+    def timed(config):
+        start = time.perf_counter()
+        result = run_study(
+            dataset.users, dataset.tweets, dataset.gazetteer,
+            "Korean(paper-scale)", engine_config=config,
+        )
+        return time.perf_counter() - start, result
+
+    serial_s, serial_result = timed(EngineConfig(shards=1, backend="serial"))
+    process_s, process_result = timed(EngineConfig(shards=SHARDS, backend="process"))
+    assert process_result.statistics == serial_result.statistics
+
+    cpu = os.cpu_count() or 1
+    _merge_into_report(
+        {
+            "paper_scale": {
+                "serial_s": round(serial_s, 3),
+                "process_s": round(process_s, 3),
+                "shards": SHARDS,
+                "study_users": serial_result.funnel.study_users,
+                "cpu_count": cpu,
+                "single_core": cpu < 2,
+            }
+        }
+    )
+    print(
+        f"\npaper-scale study: serial {serial_s:.1f}s vs "
+        f"{SHARDS}-shard process {process_s:.1f}s on {cpu} cpu(s)"
+    )
+    if cpu >= 2:
+        assert process_s < serial_s

@@ -20,7 +20,8 @@ Subpackages: :mod:`repro.geo` (districts, geocoding), :mod:`repro.yahooapi`
 TF-IDF), :mod:`repro.grouping` (the paper's method), :mod:`repro.analysis`
 (study + reliability weights), :mod:`repro.events` (Toretter/Twitris and
 weighted localisation), :mod:`repro.datasets` and :mod:`repro.pipelines`
-(builders, funnel, experiment registry).
+(builders, funnel, experiment registry), :mod:`repro.engine` (the staged
+execution substrate: stages, run context, metrics, sharding).
 """
 
 from repro.analysis import (
@@ -34,6 +35,13 @@ from repro.analysis import (
     render_funnel,
     render_tweet_distribution,
     run_study,
+)
+from repro.engine import (
+    EngineConfig,
+    MetricsRegistry,
+    RunContext,
+    ShardedExecutor,
+    StudyEngine,
 )
 from repro.errors import ReproError
 from repro.grouping import (
@@ -55,10 +63,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EXPERIMENTS",
+    "EngineConfig",
     "GroupStatistics",
     "LocationString",
+    "MetricsRegistry",
     "ReliabilityTable",
     "ReproError",
+    "RunContext",
+    "ShardedExecutor",
+    "StudyEngine",
     "StudyResult",
     "TopKGroup",
     "UserGrouping",

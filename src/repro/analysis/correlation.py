@@ -1,26 +1,31 @@
 """The end-to-end correlation study (paper §III-§IV).
 
-Wires the substrates together: forward-geocode profiles, reverse-geocode
-GPS tweets through the simulated Yahoo client, run the text-based grouping
-method, and aggregate the per-group statistics that the paper's Figs. 6-7
-plot.  :func:`run_study` is the one call examples and benchmarks use.
+:func:`run_study` is the one call examples and benchmarks use.  Since the
+staged-engine refactor it is a thin wrapper over
+:class:`~repro.engine.engine.StudyEngine`, which runs the same sequence —
+forward-geocode profiles, reverse-geocode GPS tweets through the simulated
+Yahoo client, the text-based grouping method, the Figs. 6-7 aggregates —
+as composable stages with shared metrics and optional sharding.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.datasets.refine import RefinementFunnel, RefinementPipeline
-from repro.geo.forward import TextGeocoder
+from repro.datasets.refine import RefinementFunnel
 from repro.geo.gazetteer import Gazetteer
 from repro.geo.region import District
-from repro.geo.reverse import ReverseGeocoder
-from repro.grouping.stats import GroupStatistics, compute_group_statistics
-from repro.grouping.topk import UserGrouping, group_users
+from repro.grouping.stats import GroupStatistics
+from repro.grouping.topk import UserGrouping
 from repro.storage.tweetstore import TweetStore
 from repro.storage.userstore import UserStore
 from repro.twitter.models import GeotaggedObservation
 from repro.yahooapi.client import ClientStats, PlaceFinderClient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.engine.context import RunContext
+    from repro.engine.engine import EngineConfig
 
 
 @dataclass
@@ -54,40 +59,37 @@ def run_study(
     dataset_name: str = "dataset",
     min_gps_tweets: int = 1,
     placefinder: PlaceFinderClient | None = None,
+    engine_config: "EngineConfig | None" = None,
+    context: "RunContext | None" = None,
 ) -> StudyResult:
     """Run the complete correlation study over a stored corpus.
+
+    Thin wrapper over :class:`~repro.engine.engine.StudyEngine` — serial
+    and single-sharded by default, result-identical to the pre-engine
+    monolith (property-tested).
 
     Args:
         users: Crawled / streamed accounts.
         tweets: Their tweets.
         gazetteer: District catalogue both geocoders resolve against.
         dataset_name: Label used in reports.
-        min_gps_tweets: Study-entry threshold (paper: 1).
+        min_gps_tweets: Study-entry threshold (paper: 1); overrides the
+            ``engine_config`` field when both are given.
         placefinder: Optionally inject a pre-configured client (custom
-            quota, failure plan); a fresh unlimited-quota client otherwise.
+            quota, failure plan); forces serial reverse geocoding.
+        engine_config: Sharding/backend/tie-break configuration.
+        context: Optionally supply the run context to collect the run's
+            metrics snapshot and stage spans.
 
     Returns:
         The full :class:`StudyResult`.
     """
-    text_geocoder = TextGeocoder(gazetteer)
-    if placefinder is None:
-        placefinder = PlaceFinderClient(
-            ReverseGeocoder(gazetteer), daily_quota=10**9
-        )
-    pipeline = RefinementPipeline(
-        text_geocoder=text_geocoder,
-        placefinder=placefinder,
-        min_gps_tweets=min_gps_tweets,
+    from dataclasses import replace
+
+    from repro.engine.engine import EngineConfig, StudyEngine
+
+    config = replace(
+        engine_config or EngineConfig(), min_gps_tweets=min_gps_tweets
     )
-    refined = pipeline.run(users, tweets)
-    groupings = group_users(refined.observations)
-    statistics = compute_group_statistics(groupings.values())
-    return StudyResult(
-        dataset_name=dataset_name,
-        funnel=refined.funnel,
-        observations=refined.observations,
-        groupings=groupings,
-        statistics=statistics,
-        profile_districts=refined.profile_districts,
-        api_stats=placefinder.stats,
-    )
+    engine = StudyEngine(gazetteer, config=config, placefinder=placefinder)
+    return engine.run(users, tweets, dataset_name=dataset_name, context=context)

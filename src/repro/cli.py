@@ -6,8 +6,10 @@ Commands:
 * ``experiment``  — render one of the E1-E10 artefacts
 * ``dataset``     — build a dataset and persist it as JSONL
 * ``localize``    — run the reliability-weighted localisation experiment
+* ``engine``      — staged-engine introspection (``engine trace``)
 
-Everything is deterministic given ``--seed``.
+Everything is deterministic given ``--seed``; ``--shards``/``--backend``
+change only how the study executes, never its result.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.analysis.report import (
 from repro.analysis.serialization import load_study, save_study
 from repro.analysis.significance import bootstrap_share_intervals
 from repro.analysis.stability import render_stability, split_half_stability
+from repro.engine import EngineConfig, RunContext, render_trace
 from repro.geo.gazetteer import Gazetteer
 from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
 from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
@@ -59,11 +62,30 @@ def _build_dataset(args: argparse.Namespace):
     return build_ladygaga_dataset(config)
 
 
-def _cmd_study(args: argparse.Namespace) -> int:
+def _run_engine_study(args: argparse.Namespace):
+    """Build the dataset and run the study with the CLI's engine options."""
     dataset = _build_dataset(args)
+    context = RunContext(dataset_name=args.dataset, seed=args.seed)
+    if hasattr(dataset, "crawl"):
+        context.metrics.register_source("crawl", dataset.crawl.snapshot)
+    else:
+        context.metrics.register_source("crawl", dataset.stream_stats.snapshot)
     study = run_study(
-        dataset.users, dataset.tweets, dataset.gazetteer, dataset_name=args.dataset
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name=args.dataset,
+        engine_config=EngineConfig(
+            shards=getattr(args, "shards", 1),
+            backend=getattr(args, "backend", "serial"),
+        ),
+        context=context,
     )
+    return dataset, study, context
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    dataset, study, context = _run_engine_study(args)
     print(render_funnel(study.funnel))
     print()
     print(render_fig7(study.statistics))
@@ -74,9 +96,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print()
     table = ReliabilityTable.from_statistics(study.statistics)
     print("reliability weight factors:", table.as_dict())
+    if args.metrics:
+        print()
+        print(render_trace(context))
     if args.save:
         save_study(study, args.save)
         print(f"study saved to {args.save}")
+    return 0
+
+
+def _cmd_engine_trace(args: argparse.Namespace) -> int:
+    _, _, context = _run_engine_study(args)
+    print(render_trace(context))
     return 0
 
 
@@ -152,6 +183,13 @@ def _add_build_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="master seed")
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard count for the engine's hot-path stages")
+    parser.add_argument("--backend", choices=("serial", "process"),
+                        default="serial", help="shard execution backend")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -164,8 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
     study = subparsers.add_parser("study", help="run the correlation study")
     study.add_argument("--dataset", choices=("korean", "ladygaga"), default="korean")
     study.add_argument("--save", default="", help="save the study result as JSON")
+    study.add_argument("--metrics", action="store_true",
+                       help="print the engine metrics snapshot and stage spans")
     _add_build_options(study)
+    _add_engine_options(study)
     study.set_defaults(func=_cmd_study)
+
+    engine = subparsers.add_parser(
+        "engine", help="staged-engine introspection"
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    trace = engine_sub.add_parser(
+        "trace", help="run a study and print its full execution trace"
+    )
+    trace.add_argument("--dataset", choices=("korean", "ladygaga"), default="korean")
+    _add_build_options(trace)
+    _add_engine_options(trace)
+    trace.set_defaults(func=_cmd_engine_trace)
 
     report = subparsers.add_parser(
         "report", help="extension analyses over a saved study"

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.geo.forward import GeocodeStatus, TextGeocoder
+from repro.geo.forward import TextGeocoder
 from repro.geo.region import District
 from repro.storage.tweetstore import TweetStore
 from repro.storage.userstore import UserStore
@@ -110,58 +110,37 @@ class RefinementPipeline:
         self._min_gps_tweets = min_gps_tweets
 
     def run(self, users: UserStore, tweets: TweetStore) -> RefinementResult:
-        """Execute the funnel and produce grouping-ready observations."""
-        funnel = RefinementFunnel()
-        funnel.crawled_users = len(users)
-        funnel.total_tweets = len(tweets)
-        funnel.gps_tweets = tweets.gps_count()
+        """Execute the funnel and produce grouping-ready observations.
 
-        # Step 2: well-defined profile locations.
-        profile_districts: dict[int, District] = {}
-        for user in users:
-            result = self._text_geocoder.geocode(user.profile_location)
-            funnel.profile_status_counts[result.status.value] += 1
-            if result.status is GeocodeStatus.RESOLVED and result.district is not None:
-                profile_districts[user.user_id] = result.district
-        funnel.well_defined_users = len(profile_districts)
+        Delegates to the engine's refinement stages (RefineStage →
+        ProfileGeocodeStage → ReverseGeocodeStage) so the funnel has one
+        implementation; the injected client keeps reverse geocoding on
+        the serial path, preserving quota and failure-injection
+        semantics exactly.
+        """
+        # Imported here: the engine package imports this module for the
+        # funnel dataclasses, so a top-level import would be circular.
+        from repro.engine.context import RunContext
+        from repro.engine.stages import (
+            ProfileGeocodeStage,
+            RefineStage,
+            ReverseGeocodeStage,
+            StudyState,
+        )
 
-        # Step 3 + 4: GPS availability, then reverse geocoding.
-        observations: list[GeotaggedObservation] = []
-        study_users: dict[int, TwitterUser] = {}
-        kept_profile_districts: dict[int, District] = {}
-        for user_id, district in profile_districts.items():
-            gps_tweets = [t for t in tweets.by_user(user_id) if t.has_gps]
-            if len(gps_tweets) < self._min_gps_tweets:
-                continue
-            funnel.users_with_gps += 1
-            user_rows = []
-            for tweet in gps_tweets:
-                assert tweet.coordinates is not None
-                path = self._placefinder.resolve_admin_path(tweet.coordinates)
-                if path is None:
-                    funnel.unresolvable_gps_tweets += 1
-                    continue
-                user_rows.append(
-                    GeotaggedObservation(
-                        user_id=user_id,
-                        profile_state=district.state,
-                        profile_county=district.name,
-                        tweet_state=path.state,
-                        tweet_county=path.county,
-                        timestamp_ms=tweet.created_at_ms,
-                    )
-                )
-            if not user_rows:
-                continue
-            observations.extend(user_rows)
-            study_users[user_id] = users.get(user_id)
-            kept_profile_districts[user_id] = district
-
-        funnel.resolved_observations = len(observations)
-        funnel.study_users = len(study_users)
+        state = StudyState(
+            users=users,
+            tweets=tweets,
+            text_geocoder=self._text_geocoder,
+            placefinder=self._placefinder,
+            min_gps_tweets=self._min_gps_tweets,
+        )
+        context = RunContext()
+        for stage in (RefineStage(), ProfileGeocodeStage(), ReverseGeocodeStage()):
+            stage.run(context, state)
         return RefinementResult(
-            funnel=funnel,
-            observations=observations,
-            profile_districts=kept_profile_districts,
-            study_users=study_users,
+            funnel=state.funnel,
+            observations=state.observations,
+            profile_districts=state.kept_profile_districts,
+            study_users=state.study_users,
         )

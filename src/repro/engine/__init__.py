@@ -1,0 +1,47 @@
+"""Staged execution engine: composable stages, run context, sharding.
+
+Public surface of :mod:`repro.engine`:
+
+* :class:`StudyEngine` / :class:`EngineConfig` — the staged study runner
+* :class:`RunContext` / :class:`StageSpan` / :func:`render_trace` — the
+  per-run context with structured stage spans
+* :class:`MetricsRegistry` — unified counters/timers/gauges + sources
+* :class:`ShardedExecutor` / :func:`partition` — deterministic sharding
+* The concrete stages (``RefineStage`` … ``StatisticsStage``) and the
+  :class:`Stage` protocol for swapping in custom ones
+"""
+
+from repro.engine.context import RunContext, StageSpan, render_trace
+from repro.engine.engine import EngineConfig, EngineRun, StudyEngine, default_stages
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.sharding import BACKENDS, ShardedExecutor, partition
+from repro.engine.stages import (
+    GroupingStage,
+    ProfileGeocodeStage,
+    RefineStage,
+    ReverseGeocodeStage,
+    Stage,
+    StatisticsStage,
+    StudyState,
+)
+
+__all__ = [
+    "BACKENDS",
+    "EngineConfig",
+    "EngineRun",
+    "GroupingStage",
+    "MetricsRegistry",
+    "ProfileGeocodeStage",
+    "RefineStage",
+    "ReverseGeocodeStage",
+    "RunContext",
+    "ShardedExecutor",
+    "Stage",
+    "StageSpan",
+    "StatisticsStage",
+    "StudyEngine",
+    "StudyState",
+    "default_stages",
+    "partition",
+    "render_trace",
+]

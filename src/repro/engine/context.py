@@ -1,0 +1,123 @@
+"""The RunContext threaded through every engine stage.
+
+One :class:`RunContext` accompanies one study run: it carries the run's
+identity (dataset name, master seed), the shared
+:class:`~repro.engine.metrics.MetricsRegistry`, and the structured
+per-stage :class:`StageSpan` records (start/end, items in/out, errors)
+from which a full execution trace can be emitted — see
+:func:`render_trace` and the ``repro engine trace`` CLI command.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import MetricsRegistry
+
+
+@dataclass
+class StageSpan:
+    """One stage execution record.
+
+    Attributes:
+        stage: Stage name (e.g. ``"reverse_geocode"``).
+        started_s: ``time.perf_counter()`` at stage entry.
+        ended_s: ``time.perf_counter()`` at stage exit (0 while running).
+        items_in: Items the stage consumed (stage-defined unit).
+        items_out: Items the stage produced.
+        errors: Errors the stage observed (including a raised exception).
+    """
+
+    stage: str
+    started_s: float
+    ended_s: float = 0.0
+    items_in: int = 0
+    items_out: int = 0
+    errors: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time the stage took (0.0 while still running)."""
+        if self.ended_s == 0.0:
+            return 0.0
+        return self.ended_s - self.started_s
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """JSON-friendly view for traces."""
+        return {
+            "stage": self.stage,
+            "duration_s": round(self.duration_s, 6),
+            "items_in": self.items_in,
+            "items_out": self.items_out,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class RunContext:
+    """Everything a run shares across stages.
+
+    Attributes:
+        dataset_name: Label used in reports ("Korean", "Lady Gaga").
+        seed: The run's master seed, when the caller knows it (dataset
+            builders record it here so traces are reproducible).
+        metrics: The run-wide metrics registry.
+        spans: Completed (and in-flight) stage spans, in execution order.
+    """
+
+    dataset_name: str = "dataset"
+    seed: int | None = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    spans: list[StageSpan] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Open a span for stage ``name``; yields the :class:`StageSpan`.
+
+        The stage fills ``items_in`` / ``items_out`` while running.  On
+        exit the span is closed and its duration mirrored into the
+        metrics timer ``stage.<name>.s``; an escaping exception is
+        counted in ``errors`` before propagating.
+        """
+        span = StageSpan(stage=name, started_s=time.perf_counter())
+        self.spans.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.errors += 1
+            raise
+        finally:
+            span.ended_s = time.perf_counter()
+            self.metrics.add_time(f"stage.{name}.s", span.duration_s)
+
+    def trace(self) -> dict[str, object]:
+        """The full run trace: identity, metrics snapshot, span records."""
+        return {
+            "dataset": self.dataset_name,
+            "seed": self.seed,
+            "metrics": self.metrics.snapshot(),
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+
+def render_trace(context: RunContext) -> str:
+    """Plain-text rendering of a run trace (CLI ``engine trace`` output)."""
+    lines = [f"Run trace — {context.dataset_name}"
+             + (f" (seed {context.seed})" if context.seed is not None else "")]
+    lines.append("")
+    lines.append("per-stage spans:")
+    lines.append(f"  {'stage':<18} {'seconds':>9} {'in':>9} {'out':>9} {'errors':>7}")
+    for span in context.spans:
+        lines.append(
+            f"  {span.stage:<18} {span.duration_s:>9.3f} {span.items_in:>9} "
+            f"{span.items_out:>9} {span.errors:>7}"
+        )
+    lines.append("")
+    lines.append("metrics snapshot:")
+    for name, value in context.metrics.snapshot().items():
+        if isinstance(value, float):
+            value = round(value, 4)
+        lines.append(f"  {name} = {value}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Unified run metrics: counters, timers, gauges, and snapshot sources.
+
+Before the staged engine, every layer kept its own accounting island —
+:class:`~repro.yahooapi.client.ClientStats` inside the PlaceFinder client,
+:class:`~repro.datasets.refine.RefinementFunnel` inside the refinement,
+crawl counters inside :class:`~repro.twitter.crawler.CrawlResult`.  The
+:class:`MetricsRegistry` gives one place all of them report into, so a
+single :meth:`MetricsRegistry.snapshot` call describes a whole study run.
+
+Naming convention (see DESIGN.md "Execution architecture"): dotted
+lower-case paths, ``<subsystem>.<metric>`` — e.g. ``geocode.requests``,
+``funnel.study_users``, ``crawl.api_calls``, ``grouping.users``, and
+``stage.<stage>.s`` for per-stage wall time.  Existing stats objects keep
+their own classes and *re-register* here via :meth:`register_source`, so
+legacy call sites keep working while engine runs see everything.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from contextlib import contextmanager
+
+from repro.errors import ConfigurationError
+
+#: A snapshot source: zero-argument callable returning a (possibly nested)
+#: mapping of metric names to numbers; evaluated lazily at snapshot time.
+SnapshotSource = Callable[[], Mapping[str, object]]
+
+
+def _flatten(prefix: str, mapping: Mapping[str, object], out: dict[str, float]) -> None:
+    """Flatten nested mappings into dotted keys (``funnel.profile_status_counts.vague``)."""
+    for key, value in mapping.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            _flatten(name, value, out)
+        else:
+            out[name] = value  # type: ignore[assignment]
+
+
+class MetricsRegistry:
+    """Counters, gauges, accumulated timers, and pluggable snapshot sources.
+
+    Counters and timers are additive (and merge by summation across
+    shards); gauges are point-in-time values where the last write wins.
+    Sources are live views onto existing stats objects — registering the
+    same prefix twice replaces the previous source, so re-running an
+    engine over one context never double-counts.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, float] = {}
+        self._sources: dict[str, SnapshotSource] = {}
+
+    # ---------------------------------------------------------------- record
+    def counter(self, name: str, delta: float = 1) -> float:
+        """Add ``delta`` to counter ``name`` and return its new value."""
+        value = self._counters.get(name, 0) + delta
+        self._counters[name] = value
+        return value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into timer ``name``."""
+        self._timers[name] = self._timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating the block's wall time into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def register_source(self, prefix: str, source: SnapshotSource) -> None:
+        """Attach a live stats view under ``prefix`` (e.g. ``"geocode"``).
+
+        The callable is evaluated at every :meth:`snapshot`; nested
+        mappings flatten into dotted keys.  Re-registering a prefix
+        replaces the previous source.
+
+        Raises:
+            ConfigurationError: for an empty prefix.
+        """
+        if not prefix:
+            raise ConfigurationError("metrics source prefix must be non-empty")
+        self._sources[prefix] = source
+
+    # ----------------------------------------------------------------- merge
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters/timers sum, gauges last-write.
+
+        This is how shard-local registries collapse into the run registry;
+        sources are copied over as well (same replace-on-conflict rule).
+        """
+        for name, value in other._counters.items():
+            self.counter(name, value)
+        for name, seconds in other._timers.items():
+            self.add_time(name, seconds)
+        self._gauges.update(other._gauges)
+        self._sources.update(other._sources)
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict[str, float]:
+        """One flat, sorted dict over counters, gauges, timers, and sources.
+
+        Timer values keep their registered names (convention: a ``.s``
+        suffix); source values appear under ``<prefix>.<key>``.
+        """
+        out: dict[str, float] = {}
+        out.update(self._counters)
+        out.update(self._gauges)
+        out.update(self._timers)
+        for prefix, source in self._sources.items():
+            _flatten(prefix, source(), out)
+        return dict(sorted(out.items()))

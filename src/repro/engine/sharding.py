@@ -1,0 +1,106 @@
+"""Deterministic sharded execution of the per-user hot path.
+
+The engine's expensive stages (reverse geocoding, per-user grouping)
+operate on ordered work lists whose items are independent.  The
+:class:`ShardedExecutor` partitions such a list into *contiguous* shards
+— so concatenating shard outputs reproduces the serial order exactly,
+which is what makes sharded runs byte-identical to serial ones — and maps
+a worker over the shards through one of two backends:
+
+* ``"serial"`` — run shards in-process, one after another (the default;
+  zero overhead, used by the thin ``run_study`` wrapper);
+* ``"process"`` — a ``concurrent.futures`` process pool, one worker per
+  shard, for multi-core machines.
+
+Workers must be module-level callables of ``(chunk, payload)`` so the
+process backend can pickle them; payloads carry shared read-only inputs
+(gazetteer, tie-break policy, …).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The supported execution backends.
+BACKENDS = ("serial", "process")
+
+
+def partition(items: Sequence[T], shards: int) -> list[list[T]]:
+    """Split ``items`` into ``shards`` contiguous, near-equal chunks.
+
+    Concatenating the chunks reproduces ``items`` exactly — the property
+    shard-merging relies on.  When ``shards`` exceeds the item count the
+    tail chunks are empty, so shard counts are always honoured.
+
+    Raises:
+        ConfigurationError: if ``shards < 1``.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    base, extra = divmod(len(items), shards)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+class ShardedExecutor:
+    """Maps workers over deterministic contiguous shards.
+
+    Args:
+        shards: Number of shards to partition work into (>= 1).
+        backend: ``"serial"`` or ``"process"``.
+
+    Raises:
+        ConfigurationError: for an invalid shard count or backend name.
+    """
+
+    def __init__(self, shards: int = 1, backend: str = "serial"):
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self._shards = shards
+        self._backend = backend
+
+    @property
+    def shards(self) -> int:
+        """Configured shard count."""
+        return self._shards
+
+    @property
+    def backend(self) -> str:
+        """Configured backend name."""
+        return self._backend
+
+    def map_shards(
+        self,
+        items: Sequence[T],
+        worker: Callable[[list[T], object], R],
+        payload: object = None,
+    ) -> list[R]:
+        """Run ``worker(chunk, payload)`` over every shard, in shard order.
+
+        Returns one result per shard (empty shards included), ordered so
+        that order-sensitive merges are just concatenation.  With the
+        process backend, ``worker`` must be a module-level callable and
+        ``chunk``/``payload``/results must be picklable.
+        """
+        chunks = partition(items, self._shards)
+        if self._backend == "serial" or self._shards == 1:
+            return [worker(chunk, payload) for chunk in chunks]
+        with ProcessPoolExecutor(max_workers=self._shards) as pool:
+            futures = [pool.submit(worker, chunk, payload) for chunk in chunks]
+            return [future.result() for future in futures]

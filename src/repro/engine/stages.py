@@ -1,0 +1,394 @@
+"""Composable study stages — the decomposed §III-B/§IV pipeline.
+
+The seed implementation ran the whole study inside two monoliths
+(``RefinementPipeline.run`` and ``run_study``).  Here the same sequence is
+five independently testable, swappable :class:`Stage` units operating on a
+shared :class:`StudyState` under a
+:class:`~repro.engine.context.RunContext`:
+
+1. :class:`RefineStage` — corpus-level funnel accounting;
+2. :class:`ProfileGeocodeStage` — forward-geocode profile locations;
+3. :class:`ReverseGeocodeStage` — the per-tweet PlaceFinder hot path,
+   shardable across processes;
+4. :class:`GroupingStage` — the paper's merged-string Top-k method,
+   shardable per user;
+5. :class:`StatisticsStage` — Figs. 6-7 aggregates.
+
+Every stage records a span and reports into the run's metrics registry.
+The staged sequence is property-tested to be result-identical to the seed
+monolith (``tests/engine/test_engine.py``), including the simulated API
+usage accounting, for any shard count and backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.datasets.refine import RefinementFunnel
+from repro.engine.context import RunContext
+from repro.engine.sharding import ShardedExecutor
+from repro.errors import ConfigurationError
+from repro.geo.forward import GeocodeStatus, TextGeocoder
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.region import AdminPath, District
+from repro.geo.reverse import ReverseGeocoder
+from repro.grouping.merge import TieBreak
+from repro.grouping.stats import GroupStatistics, compute_group_statistics
+from repro.grouping.topk import UserGrouping, group_users
+from repro.storage.tweetstore import TweetStore
+from repro.storage.userstore import UserStore
+from repro.twitter.models import GeotaggedObservation, Tweet, TwitterUser
+from repro.yahooapi.client import ClientStats, PlaceFinderClient
+
+#: Quota used for engine-owned PlaceFinder clients (effectively unlimited,
+#: matching the seed ``run_study`` default).
+ENGINE_QUOTA = 10**9
+
+
+@dataclass
+class StudyState:
+    """Mutable state the stages read and write.
+
+    Inputs are set up by the engine (or by :class:`RefinementPipeline`
+    when it delegates here); each stage fills in its output fields.
+
+    Attributes:
+        users: Crawled / streamed accounts.
+        tweets: Their tweets.
+        text_geocoder: Profile-location resolver.
+        gazetteer: District catalogue (required for the sharded reverse-
+            geocode path, which builds shard-local resolvers from it).
+        placefinder: Injected client (custom quota / failure plan).  When
+            present, reverse geocoding runs serially through it — index-
+            based failure injection and shared quota cannot be sharded
+            without changing semantics.  ``None`` lets the stage own its
+            clients and shard freely.
+        executor: Shard plan for the hot-path stages.
+        min_gps_tweets: Study-entry threshold (paper: 1).
+        tie_break: Equal-count ordering policy for the grouping method.
+        funnel: Refinement attrition accounting (RefineStage onwards).
+        profile_districts: Every well-defined user's district (step 2).
+        kept_profile_districts: Study users' districts (steps 3-4).
+        observations: Grouping-ready per-tweet rows.
+        study_users: Surviving users by id.
+        api_stats: Simulated PlaceFinder usage for the run.
+        groupings: Per-user Top-k outcomes.
+        statistics: Per-group aggregates.
+    """
+
+    users: UserStore
+    tweets: TweetStore
+    text_geocoder: TextGeocoder
+    gazetteer: Gazetteer | None = None
+    placefinder: PlaceFinderClient | None = None
+    executor: ShardedExecutor = field(default_factory=ShardedExecutor)
+    min_gps_tweets: int = 1
+    tie_break: TieBreak = TieBreak.STRING_ASC
+
+    funnel: RefinementFunnel = field(default_factory=RefinementFunnel)
+    profile_districts: dict[int, District] = field(default_factory=dict)
+    kept_profile_districts: dict[int, District] = field(default_factory=dict)
+    observations: list[GeotaggedObservation] = field(default_factory=list)
+    study_users: dict[int, TwitterUser] = field(default_factory=dict)
+    api_stats: ClientStats = field(default_factory=ClientStats)
+    groupings: dict[int, UserGrouping] = field(default_factory=dict)
+    statistics: GroupStatistics | None = None
+
+
+class Stage(Protocol):
+    """One unit of the study pipeline.
+
+    A stage reads its inputs from the :class:`StudyState`, writes its
+    outputs back, records items in/out on its span, and reports counters
+    into ``context.metrics``.  Stages are stateless: all run state lives
+    on the context and state objects, so one stage instance can serve any
+    number of runs.
+    """
+
+    name: str
+
+    def run(self, context: RunContext, state: StudyState) -> None:
+        """Execute the stage over ``state`` under ``context``."""
+        ...
+
+
+# --------------------------------------------------------------------- stages
+class RefineStage:
+    """Seeds the refinement funnel with corpus-level counts (step 1)."""
+
+    name = "refine"
+
+    def run(self, context: RunContext, state: StudyState) -> None:
+        """Count crawled users and stored/GPS tweets into the funnel."""
+        with context.stage(self.name) as span:
+            funnel = state.funnel
+            funnel.crawled_users = len(state.users)
+            funnel.total_tweets = len(state.tweets)
+            funnel.gps_tweets = state.tweets.gps_count()
+            span.items_in = funnel.crawled_users
+            span.items_out = funnel.crawled_users
+            context.metrics.register_source("funnel", funnel.as_dict)
+
+
+class ProfileGeocodeStage:
+    """Resolves profile locations to districts (funnel step 2)."""
+
+    name = "profile_geocode"
+
+    def run(self, context: RunContext, state: StudyState) -> None:
+        """Forward-geocode every crawled user's profile-location field."""
+        with context.stage(self.name) as span:
+            funnel = state.funnel
+            for user in state.users:
+                span.items_in += 1
+                result = state.text_geocoder.geocode(user.profile_location)
+                funnel.profile_status_counts[result.status.value] += 1
+                if result.status is GeocodeStatus.RESOLVED and result.district is not None:
+                    state.profile_districts[user.user_id] = result.district
+            funnel.well_defined_users = len(state.profile_districts)
+            span.items_out = funnel.well_defined_users
+            context.metrics.counter("profile_geocode.resolved", span.items_out)
+            context.metrics.counter(
+                "profile_geocode.dropped", span.items_in - span.items_out
+            )
+
+
+def _resolve_cells_shard(
+    points: list[tuple[tuple[int, int], object]], payload: object
+) -> list[tuple[tuple[int, int], AdminPath | None]]:
+    """Shard worker: resolve one representative point per cache cell.
+
+    Each shard owns a full PlaceFinder client (XML round trip included, so
+    per-lookup cost matches the serial path) over a resolver built from
+    the shared gazetteer.  Module-level so the process backend can pickle
+    it.
+    """
+    gazetteer, latency_s = payload  # type: ignore[misc]
+    client = PlaceFinderClient(
+        ReverseGeocoder(gazetteer), daily_quota=ENGINE_QUOTA, latency_s=latency_s
+    )
+    return [(cell, client.resolve_admin_path(point)) for cell, point in points]
+
+
+class ReverseGeocodeStage:
+    """The per-tweet PlaceFinder hot path (funnel steps 3-4), shardable.
+
+    With an injected client the stage replays the seed's serial loop
+    through it — quota exhaustion and index-based failure injection keep
+    their exact semantics.  Otherwise the stage dedups GPS points into
+    cache cells (the client's own 0.001° quantisation), resolves each
+    distinct cell once across the shard plan, and then replays the tweet
+    stream serially against the resolved-cell map while reconstructing
+    the canonical :class:`ClientStats` — byte-identical to what one
+    shared serial client would have reported, for any shard count.
+    """
+
+    name = "reverse_geocode"
+
+    #: Mirrors ``PlaceFinderClient`` defaults for engine-owned clients.
+    latency_s = 0.05
+    cache_quantum_deg = 0.001
+
+    def run(self, context: RunContext, state: StudyState) -> None:
+        """Reverse-geocode every study candidate's GPS tweets."""
+        with context.stage(self.name) as span:
+            candidates = self._candidates(state)
+            span.items_in = sum(len(gps) for _, _, gps in candidates)
+            if state.placefinder is not None:
+                stats = self._run_injected(state, candidates)
+            else:
+                stats = self._run_sharded(state, candidates)
+            state.api_stats = stats
+            state.funnel.resolved_observations = len(state.observations)
+            state.funnel.study_users = len(state.study_users)
+            span.items_out = len(state.observations)
+            context.metrics.register_source("geocode", stats.snapshot)
+
+    # ------------------------------------------------------------ candidates
+    def _candidates(
+        self, state: StudyState
+    ) -> list[tuple[int, District, list[Tweet]]]:
+        """Users surviving the GPS-availability step, with their GPS tweets."""
+        candidates = []
+        for user_id, district in state.profile_districts.items():
+            gps_tweets = [t for t in state.tweets.by_user(user_id) if t.has_gps]
+            if len(gps_tweets) < state.min_gps_tweets:
+                continue
+            state.funnel.users_with_gps += 1
+            candidates.append((user_id, district, gps_tweets))
+        return candidates
+
+    # -------------------------------------------------------- injected client
+    def _run_injected(
+        self,
+        state: StudyState,
+        candidates: list[tuple[int, District, list[Tweet]]],
+    ) -> ClientStats:
+        """The seed's serial per-tweet loop through the injected client."""
+        placefinder = state.placefinder
+        assert placefinder is not None
+        for user_id, district, gps_tweets in candidates:
+            user_rows = []
+            for tweet in gps_tweets:
+                assert tweet.coordinates is not None
+                path = placefinder.resolve_admin_path(tweet.coordinates)
+                if path is None:
+                    state.funnel.unresolvable_gps_tweets += 1
+                    continue
+                user_rows.append(self._observation(user_id, district, tweet, path))
+            self._keep(state, user_id, district, user_rows)
+        return placefinder.stats
+
+    # --------------------------------------------------------- sharded client
+    def _run_sharded(
+        self,
+        state: StudyState,
+        candidates: list[tuple[int, District, list[Tweet]]],
+    ) -> ClientStats:
+        """Distinct-cell resolution across shards + serial stats replay."""
+        if state.gazetteer is None:
+            raise ConfigurationError(
+                "sharded reverse geocoding requires a gazetteer on the state"
+            )
+        # First-encounter-ordered representative point per cache cell: the
+        # serial client would issue exactly one request per cell (for the
+        # first point that hits it) and serve every later point from cache.
+        cells: dict[tuple[int, int], object] = {}
+        for _, _, gps_tweets in candidates:
+            for tweet in gps_tweets:
+                assert tweet.coordinates is not None
+                cell = self._cell(tweet.coordinates)
+                if cell not in cells:
+                    cells[cell] = tweet.coordinates
+        shard_outputs = state.executor.map_shards(
+            list(cells.items()),
+            _resolve_cells_shard,
+            payload=(state.gazetteer, self.latency_s),
+        )
+        resolved: dict[tuple[int, int], AdminPath | None] = {}
+        for shard in shard_outputs:
+            resolved.update(shard)
+
+        # Serial replay: reconstruct the canonical shared-client stats and
+        # build observations in the exact order the seed loop would.
+        stats = ClientStats()
+        seen: set[tuple[int, int]] = set()
+        for user_id, district, gps_tweets in candidates:
+            user_rows = []
+            for tweet in gps_tweets:
+                assert tweet.coordinates is not None
+                cell = self._cell(tweet.coordinates)
+                if cell in seen:
+                    stats.cache_hits += 1
+                else:
+                    seen.add(cell)
+                    stats.requests += 1
+                    stats.simulated_latency_s += self.latency_s
+                    if resolved[cell] is None:
+                        stats.no_result += 1
+                path = resolved[cell]
+                if path is None:
+                    state.funnel.unresolvable_gps_tweets += 1
+                    continue
+                user_rows.append(self._observation(user_id, district, tweet, path))
+            self._keep(state, user_id, district, user_rows)
+        return stats
+
+    # -------------------------------------------------------------- internals
+    def _cell(self, point) -> tuple[int, int]:
+        q = self.cache_quantum_deg
+        return (round(point.lat / q), round(point.lon / q))
+
+    @staticmethod
+    def _observation(
+        user_id: int, district: District, tweet: Tweet, path: AdminPath
+    ) -> GeotaggedObservation:
+        return GeotaggedObservation(
+            user_id=user_id,
+            profile_state=district.state,
+            profile_county=district.name,
+            tweet_state=path.state,
+            tweet_county=path.county,
+            timestamp_ms=tweet.created_at_ms,
+        )
+
+    @staticmethod
+    def _keep(
+        state: StudyState,
+        user_id: int,
+        district: District,
+        user_rows: list[GeotaggedObservation],
+    ) -> None:
+        if not user_rows:
+            return
+        state.observations.extend(user_rows)
+        state.study_users[user_id] = state.users.get(user_id)
+        state.kept_profile_districts[user_id] = district
+
+
+def _group_users_shard(
+    user_chunks: list[list[GeotaggedObservation]], payload: object
+) -> dict[int, UserGrouping]:
+    """Shard worker: run the batch grouping method over one chunk of users.
+
+    ``user_chunks`` holds each user's observation rows; users are
+    independent under the method, so a chunk classifies exactly as it
+    would inside the full serial run.
+    """
+    (tie_break,) = payload  # type: ignore[misc]
+    flat = [obs for rows in user_chunks for obs in rows]
+    return group_users(flat, tie_break=tie_break)
+
+
+class GroupingStage:
+    """The paper's merged-string Top-k method, sharded per user.
+
+    Users are independent under the grouping method, so observations are
+    partitioned into contiguous per-user chunks (first-encounter user
+    order, matching the serial dict order) and classified shard-by-shard;
+    merging is dict concatenation in shard order.
+    """
+
+    name = "grouping"
+
+    def run(self, context: RunContext, state: StudyState) -> None:
+        """Classify every study user into their Top-k group."""
+        with context.stage(self.name) as span:
+            span.items_in = len(state.observations)
+            per_user: dict[int, list[GeotaggedObservation]] = {}
+            for observation in state.observations:
+                per_user.setdefault(observation.user_id, []).append(observation)
+            shard_outputs = state.executor.map_shards(
+                list(per_user.values()),
+                _group_users_shard,
+                payload=(state.tie_break,),
+            )
+            groupings: dict[int, UserGrouping] = {}
+            for shard_result in shard_outputs:
+                groupings.update(shard_result)
+            state.groupings = groupings
+            span.items_out = len(groupings)
+            context.metrics.counter("grouping.users", len(groupings))
+            context.metrics.counter("grouping.observations", len(state.observations))
+            for grouping in groupings.values():
+                context.metrics.counter(f"grouping.group.{grouping.group.value}")
+
+
+class StatisticsStage:
+    """Aggregates groupings into the Figs. 6-7 statistics table."""
+
+    name = "statistics"
+
+    def run(self, context: RunContext, state: StudyState) -> None:
+        """Compute per-group statistics over the run's groupings."""
+        with context.stage(self.name) as span:
+            span.items_in = len(state.groupings)
+            state.statistics = compute_group_statistics(state.groupings.values())
+            span.items_out = len(state.statistics.rows)
+            context.metrics.gauge("stats.total_users", state.statistics.total_users)
+            context.metrics.gauge("stats.total_tweets", state.statistics.total_tweets)
+            context.metrics.gauge(
+                "stats.overall_avg_tweet_locations",
+                state.statistics.overall_avg_tweet_locations,
+            )

@@ -336,6 +336,11 @@ class StreamStats:
     delivered: int = 0
     filtered_out: int = 0
 
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view, registrable as an engine metrics source
+        (``crawl.*`` in the streaming pipeline's run snapshot)."""
+        return {"delivered": self.delivered, "filtered_out": self.filtered_out}
+
 
 class StreamingApi:
     """Simulated Streaming API over a global, time-ordered tweet iterator.

@@ -63,6 +63,16 @@ class CrawlResult:
         """Ids of collected users, discovery order."""
         return [u.user_id for u in self.users]
 
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict accounting view, registrable as an engine metrics
+        source (``crawl.*`` in the run snapshot)."""
+        return {
+            "users": len(self.users),
+            "api_calls": self.api_calls,
+            "rate_limit_waits": self.rate_limit_waits,
+            "simulated_duration_s": round(self.simulated_duration_s, 3),
+        }
+
 
 class FollowerCrawler:
     """Breadth-first follower crawler over a simulated REST API."""

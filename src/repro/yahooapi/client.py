@@ -33,12 +33,27 @@ ERROR_NO_RESULT = 100
 
 @dataclass
 class ClientStats:
-    """Usage accounting for a simulated PlaceFinder client."""
+    """Usage accounting for a simulated PlaceFinder client.
+
+    Attributes:
+        requests: Uncached lookups issued (each consumes quota).
+        cache_hits: Lookups served from the response cache.
+        failures_injected: Transient 503s the failure plan raised.
+        no_result: Error-100 responses (coordinates nobody can resolve).
+        retries: Retry attempts :meth:`PlaceFinderClient.resolve_admin_path`
+            issued after a transient failure.
+        retry_exhausted: Lookups abandoned after the retry budget ran out
+            — give-ups, counted separately from genuine ``no_result``
+            responses.
+        simulated_latency_s: Accumulated virtual API time.
+    """
 
     requests: int = 0
     cache_hits: int = 0
     failures_injected: int = 0
     no_result: int = 0
+    retries: int = 0
+    retry_exhausted: int = 0
     simulated_latency_s: float = 0.0
 
     def snapshot(self) -> dict[str, float]:
@@ -48,6 +63,8 @@ class ClientStats:
             "cache_hits": self.cache_hits,
             "failures_injected": self.failures_injected,
             "no_result": self.no_result,
+            "retries": self.retries,
+            "retry_exhausted": self.retry_exhausted,
             "simulated_latency_s": round(self.simulated_latency_s, 3),
         }
 
@@ -59,6 +76,14 @@ class FailurePlan:
     Every ``every_n``-th *uncached* request (1-based) raises
     :class:`ServiceUnavailableError` before the lookup is attempted.
     ``every_n = 0`` disables injection.
+
+    Quota interaction — pinned semantics: an injected failure fires
+    *after* the request is counted against the daily quota, so failed
+    requests burn quota with no result.  This is deliberate and mirrors
+    the real service, where a request that died with a 503 had already
+    been admitted and metered; a retry therefore consumes a fresh unit
+    of quota, and a retry storm can exhaust the day's budget (see
+    ``tests/yahooapi/test_client.py::TestQuotaFailureInteraction``).
     """
 
     every_n: int = 0
@@ -142,17 +167,27 @@ class PlaceFinderClient:
 
         This is the call the collection pipeline uses per tweet: transient
         failures are retried up to ``max_retries`` times; a no-result
-        response or exhausted retries yield ``None``.
+        response or exhausted retries yield ``None``.  Every retry is
+        counted in ``stats.retries``; a lookup abandoned with its retry
+        budget spent is counted in ``stats.retry_exhausted`` (distinct
+        from ``no_result``, which means the service answered "nowhere").
+        Each attempt — including retries — consumes quota, exactly as the
+        real 503s did; :class:`RateLimitExceededError` raised mid-retry
+        propagates.
         """
-        for _ in range(max_retries + 1):
+        for attempt in range(max_retries + 1):
             try:
                 response = self.reverse_geocode(point)
             except ServiceUnavailableError:
+                if attempt == max_retries:
+                    self.stats.retry_exhausted += 1
+                    return None
+                self.stats.retries += 1
                 continue
             if response.ok:
                 return response.path
             return None
-        return None
+        return None  # pragma: no cover - loop always returns
 
     @property
     def cache_size(self) -> int:

@@ -1,0 +1,116 @@
+"""Unit tests for the metrics registry and run context."""
+
+import pytest
+
+from repro.engine.context import RunContext, StageSpan, render_trace
+from repro.engine.metrics import MetricsRegistry
+from repro.errors import ConfigurationError
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        assert registry.counter("geocode.requests") == 1
+        assert registry.counter("geocode.requests", 4) == 5
+        assert registry.snapshot()["geocode.requests"] == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("stats.total_users", 10)
+        registry.gauge("stats.total_users", 7)
+        assert registry.snapshot()["stats.total_users"] == 7
+
+    def test_timer_accumulates(self):
+        registry = MetricsRegistry()
+        with registry.timer("stage.x.s"):
+            pass
+        with registry.timer("stage.x.s"):
+            pass
+        assert registry.snapshot()["stage.x.s"] >= 0.0
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert list(registry.snapshot()) == ["a", "b"]
+
+
+class TestSources:
+    def test_source_flattens_nested_mappings(self):
+        registry = MetricsRegistry()
+        registry.register_source(
+            "funnel", lambda: {"users": 3, "status": {"vague": 2}}
+        )
+        snap = registry.snapshot()
+        assert snap["funnel.users"] == 3
+        assert snap["funnel.status.vague"] == 2
+
+    def test_source_is_live(self):
+        registry = MetricsRegistry()
+        box = {"n": 1}
+        registry.register_source("live", lambda: box)
+        box["n"] = 9
+        assert registry.snapshot()["live.n"] == 9
+
+    def test_reregistering_prefix_replaces(self):
+        registry = MetricsRegistry()
+        registry.register_source("p", lambda: {"a": 1})
+        registry.register_source("p", lambda: {"a": 2})
+        assert registry.snapshot()["p.a"] == 2
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().register_source("", dict)
+
+
+class TestMerge:
+    def test_counters_and_timers_sum_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", 2)
+        b.counter("c", 3)
+        a.add_time("t.s", 1.0)
+        b.add_time("t.s", 0.5)
+        a.gauge("g", 1)
+        b.gauge("g", 7)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["c"] == 5
+        assert snap["t.s"] == pytest.approx(1.5)
+        assert snap["g"] == 7
+
+
+class TestRunContext:
+    def test_stage_span_records_items_and_duration(self):
+        context = RunContext(dataset_name="t")
+        with context.stage("demo") as span:
+            span.items_in = 10
+            span.items_out = 4
+        assert len(context.spans) == 1
+        recorded = context.spans[0]
+        assert recorded.items_in == 10 and recorded.items_out == 4
+        assert recorded.duration_s > 0
+        assert "stage.demo.s" in context.metrics.snapshot()
+
+    def test_escaping_exception_counts_as_error(self):
+        context = RunContext()
+        with pytest.raises(ValueError):
+            with context.stage("boom"):
+                raise ValueError("x")
+        assert context.spans[0].errors == 1
+        assert context.spans[0].duration_s > 0
+
+    def test_trace_and_render(self):
+        context = RunContext(dataset_name="Korean", seed=7)
+        with context.stage("demo") as span:
+            span.items_in = 1
+        context.metrics.counter("grouping.users", 3)
+        trace = context.trace()
+        assert trace["dataset"] == "Korean"
+        assert trace["seed"] == 7
+        assert trace["spans"][0]["stage"] == "demo"
+        text = render_trace(context)
+        assert "Korean" in text and "demo" in text and "grouping.users" in text
+
+    def test_open_span_duration_is_zero(self):
+        span = StageSpan(stage="open", started_s=1.0)
+        assert span.duration_s == 0.0

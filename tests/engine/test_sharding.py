@@ -1,0 +1,62 @@
+"""Unit tests for deterministic sharded execution."""
+
+import pytest
+
+from repro.engine.sharding import ShardedExecutor, partition
+from repro.errors import ConfigurationError
+
+
+def _double(chunk, payload):
+    return [x * 2 for x in chunk]
+
+
+def _with_payload(chunk, payload):
+    return [x + payload for x in chunk]
+
+
+class TestPartition:
+    def test_concatenation_preserves_order(self):
+        items = list(range(17))
+        for shards in (1, 2, 3, 8, 17, 25):
+            chunks = partition(items, shards)
+            assert len(chunks) == shards
+            assert [x for chunk in chunks for x in chunk] == items
+
+    def test_near_equal_sizes(self):
+        chunks = partition(list(range(10)), 3)
+        assert sorted(len(c) for c in chunks) == [3, 3, 4]
+
+    def test_more_shards_than_items_pads_empty(self):
+        chunks = partition([1, 2], 5)
+        assert chunks == [[1], [2], [], [], []]
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition([1], 0)
+
+
+class TestExecutor:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(backend="threads")
+
+    def test_serial_maps_in_shard_order(self):
+        executor = ShardedExecutor(shards=3, backend="serial")
+        results = executor.map_shards(list(range(7)), _double)
+        assert [x for shard in results for x in shard] == [0, 2, 4, 6, 8, 10, 12]
+
+    def test_process_backend_matches_serial(self):
+        items = list(range(23))
+        serial = ShardedExecutor(shards=4, backend="serial").map_shards(
+            items, _with_payload, payload=100
+        )
+        process = ShardedExecutor(shards=4, backend="process").map_shards(
+            items, _with_payload, payload=100
+        )
+        assert process == serial
+
+    def test_empty_items(self):
+        executor = ShardedExecutor(shards=3, backend="serial")
+        assert executor.map_shards([], _double) == [[], [], []]

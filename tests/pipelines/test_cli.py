@@ -35,6 +35,39 @@ class TestStudy:
         out = capsys.readouterr().out
         assert "Refinement funnel" in out
 
+    def test_study_metrics_flag_prints_trace(self, capsys):
+        assert main(["study", "--dataset", "korean", "--metrics", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Run trace — korean" in out
+        assert "geocode.requests" in out
+        assert "funnel.study_users" in out
+        assert "reverse_geocode" in out
+
+    def test_study_sharded_matches_serial(self, capsys):
+        assert main(["study", "--dataset", "korean", *FAST]) == 0
+        serial = capsys.readouterr().out
+        assert main(["study", "--dataset", "korean", "--shards", "4", *FAST]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+
+
+class TestEngineTrace:
+    def test_trace_output(self, capsys):
+        assert main(["engine", "trace", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Run trace — korean" in out
+        assert "per-stage spans:" in out
+        for stage in ("refine", "profile_geocode", "reverse_geocode",
+                      "grouping", "statistics"):
+            assert stage in out
+        assert "crawl.users" in out
+        assert "geocode.requests" in out
+        assert "grouping.users" in out
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine"])
+
 
 class TestDataset:
     def test_writes_jsonl(self, capsys, tmp_path):

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro",
     "repro.analysis",
     "repro.datasets",
+    "repro.engine",
     "repro.events",
     "repro.geo",
     "repro.grouping",

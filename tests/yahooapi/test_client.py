@@ -97,8 +97,85 @@ class TestFailureInjection:
         path = client.resolve_admin_path(SEOUL_POINT)
         assert path is not None
         assert client.stats.failures_injected == 1
+        assert client.stats.retries == 1
+        assert client.stats.retry_exhausted == 0
+
+    def test_retries_visible_in_snapshot(self, korean_gazetteer):
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            failure_plan=FailurePlan(every_n=2),
+        )
+        client.reverse_geocode(GeoPoint(37.0, 127.0))
+        client.resolve_admin_path(SEOUL_POINT)
+        snapshot = client.stats.snapshot()
+        assert snapshot["retries"] == 1
+        assert snapshot["retry_exhausted"] == 0
+
+    def test_exhausted_retries_counted_separately_from_no_result(
+        self, korean_gazetteer
+    ):
+        # every_n=1: every uncached request fails, so all retries exhaust.
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            failure_plan=FailurePlan(every_n=1),
+        )
+        assert client.resolve_admin_path(SEOUL_POINT, max_retries=2) is None
+        assert client.stats.retries == 2
+        assert client.stats.retry_exhausted == 1
+        assert client.stats.no_result == 0  # the service never answered
+        # A genuine no-result is the opposite: answered, nothing found.
+        clean = PlaceFinderClient(ReverseGeocoder(korean_gazetteer))
+        assert clean.resolve_admin_path(OCEAN_POINT) is None
+        assert clean.stats.no_result == 1
+        assert clean.stats.retry_exhausted == 0
 
     def test_latency_accounted(self, client):
         client.reverse_geocode(SEOUL_POINT)
         client.reverse_geocode(GeoPoint(35.1, 129.0))
         assert client.stats.simulated_latency_s == pytest.approx(0.1)
+
+
+class TestQuotaFailureInteraction:
+    """Regression tests pinning quota × failure injection × retry.
+
+    Documented semantics (see :class:`FailurePlan`): an injected failure
+    fires *after* the request is admitted and counted against the daily
+    quota — failed requests burn quota with no result, as the real 503s
+    did — and each retry consumes a fresh unit of quota.
+    """
+
+    def test_injected_failure_consumes_quota(self, korean_gazetteer):
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            daily_quota=10,
+            failure_plan=FailurePlan(every_n=1),
+        )
+        with pytest.raises(ServiceUnavailableError):
+            client.reverse_geocode(SEOUL_POINT)
+        assert client.stats.requests == 1  # burned, despite no result
+
+    def test_retry_consumes_additional_quota(self, korean_gazetteer):
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            daily_quota=10,
+            failure_plan=FailurePlan(every_n=2),
+        )
+        client.reverse_geocode(GeoPoint(37.0, 127.0))  # request 1: ok
+        # Request 2 fails (quota: 2 used), retry is request 3 (quota: 3).
+        assert client.resolve_admin_path(SEOUL_POINT) is not None
+        assert client.stats.requests == 3
+        assert client.stats.failures_injected == 1
+
+    def test_quota_exhaustion_mid_retry_propagates(self, korean_gazetteer):
+        # Quota of 1: the first request fails (and burns the budget), so
+        # the retry hits the quota wall — the rate-limit error must reach
+        # the caller rather than being swallowed as "unresolvable".
+        client = PlaceFinderClient(
+            ReverseGeocoder(korean_gazetteer),
+            daily_quota=1,
+            failure_plan=FailurePlan(every_n=1),
+        )
+        with pytest.raises(RateLimitExceededError):
+            client.resolve_admin_path(SEOUL_POINT)
+        assert client.stats.requests == 1
+        assert client.stats.failures_injected == 1
