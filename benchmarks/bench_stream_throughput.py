@@ -1,0 +1,115 @@
+"""Streaming ingestion throughput benchmark (BENCH_stream.json).
+
+Pumps the default-scale Korean corpus through the full streaming path —
+firehose → bounded queue → write-ahead journal → incremental fold →
+checkpoint — and records end-to-end tweets/second for every backpressure
+policy and a sweep of micro-batch sizes.  The checkpoint cadence is held
+at 8 batches throughout so the journalling cost is always in the number.
+
+Every configuration also re-asserts the subsystem's acceptance property:
+a lossless run's snapshot is byte-identical to the batch ``run_study``.
+The blocking policy carries a deliberately conservative throughput floor
+so a pathological regression (per-tweet flushing, quadratic queue
+behaviour) fails the benchmark rather than silently shipping.
+
+Results accumulate machine-readable in
+``benchmarks/output/BENCH_stream.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.incremental import IncrementalStudyAccumulator
+from repro.analysis.serialization import study_to_json
+from repro.engine.context import RunContext
+from repro.streaming import (
+    BackpressurePolicy,
+    BoundedTweetQueue,
+    CheckpointLog,
+    FirehoseSource,
+    StreamConfig,
+    StreamConsumer,
+    StreamPump,
+)
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_stream.json"
+
+BATCH_SIZES = (64, 256, 1024)
+CHECKPOINT_EVERY = 8
+
+#: Deliberately conservative floor for the blocking policy (tweets/sec).
+#: The real figure is orders of magnitude higher; this only catches
+#: pathological regressions such as per-tweet fsyncs.
+MIN_BLOCK_THROUGHPUT = 500.0
+
+
+def _pump_once(dataset, policy, batch_size, state_dir):
+    """Run one full stream; returns (snapshot, queue, elapsed_seconds)."""
+    accumulator = IncrementalStudyAccumulator(dataset.gazetteer, dataset.users)
+    log = CheckpointLog(state_dir / "checkpoints.jsonl")
+    consumer = StreamConsumer(
+        accumulator, state_dir / "wal.jsonl", log, CHECKPOINT_EVERY
+    )
+    source = FirehoseSource(dataset.tweets, dataset.users)
+    config = StreamConfig(
+        batch_size=batch_size,
+        capacity=max(4 * batch_size, 1024),
+        policy=policy,
+        drain_every=batch_size,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    queue = BoundedTweetQueue(config.capacity, config.policy)
+    pump = StreamPump(
+        source, queue, consumer, config, RunContext(dataset_name="Korean")
+    )
+    started = time.perf_counter()
+    snapshot = pump.run()
+    return snapshot, queue, time.perf_counter() - started
+
+
+@pytest.mark.slow
+def test_stream_throughput(ctx, tmp_path):
+    dataset = ctx.korean_dataset
+    expected = study_to_json(ctx.korean_study)
+    total = len(dataset.tweets)
+    rows = []
+    for policy in BackpressurePolicy:
+        for batch_size in BATCH_SIZES:
+            state_dir = tmp_path / f"{policy.value}-{batch_size}"
+            state_dir.mkdir()
+            snapshot, queue, elapsed = _pump_once(
+                dataset, policy, batch_size, state_dir
+            )
+            assert snapshot.exhausted
+            assert queue.stats.dropped == 0  # ample capacity: lossless
+            assert study_to_json(snapshot.result) == expected
+            rows.append(
+                {
+                    "policy": policy.value,
+                    "batch_size": batch_size,
+                    "checkpoint_every": CHECKPOINT_EVERY,
+                    "tweets": total,
+                    "batches": snapshot.batches,
+                    "seconds": round(elapsed, 4),
+                    "tweets_per_s": round(total / elapsed, 1),
+                    "block_waits": queue.stats.block_waits,
+                }
+            )
+            print(
+                f"{policy.value:<12} batch={batch_size:<5} "
+                f"{total / elapsed:>10.0f} tweets/s "
+                f"({snapshot.batches} batches, {elapsed:.2f}s)"
+            )
+
+    blocking = [r for r in rows if r["policy"] == BackpressurePolicy.BLOCK.value]
+    assert max(r["tweets_per_s"] for r in blocking) >= MIN_BLOCK_THROUGHPUT
+
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    history = []
+    if _OUTPUT.exists():
+        history = json.loads(_OUTPUT.read_text(encoding="utf-8"))
+    history.append({"corpus_tweets": total, "rows": rows})
+    _OUTPUT.write_text(json.dumps(history, indent=1) + "\n", encoding="utf-8")

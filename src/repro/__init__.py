@@ -21,7 +21,9 @@ TF-IDF), :mod:`repro.grouping` (the paper's method), :mod:`repro.analysis`
 (study + reliability weights), :mod:`repro.events` (Toretter/Twitris and
 weighted localisation), :mod:`repro.datasets` and :mod:`repro.pipelines`
 (builders, funnel, experiment registry), :mod:`repro.engine` (the staged
-execution substrate: stages, run context, metrics, sharding).
+execution substrate: stages, run context, metrics, sharding), and
+:mod:`repro.streaming` (live firehose ingestion with backpressure and
+checkpoint/resume).
 """
 
 from repro.analysis import (

@@ -8,6 +8,7 @@ Public surface of :mod:`repro.analysis`:
 """
 
 from repro.analysis.correlation import StudyResult, run_study
+from repro.analysis.incremental import IncrementalStudyAccumulator
 from repro.analysis.export import (
     export_group_statistics,
     export_groupings,
@@ -24,7 +25,7 @@ from repro.analysis.regional import (
     regional_breakdown,
     render_regional_breakdown,
 )
-from repro.analysis.serialization import load_study, save_study
+from repro.analysis.serialization import load_study, save_study, study_to_json
 from repro.analysis.stability import (
     StabilityResult,
     median_timestamp,
@@ -51,6 +52,7 @@ from repro.analysis.report import (
 
 __all__ = [
     "ChiSquareResult",
+    "IncrementalStudyAccumulator",
     "MentionAgreement",
     "MentionCorrelationStudy",
     "RegionalRow",
@@ -74,6 +76,7 @@ __all__ = [
     "render_stability",
     "save_study",
     "split_half_stability",
+    "study_to_json",
     "render_comparison",
     "render_dataset_summary",
     "render_fig6",

@@ -1,0 +1,325 @@
+"""Incremental study accumulator — the full correlation study on a live stream.
+
+The batch :class:`~repro.engine.engine.StudyEngine` runs the five-stage
+study once over a frozen corpus.  A streaming deployment instead watches
+tweets arrive and must keep the whole :class:`~repro.analysis.correlation
+.StudyResult` — funnel, observations, groupings, Figs. 6-7 statistics,
+simulated API accounting — fresh at every point in the stream.
+
+:class:`IncrementalStudyAccumulator` folds micro-batches of tweets into
+per-user state:
+
+* profile locations are forward-geocoded once, on a user's first tweet;
+* GPS tweets of well-defined users are reverse-geocoded through a live
+  :class:`~repro.yahooapi.client.PlaceFinderClient` for the *live* views
+  (group-share drift, observation counts, checkpoint digests);
+* observations feed an :class:`~repro.grouping.incremental
+  .IncrementalGrouper`, and only the users *touched by the batch* are
+  re-classified — the per-group tallies update by group-transition deltas
+  rather than a full recount.
+
+:meth:`IncrementalStudyAccumulator.snapshot` assembles a
+:class:`StudyResult` by replaying reverse geocoding over the retained
+GPS tweets in the batch pipeline's canonical order (users ascending by
+id, each user's tweets by tweet id).  The replay is what makes the
+snapshot **byte-identical** to ``run_study`` over the tweets ingested so
+far: the simulated PlaceFinder's 0.001° cell cache is order-sensitive —
+the first point to hit a cell decides every later lookup in it — so
+fold-order resolutions near district boundaries can differ from the
+batch pipeline's, and only a canonical-order replay reproduces them
+exactly (including the :class:`~repro.yahooapi.client.ClientStats`
+accounting).  Property-tested in
+``tests/streaming/test_stream_equivalence.py`` via the serialised JSON
+document.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+
+from repro.analysis.correlation import StudyResult
+from repro.datasets.refine import RefinementFunnel
+from repro.errors import ConfigurationError
+from repro.geo.forward import GeocodeStatus, TextGeocoder
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint
+from repro.geo.region import District
+from repro.geo.reverse import ReverseGeocoder
+from repro.grouping.incremental import IncrementalGrouper
+from repro.grouping.merge import TieBreak
+from repro.grouping.stats import GroupRow, GroupStatistics, compute_group_statistics
+from repro.grouping.topk import TopKGroup, UserGrouping, group_users
+from repro.storage.userstore import UserStore
+from repro.twitter.models import GeotaggedObservation, Tweet
+from repro.yahooapi.client import ClientStats, PlaceFinderClient
+
+#: Quota for the accumulator-owned PlaceFinder client — effectively
+#: unlimited, matching the engine's ``ENGINE_QUOTA``.
+STREAM_QUOTA = 10**9
+
+
+class IncrementalStudyAccumulator:
+    """Maintains a full study's state under streaming tweet arrivals.
+
+    Args:
+        gazetteer: District catalogue both geocoders resolve against.
+        directory: Account directory tweets are hydrated against (the
+            simulated platform's user store; the real Streaming API
+            embeds the author object in every status).
+        tie_break: Equal-count ordering policy (matches the batch path).
+        min_gps_tweets: Study-entry threshold.  Only the paper's value
+            (1) is supported on a stream: a higher threshold makes the
+            batch pipeline skip *all* reverse geocoding for users below
+            it, which cannot be decided before the stream ends.
+
+    Raises:
+        ConfigurationError: for ``min_gps_tweets != 1``.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer,
+        directory: UserStore,
+        tie_break: TieBreak = TieBreak.STRING_ASC,
+        min_gps_tweets: int = 1,
+    ):
+        if min_gps_tweets != 1:
+            raise ConfigurationError(
+                "streaming accumulation supports only min_gps_tweets=1 "
+                f"(the paper's threshold), got {min_gps_tweets}"
+            )
+        self._directory = directory
+        self._gazetteer = gazetteer
+        self._tie_break = tie_break
+        self._text_geocoder = TextGeocoder(gazetteer)
+        self._client = PlaceFinderClient(
+            ReverseGeocoder(gazetteer), daily_quota=STREAM_QUOTA
+        )
+        self._grouper = IncrementalGrouper(tie_break)
+
+        # Per-user state, keyed by user id.
+        self._profile_status: dict[int, str] = {}
+        self._profile_districts: dict[int, District] = {}
+        self._rows: dict[int, list[GeotaggedObservation]] = {}
+        self._groupings: dict[int, UserGrouping] = {}
+        # Raw GPS tweets of well-defined users — (tweet_id, timestamp,
+        # point) — retained for the snapshot's canonical-order replay.
+        self._gps_rows: dict[int, list[tuple[int, int, GeoPoint]]] = {}
+
+        # Stream-wide funnel counters.
+        self._total_tweets = 0
+        self._gps_tweets = 0
+        self._unresolvable = 0
+
+        # Live per-group user tally, updated by transition deltas.
+        self._group_tally: Counter[TopKGroup] = Counter()
+
+    # ----------------------------------------------------------------- ingest
+    def fold(self, tweets: list[Tweet]) -> int:
+        """Fold one micro-batch into the study state.
+
+        Returns the number of new observations the batch produced (the
+        consumer reports it as ``stream.consumer.observations``).
+        """
+        touched: set[int] = set()
+        produced = 0
+        for tweet in tweets:
+            self._total_tweets += 1
+            if tweet.has_gps:
+                self._gps_tweets += 1
+            district = self._district_of(tweet.user_id)
+            if district is None or not tweet.has_gps:
+                continue
+            assert tweet.coordinates is not None
+            self._gps_rows.setdefault(tweet.user_id, []).append(
+                (tweet.tweet_id, tweet.created_at_ms, tweet.coordinates)
+            )
+            path = self._client.resolve_admin_path(tweet.coordinates)
+            if path is None:
+                self._unresolvable += 1
+                continue
+            observation = GeotaggedObservation(
+                user_id=tweet.user_id,
+                profile_state=district.state,
+                profile_county=district.name,
+                tweet_state=path.state,
+                tweet_county=path.county,
+                timestamp_ms=tweet.created_at_ms,
+            )
+            self._rows.setdefault(tweet.user_id, []).append(observation)
+            self._grouper.add(observation)
+            touched.add(tweet.user_id)
+            produced += 1
+        for user_id in touched:
+            self._reclassify(user_id)
+        return produced
+
+    def _district_of(self, user_id: int) -> District | None:
+        """The user's profile district, geocoding on first encounter."""
+        if user_id not in self._profile_status:
+            user = self._directory.get(user_id)
+            result = self._text_geocoder.geocode(user.profile_location)
+            self._profile_status[user_id] = result.status.value
+            if result.status is GeocodeStatus.RESOLVED and result.district is not None:
+                self._profile_districts[user_id] = result.district
+        return self._profile_districts.get(user_id)
+
+    def _reclassify(self, user_id: int) -> None:
+        """Refresh one user's cached grouping and the group tally."""
+        previous = self._groupings.get(user_id)
+        current = self._grouper.classify(user_id)
+        if previous is not None:
+            self._group_tally[previous.group] -= 1
+        self._group_tally[current.group] += 1
+        self._groupings[user_id] = current
+
+    # ------------------------------------------------------------------ views
+    @property
+    def grouper(self) -> IncrementalGrouper:
+        """The underlying incremental grouper (checkpoint digests hash it)."""
+        return self._grouper
+
+    @property
+    def api_stats(self) -> ClientStats:
+        """Live PlaceFinder usage accounting for the stream so far."""
+        return self._client.stats
+
+    @property
+    def users_seen(self) -> int:
+        """Accounts profile-geocoded so far (stream authors, plus the
+        rest of the directory once a snapshot has swept it)."""
+        return len(self._profile_status)
+
+    @property
+    def study_users(self) -> int:
+        """Users currently in the study (>= 1 resolved observation)."""
+        return len(self._rows)
+
+    @property
+    def observations_folded(self) -> int:
+        """Resolved observations accumulated so far."""
+        return sum(len(rows) for rows in self._rows.values())
+
+    def group_shares(self) -> dict[str, int]:
+        """Live per-group user counts (the drifting Fig. 7 numerators).
+
+        Registered as a metrics source under ``stream.groups``, this is
+        how matched-ratio drift is observed while the sample accumulates.
+        """
+        return {
+            group.value: self._group_tally.get(group, 0)
+            for group in TopKGroup.reporting_order()
+        }
+
+    def stats_source(self) -> dict[str, float]:
+        """Accumulator counters for the metrics registry."""
+        return {
+            "users_seen": self.users_seen,
+            "study_users": self.study_users,
+            "observations": self.observations_folded,
+            "tweets": self._total_tweets,
+            "gps_tweets": self._gps_tweets,
+            "unresolvable": self._unresolvable,
+        }
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self, dataset_name: str = "stream") -> StudyResult:
+        """The current :class:`StudyResult`, byte-identical to the batch.
+
+        The retained GPS tweets are re-resolved through a *fresh*
+        PlaceFinder client in the batch pipeline's canonical order (users
+        ascending by id, tweets ascending by tweet id).  Fold-time
+        resolutions cannot be reused here: the client's 0.001° cell cache
+        answers every lookup in a cell with the first point that hit it,
+        so near-boundary cells shared by tweets of different users can
+        resolve differently under arrival order than under batch order.
+        The replay reproduces the batch run exactly — observations,
+        funnel attrition, and the :class:`ClientStats` accounting.
+        """
+        # The batch ProfileGeocodeStage geocodes *every* crawled user, not
+        # just the authors the stream happened to deliver — sweep the rest
+        # of the directory through the (cached) forward geocoder first.
+        for user in self._directory:
+            self._district_of(user.user_id)
+
+        funnel = RefinementFunnel()
+        funnel.crawled_users = len(self._profile_status)
+        funnel.total_tweets = self._total_tweets
+        funnel.gps_tweets = self._gps_tweets
+        for user_id in sorted(self._profile_status):
+            funnel.profile_status_counts[self._profile_status[user_id]] += 1
+        funnel.well_defined_users = len(self._profile_districts)
+        funnel.users_with_gps = len(self._gps_rows)
+
+        client = PlaceFinderClient(
+            ReverseGeocoder(self._gazetteer), daily_quota=STREAM_QUOTA
+        )
+        observations: list[GeotaggedObservation] = []
+        kept_districts: dict[int, District] = {}
+        for user_id in sorted(self._gps_rows):
+            district = self._profile_districts[user_id]
+            user_rows: list[GeotaggedObservation] = []
+            for _, timestamp_ms, point in sorted(
+                self._gps_rows[user_id], key=lambda row: row[0]
+            ):
+                path = client.resolve_admin_path(point)
+                if path is None:
+                    funnel.unresolvable_gps_tweets += 1
+                    continue
+                user_rows.append(
+                    GeotaggedObservation(
+                        user_id=user_id,
+                        profile_state=district.state,
+                        profile_county=district.name,
+                        tweet_state=path.state,
+                        tweet_county=path.county,
+                        timestamp_ms=timestamp_ms,
+                    )
+                )
+            if user_rows:
+                observations.extend(user_rows)
+                kept_districts[user_id] = district
+        funnel.resolved_observations = len(observations)
+        groupings = group_users(observations, tie_break=self._tie_break)
+        funnel.study_users = len(groupings)
+
+        return StudyResult(
+            dataset_name=dataset_name,
+            funnel=funnel,
+            observations=observations,
+            groupings=groupings,
+            statistics=(
+                compute_group_statistics(groupings.values())
+                if groupings
+                else _empty_statistics()
+            ),
+            profile_districts=kept_districts,
+            api_stats=replace(client.stats),
+        )
+
+
+def _empty_statistics() -> GroupStatistics:
+    """An all-zero statistics table for a stream with no study users yet.
+
+    The batch pipeline refuses an empty corpus outright
+    (:class:`~repro.errors.InsufficientDataError`), but a *young stream*
+    legitimately has zero study users and still owes callers a snapshot.
+    """
+    return GroupStatistics(
+        rows=tuple(
+            GroupRow(
+                group=group,
+                user_count=0,
+                user_share=0.0,
+                avg_tweet_locations=0.0,
+                tweet_count=0,
+                tweet_share=0.0,
+                avg_matched_share=0.0,
+            )
+            for group in TopKGroup.reporting_order()
+        ),
+        total_users=0,
+        total_tweets=0,
+        overall_avg_tweet_locations=0.0,
+    )

@@ -49,8 +49,15 @@ def _merged_from_text(rows: list[str]) -> list[MergedString]:
     return parsed
 
 
-def save_study(study: StudyResult, path: str | Path) -> None:
-    """Write a study result to ``path`` as JSON."""
+def study_to_json(study: StudyResult) -> str:
+    """The canonical JSON document for a study result.
+
+    This is the exact text :func:`save_study` writes.  It is also the
+    equivalence currency of the streaming subsystem: two studies are
+    *byte-identical* iff their ``study_to_json`` strings are equal, which
+    is how ``tests/streaming/test_stream_equivalence.py`` compares an
+    end-of-stream snapshot against the batch pipeline.
+    """
     document: dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
         "dataset_name": study.dataset_name,
@@ -76,9 +83,12 @@ def save_study(study: StudyResult, path: str | Path) -> None:
         },
         "api_stats": study.api_stats.snapshot(),
     }
-    Path(path).write_text(
-        json.dumps(document, ensure_ascii=False, indent=1), encoding="utf-8"
-    )
+    return json.dumps(document, ensure_ascii=False, indent=1)
+
+
+def save_study(study: StudyResult, path: str | Path) -> None:
+    """Write a study result to ``path`` as JSON (see :func:`study_to_json`)."""
+    Path(path).write_text(study_to_json(study), encoding="utf-8")
 
 
 def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
@@ -136,6 +146,8 @@ def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
         cache_hits=int(stats_data.get("cache_hits", 0)),
         failures_injected=int(stats_data.get("failures_injected", 0)),
         no_result=int(stats_data.get("no_result", 0)),
+        retries=int(stats_data.get("retries", 0)),
+        retry_exhausted=int(stats_data.get("retry_exhausted", 0)),
         simulated_latency_s=float(stats_data.get("simulated_latency_s", 0.0)),
     )
 

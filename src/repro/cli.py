@@ -7,6 +7,7 @@ Commands:
 * ``dataset``     — build a dataset and persist it as JSONL
 * ``localize``    — run the reliability-weighted localisation experiment
 * ``engine``      — staged-engine introspection (``engine trace``)
+* ``stream``      — live firehose ingestion with checkpoint/resume
 
 Everything is deterministic given ``--seed``; ``--shards``/``--backend``
 change only how the study executes, never its result.
@@ -27,6 +28,7 @@ from repro.analysis.report import (
     render_funnel,
     render_tweet_distribution,
 )
+from repro.analysis.incremental import IncrementalStudyAccumulator
 from repro.analysis.serialization import load_study, save_study
 from repro.analysis.significance import bootstrap_share_intervals
 from repro.analysis.stability import render_stability, split_half_stability
@@ -41,6 +43,15 @@ from repro.events.evaluation import (
     render_localization_table,
 )
 from repro.pipelines.experiments import EXPERIMENTS, run_experiment
+from repro.streaming import (
+    BackpressurePolicy,
+    BoundedTweetQueue,
+    CheckpointLog,
+    FirehoseSource,
+    StreamConfig,
+    StreamConsumer,
+    StreamPump,
+)
 from repro.twitter.tweetgen import CollectionWindow
 
 
@@ -173,6 +184,73 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    wal_path = state_dir / "wal.jsonl"
+    checkpoint_log = CheckpointLog(state_dir / "checkpoints.jsonl")
+
+    accumulator = IncrementalStudyAccumulator(dataset.gazetteer, dataset.users)
+    if args.resume:
+        consumer, offset = StreamConsumer.resume(
+            accumulator, wal_path, checkpoint_log, args.checkpoint_every
+        )
+        print(f"resuming from checkpoint: offset {offset}, "
+              f"{consumer.batches} batches already durable")
+    else:
+        # A fresh run owns the state directory: clear any previous journal
+        # so stale records cannot mix into the new write-ahead log.
+        wal_path.unlink(missing_ok=True)
+        checkpoint_log.path.unlink(missing_ok=True)
+        consumer = StreamConsumer(
+            accumulator, wal_path, checkpoint_log, args.checkpoint_every
+        )
+        offset = 0
+
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        capacity=args.capacity,
+        policy=BackpressurePolicy(args.policy),
+        drain_every=args.drain_every,
+        checkpoint_every=args.checkpoint_every,
+    )
+    source = FirehoseSource(
+        dataset.tweets,
+        dataset.users,
+        track=tuple(args.track),
+        disconnect_every=args.disconnect_every,
+    )
+    queue = BoundedTweetQueue(config.capacity, config.policy)
+    context = RunContext(dataset_name=args.dataset, seed=args.seed)
+    pump = StreamPump(source, queue, consumer, config, context)
+    snapshot = pump.run(start_offset=offset, max_batches=args.max_batches)
+
+    print(f"stream {'exhausted' if snapshot.exhausted else 'paused'} at "
+          f"offset {snapshot.offset}/{len(source)} after {snapshot.batches} "
+          f"batches ({queue.stats.dropped} dropped by backpressure)")
+    if not snapshot.exhausted:
+        print("resume with: repro stream --resume "
+              f"--state-dir {args.state_dir} [same options]")
+    print(f"state digest: {snapshot.digest[:16]}…")
+    print()
+    study = snapshot.result
+    print(render_funnel(study.funnel))
+    print()
+    print(render_fig7(study.statistics))
+    print()
+    print(render_fig6(study.statistics))
+    print()
+    print(render_tweet_distribution(study.statistics))
+    if args.metrics:
+        print()
+        print(render_trace(context))
+    if args.save:
+        save_study(study, args.save)
+        print(f"study saved to {args.save}")
+    return 0
+
+
 def _add_build_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--population", type=int, default=2_000,
                         help="accounts on the simulated platform")
@@ -238,6 +316,38 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--out", default="./data", help="output directory")
     _add_build_options(dataset)
     dataset.set_defaults(func=_cmd_dataset)
+
+    stream = subparsers.add_parser(
+        "stream", help="ingest the firehose incrementally with checkpoints"
+    )
+    stream.add_argument("--dataset", choices=("korean", "ladygaga"), default="ladygaga")
+    stream.add_argument("--policy", choices=[p.value for p in BackpressurePolicy],
+                        default=BackpressurePolicy.BLOCK.value,
+                        help="backpressure policy when the ingest queue fills")
+    stream.add_argument("--batch-size", type=int, default=256,
+                        help="tweets folded per micro-batch")
+    stream.add_argument("--capacity", type=int, default=1024,
+                        help="bounded ingest-queue capacity")
+    stream.add_argument("--drain-every", type=int, default=1,
+                        help="produced tweets between consumer drains "
+                        "(larger = slower consumer)")
+    stream.add_argument("--checkpoint-every", type=int, default=1,
+                        help="micro-batches between durable checkpoints")
+    stream.add_argument("--disconnect-every", type=int, default=0,
+                        help="simulate a stream disconnect every N deliveries")
+    stream.add_argument("--state-dir", default="./stream_state",
+                        help="directory for the write-ahead log and checkpoints")
+    stream.add_argument("--resume", action="store_true",
+                        help="continue from the state directory's last checkpoint")
+    stream.add_argument("--max-batches", type=int, default=None,
+                        help="pause after this many micro-batches (crash drill)")
+    stream.add_argument("--track", action="append", default=[],
+                        help="extra track keyword(s) filtered at the source")
+    stream.add_argument("--save", default="", help="save the snapshot study as JSON")
+    stream.add_argument("--metrics", action="store_true",
+                        help="print the stream metrics snapshot and batch spans")
+    _add_build_options(stream)
+    stream.set_defaults(func=_cmd_stream)
 
     localize = subparsers.add_parser(
         "localize", help="reliability-weighted event localisation"

@@ -103,20 +103,47 @@ class RunContext:
 
 
 def render_trace(context: RunContext) -> str:
-    """Plain-text rendering of a run trace (CLI ``engine trace`` output)."""
+    """Plain-text rendering of a run trace (CLI ``engine trace`` output).
+
+    Spans aggregate by stage name in first-execution order — a batch run
+    prints one row per stage exactly as before, while a streaming run
+    (thousands of ``stream.batch`` spans) collapses to one row with its
+    run count, total time, and summed items.  The simulated API client's
+    retry behaviour gets its own line so transient-failure runs are
+    legible without digging through the metrics snapshot.
+    """
     lines = [f"Run trace — {context.dataset_name}"
              + (f" (seed {context.seed})" if context.seed is not None else "")]
     lines.append("")
     lines.append("per-stage spans:")
-    lines.append(f"  {'stage':<18} {'seconds':>9} {'in':>9} {'out':>9} {'errors':>7}")
+    lines.append(
+        f"  {'stage':<18} {'runs':>6} {'seconds':>9} {'in':>9} {'out':>9} {'errors':>7}"
+    )
+    aggregated: dict[str, list[float]] = {}
     for span in context.spans:
+        row = aggregated.setdefault(span.stage, [0, 0.0, 0, 0, 0])
+        row[0] += 1
+        row[1] += span.duration_s
+        row[2] += span.items_in
+        row[3] += span.items_out
+        row[4] += span.errors
+    for stage, (runs, seconds, items_in, items_out, errors) in aggregated.items():
         lines.append(
-            f"  {span.stage:<18} {span.duration_s:>9.3f} {span.items_in:>9} "
-            f"{span.items_out:>9} {span.errors:>7}"
+            f"  {stage:<18} {runs:>6} {seconds:>9.3f} {items_in:>9} "
+            f"{items_out:>9} {errors:>7}"
+        )
+    snapshot = context.metrics.snapshot()
+    retries = snapshot.get("geocode.retries")
+    retry_exhausted = snapshot.get("geocode.retry_exhausted")
+    if retries is not None or retry_exhausted is not None:
+        lines.append("")
+        lines.append(
+            f"api client: retries={int(retries or 0)} "
+            f"retry_exhausted={int(retry_exhausted or 0)}"
         )
     lines.append("")
     lines.append("metrics snapshot:")
-    for name, value in context.metrics.snapshot().items():
+    for name, value in snapshot.items():
         if isinstance(value, float):
             value = round(value, 4)
         lines.append(f"  {name} = {value}")

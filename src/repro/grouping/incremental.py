@@ -74,6 +74,24 @@ class IncrementalGrouper:
         """Current groupings for every seen user."""
         return {user_id: self.classify(user_id) for user_id in self._counts}
 
+    def export_counts(self) -> dict[int, dict[str, int]]:
+        """Canonical view of the per-user merge counters.
+
+        Users ascend, and each user's merged strings are listed in their
+        rendered form, sorted — a stable serialisation that checkpoint
+        digests (``repro.streaming.snapshot.state_digest``) hash so a
+        replayed stream can prove it rebuilt the exact grouping state.
+        """
+        return {
+            user_id: {
+                record.render(): count
+                for record, count in sorted(
+                    self._counts[user_id].items(), key=lambda kv: kv[0].render()
+                )
+            }
+            for user_id in sorted(self._counts)
+        }
+
     # ------------------------------------------------------------- internals
     def _ordered_rows(self, counts: Counter[LocationString]) -> list[MergedString]:
         rows = [MergedString(record=rec, count=n) for rec, n in counts.items()]

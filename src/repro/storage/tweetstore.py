@@ -134,6 +134,35 @@ class TweetStore:
                 count += 1
         return count
 
+    def append_many(self, path: str | Path, tweets: Iterable[Tweet]) -> int:
+        """Insert a batch and journal it with one buffered write + flush.
+
+        The streaming write-ahead path: the whole batch is serialised to a
+        single string and written (then flushed) in one call, so a crash
+        mid-append can tear at most the *final* line of the log — which
+        :meth:`load` already drops — instead of leaving a partially
+        written line in the middle of the batch.  All tweets are inserted
+        into the in-memory indexes before any byte reaches disk, so a
+        duplicate id raises with the log untouched.
+
+        Returns the number of records appended.
+
+        Raises:
+            DuplicateKeyError: if a tweet id is already present (nothing
+                is written to the log in that case).
+        """
+        batch = list(tweets)
+        for tweet in batch:
+            self.insert(tweet)
+        payload = "".join(
+            json.dumps(tweet.to_dict(), ensure_ascii=False) + "\n" for tweet in batch
+        )
+        path = Path(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+        return len(batch)
+
     def append_log(self, path: str | Path, tweets: Iterable[Tweet]) -> int:
         """Append tweets to an existing JSONL log (crash-tolerant format)."""
         path = Path(path)

@@ -1,0 +1,130 @@
+"""Checkpoint log: the stream consumer's durable resume points.
+
+The consumer journals ingested tweets to a write-ahead JSONL tweet log
+(:meth:`~repro.storage.tweetstore.TweetStore.append_many`) and then, every
+``checkpoint_every`` micro-batches, appends one checkpoint record here:
+the source offset it is safe to resubscribe from, how many write-ahead
+records that state covers, and a digest of the grouping state so a resume
+can *prove* it rebuilt the exact accumulator the crashed process had.
+
+The log shares the tweet store's crash contract: one JSON document per
+line, append-only, a torn final line (crash mid-append) is detected and
+ignored on load, corruption anywhere else raises.  Records are written
+with a single buffered write + flush, so a crash can tear at most the
+final record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """One durable resume point.
+
+    Attributes:
+        offset: Source offset to resubscribe from (everything older has
+            been folded into state or deliberately dropped).
+        wal_records: Complete write-ahead tweet-log records the
+            checkpointed state covers; later records are rework.
+        batches: Micro-batches folded when the checkpoint was taken.
+        ingested: Tweets folded into the accumulator so far.
+        digest: ``state_digest`` of the grouper state at this point.
+    """
+
+    offset: int
+    wal_records: int
+    batches: int
+    ingested: int
+    digest: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable dict."""
+        return {
+            "offset": self.offset,
+            "wal_records": self.wal_records,
+            "batches": self.batches,
+            "ingested": self.ingested,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Checkpoint":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            StorageError: for a record missing required fields.
+        """
+        try:
+            return cls(
+                offset=int(data["offset"]),  # type: ignore[arg-type]
+                wal_records=int(data["wal_records"]),  # type: ignore[arg-type]
+                batches=int(data["batches"]),  # type: ignore[arg-type]
+                ingested=int(data["ingested"]),  # type: ignore[arg-type]
+                digest=str(data["digest"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed checkpoint record: {data!r}") from exc
+
+
+class CheckpointLog:
+    """Append-only JSONL log of :class:`Checkpoint` records.
+
+    Args:
+        path: Log file (created on first append).
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """The log file."""
+        return self._path
+
+    # ----------------------------------------------------------------- write
+    def append(self, checkpoint: Checkpoint) -> None:
+        """Append one checkpoint with a single buffered write + flush."""
+        line = json.dumps(checkpoint.to_dict(), ensure_ascii=False) + "\n"
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+
+    # ------------------------------------------------------------------ read
+    def load(self) -> list[Checkpoint]:
+        """Every durable checkpoint, oldest first (torn tail dropped).
+
+        A missing log is an empty history, not an error — a stream that
+        never reached its first checkpoint resumes from offset 0.
+
+        Raises:
+            StorageError: if a non-final line is corrupt.
+        """
+        if not self._path.exists():
+            return []
+        lines = self._path.read_text(encoding="utf-8").split("\n")
+        torn_tail = bool(lines) and lines[-1] != ""
+        checkpoints: list[Checkpoint] = []
+        for index, line in enumerate(lines[:-1]):
+            try:
+                checkpoints.append(Checkpoint.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, StorageError) as exc:
+                raise StorageError(
+                    f"{self._path}:{index + 1}: corrupt checkpoint: {exc}"
+                ) from exc
+        if torn_tail:
+            try:
+                checkpoints.append(Checkpoint.from_dict(json.loads(lines[-1])))
+            except (json.JSONDecodeError, StorageError):
+                pass  # torn final record: expected crash artefact
+        return checkpoints
+
+    def latest(self) -> Checkpoint | None:
+        """The newest durable checkpoint (``None`` for no history)."""
+        checkpoints = self.load()
+        return checkpoints[-1] if checkpoints else None

@@ -1,0 +1,379 @@
+"""Stream consumer and pump: micro-batches, checkpoints, crash recovery.
+
+The write path is **journal-first**: every micro-batch is appended to a
+write-ahead tweet log (one buffered write + flush, see
+:meth:`~repro.storage.tweetstore.TweetStore.append_many`) *before* it is
+folded into the accumulator, and every ``checkpoint_every`` batches a
+:class:`~repro.streaming.checkpoint.Checkpoint` records the safe source
+offset plus a digest of the grouping state.  A crash therefore loses at
+most the batches folded since the last checkpoint (one, at the default
+cadence) — :meth:`StreamConsumer.resume` rebuilds the accumulator from
+the journal prefix the checkpoint covers, proves the digest matches,
+compacts the journal, and hands back the offset to resubscribe from.
+
+:class:`StreamPump` is the deterministic single-threaded scheduler that
+interleaves the producer (:class:`~repro.streaming.source.FirehoseSource`)
+and the consumer through the bounded queue: the consumer drains one batch
+every ``drain_every`` produced tweets (a slow consumer is simulated by a
+large ``drain_every``), BLOCK backpressure is resolved by draining in
+place, and simulated disconnects reconnect after a virtual-clock backoff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.incremental import IncrementalStudyAccumulator
+from repro.engine.context import RunContext
+from repro.errors import ConfigurationError, ServiceUnavailableError, StorageError
+from repro.storage.tweetstore import TweetStore
+from repro.streaming.checkpoint import Checkpoint, CheckpointLog
+from repro.streaming.queue import BackpressurePolicy, BoundedTweetQueue, PutOutcome
+from repro.streaming.snapshot import StreamSnapshot, state_digest
+from repro.streaming.source import FirehoseSource
+from repro.twitter.models import Tweet
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tunables for one stream run.
+
+    Attributes:
+        batch_size: Maximum tweets folded per micro-batch.
+        capacity: Bounded queue capacity.
+        policy: Backpressure policy when the queue is full.
+        drain_every: Produced tweets between consumer drains — the
+            producer:consumer speed ratio (1 = consumer keeps up;
+            larger values starve the consumer and exercise backpressure).
+        checkpoint_every: Micro-batches between durable checkpoints.
+
+    Raises:
+        ConfigurationError: for any non-positive field.
+    """
+
+    batch_size: int = 256
+    capacity: int = 1024
+    policy: BackpressurePolicy = BackpressurePolicy.BLOCK
+    drain_every: int = 1
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("batch_size", "capacity", "drain_every", "checkpoint_every"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+
+
+def _read_wal(path: Path) -> list[Tweet]:
+    """Write-ahead log records in file order, dropping a torn final line.
+
+    Raises:
+        StorageError: if a non-final line is corrupt.
+    """
+    if not path.exists():
+        return []
+    lines = path.read_text(encoding="utf-8").split("\n")
+    torn_tail = bool(lines) and lines[-1] != ""
+    records: list[Tweet] = []
+    for index, line in enumerate(lines[:-1]):
+        try:
+            records.append(Tweet.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise StorageError(f"{path}:{index + 1}: corrupt record: {exc}") from exc
+    if torn_tail:
+        try:
+            records.append(Tweet.from_dict(json.loads(lines[-1])))
+        except (json.JSONDecodeError, KeyError, ValueError):
+            pass  # torn final record: expected crash artefact
+    return records
+
+
+class StreamConsumer:
+    """Folds micro-batches journal-first and takes durable checkpoints.
+
+    Args:
+        accumulator: The incremental study state batches fold into.
+        wal_path: Write-ahead tweet log (JSONL, append-only).
+        checkpoint_log: Durable checkpoint history.
+        checkpoint_every: Micro-batches between checkpoints.
+
+    Raises:
+        ConfigurationError: for a non-positive ``checkpoint_every``.
+    """
+
+    def __init__(
+        self,
+        accumulator: IncrementalStudyAccumulator,
+        wal_path: str | Path,
+        checkpoint_log: CheckpointLog,
+        checkpoint_every: int = 1,
+    ):
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._accumulator = accumulator
+        self._wal_path = Path(wal_path)
+        self._log = checkpoint_log
+        self._checkpoint_every = checkpoint_every
+        self._journal = TweetStore()  # in-memory mirror of the WAL
+        self._batches = 0
+        self._folded = 0
+        self._observations = 0
+        self._checkpoints = 0
+        self._last_checkpoint_batch = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def accumulator(self) -> IncrementalStudyAccumulator:
+        """The study state this consumer feeds."""
+        return self._accumulator
+
+    @property
+    def batches(self) -> int:
+        """Micro-batches folded across the consumer's lifetime."""
+        return self._batches
+
+    @property
+    def wal_records(self) -> int:
+        """Complete records in the write-ahead log."""
+        return len(self._journal)
+
+    @property
+    def checkpoint_age(self) -> int:
+        """Micro-batches folded since the last durable checkpoint."""
+        return self._batches - self._last_checkpoint_batch
+
+    def stats_source(self) -> dict[str, float]:
+        """Consumer counters for the metrics registry."""
+        return {
+            "batches": self._batches,
+            "folded": self._folded,
+            "observations": self._observations,
+            "wal_records": self.wal_records,
+            "checkpoints": self._checkpoints,
+            "checkpoint_age_batches": self.checkpoint_age,
+        }
+
+    # ---------------------------------------------------------------- consume
+    def consume(self, items: list[tuple[int, Tweet]], safe_offset: int) -> int:
+        """Fold one micro-batch; journal first, then fold, then checkpoint.
+
+        ``safe_offset`` is the source offset a resume may resubscribe
+        from once this batch is durable — the pump computes it as the
+        oldest offset still in flight.  Returns the observations the
+        batch produced.
+        """
+        tweets = [tweet for _, tweet in items]
+        self._journal.append_many(self._wal_path, tweets)
+        produced = self._accumulator.fold(tweets)
+        self._observations += produced
+        self._folded += len(tweets)
+        self._batches += 1
+        if self.checkpoint_age >= self._checkpoint_every:
+            self.checkpoint(safe_offset)
+        return produced
+
+    def checkpoint(self, safe_offset: int) -> Checkpoint:
+        """Write one durable checkpoint at ``safe_offset`` and return it."""
+        record = Checkpoint(
+            offset=safe_offset,
+            wal_records=self.wal_records,
+            batches=self._batches,
+            ingested=self._folded,
+            digest=state_digest(self._accumulator.grouper),
+        )
+        self._log.append(record)
+        self._checkpoints += 1
+        self._last_checkpoint_batch = self._batches
+        return record
+
+    # ----------------------------------------------------------------- resume
+    @classmethod
+    def resume(
+        cls,
+        accumulator: IncrementalStudyAccumulator,
+        wal_path: str | Path,
+        checkpoint_log: CheckpointLog,
+        checkpoint_every: int = 1,
+    ) -> tuple["StreamConsumer", int]:
+        """Rebuild a consumer from disk; returns ``(consumer, offset)``.
+
+        With no durable checkpoint the journal is discarded (that work
+        replays from offset 0 anyway).  Otherwise the journal prefix the
+        checkpoint covers is folded back through ``accumulator``, the
+        rebuilt grouping state is *verified* against the checkpoint's
+        digest, and the journal is compacted to exactly that prefix —
+        dropping the at-most-one-batch of rework past the checkpoint
+        plus any torn tail.
+
+        Raises:
+            StorageError: if the journal is shorter than the checkpoint
+                claims, or the rebuilt state's digest does not match.
+        """
+        consumer = cls(accumulator, wal_path, checkpoint_log, checkpoint_every)
+        latest = checkpoint_log.latest()
+        if latest is None:
+            consumer._compact([])
+            return consumer, 0
+        records = _read_wal(consumer._wal_path)
+        if len(records) < latest.wal_records:
+            raise StorageError(
+                f"write-ahead log holds {len(records)} records but the last "
+                f"checkpoint covers {latest.wal_records}"
+            )
+        covered = records[: latest.wal_records]
+        accumulator.fold(covered)
+        rebuilt = state_digest(accumulator.grouper)
+        if rebuilt != latest.digest:
+            raise StorageError(
+                "rebuilt grouping state does not match the checkpoint digest "
+                f"({rebuilt[:12]}… != {latest.digest[:12]}…)"
+            )
+        consumer._compact(covered)
+        consumer._batches = latest.batches
+        consumer._folded = latest.ingested
+        consumer._checkpoints = 1
+        consumer._last_checkpoint_batch = latest.batches
+        consumer._observations = accumulator.observations_folded
+        return consumer, latest.offset
+
+    def _compact(self, covered: list[Tweet]) -> None:
+        """Rewrite the journal to exactly the checkpointed prefix."""
+        self._journal = TweetStore()
+        for tweet in covered:
+            self._journal.insert(tweet)
+        self._journal.save(self._wal_path)
+
+
+class StreamPump:
+    """Deterministic scheduler wiring source → queue → consumer.
+
+    Registers the stream's metric sources (``stream.source``,
+    ``stream.queue``, ``stream.consumer``, ``stream.groups``,
+    ``stream.accumulator``) on the context's registry and opens one
+    ``stream.batch`` span per folded micro-batch.
+
+    Args:
+        source: The firehose subscription.
+        queue: Bounded ingest queue between producer and consumer.
+        consumer: The journal-first batch consumer.
+        config: Run tunables (batch size, drain cadence, …).
+        context: Engine run context; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        source: FirehoseSource,
+        queue: BoundedTweetQueue,
+        consumer: StreamConsumer,
+        config: StreamConfig,
+        context: RunContext | None = None,
+    ):
+        self._source = source
+        self._queue = queue
+        self._consumer = consumer
+        self._config = config
+        self.context = context or RunContext(dataset_name="stream")
+        metrics = self.context.metrics
+        metrics.register_source("stream.source", source.stats.snapshot)
+        metrics.register_source("stream.queue", queue.snapshot)
+        metrics.register_source("stream.consumer", consumer.stats_source)
+        metrics.register_source("stream.groups", consumer.accumulator.group_shares)
+        metrics.register_source(
+            "stream.accumulator", consumer.accumulator.stats_source
+        )
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self, start_offset: int = 0, max_batches: int | None = None
+    ) -> StreamSnapshot:
+        """Pump the stream from ``start_offset``; returns the final snapshot.
+
+        Runs until the source is exhausted (snapshot ``exhausted=True``;
+        the queue fully drained and a final checkpoint forced) or until
+        ``max_batches`` micro-batches have been folded *this call* —
+        the crash/pause hook: the returned snapshot has
+        ``exhausted=False``, no forced checkpoint is taken, and in-flight
+        work past the last cadenced checkpoint is deliberately left
+        volatile so tests and demos can resume from disk.
+        """
+        batches_at_start = self._consumer.batches
+
+        def paused() -> bool:
+            if max_batches is None:
+                return False
+            return self._consumer.batches - batches_at_start >= max_batches
+
+        next_offset = start_offset
+        produced_since_drain = 0
+        exhausted = False
+        while not exhausted:
+            try:
+                for position, tweet in self._source.iter_from(next_offset):
+                    next_offset = position + 1
+                    outcome = self._queue.offer(position, tweet)
+                    while outcome is PutOutcome.WOULD_BLOCK:
+                        # The tweet at `position` is not admitted yet, so
+                        # the safe resume point cannot move past it.
+                        self._drain_one(position)
+                        if paused():
+                            return self._finish(next_offset, exhausted=False)
+                        outcome = self._queue.offer(position, tweet)
+                    produced_since_drain += 1
+                    if produced_since_drain >= self._config.drain_every:
+                        produced_since_drain = 0
+                        self._drain_one(next_offset)
+                        if paused():
+                            return self._finish(next_offset, exhausted=False)
+                exhausted = True
+            except ServiceUnavailableError:
+                self._source.reconnect_backoff_s()
+        while len(self._queue):
+            self._drain_one(next_offset)
+            if paused():
+                return self._finish(next_offset, exhausted=False)
+        self._consumer.checkpoint(next_offset)
+        return self._finish(next_offset, exhausted=True)
+
+    def _drain_one(self, pending_offset: int) -> None:
+        """Fold one micro-batch off the queue (no-op when empty).
+
+        ``pending_offset`` is the oldest offset not yet admitted to the
+        queue; it bounds the checkpoint-safe resume point when the queue
+        drains empty.
+        """
+        items = self._queue.take_batch(self._config.batch_size)
+        if not items:
+            return
+        head = self._queue.head_offset
+        safe_offset = head if head is not None else pending_offset
+        with self.context.stage("stream.batch") as span:
+            span.items_in = len(items)
+            span.items_out = self._consumer.consume(items, safe_offset)
+        self.context.metrics.counter("stream.batches")
+        self._update_gauges(pending_offset)
+
+    def _update_gauges(self, pending_offset: int) -> None:
+        metrics = self.context.metrics
+        metrics.gauge("stream.queue.depth", len(self._queue))
+        head = self._queue.head_offset
+        safe_offset = head if head is not None else pending_offset
+        metrics.gauge("stream.consumer.lag", pending_offset - safe_offset)
+        metrics.gauge(
+            "stream.checkpoint.age_batches", self._consumer.checkpoint_age
+        )
+
+    def _finish(self, next_offset: int, exhausted: bool) -> StreamSnapshot:
+        self._update_gauges(next_offset)
+        accumulator = self._consumer.accumulator
+        return StreamSnapshot(
+            result=accumulator.snapshot(self.context.dataset_name),
+            offset=next_offset,
+            batches=self._consumer.batches,
+            digest=state_digest(accumulator.grouper),
+            exhausted=exhausted,
+            context=self.context,
+        )

@@ -1,0 +1,171 @@
+"""Bounded ingest queue with explicit backpressure policies.
+
+Between the firehose and the consumer sits one bounded FIFO queue.  What
+happens when it fills is a policy decision with very different loss
+semantics, so the policy is explicit:
+
+* **BLOCK** — the producer stalls until the consumer drains a batch.  No
+  tweet is ever lost; throughput degrades instead (the Streaming API's
+  own stall-then-disconnect behaviour, minus the disconnect).
+* **DROP_OLDEST** — evict the oldest queued tweet to admit the newest.
+  Bounded memory, bounded lag, biased towards fresh data.
+* **SHED** — reject the incoming tweet and count it.  Bounded memory,
+  preserves queued (older) work, biased against fresh data.
+
+The queue is deterministic and single-threaded — the simulation's
+producer and consumer interleave under :class:`~repro.streaming.consumer
+.StreamPump` control, so every drop is reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.twitter.models import Tweet
+
+
+class BackpressurePolicy(Enum):
+    """What a full queue does with the next produced tweet."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    SHED = "shed"
+
+
+class PutOutcome(Enum):
+    """Result of offering one tweet to the queue."""
+
+    ENQUEUED = "enqueued"
+    WOULD_BLOCK = "would-block"
+    DROPPED_OLDEST = "dropped-oldest"
+    SHED = "shed"
+
+
+@dataclass
+class QueueStats:
+    """Counters the queue maintains across its lifetime.
+
+    Attributes:
+        enqueued: Tweets admitted to the queue.
+        dropped_oldest: Queued tweets evicted by DROP_OLDEST admissions.
+        shed: Incoming tweets rejected by the SHED policy.
+        block_waits: Producer stalls the BLOCK policy caused.
+        high_watermark: Deepest the queue has ever been.
+    """
+
+    enqueued: int = 0
+    dropped_oldest: int = 0
+    shed: int = 0
+    block_waits: int = 0
+    high_watermark: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total tweets lost to backpressure (evictions + sheds)."""
+        return self.dropped_oldest + self.shed
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view, registrable as a metrics source."""
+        return {
+            "enqueued": self.enqueued,
+            "dropped_oldest": self.dropped_oldest,
+            "shed": self.shed,
+            "dropped": self.dropped,
+            "block_waits": self.block_waits,
+            "high_watermark": self.high_watermark,
+        }
+
+
+class BoundedTweetQueue:
+    """A bounded FIFO of ``(offset, tweet)`` pairs with a loss policy.
+
+    Args:
+        capacity: Maximum queued tweets (>= 1).
+        policy: What to do with an arrival when full.
+
+    Raises:
+        ConfigurationError: for a non-positive capacity.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+    ):
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._policy = policy
+        self._items: deque[tuple[int, Tweet]] = deque()
+        self.stats = QueueStats()
+
+    # ----------------------------------------------------------------- state
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum queued tweets."""
+        return self._capacity
+
+    @property
+    def policy(self) -> BackpressurePolicy:
+        """The queue's backpressure policy."""
+        return self._policy
+
+    @property
+    def head_offset(self) -> int | None:
+        """Source offset of the oldest queued tweet (``None`` if empty).
+
+        This is the checkpoint-safe resume point while the queue is
+        non-empty: everything older has left the queue (consumed or
+        deliberately dropped), everything queued or newer will be
+        re-delivered on resume.
+        """
+        return self._items[0][0] if self._items else None
+
+    def snapshot(self) -> dict[str, float]:
+        """Stats plus current depth, for the metrics registry."""
+        view = self.stats.snapshot()
+        view["depth"] = len(self._items)
+        view["capacity"] = self._capacity
+        return view
+
+    # ----------------------------------------------------------------- offer
+    def offer(self, offset: int, tweet: Tweet) -> PutOutcome:
+        """Offer one produced tweet under the queue's policy.
+
+        Returns :data:`PutOutcome.WOULD_BLOCK` (without enqueuing) when
+        the queue is full under BLOCK — the caller must drain and retry;
+        the other policies always resolve the admission themselves.
+        """
+        if len(self._items) < self._capacity:
+            self._admit(offset, tweet)
+            return PutOutcome.ENQUEUED
+        if self._policy is BackpressurePolicy.BLOCK:
+            self.stats.block_waits += 1
+            return PutOutcome.WOULD_BLOCK
+        if self._policy is BackpressurePolicy.DROP_OLDEST:
+            self._items.popleft()
+            self.stats.dropped_oldest += 1
+            self._admit(offset, tweet)
+            return PutOutcome.DROPPED_OLDEST
+        self.stats.shed += 1
+        return PutOutcome.SHED
+
+    def _admit(self, offset: int, tweet: Tweet) -> None:
+        self._items.append((offset, tweet))
+        self.stats.enqueued += 1
+        if len(self._items) > self.stats.high_watermark:
+            self.stats.high_watermark = len(self._items)
+
+    # ------------------------------------------------------------------ take
+    def take_batch(self, limit: int) -> list[tuple[int, Tweet]]:
+        """Dequeue up to ``limit`` oldest tweets (possibly empty)."""
+        batch: list[tuple[int, Tweet]] = []
+        while self._items and len(batch) < limit:
+            batch.append(self._items.popleft())
+        return batch

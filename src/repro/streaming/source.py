@@ -1,0 +1,174 @@
+"""The simulated live firehose: a replayable Streaming API connection.
+
+Wraps the corpus behind :class:`~repro.twitter.api.StreamingApi` semantics
+— global time order, case-insensitive ``track`` phrase filtering — and
+adds the two behaviours a long-lived connection forces collection code to
+handle:
+
+* **offsets** — every delivered tweet has a stable position in the
+  filtered stream, and :meth:`FirehoseSource.iter_from` can (re)subscribe
+  from any offset, which is what checkpoint/resume replays against;
+* **disconnects** — a deterministic schedule
+  (``disconnect_every``) raises
+  :class:`~repro.errors.ServiceUnavailableError` mid-subscription, the
+  way the real endpoint dropped connections; the pump reconnects from
+  the last delivered offset after an exponential backoff charged to a
+  :class:`~repro.twitter.api.VirtualClock` (no real sleeping).
+
+The author directory rides along because the real Streaming API embeds
+the user object in every status — downstream profile geocoding needs it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, NotFoundError, ServiceUnavailableError
+from repro.storage.userstore import UserStore
+from repro.twitter.api import StreamingApi, StreamStats, VirtualClock
+from repro.twitter.models import Tweet, TwitterUser
+
+#: Reconnect backoff schedule (seconds, virtual): the documented
+#: Streaming-API guidance of exponential backoff capped at 320 s.
+BACKOFF_BASE_S = 5.0
+BACKOFF_CAP_S = 320.0
+
+
+@dataclass
+class FirehoseStats:
+    """Delivery accounting across every subscription to one source.
+
+    Attributes:
+        delivered: Tweets handed to the consumer (all subscriptions).
+        filtered_out: Firehose tweets the track filter rejected.
+        disconnects: Simulated connection drops raised.
+        resubscribes: ``iter_from`` calls after the first.
+        backoff_s: Virtual seconds spent in reconnect backoff.
+    """
+
+    delivered: int = 0
+    filtered_out: int = 0
+    disconnects: int = 0
+    resubscribes: int = 0
+    backoff_s: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view, registrable as a metrics source."""
+        return {
+            "delivered": self.delivered,
+            "filtered_out": self.filtered_out,
+            "disconnects": self.disconnects,
+            "resubscribes": self.resubscribes,
+            "backoff_s": round(self.backoff_s, 3),
+        }
+
+
+class FirehoseSource:
+    """A replayable, offset-addressed streaming connection over a corpus.
+
+    Args:
+        firehose: The platform's public tweets (any order; replayed in
+            global time order, like :class:`StreamingApi`).
+        directory: Account directory used to hydrate authors.
+        track: Optional keyword filter (empty = deliver everything).
+        disconnect_every: Raise a simulated disconnect after this many
+            deliveries within one subscription (0 disables).
+        clock: Virtual clock backoff time is charged to.
+
+    Raises:
+        ConfigurationError: for a negative ``disconnect_every``.
+    """
+
+    def __init__(
+        self,
+        firehose: Iterable[Tweet],
+        directory: UserStore,
+        track: tuple[str, ...] = (),
+        disconnect_every: int = 0,
+        clock: VirtualClock | None = None,
+    ):
+        if disconnect_every < 0:
+            raise ConfigurationError(
+                f"disconnect_every must be >= 0, got {disconnect_every}"
+            )
+        delivery_stats = StreamStats()
+        self._delivery: list[Tweet] = list(
+            StreamingApi(list(firehose)).filter(track=track, stats=delivery_stats)
+        )
+        self._directory = directory
+        self._track = track
+        self._disconnect_every = disconnect_every
+        self.clock = clock or VirtualClock()
+        self.stats = FirehoseStats(filtered_out=delivery_stats.filtered_out)
+        self._subscriptions = 0
+
+    # ------------------------------------------------------------------ reads
+    def __len__(self) -> int:
+        return len(self._delivery)
+
+    @property
+    def track(self) -> tuple[str, ...]:
+        """The subscription's track keywords (empty = firehose sample)."""
+        return self._track
+
+    def user(self, user_id: int) -> TwitterUser:
+        """Hydrate a delivered tweet's author from the directory.
+
+        Raises:
+            NotFoundError: if the directory does not know the account.
+        """
+        try:
+            return self._directory.get(user_id)
+        except NotFoundError:
+            raise NotFoundError(
+                f"stream delivered a tweet from unknown user {user_id}"
+            ) from None
+
+    @property
+    def directory(self) -> UserStore:
+        """The account directory the stream hydrates authors from."""
+        return self._directory
+
+    # ------------------------------------------------------------- subscribe
+    def iter_from(self, offset: int) -> Iterator[tuple[int, Tweet]]:
+        """(Re)subscribe at ``offset``; yields ``(offset, tweet)`` pairs.
+
+        Offsets index the *filtered* stream, ascending from 0.  A
+        subscription that hits the disconnect schedule raises
+        :class:`ServiceUnavailableError`; resubscribe from the last
+        yielded offset + 1 (see :meth:`reconnect_backoff_s` for the
+        backoff contract).
+
+        Raises:
+            ConfigurationError: for an offset outside ``[0, len]``.
+        """
+        if offset < 0 or offset > len(self._delivery):
+            raise ConfigurationError(
+                f"subscription offset {offset} outside stream [0, {len(self._delivery)}]"
+            )
+        if self._subscriptions > 0:
+            self.stats.resubscribes += 1
+        self._subscriptions += 1
+        delivered_here = 0
+        for position in range(offset, len(self._delivery)):
+            yield position, self._delivery[position]
+            self.stats.delivered += 1
+            delivered_here += 1
+            if self._disconnect_every and delivered_here % self._disconnect_every == 0:
+                self.stats.disconnects += 1
+                raise ServiceUnavailableError(
+                    f"simulated stream disconnect at offset {position}"
+                )
+
+    def reconnect_backoff_s(self) -> float:
+        """Charge one reconnect backoff to the virtual clock.
+
+        Exponential in the number of disconnects so far, capped at
+        :data:`BACKOFF_CAP_S`; returns the seconds charged.
+        """
+        exponent = max(0, self.stats.disconnects - 1)
+        backoff = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2**exponent))
+        self.clock.advance(backoff)
+        self.stats.backoff_s += backoff
+        return backoff

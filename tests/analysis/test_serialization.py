@@ -44,6 +44,34 @@ class TestRoundtrip:
         original = small_ctx.korean_study
         assert loaded.funnel.as_dict() == original.funnel.as_dict()
         assert loaded.api_stats.requests == original.api_stats.requests
+        assert loaded.api_stats.retries == original.api_stats.retries
+        assert loaded.api_stats.retry_exhausted == original.api_stats.retry_exhausted
+
+    def test_retry_counters_roundtrip(self, saved_path, tmp_path, small_ctx):
+        """Non-zero retry accounting must survive save → load."""
+        gazetteer = small_ctx.korean_dataset.gazetteer
+        document = json.loads(saved_path.read_text(encoding="utf-8"))
+        document["api_stats"]["retries"] = 7
+        document["api_stats"]["retry_exhausted"] = 2
+        path = tmp_path / "retried.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        loaded = load_study(path, gazetteer)
+        assert loaded.api_stats.retries == 7
+        assert loaded.api_stats.retry_exhausted == 2
+
+    def test_legacy_document_without_retry_counters(
+        self, saved_path, tmp_path, small_ctx
+    ):
+        """Documents written before retry accounting load with zeros."""
+        gazetteer = small_ctx.korean_dataset.gazetteer
+        document = json.loads(saved_path.read_text(encoding="utf-8"))
+        document["api_stats"].pop("retries", None)
+        document["api_stats"].pop("retry_exhausted", None)
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        loaded = load_study(path, gazetteer)
+        assert loaded.api_stats.retries == 0
+        assert loaded.api_stats.retry_exhausted == 0
 
 
 class TestErrors:

@@ -114,3 +114,32 @@ class TestRunContext:
     def test_open_span_duration_is_zero(self):
         span = StageSpan(stage="open", started_s=1.0)
         assert span.duration_s == 0.0
+
+    def test_render_aggregates_repeated_stages(self):
+        """A streaming run emits thousands of same-named spans; the trace
+        collapses them to one row carrying run count and summed items."""
+        context = RunContext(dataset_name="stream")
+        for items in (10, 20, 30):
+            with context.stage("stream.batch") as span:
+                span.items_in = items
+                span.items_out = items // 2
+        text = render_trace(context)
+        rows = [
+            line for line in text.splitlines()
+            if line.split() and line.split()[0] == "stream.batch"
+        ]
+        assert len(rows) == 1
+        columns = rows[0].split()
+        assert columns[1] == "3"  # runs
+        assert columns[3] == "60" and columns[4] == "30"  # summed in/out
+
+    def test_render_reports_api_client_retries(self):
+        context = RunContext(dataset_name="t")
+        context.metrics.counter("geocode.retries", 5)
+        context.metrics.counter("geocode.retry_exhausted", 1)
+        text = render_trace(context)
+        assert "api client: retries=5 retry_exhausted=1" in text
+
+    def test_render_omits_api_client_line_without_counters(self):
+        context = RunContext(dataset_name="t")
+        assert "api client:" not in render_trace(context)

@@ -104,3 +104,64 @@ class TestEquivalence:
             assert grouper.classify_all() == group_users(
                 observations, tie_break=policy
             )
+
+
+class TestArrivalOrder:
+    """A live stream delivers users out of order and interleaved — the
+    incremental result must match the batch method run on the original
+    (time-ordered) observation list regardless."""
+
+    @given(_streams(), st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_shuffled_arrival_matches_batch(self, observations, rng):
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        grouper = IncrementalGrouper()
+        grouper.add_many(shuffled)
+        assert grouper.classify_all() == group_users(observations)
+
+    @given(_streams())
+    @settings(max_examples=40)
+    def test_interleaved_equals_user_contiguous(self, observations):
+        by_user: dict[int, list] = {}
+        for obs in observations:
+            by_user.setdefault(obs.user_id, []).append(obs)
+        contiguous = [obs for rows in by_user.values() for obs in rows]
+        # Round-robin across users: the worst interleaving a stream with
+        # per-user time order preserved can produce.
+        interleaved = []
+        queues = [list(rows) for rows in by_user.values()]
+        while any(queues):
+            for rows in queues:
+                if rows:
+                    interleaved.append(rows.pop(0))
+        a, b = IncrementalGrouper(), IncrementalGrouper()
+        a.add_many(contiguous)
+        b.add_many(interleaved)
+        assert a.classify_all() == b.classify_all() == group_users(observations)
+
+
+class TestExportCounts:
+    """The canonical counter view behind streaming checkpoint digests."""
+
+    @given(_streams(), st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_order_insensitive(self, observations, rng):
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        a, b = IncrementalGrouper(), IncrementalGrouper()
+        a.add_many(observations)
+        b.add_many(shuffled)
+        assert a.export_counts() == b.export_counts()
+
+    def test_canonical_ordering(self):
+        grouper = IncrementalGrouper()
+        grouper.add(_obs(7, "A", "B"))
+        grouper.add(_obs(7, "A", "A"))
+        grouper.add(_obs(2, "A", "A"))
+        counts = grouper.export_counts()
+        assert list(counts) == [2, 7]  # users ascend
+        assert all(
+            list(rows) == sorted(rows) for rows in counts.values()
+        )  # rendered strings ascend within a user
+        assert sum(counts[7].values()) == 2

@@ -121,3 +121,75 @@ class TestLocalize:
         out = capsys.readouterr().out
         assert "estimator x weighting scheme" in out
         assert "learned weight factors" in out
+
+
+class TestStream:
+    def test_stream_exhausts_and_reports(self, capsys, tmp_path):
+        code = main(
+            ["stream", "--dataset", "korean",
+             "--state-dir", str(tmp_path / "state"), *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream exhausted at offset" in out
+        assert "(0 dropped by backpressure)" in out
+        assert "state digest:" in out
+        assert "Number of users in each group" in out
+
+    def test_stream_report_matches_batch_study(self, capsys, tmp_path):
+        """The end-of-stream report sections are the batch study's, verbatim."""
+        assert main(["study", "--dataset", "korean", *FAST]) == 0
+        study_out = capsys.readouterr().out
+        code = main(
+            ["stream", "--dataset", "korean",
+             "--state-dir", str(tmp_path / "state"), *FAST]
+        )
+        assert code == 0
+        stream_out = capsys.readouterr().out
+        # Everything after the stream header (ending at the digest line)
+        # must appear verbatim in the study output.
+        report = stream_out.split("…\n", 1)[1].strip()
+        assert report
+        assert report in study_out
+
+    def test_stream_pause_then_resume(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        code = main(
+            ["stream", "--dataset", "korean", "--state-dir", state,
+             "--max-batches", "3", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream paused at offset" in out
+        assert "resume with: repro stream --resume" in out
+        code = main(
+            ["stream", "--dataset", "korean", "--state-dir", state,
+             "--resume", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming from checkpoint: offset" in out
+        assert "stream exhausted at offset" in out
+
+    def test_stream_metrics_flag_prints_trace(self, capsys, tmp_path):
+        code = main(
+            ["stream", "--dataset", "korean", "--state-dir", str(tmp_path / "s"),
+             "--metrics", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream.batch" in out
+        assert "stream.queue.depth" in out
+        assert "stream.checkpoint.age_batches" in out
+
+    def test_stream_save_writes_loadable_study(self, capsys, tmp_path):
+        saved = tmp_path / "stream_study.json"
+        code = main(
+            ["stream", "--dataset", "korean", "--state-dir", str(tmp_path / "s"),
+             "--save", str(saved), *FAST]
+        )
+        assert code == 0
+        assert saved.exists()
+        capsys.readouterr()
+        assert main(["report", "--study", str(saved)]) == 0
+        assert "loaded study 'korean'" in capsys.readouterr().out

@@ -143,3 +143,55 @@ class TestPersistence:
         path = tmp_path / "tweets.jsonl"
         store.save(path)
         assert TweetStore.load(path).get(1).text == "지진이야!! 흔들린다"
+
+
+class TestAppendMany:
+    """The streaming write-ahead path: one buffered write + flush per batch."""
+
+    def test_appends_batch_and_inserts(self, store, tmp_path):
+        path = tmp_path / "tweets.jsonl"
+        store.save(path)
+        appended = store.append_many(path, [_tweet(6), _tweet(7)])
+        assert appended == 2
+        assert store.get(6).tweet_id == 6  # in-memory indexes updated too
+        assert len(TweetStore.load(path)) == 7
+
+    def test_duplicate_in_batch_leaves_log_untouched(self, store, tmp_path):
+        path = tmp_path / "tweets.jsonl"
+        store.save(path)
+        before = path.read_text(encoding="utf-8")
+        with pytest.raises(DuplicateKeyError):
+            store.append_many(path, [_tweet(6), _tweet(1)])
+        assert path.read_text(encoding="utf-8") == before
+
+    def test_crash_mid_batch_tears_only_the_final_line(self, store, tmp_path):
+        """Regression: a crash landing mid-batch must cost at most the last
+        record.  Because the batch is serialised into one buffered write,
+        truncation at *any* byte count leaves every line before the cut
+        intact — load() recovers all of them and drops only the torn tail.
+        """
+        path = tmp_path / "tweets.jsonl"
+        store.save(path)
+        base_size = path.stat().st_size
+        store.append_many(path, [_tweet(6), _tweet(7), _tweet(8)])
+        full = path.read_text(encoding="utf-8")
+        batch_bytes = full.encode("utf-8")[base_size:]
+        # Simulate the crash at every possible torn point inside the batch.
+        for cut in range(1, len(batch_bytes)):
+            path.write_bytes(full.encode("utf-8")[: base_size + cut])
+            loaded = TweetStore.load(path)
+            head = batch_bytes[:cut].decode("utf-8", "ignore")
+            survivors = 5 + head.count("\n")
+            tail = head.rsplit("\n", 1)[-1]
+            if tail:
+                try:
+                    json.loads(tail)
+                except ValueError:
+                    pass
+                else:
+                    survivors += 1  # complete-but-unterminated final record kept
+            assert len(loaded) == survivors
+            # Whatever survived is a clean prefix of the batch.
+            assert sorted(t.tweet_id for t in loaded) == list(
+                range(1, survivors + 1)
+            )

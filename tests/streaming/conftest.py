@@ -1,0 +1,22 @@
+"""Shared helpers for the streaming test suite."""
+
+from __future__ import annotations
+
+from repro.twitter.models import MobilityClass, ProfileStyle, TwitterUser
+
+
+def make_user(
+    user_id: int, profile_location: str, screen_name: str | None = None
+) -> TwitterUser:
+    """A minimal well-formed user for bespoke streaming corpora."""
+    return TwitterUser(
+        user_id=user_id,
+        screen_name=screen_name or f"user{user_id}",
+        profile_location=profile_location,
+        created_at_ms=0,
+        has_smartphone=True,
+        home_state="Seoul",
+        home_county="Gangnam-gu",
+        mobility=MobilityClass.HOME_ANCHORED,
+        profile_style=ProfileStyle.DISTRICT,
+    )

@@ -1,0 +1,64 @@
+"""Unit tests for the durable checkpoint log."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.streaming import Checkpoint, CheckpointLog
+
+
+def _checkpoint(n):
+    return Checkpoint(offset=n * 10, wal_records=n * 10, batches=n,
+                      ingested=n * 10, digest=f"digest-{n}")
+
+
+class TestRoundTrip:
+    def test_append_load_latest(self, tmp_path):
+        log = CheckpointLog(tmp_path / "ckpt.jsonl")
+        assert log.load() == []
+        assert log.latest() is None
+        for n in (1, 2, 3):
+            log.append(_checkpoint(n))
+        assert log.load() == [_checkpoint(1), _checkpoint(2), _checkpoint(3)]
+        assert log.latest() == _checkpoint(3)
+
+    def test_dict_round_trip(self):
+        record = _checkpoint(4)
+        assert Checkpoint.from_dict(record.to_dict()) == record
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(StorageError):
+            Checkpoint.from_dict({"offset": 1})
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        log = CheckpointLog(path)
+        log.append(_checkpoint(1))
+        log.append(_checkpoint(2))
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text + '{"offset": 3, "wal_re', encoding="utf-8")
+        assert log.load() == [_checkpoint(1), _checkpoint(2)]
+        assert log.latest() == _checkpoint(2)
+
+    def test_complete_unterminated_final_line_is_kept(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        log = CheckpointLog(path)
+        log.append(_checkpoint(1))
+        payload = json.dumps(_checkpoint(2).to_dict())
+        path.write_text(path.read_text(encoding="utf-8") + payload, encoding="utf-8")
+        assert log.latest() == _checkpoint(2)
+
+    def test_corrupt_middle_raises(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        log = CheckpointLog(path)
+        log.append(_checkpoint(1))
+        path.write_text(
+            path.read_text(encoding="utf-8") + "garbage\n"
+            + json.dumps(_checkpoint(2).to_dict()) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(StorageError):
+            log.load()

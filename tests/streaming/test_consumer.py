@@ -1,0 +1,147 @@
+"""Unit tests for the journal-first consumer: WAL, checkpoints, resume."""
+
+import pytest
+
+from repro.analysis.incremental import IncrementalStudyAccumulator
+from repro.errors import ConfigurationError, StorageError
+from repro.geo.point import GeoPoint
+from repro.storage.tweetstore import TweetStore
+from repro.storage.userstore import UserStore
+from repro.streaming import CheckpointLog, StreamConfig, StreamConsumer, state_digest
+from repro.twitter.models import Tweet
+
+from tests.streaming.conftest import make_user
+
+GANGNAM = GeoPoint(37.517, 127.047)
+JONGNO = GeoPoint(37.573, 126.979)
+
+
+def _directory():
+    store = UserStore()
+    store.insert(make_user(1, "Gangnam-gu, Seoul"))
+    store.insert(make_user(2, "Jongno-gu, Seoul"))
+    store.insert(make_user(3, "somewhere vague"))
+    return store
+
+
+def _tweet(i, user_id=1, point=GANGNAM):
+    return Tweet(tweet_id=i, user_id=user_id, created_at_ms=i * 1000,
+                 text=f"t{i}", coordinates=point)
+
+
+def _batch(offsets, **kwargs):
+    return [(i, _tweet(i, **kwargs)) for i in offsets]
+
+
+def _consumer(tmp_path, gazetteer, checkpoint_every=2):
+    accumulator = IncrementalStudyAccumulator(gazetteer, _directory())
+    log = CheckpointLog(tmp_path / "ckpt.jsonl")
+    consumer = StreamConsumer(
+        accumulator, tmp_path / "wal.jsonl", log, checkpoint_every
+    )
+    return consumer, log
+
+
+class TestConfig:
+    def test_stream_config_validates_every_field(self):
+        for field in ("batch_size", "capacity", "drain_every", "checkpoint_every"):
+            with pytest.raises(ConfigurationError):
+                StreamConfig(**{field: 0})
+
+    def test_checkpoint_every_validated(self, tmp_path, korean_gazetteer):
+        with pytest.raises(ConfigurationError):
+            _consumer(tmp_path, korean_gazetteer, checkpoint_every=0)
+
+
+class TestConsume:
+    def test_journal_written_before_fold(self, tmp_path, korean_gazetteer):
+        consumer, _ = _consumer(tmp_path, korean_gazetteer)
+        produced = consumer.consume(_batch([0, 1]), safe_offset=2)
+        assert produced == 2
+        assert consumer.wal_records == 2
+        assert consumer.batches == 1
+        wal = TweetStore.load(tmp_path / "wal.jsonl")
+        assert len(wal) == 2
+
+    def test_checkpoint_cadence(self, tmp_path, korean_gazetteer):
+        consumer, log = _consumer(tmp_path, korean_gazetteer, checkpoint_every=2)
+        consumer.consume(_batch([0]), safe_offset=1)
+        assert log.latest() is None
+        assert consumer.checkpoint_age == 1
+        consumer.consume(_batch([1]), safe_offset=2)
+        latest = log.latest()
+        assert latest is not None
+        assert latest.offset == 2
+        assert latest.batches == 2
+        assert latest.wal_records == 2
+        assert latest.digest == state_digest(consumer.accumulator.grouper)
+        assert consumer.checkpoint_age == 0
+
+    def test_stats_source(self, tmp_path, korean_gazetteer):
+        consumer, _ = _consumer(tmp_path, korean_gazetteer, checkpoint_every=1)
+        consumer.consume(_batch([0, 1]), safe_offset=2)
+        stats = consumer.stats_source()
+        assert stats["batches"] == 1
+        assert stats["folded"] == 2
+        assert stats["observations"] == 2
+        assert stats["wal_records"] == 2
+        assert stats["checkpoints"] == 1
+        assert stats["checkpoint_age_batches"] == 0
+
+
+class TestResume:
+    def _crash_scenario(self, tmp_path, gazetteer):
+        """Two durable batches, one batch of rework, one torn line."""
+        consumer, log = _consumer(tmp_path, gazetteer, checkpoint_every=2)
+        consumer.consume(_batch([0, 1]), safe_offset=2)
+        consumer.consume(_batch([2], user_id=2, point=JONGNO), safe_offset=3)
+        assert log.latest() is not None
+        consumer.consume(_batch([3]), safe_offset=4)  # past the checkpoint
+        with (tmp_path / "wal.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write('{"tweet_id": 99, "user')  # crash mid-append
+        return log
+
+    def test_resume_replays_verifies_and_compacts(self, tmp_path, korean_gazetteer):
+        log = self._crash_scenario(tmp_path, korean_gazetteer)
+        latest = log.latest()
+        accumulator = IncrementalStudyAccumulator(korean_gazetteer, _directory())
+        consumer, offset = StreamConsumer.resume(
+            accumulator, tmp_path / "wal.jsonl", log, checkpoint_every=2
+        )
+        assert offset == latest.offset == 3
+        assert consumer.batches == latest.batches == 2
+        assert consumer.wal_records == latest.wal_records == 3
+        assert state_digest(accumulator.grouper) == latest.digest
+        # Compaction dropped the rework batch and the torn tail.
+        wal = TweetStore.load(tmp_path / "wal.jsonl")
+        assert sorted(t.tweet_id for t in wal) == [0, 1, 2]
+        assert accumulator.observations_folded == 3
+
+    def test_resume_digest_mismatch_raises(self, tmp_path, korean_gazetteer):
+        log = self._crash_scenario(tmp_path, korean_gazetteer)
+        path = log.path
+        tampered = path.read_text(encoding="utf-8").replace(
+            log.latest().digest, "0" * 64
+        )
+        path.write_text(tampered, encoding="utf-8")
+        accumulator = IncrementalStudyAccumulator(korean_gazetteer, _directory())
+        with pytest.raises(StorageError, match="digest"):
+            StreamConsumer.resume(accumulator, tmp_path / "wal.jsonl", log)
+
+    def test_resume_with_short_wal_raises(self, tmp_path, korean_gazetteer):
+        log = self._crash_scenario(tmp_path, korean_gazetteer)
+        (tmp_path / "wal.jsonl").write_text("", encoding="utf-8")
+        accumulator = IncrementalStudyAccumulator(korean_gazetteer, _directory())
+        with pytest.raises(StorageError, match="checkpoint covers"):
+            StreamConsumer.resume(accumulator, tmp_path / "wal.jsonl", log)
+
+    def test_resume_without_checkpoint_starts_clean(self, tmp_path, korean_gazetteer):
+        wal_path = tmp_path / "wal.jsonl"
+        consumer, log = _consumer(tmp_path, korean_gazetteer, checkpoint_every=9)
+        consumer.consume(_batch([0, 1]), safe_offset=2)  # never checkpointed
+        accumulator = IncrementalStudyAccumulator(korean_gazetteer, _directory())
+        resumed, offset = StreamConsumer.resume(accumulator, wal_path, log)
+        assert offset == 0
+        assert resumed.batches == 0
+        assert accumulator.observations_folded == 0
+        assert len(TweetStore.load(wal_path)) == 0  # journal discarded

@@ -1,0 +1,100 @@
+"""Unit tests for the bounded ingest queue and its backpressure policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streaming import BackpressurePolicy, BoundedTweetQueue, PutOutcome
+from repro.twitter.models import Tweet
+
+
+def _tweet(i):
+    return Tweet(tweet_id=i, user_id=1, created_at_ms=i * 1000, text=f"t{i}")
+
+
+def _fill(queue, n, start=0):
+    for i in range(start, start + n):
+        assert queue.offer(i, _tweet(i)) is PutOutcome.ENQUEUED
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            BoundedTweetQueue(0)
+
+    def test_fifo_order_and_offsets(self):
+        queue = BoundedTweetQueue(4)
+        _fill(queue, 3)
+        assert queue.head_offset == 0
+        batch = queue.take_batch(2)
+        assert [offset for offset, _ in batch] == [0, 1]
+        assert queue.head_offset == 2
+        assert len(queue) == 1
+
+    def test_head_offset_empty(self):
+        assert BoundedTweetQueue(2).head_offset is None
+
+    def test_take_batch_respects_limit(self):
+        queue = BoundedTweetQueue(8)
+        _fill(queue, 5)
+        assert len(queue.take_batch(3)) == 3
+        assert len(queue.take_batch(10)) == 2
+        assert queue.take_batch(10) == []
+
+    def test_high_watermark(self):
+        queue = BoundedTweetQueue(8)
+        _fill(queue, 5)
+        queue.take_batch(5)
+        _fill(queue, 2, start=5)
+        assert queue.stats.high_watermark == 5
+
+
+class TestBlock:
+    def test_full_queue_reports_would_block_without_enqueuing(self):
+        queue = BoundedTweetQueue(2, BackpressurePolicy.BLOCK)
+        _fill(queue, 2)
+        assert queue.offer(2, _tweet(2)) is PutOutcome.WOULD_BLOCK
+        assert len(queue) == 2
+        assert queue.stats.block_waits == 1
+        assert queue.stats.dropped == 0
+
+    def test_retry_after_drain_succeeds(self):
+        queue = BoundedTweetQueue(2, BackpressurePolicy.BLOCK)
+        _fill(queue, 2)
+        assert queue.offer(2, _tweet(2)) is PutOutcome.WOULD_BLOCK
+        queue.take_batch(1)
+        assert queue.offer(2, _tweet(2)) is PutOutcome.ENQUEUED
+        assert [o for o, _ in queue.take_batch(5)] == [1, 2]
+
+
+class TestDropOldest:
+    def test_evicts_head_to_admit_newest(self):
+        queue = BoundedTweetQueue(2, BackpressurePolicy.DROP_OLDEST)
+        _fill(queue, 2)
+        assert queue.offer(2, _tweet(2)) is PutOutcome.DROPPED_OLDEST
+        assert [o for o, _ in queue.take_batch(5)] == [1, 2]
+        assert queue.stats.dropped_oldest == 1
+        assert queue.stats.dropped == 1
+
+
+class TestShed:
+    def test_rejects_newest_and_counts(self):
+        queue = BoundedTweetQueue(2, BackpressurePolicy.SHED)
+        _fill(queue, 2)
+        assert queue.offer(2, _tweet(2)) is PutOutcome.SHED
+        assert [o for o, _ in queue.take_batch(5)] == [0, 1]
+        assert queue.stats.shed == 1
+        assert queue.stats.dropped == 1
+
+
+class TestSnapshot:
+    def test_snapshot_reports_depth_and_counters(self):
+        queue = BoundedTweetQueue(3, BackpressurePolicy.SHED)
+        _fill(queue, 3)
+        queue.offer(3, _tweet(3))
+        view = queue.snapshot()
+        assert view["depth"] == 3
+        assert view["capacity"] == 3
+        assert view["enqueued"] == 3
+        assert view["shed"] == 1
+        assert view["dropped"] == 1
+        assert view["high_watermark"] == 3

@@ -1,0 +1,101 @@
+"""Unit tests for the replayable firehose source."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NotFoundError, ServiceUnavailableError
+from repro.storage.userstore import UserStore
+from repro.streaming import FirehoseSource
+from repro.streaming.source import BACKOFF_BASE_S, BACKOFF_CAP_S
+from repro.twitter.models import Tweet
+
+from tests.streaming.conftest import make_user
+
+
+def _tweet(i, text="hello"):
+    return Tweet(tweet_id=i, user_id=1, created_at_ms=i * 1000, text=text)
+
+
+def _directory():
+    store = UserStore()
+    store.insert(make_user(1, "Seoul", screen_name="a"))
+    return store
+
+
+class TestDelivery:
+    def test_delivers_in_id_order_with_offsets(self):
+        source = FirehoseSource([_tweet(3), _tweet(1), _tweet(2)], _directory())
+        pairs = list(source.iter_from(0))
+        assert [offset for offset, _ in pairs] == [0, 1, 2]
+        assert [t.tweet_id for _, t in pairs] == [1, 2, 3]
+        assert source.stats.delivered == 3
+
+    def test_track_filter_applies_at_subscription(self):
+        tweets = [_tweet(1, "lady gaga tonight"), _tweet(2, "weather"),
+                  _tweet(3, "LADY GAGA!")]
+        source = FirehoseSource(tweets, _directory(), track=("lady gaga",))
+        assert len(source) == 2
+        assert source.stats.filtered_out == 1
+        assert source.track == ("lady gaga",)
+
+    def test_iter_from_midpoint_replays_suffix(self):
+        source = FirehoseSource([_tweet(i) for i in range(5)], _directory())
+        assert [offset for offset, _ in source.iter_from(3)] == [3, 4]
+
+    def test_offset_bounds_validated(self):
+        source = FirehoseSource([_tweet(1)], _directory())
+        with pytest.raises(ConfigurationError):
+            next(source.iter_from(2))
+        with pytest.raises(ConfigurationError):
+            next(source.iter_from(-1))
+
+    def test_user_hydration(self):
+        source = FirehoseSource([_tweet(1)], _directory())
+        assert source.user(1).screen_name == "a"
+        with pytest.raises(NotFoundError):
+            source.user(99)
+
+
+class TestDisconnects:
+    def test_disconnect_schedule_raises_and_counts(self):
+        source = FirehoseSource(
+            [_tweet(i) for i in range(5)], _directory(), disconnect_every=2
+        )
+        delivered = []
+        with pytest.raises(ServiceUnavailableError):
+            for offset, _ in source.iter_from(0):
+                delivered.append(offset)
+        assert delivered == [0, 1]
+        assert source.stats.disconnects == 1
+
+    def test_resubscribe_continues_and_counts(self):
+        source = FirehoseSource(
+            [_tweet(i) for i in range(5)], _directory(), disconnect_every=2
+        )
+        delivered = []
+        offset = 0
+        while True:
+            try:
+                for position, _ in source.iter_from(offset):
+                    delivered.append(position)
+                    offset = position + 1
+                break
+            except ServiceUnavailableError:
+                source.reconnect_backoff_s()
+        assert delivered == [0, 1, 2, 3, 4]
+        assert source.stats.resubscribes == 2
+        assert source.stats.delivered == 5
+
+    def test_backoff_is_exponential_capped_and_virtual(self):
+        source = FirehoseSource([_tweet(1)], _directory())
+        charged = []
+        for disconnects in (1, 2, 3, 20):
+            source.stats.disconnects = disconnects
+            charged.append(source.reconnect_backoff_s())
+        assert charged[:3] == [BACKOFF_BASE_S, BACKOFF_BASE_S * 2, BACKOFF_BASE_S * 4]
+        assert charged[3] == BACKOFF_CAP_S
+        assert source.clock.now_s == pytest.approx(sum(charged))
+        assert source.stats.backoff_s == pytest.approx(sum(charged))
+
+    def test_negative_disconnect_every_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FirehoseSource([], _directory(), disconnect_every=-1)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.grouping",
     "repro.pipelines",
     "repro.storage",
+    "repro.streaming",
     "repro.text",
     "repro.twitter",
     "repro.yahooapi",
