@@ -1,0 +1,133 @@
+"""Geocode tier benchmark: cold vs warm disk tier (BENCH_geocode.json).
+
+Measures, at the default benchmark scale:
+
+* a full ``run_study`` with an empty ``cache_dir`` (cold: every distinct
+  cell falls through to the simulated PlaceFinder backend) vs the same
+  study re-run over the now-populated directory (warm: zero backend
+  lookups, every cell off the disk tier);
+* a service-level micro-benchmark — resolving every distinct GPS cell of
+  the dataset through a :class:`GeocodeService` with a cold vs a warm
+  persistent tier — which isolates the cache effect from the rest of the
+  study pipeline.
+
+Results accumulate machine-readably in
+``benchmarks/output/BENCH_geocode.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.correlation import run_study
+from repro.engine import EngineConfig, RunContext
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode import GeocodeService, PlaceFinderBackend
+from repro.yahooapi.client import PlaceFinderClient
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_geocode.json"
+
+
+def _merge_into_report(payload: dict) -> None:
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    report = {}
+    if _OUTPUT.exists():
+        report = json.loads(_OUTPUT.read_text(encoding="utf-8"))
+    report.update(payload)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def _timed_study(ctx, cache_dir):
+    dataset = ctx.korean_dataset
+    context = RunContext(dataset_name="korean")
+    start = time.perf_counter()
+    study = run_study(
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name="Korean",
+        engine_config=EngineConfig(cache_dir=str(cache_dir)),
+        context=context,
+    )
+    return time.perf_counter() - start, study, context.metrics.snapshot()
+
+
+@pytest.mark.slow
+def test_cold_vs_warm_study_runs(ctx, tmp_path):
+    cache = tmp_path / "geocache"
+    cold_s, cold_study, cold = _timed_study(ctx, cache)
+    warm_s, warm_study, warm = _timed_study(ctx, cache)
+
+    assert cold["geocode.tiers.backend.lookups"] > 0
+    assert warm["geocode.tiers.backend.lookups"] == 0
+    assert warm_study.statistics == cold_study.statistics
+    assert warm_study.api_stats == cold_study.api_stats
+
+    _merge_into_report(
+        {
+            "study_runs": {
+                "cold_s": round(cold_s, 4),
+                "warm_s": round(warm_s, 4),
+                "speedup": round(cold_s / warm_s, 3) if warm_s > 0 else None,
+                "distinct_cells": int(cold["geocode.tiers.cache_size"]),
+                "cold_backend_lookups": int(cold["geocode.tiers.backend.lookups"]),
+                "warm_backend_lookups": int(warm["geocode.tiers.backend.lookups"]),
+            }
+        }
+    )
+    print(
+        f"\ngeocode cache, full study: cold {cold_s:.3f}s vs warm {warm_s:.3f}s "
+        f"({cold_s / warm_s:.2f}x), "
+        f"{int(cold['geocode.tiers.cache_size'])} cells persisted"
+    )
+
+
+@pytest.mark.slow
+def test_cold_vs_warm_service_micro(ctx, tmp_path):
+    """Pure tier effect: resolve every distinct GPS cell cold, then warm."""
+    dataset = ctx.korean_dataset
+    path = tmp_path / "geocells.jsonl"
+
+    def service():
+        client = PlaceFinderClient(
+            ReverseGeocoder(dataset.gazetteer), daily_quota=10**9
+        )
+        return GeocodeService(PlaceFinderBackend(client), cache_path=path)
+
+    cold = service()
+    cells = sorted({cold.cell_of(t.coordinates) for t in dataset.tweets.gps_tweets()})
+
+    start = time.perf_counter()
+    for cell in cells:
+        cold.resolve_cell(cell)
+    cold_s = time.perf_counter() - start
+    assert cold.stats.backend_lookups == len(cells)
+
+    warm = service()
+    start = time.perf_counter()
+    for cell in cells:
+        warm.resolve_cell(cell)
+    warm_s = time.perf_counter() - start
+    assert warm.stats.backend_lookups == 0
+    assert warm.stats.disk_hits == len(cells)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    _merge_into_report(
+        {
+            "service_micro": {
+                "cells": len(cells),
+                "cold_s": round(cold_s, 4),
+                "warm_s": round(warm_s, 4),
+                "speedup": round(speedup, 2),
+            }
+        }
+    )
+    print(
+        f"\ngeocode cache, service micro: {len(cells)} cells, "
+        f"cold {cold_s:.4f}s vs warm {warm_s:.4f}s ({speedup:.1f}x)"
+    )
+    # The warm tier skips the XML round-trip entirely; anything less than
+    # a clear win means the tiers regressed.
+    assert warm_s < cold_s

@@ -10,46 +10,49 @@ simulated API accounting — fresh at every point in the stream.
 per-user state:
 
 * profile locations are forward-geocoded once, on a user's first tweet;
-* GPS tweets of well-defined users are reverse-geocoded through a live
-  :class:`~repro.yahooapi.client.PlaceFinderClient` for the *live* views
-  (group-share drift, observation counts, checkpoint digests);
+* GPS tweets of well-defined users are reverse-geocoded through the
+  tiered :class:`~repro.geocode.service.GeocodeService` — one resolution
+  per 0.001° cell, at the cell's canonical representative point;
 * observations feed an :class:`~repro.grouping.incremental
   .IncrementalGrouper`, and only the users *touched by the batch* are
   re-classified — the per-group tallies update by group-transition deltas
   rather than a full recount.
 
-:meth:`IncrementalStudyAccumulator.snapshot` assembles a
-:class:`StudyResult` by replaying reverse geocoding over the retained
-GPS tweets in the batch pipeline's canonical order (users ascending by
-id, each user's tweets by tweet id).  The replay is what makes the
-snapshot **byte-identical** to ``run_study`` over the tweets ingested so
-far: the simulated PlaceFinder's 0.001° cell cache is order-sensitive —
-the first point to hit a cell decides every later lookup in it — so
-fold-order resolutions near district boundaries can differ from the
-batch pipeline's, and only a canonical-order replay reproduces them
-exactly (including the :class:`~repro.yahooapi.client.ClientStats`
-accounting).  Property-tested in
+Because a cell's outcome is a pure function of the cell key (see
+:mod:`repro.geocode.service`), fold-time resolutions are *already* the
+batch pipeline's resolutions: :meth:`IncrementalStudyAccumulator
+.snapshot` assembles the :class:`StudyResult` directly from the retained
+per-cell rows and the live grouper state, with **no** re-geocoding — the
+serial canonical-order replay earlier revisions performed is gone, and a
+snapshot costs O(study users), not O(retained tweets) geocoder calls.
+The simulated :class:`~repro.yahooapi.client.ClientStats` accounting is
+reconstructed arithmetically from the same invariant (requests = distinct
+cells, cache hits = lookups − distinct cells).  Byte-identity with
+``run_study`` is property-tested in
 ``tests/streaming/test_stream_equivalence.py`` via the serialised JSON
 document.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import Counter
-from dataclasses import replace
+from pathlib import Path
 
 from repro.analysis.correlation import StudyResult
 from repro.datasets.refine import RefinementFunnel
 from repro.errors import ConfigurationError
 from repro.geo.forward import GeocodeStatus, TextGeocoder
 from repro.geo.gazetteer import Gazetteer
-from repro.geo.point import GeoPoint
 from repro.geo.region import District
 from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import PlaceFinderBackend
+from repro.geocode.cellstore import Cell
+from repro.geocode.service import GeocodeService, simulated_latency
 from repro.grouping.incremental import IncrementalGrouper
 from repro.grouping.merge import TieBreak
 from repro.grouping.stats import GroupRow, GroupStatistics, compute_group_statistics
-from repro.grouping.topk import TopKGroup, UserGrouping, group_users
+from repro.grouping.topk import TopKGroup, UserGrouping
 from repro.storage.userstore import UserStore
 from repro.twitter.models import GeotaggedObservation, Tweet
 from repro.yahooapi.client import ClientStats, PlaceFinderClient
@@ -57,6 +60,9 @@ from repro.yahooapi.client import ClientStats, PlaceFinderClient
 #: Quota for the accumulator-owned PlaceFinder client — effectively
 #: unlimited, matching the engine's ``ENGINE_QUOTA``.
 STREAM_QUOTA = 10**9
+
+#: Simulated per-request latency, mirroring the engine's client default.
+STREAM_LATENCY_S = 0.05
 
 
 class IncrementalStudyAccumulator:
@@ -72,6 +78,13 @@ class IncrementalStudyAccumulator:
             (1) is supported on a stream: a higher threshold makes the
             batch pipeline skip *all* reverse geocoding for users below
             it, which cannot be decided before the stream ends.
+        cache_dir: Directory for the geocode service's persistent cell
+            tier (``geocells.jsonl``), shared with ``repro study
+            --cache-dir`` — a stream resuming (or starting) against a
+            warm directory issues zero backend geocode lookups for
+            already-resolved cells.
+        geocode: Inject a pre-built service instead (overrides
+            ``cache_dir``).
 
     Raises:
         ConfigurationError: for ``min_gps_tweets != 1``.
@@ -83,6 +96,8 @@ class IncrementalStudyAccumulator:
         directory: UserStore,
         tie_break: TieBreak = TieBreak.STRING_ASC,
         min_gps_tweets: int = 1,
+        cache_dir: str | Path | None = None,
+        geocode: GeocodeService | None = None,
     ):
         if min_gps_tweets != 1:
             raise ConfigurationError(
@@ -93,24 +108,39 @@ class IncrementalStudyAccumulator:
         self._gazetteer = gazetteer
         self._tie_break = tie_break
         self._text_geocoder = TextGeocoder(gazetteer)
-        self._client = PlaceFinderClient(
-            ReverseGeocoder(gazetteer), daily_quota=STREAM_QUOTA
-        )
+        if geocode is None:
+            cache_path = (
+                Path(cache_dir) / "geocells.jsonl" if cache_dir is not None else None
+            )
+            geocode = GeocodeService(
+                PlaceFinderBackend(
+                    PlaceFinderClient(
+                        ReverseGeocoder(gazetteer),
+                        daily_quota=STREAM_QUOTA,
+                        latency_s=STREAM_LATENCY_S,
+                    )
+                ),
+                cache_path=cache_path,
+            )
+        self._geocode = geocode
         self._grouper = IncrementalGrouper(tie_break)
 
         # Per-user state, keyed by user id.
         self._profile_status: dict[int, str] = {}
         self._profile_districts: dict[int, District] = {}
-        self._rows: dict[int, list[GeotaggedObservation]] = {}
         self._groupings: dict[int, UserGrouping] = {}
-        # Raw GPS tweets of well-defined users — (tweet_id, timestamp,
-        # point) — retained for the snapshot's canonical-order replay.
-        self._gps_rows: dict[int, list[tuple[int, int, GeoPoint]]] = {}
+        # GPS tweets of well-defined users — (tweet_id, timestamp, cell) —
+        # kept sorted by tweet id so snapshots assemble observations in
+        # batch-canonical order without touching the geocoder again.
+        self._gps_rows: dict[int, list[tuple[int, int, Cell]]] = {}
 
-        # Stream-wide funnel counters.
+        # Stream-wide funnel and canonical-API counters.
         self._total_tweets = 0
         self._gps_tweets = 0
         self._unresolvable = 0
+        self._gps_lookups = 0
+        self._cells_seen: set[Cell] = set()
+        self._none_cells: set[Cell] = set()
 
         # Live per-group user tally, updated by transition deltas.
         self._group_tally: Counter[TopKGroup] = Counter()
@@ -132,11 +162,16 @@ class IncrementalStudyAccumulator:
             if district is None or not tweet.has_gps:
                 continue
             assert tweet.coordinates is not None
-            self._gps_rows.setdefault(tweet.user_id, []).append(
-                (tweet.tweet_id, tweet.created_at_ms, tweet.coordinates)
+            cell = self._geocode.cell_of(tweet.coordinates)
+            insort(
+                self._gps_rows.setdefault(tweet.user_id, []),
+                (tweet.tweet_id, tweet.created_at_ms, cell),
             )
-            path = self._client.resolve_admin_path(tweet.coordinates)
+            self._gps_lookups += 1
+            self._cells_seen.add(cell)
+            path = self._geocode.resolve_cell(cell)
             if path is None:
+                self._none_cells.add(cell)
                 self._unresolvable += 1
                 continue
             observation = GeotaggedObservation(
@@ -147,7 +182,6 @@ class IncrementalStudyAccumulator:
                 tweet_county=path.county,
                 timestamp_ms=tweet.created_at_ms,
             )
-            self._rows.setdefault(tweet.user_id, []).append(observation)
             self._grouper.add(observation)
             touched.add(tweet.user_id)
             produced += 1
@@ -181,9 +215,20 @@ class IncrementalStudyAccumulator:
         return self._grouper
 
     @property
+    def geocode(self) -> GeocodeService:
+        """The tiered geocode service fold-time resolutions go through."""
+        return self._geocode
+
+    @property
     def api_stats(self) -> ClientStats:
-        """Live PlaceFinder usage accounting for the stream so far."""
-        return self._client.stats
+        """Canonical PlaceFinder accounting for the stream so far.
+
+        Reconstructed arithmetically from the cell invariant — one
+        request per distinct cell, every other lookup a cache hit — so
+        the live view always equals what a batch run over the same
+        tweets would report.
+        """
+        return self._canonical_stats()
 
     @property
     def users_seen(self) -> int:
@@ -194,12 +239,12 @@ class IncrementalStudyAccumulator:
     @property
     def study_users(self) -> int:
         """Users currently in the study (>= 1 resolved observation)."""
-        return len(self._rows)
+        return len(self._groupings)
 
     @property
     def observations_folded(self) -> int:
         """Resolved observations accumulated so far."""
-        return sum(len(rows) for rows in self._rows.values())
+        return self._gps_lookups - self._unresolvable
 
     def group_shares(self) -> dict[str, int]:
         """Live per-group user counts (the drifting Fig. 7 numerators).
@@ -223,19 +268,30 @@ class IncrementalStudyAccumulator:
             "unresolvable": self._unresolvable,
         }
 
+    def _canonical_stats(self) -> ClientStats:
+        """The :class:`ClientStats` a single serial batch client reports."""
+        stats = ClientStats()
+        stats.requests = len(self._cells_seen)
+        stats.cache_hits = self._gps_lookups - len(self._cells_seen)
+        stats.no_result = len(self._none_cells)
+        stats.simulated_latency_s = simulated_latency(
+            stats.requests, STREAM_LATENCY_S
+        )
+        return stats
+
     # --------------------------------------------------------------- snapshot
     def snapshot(self, dataset_name: str = "stream") -> StudyResult:
         """The current :class:`StudyResult`, byte-identical to the batch.
 
-        The retained GPS tweets are re-resolved through a *fresh*
-        PlaceFinder client in the batch pipeline's canonical order (users
-        ascending by id, tweets ascending by tweet id).  Fold-time
-        resolutions cannot be reused here: the client's 0.001° cell cache
-        answers every lookup in a cell with the first point that hit it,
-        so near-boundary cells shared by tweets of different users can
-        resolve differently under arrival order than under batch order.
-        The replay reproduces the batch run exactly — observations,
-        funnel attrition, and the :class:`ClientStats` accounting.
+        No re-geocoding happens here: cell outcomes are pure functions of
+        the cell key, so the fold-time resolutions *are* the batch
+        pipeline's.  Observations are assembled from the retained
+        ``(tweet_id, timestamp, cell)`` rows in batch-canonical order
+        (users ascending by id, tweets ascending by tweet id), groupings
+        are read straight off the incremental grouper, and the API
+        accounting is the canonical arithmetic view — O(study users)
+        work plus cached cell lookups, instead of the full serial replay
+        earlier revisions needed.
         """
         # The batch ProfileGeocodeStage geocodes *every* crawled user, not
         # just the authors the stream happened to deliver — sweep the rest
@@ -251,22 +307,18 @@ class IncrementalStudyAccumulator:
             funnel.profile_status_counts[self._profile_status[user_id]] += 1
         funnel.well_defined_users = len(self._profile_districts)
         funnel.users_with_gps = len(self._gps_rows)
+        funnel.unresolvable_gps_tweets = self._unresolvable
 
-        client = PlaceFinderClient(
-            ReverseGeocoder(self._gazetteer), daily_quota=STREAM_QUOTA
-        )
         observations: list[GeotaggedObservation] = []
         kept_districts: dict[int, District] = {}
         for user_id in sorted(self._gps_rows):
             district = self._profile_districts[user_id]
             user_rows: list[GeotaggedObservation] = []
-            for _, timestamp_ms, point in sorted(
-                self._gps_rows[user_id], key=lambda row: row[0]
-            ):
-                path = client.resolve_admin_path(point)
-                if path is None:
-                    funnel.unresolvable_gps_tweets += 1
+            for _, timestamp_ms, cell in self._gps_rows[user_id]:
+                if cell in self._none_cells:
                     continue
+                path = self._geocode.resolve_cell(cell)
+                assert path is not None  # outcome is a pure function of cell
                 user_rows.append(
                     GeotaggedObservation(
                         user_id=user_id,
@@ -281,7 +333,9 @@ class IncrementalStudyAccumulator:
                 observations.extend(user_rows)
                 kept_districts[user_id] = district
         funnel.resolved_observations = len(observations)
-        groupings = group_users(observations, tie_break=self._tie_break)
+        groupings = {
+            user_id: self._groupings[user_id] for user_id in sorted(kept_districts)
+        }
         funnel.study_users = len(groupings)
 
         return StudyResult(
@@ -295,7 +349,7 @@ class IncrementalStudyAccumulator:
                 else _empty_statistics()
             ),
             profile_districts=kept_districts,
-            api_stats=replace(client.stats),
+            api_stats=self._canonical_stats(),
         )
 
 

@@ -36,7 +36,7 @@ from repro.engine import EngineConfig, RunContext, render_trace
 from repro.geo.gazetteer import Gazetteer
 from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
 from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
-from repro.errors import ReproError
+from repro.errors import ReproError, StorageError
 from repro.events.evaluation import (
     LocalizationExperiment,
     make_korean_scenarios,
@@ -89,6 +89,7 @@ def _run_engine_study(args: argparse.Namespace):
         engine_config=EngineConfig(
             shards=getattr(args, "shards", 1),
             backend=getattr(args, "backend", "serial"),
+            cache_dir=getattr(args, "cache_dir", None) or None,
         ),
         context=context,
     )
@@ -184,18 +185,49 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code for ``stream --resume`` against unusable checkpoint state —
+#: distinct from 1 (generic :class:`ReproError`) so operators and scripts
+#: can tell "fix the state directory" apart from every other failure.
+EXIT_RESUME_STATE = 3
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
     state_dir = Path(args.state_dir)
     state_dir.mkdir(parents=True, exist_ok=True)
     wal_path = state_dir / "wal.jsonl"
     checkpoint_log = CheckpointLog(state_dir / "checkpoints.jsonl")
 
-    accumulator = IncrementalStudyAccumulator(dataset.gazetteer, dataset.users)
     if args.resume:
-        consumer, offset = StreamConsumer.resume(
-            accumulator, wal_path, checkpoint_log, args.checkpoint_every
-        )
+        # Validate the resume state before the (expensive) dataset build so
+        # a bad state directory fails in milliseconds with a clear message.
+        if not checkpoint_log.path.exists():
+            print(f"error: cannot resume: no checkpoint log at {checkpoint_log.path} "
+                  "— run without --resume to start a fresh stream", file=sys.stderr)
+            return EXIT_RESUME_STATE
+        try:
+            if checkpoint_log.latest() is None:
+                print(f"error: cannot resume: checkpoint log {checkpoint_log.path} "
+                      "holds no complete checkpoint (truncated write?) — run "
+                      "without --resume to start a fresh stream", file=sys.stderr)
+                return EXIT_RESUME_STATE
+        except StorageError as exc:
+            print(f"error: cannot resume: {exc} — run without --resume to start "
+                  "a fresh stream", file=sys.stderr)
+            return EXIT_RESUME_STATE
+
+    dataset = _build_dataset(args)
+    accumulator = IncrementalStudyAccumulator(
+        dataset.gazetteer, dataset.users, cache_dir=args.cache_dir or None
+    )
+    if args.resume:
+        try:
+            consumer, offset = StreamConsumer.resume(
+                accumulator, wal_path, checkpoint_log, args.checkpoint_every
+            )
+        except StorageError as exc:
+            print(f"error: cannot resume: {exc} — run without --resume to start "
+                  "a fresh stream", file=sys.stderr)
+            return EXIT_RESUME_STATE
         print(f"resuming from checkpoint: offset {offset}, "
               f"{consumer.batches} batches already durable")
     else:
@@ -266,6 +298,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="shard count for the engine's hot-path stages")
     parser.add_argument("--backend", choices=("serial", "process"),
                         default="serial", help="shard execution backend")
+    _add_cache_option(parser)
+
+
+def _add_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default="",
+                        help="directory for the persistent geocode cell cache; "
+                        "reuse it across runs to skip already-resolved cells")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--metrics", action="store_true",
                         help="print the stream metrics snapshot and batch spans")
     _add_build_options(stream)
+    _add_cache_option(stream)
     stream.set_defaults(func=_cmd_stream)
 
     localize = subparsers.add_parser(

@@ -109,8 +109,9 @@ def render_trace(context: RunContext) -> str:
     prints one row per stage exactly as before, while a streaming run
     (thousands of ``stream.batch`` spans) collapses to one row with its
     run count, total time, and summed items.  The simulated API client's
-    retry behaviour gets its own line so transient-failure runs are
-    legible without digging through the metrics snapshot.
+    retry behaviour and the geocode service's per-tier hit/miss counters
+    get their own summary lines so transient-failure and cache-warmth
+    behaviour are legible without digging through the metrics snapshot.
     """
     lines = [f"Run trace — {context.dataset_name}"
              + (f" (seed {context.seed})" if context.seed is not None else "")]
@@ -140,6 +141,18 @@ def render_trace(context: RunContext) -> str:
         lines.append(
             f"api client: retries={int(retries or 0)} "
             f"retry_exhausted={int(retry_exhausted or 0)}"
+        )
+    if "geocode.tiers.l1.hits" in snapshot:
+        lines.append("")
+        lines.append(
+            "geocode tiers: "
+            f"l1 {int(snapshot['geocode.tiers.l1.hits'])} hit"
+            f"/{int(snapshot['geocode.tiers.l1.misses'])} miss"
+            f" ({int(snapshot['geocode.tiers.l1.evictions'])} evicted), "
+            f"disk {int(snapshot['geocode.tiers.disk.hits'])} hit"
+            f"/{int(snapshot['geocode.tiers.disk.misses'])} miss, "
+            f"backend {int(snapshot['geocode.tiers.backend.lookups'])} lookups, "
+            f"cache_size={int(snapshot['geocode.tiers.cache_size'])}"
         )
     lines.append("")
     lines.append("metrics snapshot:")

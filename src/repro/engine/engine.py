@@ -12,7 +12,8 @@ are now thin wrappers over this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from pathlib import Path
 
 from repro.analysis.correlation import StudyResult
 from repro.engine.context import RunContext
@@ -26,9 +27,13 @@ from repro.engine.stages import (
     StatisticsStage,
     StudyState,
 )
+from repro.engine.stages import ENGINE_QUOTA
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.geo.forward import TextGeocoder
 from repro.geo.gazetteer import Gazetteer
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import PlaceFinderBackend
+from repro.geocode.service import GeocodeService
 from repro.grouping.merge import TieBreak
 from repro.storage.tweetstore import TweetStore
 from repro.storage.userstore import UserStore
@@ -44,12 +49,17 @@ class EngineConfig:
         backend: ``"serial"`` or ``"process"`` (one worker per shard).
         min_gps_tweets: Study-entry threshold (paper: 1).
         tie_break: Equal-count ordering policy for the grouping method.
+        cache_dir: Directory for the geocode service's persistent cell
+            tier (``geocells.jsonl``); ``None`` keeps the cache in
+            memory only.  A second run pointed at a warm directory
+            issues zero backend geocode lookups.
     """
 
     shards: int = 1
     backend: str = "serial"
     min_gps_tweets: int = 1
     tie_break: TieBreak = TieBreak.STRING_ASC
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -100,6 +110,23 @@ class StudyEngine:
         self._placefinder = placefinder
         self._stages: list[Stage] = stages if stages is not None else default_stages()
         self._last_run: EngineRun | None = None
+        # One tiered geocode service per engine: cells resolved by one run
+        # stay warm for the next, and a cache_dir makes them durable.
+        self._geocode: GeocodeService | None = None
+        if placefinder is None:
+            cache_path = (
+                Path(self._config.cache_dir) / "geocells.jsonl"
+                if self._config.cache_dir
+                else None
+            )
+            self._geocode = GeocodeService(
+                PlaceFinderBackend(
+                    PlaceFinderClient(
+                        ReverseGeocoder(gazetteer), daily_quota=ENGINE_QUOTA
+                    )
+                ),
+                cache_path=cache_path,
+            )
 
     @property
     def config(self) -> EngineConfig:
@@ -115,6 +142,12 @@ class StudyEngine:
     def last_run(self) -> EngineRun | None:
         """The most recent run's result/context/state (``None`` before any)."""
         return self._last_run
+
+    @property
+    def geocode(self) -> GeocodeService | None:
+        """The engine-owned tiered geocode service (``None`` with an
+        injected client, whose serial semantics bypass the tiers)."""
+        return self._geocode
 
     def run(
         self,
@@ -141,6 +174,7 @@ class StudyEngine:
             text_geocoder=TextGeocoder(self._gazetteer),
             gazetteer=self._gazetteer,
             placefinder=self._placefinder,
+            geocode=self._geocode,
             executor=ShardedExecutor(
                 shards=self._config.shards, backend=self._config.backend
             ),

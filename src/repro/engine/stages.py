@@ -33,6 +33,9 @@ from repro.geo.forward import GeocodeStatus, TextGeocoder
 from repro.geo.gazetteer import Gazetteer
 from repro.geo.region import AdminPath, District
 from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.cellstore import Cell
+from repro.geocode.service import GeocodeService, simulated_latency
+from repro.geocode.backend import PlaceFinderBackend
 from repro.grouping.merge import TieBreak
 from repro.grouping.stats import GroupStatistics, compute_group_statistics
 from repro.grouping.topk import UserGrouping, group_users
@@ -64,6 +67,10 @@ class StudyState:
             based failure injection and shared quota cannot be sharded
             without changing semantics.  ``None`` lets the stage own its
             clients and shard freely.
+        geocode: The tiered :class:`~repro.geocode.service.GeocodeService`
+            reverse geocoding resolves through when no client is injected.
+            ``None`` makes the stage build a memory-only service; the
+            engine supplies one so warm tiers persist across runs.
         executor: Shard plan for the hot-path stages.
         min_gps_tweets: Study-entry threshold (paper: 1).
         tie_break: Equal-count ordering policy for the grouping method.
@@ -82,6 +89,7 @@ class StudyState:
     text_geocoder: TextGeocoder
     gazetteer: Gazetteer | None = None
     placefinder: PlaceFinderClient | None = None
+    geocode: GeocodeService | None = None
     executor: ShardedExecutor = field(default_factory=ShardedExecutor)
     min_gps_tweets: int = 1
     tie_break: TieBreak = TieBreak.STRING_ASC
@@ -174,14 +182,22 @@ def _resolve_cells_shard(
 class ReverseGeocodeStage:
     """The per-tweet PlaceFinder hot path (funnel steps 3-4), shardable.
 
-    With an injected client the stage replays the seed's serial loop
+    With an injected client the stage runs the seed's serial loop
     through it — quota exhaustion and index-based failure injection keep
-    their exact semantics.  Otherwise the stage dedups GPS points into
-    cache cells (the client's own 0.001° quantisation), resolves each
-    distinct cell once across the shard plan, and then replays the tweet
-    stream serially against the resolved-cell map while reconstructing
-    the canonical :class:`ClientStats` — byte-identical to what one
-    shared serial client would have reported, for any shard count.
+    their exact semantics.  Otherwise the stage resolves through the
+    tiered :class:`~repro.geocode.service.GeocodeService`: GPS points
+    dedupe into 0.001° cells, cached cells are answered by the tiers
+    (including the persistent store — a warm second run issues **zero**
+    backend lookups), and only the misses are resolved — across the
+    shard plan, each at its cell's canonical representative point.
+
+    Because every cell outcome is a pure function of the cell key, the
+    canonical :class:`ClientStats` a single shared serial client would
+    have reported is reconstructed *arithmetically* — requests = distinct
+    cells, cache hits = lookups minus distinct cells, no-results = cells
+    resolving nowhere — instead of by the serial per-tweet replay earlier
+    revisions needed.  Byte-identical for any shard count, backend, and
+    cache warmth.
     """
 
     name = "reverse_geocode"
@@ -197,8 +213,16 @@ class ReverseGeocodeStage:
             span.items_in = sum(len(gps) for _, _, gps in candidates)
             if state.placefinder is not None:
                 stats = self._run_injected(state, candidates)
+                context.metrics.register_source(
+                    "geocode.client",
+                    lambda: {"cache_size": state.placefinder.cache_size},
+                )
             else:
-                stats = self._run_sharded(state, candidates)
+                stats = self._run_service(state, candidates)
+                assert state.geocode is not None
+                context.metrics.register_source(
+                    "geocode.tiers", state.geocode.stats_source
+                )
             state.api_stats = stats
             state.funnel.resolved_observations = len(state.observations)
             state.funnel.study_users = len(state.study_users)
@@ -240,54 +264,53 @@ class ReverseGeocodeStage:
             self._keep(state, user_id, district, user_rows)
         return placefinder.stats
 
-    # --------------------------------------------------------- sharded client
-    def _run_sharded(
+    # --------------------------------------------------------- tiered service
+    def _run_service(
         self,
         state: StudyState,
         candidates: list[tuple[int, District, list[Tweet]]],
     ) -> ClientStats:
-        """Distinct-cell resolution across shards + serial stats replay."""
-        if state.gazetteer is None:
-            raise ConfigurationError(
-                "sharded reverse geocoding requires a gazetteer on the state"
-            )
-        # First-encounter-ordered representative point per cache cell: the
-        # serial client would issue exactly one request per cell (for the
-        # first point that hits it) and serve every later point from cache.
-        cells: dict[tuple[int, int], object] = {}
+        """Resolve distinct cells through the tiers; derive canonical stats."""
+        service = self._service(state)
+        # Dedupe GPS points into cells and split them by tier residency.
+        lookups = 0
+        seen: set[Cell] = set()
+        outcomes: dict[Cell, AdminPath | None] = {}
+        misses: list[Cell] = []
         for _, _, gps_tweets in candidates:
             for tweet in gps_tweets:
                 assert tweet.coordinates is not None
-                cell = self._cell(tweet.coordinates)
-                if cell not in cells:
-                    cells[cell] = tweet.coordinates
-        shard_outputs = state.executor.map_shards(
-            list(cells.items()),
-            _resolve_cells_shard,
-            payload=(state.gazetteer, self.latency_s),
-        )
-        resolved: dict[tuple[int, int], AdminPath | None] = {}
-        for shard in shard_outputs:
-            resolved.update(shard)
+                lookups += 1
+                cell = service.cell_of(tweet.coordinates)
+                if cell in seen:
+                    continue
+                seen.add(cell)
+                hit, outcome = service.lookup_cached(cell)
+                if hit:
+                    outcomes[cell] = outcome
+                else:
+                    misses.append(cell)
+        self._resolve_misses(state, service, misses, outcomes)
 
-        # Serial replay: reconstruct the canonical shared-client stats and
-        # build observations in the exact order the seed loop would.
+        # Canonical accounting, arithmetically: cell outcomes are pure
+        # functions of the cell key, so a single shared serial client
+        # would have issued one request per distinct cell (first point to
+        # hit it) and served every other point from cache — no matter the
+        # order.  Latency accumulates by repeated addition to reproduce
+        # the serial client's float bit for bit.
         stats = ClientStats()
-        seen: set[tuple[int, int]] = set()
+        stats.requests = len(seen)
+        stats.cache_hits = lookups - len(seen)
+        stats.no_result = sum(
+            1 for outcome in outcomes.values() if outcome is None
+        )
+        stats.simulated_latency_s = simulated_latency(len(seen), self.latency_s)
+
         for user_id, district, gps_tweets in candidates:
             user_rows = []
             for tweet in gps_tweets:
                 assert tweet.coordinates is not None
-                cell = self._cell(tweet.coordinates)
-                if cell in seen:
-                    stats.cache_hits += 1
-                else:
-                    seen.add(cell)
-                    stats.requests += 1
-                    stats.simulated_latency_s += self.latency_s
-                    if resolved[cell] is None:
-                        stats.no_result += 1
-                path = resolved[cell]
+                path = outcomes[service.cell_of(tweet.coordinates)]
                 if path is None:
                     state.funnel.unresolvable_gps_tweets += 1
                     continue
@@ -295,11 +318,56 @@ class ReverseGeocodeStage:
             self._keep(state, user_id, district, user_rows)
         return stats
 
-    # -------------------------------------------------------------- internals
-    def _cell(self, point) -> tuple[int, int]:
-        q = self.cache_quantum_deg
-        return (round(point.lat / q), round(point.lon / q))
+    def _service(self, state: StudyState) -> GeocodeService:
+        """The state's geocode service, building a memory-only default."""
+        if state.geocode is None:
+            if state.gazetteer is None:
+                raise ConfigurationError(
+                    "reverse geocoding requires a gazetteer or a geocode "
+                    "service on the state"
+                )
+            state.geocode = GeocodeService(
+                PlaceFinderBackend(
+                    PlaceFinderClient(
+                        ReverseGeocoder(state.gazetteer),
+                        daily_quota=ENGINE_QUOTA,
+                        latency_s=self.latency_s,
+                    )
+                )
+            )
+        return state.geocode
 
+    def _resolve_misses(
+        self,
+        state: StudyState,
+        service: GeocodeService,
+        misses: list[Cell],
+        outcomes: dict[Cell, AdminPath | None],
+    ) -> None:
+        """Resolve uncached cells at their representatives, sharding when
+        the executor has more than one shard."""
+        if not misses:
+            return
+        if state.executor.shards > 1:
+            if state.gazetteer is None:
+                raise ConfigurationError(
+                    "sharded reverse geocoding requires a gazetteer on the state"
+                )
+            shard_outputs = state.executor.map_shards(
+                [(cell, service.representative(cell)) for cell in misses],
+                _resolve_cells_shard,
+                payload=(state.gazetteer, self.latency_s),
+            )
+            service.note_backend_lookups(len(misses))
+            for shard in shard_outputs:
+                for cell, path in shard:
+                    service.store(cell, path)
+                    outcomes[cell] = path
+        else:
+            for cell in misses:
+                outcomes[cell] = service.resolve_uncached(cell)
+
+    # -------------------------------------------------------------- internals
     @staticmethod
     def _observation(
         user_id: int, district: District, tweet: Tweet, path: AdminPath

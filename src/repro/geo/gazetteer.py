@@ -15,7 +15,9 @@ Lookup structures:
   maps to a list).
 * ``spatial grid`` — a uniform lat/lon grid for nearest-centroid queries;
   with a few hundred districts this keeps nearest-neighbour searches to a
-  handful of candidate cells instead of a full scan.
+  handful of candidate cells instead of a full scan.  Longitude cells wrap
+  modulo the cell count, so a query at lon 179.9° sees candidates indexed
+  at -179.9° — the antimeridian is an ordinary cell boundary, not an edge.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from collections import defaultdict
 from collections.abc import Iterable, Iterator
 
 from repro.errors import UnknownRegionError
-from repro.geo.point import GeoPoint
+from repro.geo.point import EARTH_RADIUS_KM, GeoPoint
 from repro.geo.region import District
 
 
@@ -44,6 +46,10 @@ class Gazetteer:
         if not self._districts:
             raise UnknownRegionError("gazetteer requires at least one district")
         self._grid_deg = grid_deg
+        # Longitude columns wrap: floor(180/g) and floor(-180/g) land in the
+        # same column modulo this count, so ring expansion crosses the
+        # antimeridian for free.
+        self._lon_cells = max(1, round(360.0 / grid_deg))
 
         self._by_key: dict[tuple[str, str], District] = {}
         for district in self._districts:
@@ -116,40 +122,81 @@ class Gazetteer:
     def _cell(self, point: GeoPoint) -> tuple[int, int]:
         return (
             int(math.floor(point.lat / self._grid_deg)),
-            int(math.floor(point.lon / self._grid_deg)),
+            int(math.floor(point.lon / self._grid_deg)) % self._lon_cells,
         )
 
-    def _candidates(self, point: GeoPoint, ring: int) -> list[District]:
+    def _shell(self, ci: int, cj: int, ring: int) -> Iterator[tuple[int, int]]:
+        """Grid keys on the Chebyshev shell at ``ring`` around ``(ci, cj)``.
+
+        O(ring) cells per shell.  Longitude offsets are taken modulo the
+        column count, so once ``2*ring + 1`` exceeds it a shell revisits
+        wrapped columns — callers dedupe across shells with a seen-set.
+        """
+        n = self._lon_cells
+        if ring == 0:
+            yield (ci, cj % n)
+            return
+        for dj in range(-ring, ring + 1):
+            yield (ci - ring, (cj + dj) % n)
+            yield (ci + ring, (cj + dj) % n)
+        for di in range(-ring + 1, ring):
+            yield (ci + di, (cj - ring) % n)
+            yield (ci + di, (cj + ring) % n)
+
+    def _candidates(
+        self, point: GeoPoint, ring: int, seen: set[tuple[int, int]]
+    ) -> list[District]:
         ci, cj = self._cell(point)
         found: list[District] = []
-        for di in range(-ring, ring + 1):
-            for dj in range(-ring, ring + 1):
-                if max(abs(di), abs(dj)) != ring:
-                    continue  # only the ring's shell; inner rings already done
-                found.extend(self._grid.get((ci + di, cj + dj), ()))
+        for cell in self._shell(ci, cj, ring):
+            if cell in seen:
+                continue
+            seen.add(cell)
+            found.extend(self._grid.get(cell, ()))
         return found
+
+    def _ring_lower_bound_km(self, point: GeoPoint, ring: int) -> float:
+        """A distance every centroid beyond ``ring`` provably exceeds.
+
+        A cell outside the scanned square is at least ``ring`` rows away in
+        latitude or at least ``ring`` columns away in longitude.  The
+        latitude bound is the meridian arc of ``ring`` cell heights.  The
+        longitude bound is the haversine distance for a ``ring``-cell
+        longitude gap, minimised over the latitudes such a cell can occupy
+        (within ``ring + 1`` rows of the query); once the scanned square
+        wraps the whole globe in longitude only the latitude bound applies.
+        """
+        g = self._grid_deg
+        lat_bound = math.radians(ring * g) * EARTH_RADIUS_KM
+        if 2 * ring + 1 >= self._lon_cells:
+            return lat_bound
+        cos_here = max(0.0, math.cos(math.radians(point.lat)))
+        reach = min(90.0, abs(point.lat) + (ring + 1) * g)
+        cos_far = max(0.0, math.cos(math.radians(reach)))
+        half_gap = math.radians(min(180.0, ring * g)) / 2.0
+        h = min(1.0, math.sqrt(cos_here * cos_far) * math.sin(half_gap))
+        lon_bound = 2.0 * EARTH_RADIUS_KM * math.asin(h)
+        return min(lat_bound, lon_bound)
 
     def nearest(self, point: GeoPoint) -> District:
         """The district whose centroid is closest to ``point``.
 
-        Expands the search ring outwards through the grid; once a candidate
-        is found, one extra ring is scanned so a centroid just across a cell
-        boundary cannot be missed.
+        Expands Chebyshev shells outwards through the grid and stops once
+        the best distance so far is provably shorter than anything a
+        further shell could hold (:meth:`_ring_lower_bound_km`) — exact at
+        cell boundaries, near the poles, and across the antimeridian.
         """
-        max_ring = int(math.ceil(360.0 / self._grid_deg))
+        max_ring = int(math.ceil(360.0 / self._grid_deg)) + 2
         best: District | None = None
         best_d = math.inf
-        found_at: int | None = None
+        seen: set[tuple[int, int]] = set()
         for ring in range(max_ring):
-            for district in self._candidates(point, ring):
+            for district in self._candidates(point, ring, seen):
                 d = district.center.distance_km(point)
                 if d < best_d:
                     best, best_d = district, d
-            if best is not None:
-                if found_at is None:
-                    found_at = ring
-                elif ring > found_at:
-                    break  # scanned one extra shell beyond the first hit
+            if best is not None and best_d <= self._ring_lower_bound_km(point, ring):
+                break
         if best is None:  # pragma: no cover - gazetteer is never empty
             raise UnknownRegionError("nearest() on empty gazetteer")
         return best
@@ -166,12 +213,22 @@ class Gazetteer:
 
         Used by event localisation to enumerate plausible witness districts.
         """
-        # Ring radius in cells that safely covers radius_km at this latitude.
-        deg = radius_km / 111.32 + self._grid_deg
+        # Ring count that covers radius_km in latitude and — widened by the
+        # bounding-box asin formula, which accounts for meridian convergence
+        # — in longitude; a disk touching a pole needs every column.
+        arc = radius_km / EARTH_RADIUS_KM
+        lat_deg = math.degrees(arc)
+        cos_lat = math.cos(math.radians(point.lat))
+        if abs(point.lat) + lat_deg >= 90.0 or math.sin(arc) >= cos_lat:
+            lon_deg = 180.0
+        else:
+            lon_deg = math.degrees(math.asin(math.sin(arc) / cos_lat))
+        deg = max(lat_deg, lon_deg) + self._grid_deg
         rings = int(math.ceil(deg / self._grid_deg))
         hits = []
+        seen: set[tuple[int, int]] = set()
         for ring in range(rings + 1):
-            for district in self._candidates(point, ring):
+            for district in self._candidates(point, ring, seen):
                 if district.center.distance_km(point) <= radius_km:
                     hits.append(district)
         hits.sort(key=lambda d: d.center.distance_km(point))

@@ -1,0 +1,41 @@
+"""Tiered, order-insensitive geocoding service layer.
+
+Public surface of :mod:`repro.geocode`:
+
+* :class:`GeocodeService` / :class:`TierStats` — the tiered cache every
+  geocoding consumer goes through (L1 LRU over a persistent cell store
+  over a backend), with canonical-representative cell semantics
+* :class:`GeocodeBackend` — the resolver protocol, implemented by
+  :class:`DirectBackend` (in-process) and :class:`PlaceFinderBackend`
+  (simulated API, XML round-trip)
+* :class:`CellStore` — the append-only on-disk cell tier
+* :class:`FailurePlan` / :class:`RetryPolicy` /
+  :func:`resolve_with_retries` — the shared lookup policy
+"""
+
+from repro.geocode.backend import DirectBackend, GeocodeBackend, PlaceFinderBackend
+from repro.geocode.cellstore import Cell, CellStore
+from repro.geocode.policy import FailurePlan, RetryPolicy, resolve_with_retries
+from repro.geocode.service import (
+    DEFAULT_L1_CAPACITY,
+    DEFAULT_QUANTUM_DEG,
+    GeocodeService,
+    TierStats,
+    simulated_latency,
+)
+
+__all__ = [
+    "Cell",
+    "CellStore",
+    "DEFAULT_L1_CAPACITY",
+    "DEFAULT_QUANTUM_DEG",
+    "DirectBackend",
+    "FailurePlan",
+    "GeocodeBackend",
+    "GeocodeService",
+    "PlaceFinderBackend",
+    "RetryPolicy",
+    "TierStats",
+    "resolve_with_retries",
+    "simulated_latency",
+]

@@ -1,0 +1,90 @@
+"""Service-level lookup policy: failure injection and retry accounting.
+
+The retry/backoff and failure-injection knobs used to live inside
+:class:`~repro.yahooapi.client.PlaceFinderClient`; they are policy, not
+client mechanics, so they now live here and are shared by every geocoding
+consumer — the client keeps re-exporting :class:`FailurePlan` for
+backwards compatibility, and both the client and the tiered
+:class:`~repro.geocode.service.GeocodeService` drive their retry loops
+through :func:`resolve_with_retries` so the semantics cannot drift.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol, TypeVar
+
+from repro.errors import ServiceUnavailableError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class FailurePlan:
+    """Deterministic transient-failure injection.
+
+    Every ``every_n``-th *uncached* request (1-based) raises
+    :class:`ServiceUnavailableError` before the lookup is attempted.
+    ``every_n = 0`` disables injection.
+
+    Quota interaction — pinned semantics: an injected failure fires
+    *after* the request is counted against the daily quota, so failed
+    requests burn quota with no result.  This is deliberate and mirrors
+    the real service, where a request that died with a 503 had already
+    been admitted and metered; a retry therefore consumes a fresh unit
+    of quota, and a retry storm can exhaust the day's budget (see
+    ``tests/yahooapi/test_client.py::TestQuotaFailureInteraction``).
+    """
+
+    every_n: int = 0
+
+    def should_fail(self, request_index: int) -> bool:
+        """Whether the ``request_index``-th request should fail."""
+        return self.every_n > 0 and request_index % self.every_n == 0
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times a transient failure is retried before giving up.
+
+    ``max_retries = 2`` is the collection pipeline's historical budget:
+    one lookup plus up to two retries per point.
+    """
+
+    max_retries: int = 2
+
+
+class RetryCounters(Protocol):
+    """Anything that accounts retry attempts and give-ups.
+
+    Both :class:`~repro.yahooapi.client.ClientStats` and the service's
+    :class:`~repro.geocode.service.TierStats` satisfy this.
+    """
+
+    retries: int
+    retry_exhausted: int
+
+
+def resolve_with_retries(
+    attempt: Callable[[], T],
+    policy: RetryPolicy,
+    counters: RetryCounters,
+) -> T | None:
+    """Run ``attempt`` with retry-on-503; ``None`` once retries exhaust.
+
+    Every retry is counted in ``counters.retries``; a lookup abandoned
+    with its budget spent is counted in ``counters.retry_exhausted``
+    (distinct from a genuine no-result, which ``attempt`` reports by
+    returning ``None`` itself).  Non-transient errors — quota exhaustion
+    in particular — propagate untouched.
+    """
+    for attempt_index in range(policy.max_retries + 1):
+        try:
+            return attempt()
+        except ServiceUnavailableError:
+            if attempt_index == policy.max_retries:
+                counters.retry_exhausted += 1
+                return None
+            counters.retries += 1
+    return None  # pragma: no cover - loop always returns

@@ -12,6 +12,13 @@ registered into the run's metrics registry under the ``crawl`` prefix, so
 one ``output.context.metrics.snapshot()`` describes the entire run — from
 crawl through geocoding to grouping — and ``output.context.spans`` holds
 the per-stage wall-time records.
+
+Reverse geocoding runs through the tiered
+:class:`~repro.geocode.service.GeocodeService`; pass an
+``EngineConfig(cache_dir=...)`` to persist its cell cache and a repeat
+run resolves every cell from the warm disk tier — zero backend lookups,
+byte-identical result (cell outcomes are pure functions of the cell
+key, see DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -70,7 +77,7 @@ def run_korean_study(
         config: Dataset build configuration (default scale otherwise).
         min_gps_tweets: Study-entry threshold; overrides the matching
             ``engine_config`` field.
-        engine_config: Execution configuration (sharding, backend).
+        engine_config: Execution configuration (sharding, backend, geocode cache_dir).
     """
     config = config or KoreanDatasetConfig()
     dataset = build_korean_dataset(config)
@@ -97,7 +104,7 @@ def run_ladygaga_study(
         config: Dataset build configuration (default scale otherwise).
         min_gps_tweets: Study-entry threshold; overrides the matching
             ``engine_config`` field.
-        engine_config: Execution configuration (sharding, backend).
+        engine_config: Execution configuration (sharding, backend, geocode cache_dir).
     """
     config = config or LadyGagaDatasetConfig()
     dataset = build_ladygaga_dataset(config)

@@ -15,7 +15,8 @@ from bisect import bisect_left, bisect_right, insort
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
-from repro.errors import DuplicateKeyError, NotFoundError, StorageError
+from repro.errors import DuplicateKeyError, NotFoundError
+from repro.storage.journal import append_journal, read_journal
 from repro.storage.query import TweetQuery
 from repro.twitter.models import Tweet
 
@@ -154,14 +155,7 @@ class TweetStore:
         batch = list(tweets)
         for tweet in batch:
             self.insert(tweet)
-        payload = "".join(
-            json.dumps(tweet.to_dict(), ensure_ascii=False) + "\n" for tweet in batch
-        )
-        path = Path(path)
-        with path.open("a", encoding="utf-8") as handle:
-            handle.write(payload)
-            handle.flush()
-        return len(batch)
+        return append_journal(path, (tweet.to_dict() for tweet in batch))
 
     def append_log(self, path: str | Path, tweets: Iterable[Tweet]) -> int:
         """Append tweets to an existing JSONL log (crash-tolerant format)."""
@@ -180,26 +174,16 @@ class TweetStore:
 
         A torn final line (no trailing newline, or unparseable JSON on the
         last line) is dropped silently — the crash-recovery contract of an
-        append-only log.  Corruption anywhere else raises.
+        append-only log (the shared journal contract,
+        :func:`repro.storage.journal.read_journal`).  Corruption anywhere
+        else raises.
 
         Raises:
             StorageError: if a non-final line is corrupt.
         """
-        path = Path(path)
         store = cls()
-        with path.open("r", encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
-        # A well-formed log ends with "\n", so the final split element is "".
-        torn_tail = lines and lines[-1] != ""
-        body = lines[:-1]
-        for index, line in enumerate(body):
-            try:
-                store.insert(Tweet.from_dict(json.loads(line)))
-            except (json.JSONDecodeError, KeyError, ValueError) as exc:
-                raise StorageError(f"{path}:{index + 1}: corrupt record: {exc}") from exc
-        if torn_tail:
-            try:
-                store.insert(Tweet.from_dict(json.loads(lines[-1])))
-            except (json.JSONDecodeError, KeyError, ValueError):
-                pass  # torn final record: expected crash artefact
+        for tweet in read_journal(
+            path, lambda line: Tweet.from_dict(json.loads(line)), description="record"
+        ):
+            store.insert(tweet)
         return store

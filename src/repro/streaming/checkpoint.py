@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.storage.journal import append_journal, read_journal
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,39 +91,25 @@ class CheckpointLog:
     # ----------------------------------------------------------------- write
     def append(self, checkpoint: Checkpoint) -> None:
         """Append one checkpoint with a single buffered write + flush."""
-        line = json.dumps(checkpoint.to_dict(), ensure_ascii=False) + "\n"
-        with self._path.open("a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
+        append_journal(self._path, [checkpoint.to_dict()])
 
     # ------------------------------------------------------------------ read
     def load(self) -> list[Checkpoint]:
         """Every durable checkpoint, oldest first (torn tail dropped).
 
         A missing log is an empty history, not an error — a stream that
-        never reached its first checkpoint resumes from offset 0.
+        never reached its first checkpoint resumes from offset 0.  The
+        file follows the shared journal contract
+        (:func:`repro.storage.journal.read_journal`).
 
         Raises:
             StorageError: if a non-final line is corrupt.
         """
-        if not self._path.exists():
-            return []
-        lines = self._path.read_text(encoding="utf-8").split("\n")
-        torn_tail = bool(lines) and lines[-1] != ""
-        checkpoints: list[Checkpoint] = []
-        for index, line in enumerate(lines[:-1]):
-            try:
-                checkpoints.append(Checkpoint.from_dict(json.loads(line)))
-            except (json.JSONDecodeError, StorageError) as exc:
-                raise StorageError(
-                    f"{self._path}:{index + 1}: corrupt checkpoint: {exc}"
-                ) from exc
-        if torn_tail:
-            try:
-                checkpoints.append(Checkpoint.from_dict(json.loads(lines[-1])))
-            except (json.JSONDecodeError, StorageError):
-                pass  # torn final record: expected crash artefact
-        return checkpoints
+        return read_journal(
+            self._path,
+            lambda line: Checkpoint.from_dict(json.loads(line)),
+            description="checkpoint",
+        )
 
     def latest(self) -> Checkpoint | None:
         """The newest durable checkpoint (``None`` for no history)."""

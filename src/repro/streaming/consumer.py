@@ -28,6 +28,7 @@ from pathlib import Path
 from repro.analysis.incremental import IncrementalStudyAccumulator
 from repro.engine.context import RunContext
 from repro.errors import ConfigurationError, ServiceUnavailableError, StorageError
+from repro.storage.journal import read_journal
 from repro.storage.tweetstore import TweetStore
 from repro.streaming.checkpoint import Checkpoint, CheckpointLog
 from repro.streaming.queue import BackpressurePolicy, BoundedTweetQueue, PutOutcome
@@ -69,25 +70,15 @@ class StreamConfig:
 def _read_wal(path: Path) -> list[Tweet]:
     """Write-ahead log records in file order, dropping a torn final line.
 
+    One thin wrapper over the shared journal contract
+    (:func:`repro.storage.journal.read_journal`).
+
     Raises:
         StorageError: if a non-final line is corrupt.
     """
-    if not path.exists():
-        return []
-    lines = path.read_text(encoding="utf-8").split("\n")
-    torn_tail = bool(lines) and lines[-1] != ""
-    records: list[Tweet] = []
-    for index, line in enumerate(lines[:-1]):
-        try:
-            records.append(Tweet.from_dict(json.loads(line)))
-        except (json.JSONDecodeError, KeyError, ValueError) as exc:
-            raise StorageError(f"{path}:{index + 1}: corrupt record: {exc}") from exc
-    if torn_tail:
-        try:
-            records.append(Tweet.from_dict(json.loads(lines[-1])))
-        except (json.JSONDecodeError, KeyError, ValueError):
-            pass  # torn final record: expected crash artefact
-    return records
+    return read_journal(
+        path, lambda line: Tweet.from_dict(json.loads(line)), description="record"
+    )
 
 
 class StreamConsumer:

@@ -3,7 +3,10 @@
 A stream run can be asked for its study at any moment; the answer is a
 :class:`StreamSnapshot` — the assembled
 :class:`~repro.analysis.correlation.StudyResult` plus enough stream
-position to say *which* prefix of the firehose it covers.  The
+position to say *which* prefix of the firehose it covers.  Snapshots are
+cheap: geocode cell outcomes are pure functions of the cell key (see
+:mod:`repro.geocode.service`), so assembly reuses fold-time resolutions
+— no snapshot-time re-geocode of the retained tweets.  The
 :func:`state_digest` hash is what ties a durable
 :class:`~repro.streaming.checkpoint.Checkpoint` to the in-memory grouping
 state: resume rebuilds the accumulator from the write-ahead log and must

@@ -10,22 +10,42 @@ logic in the collection pipeline.
 The client never sleeps — simulated latency is accumulated in
 :class:`ClientStats` so experiments can report "API time" without slowing
 the test suite down.
+
+Cache semantics are **order-insensitive**: coordinates quantise to 0.001°
+cells and a cache miss is resolved at the cell's *canonical
+representative point* (its grid anchor), never at the particular
+coordinates that happened to arrive first.  The cached response — and
+therefore every answer the client gives — is a pure function of the cell
+key, matching the tiered :class:`~repro.geocode.service.GeocodeService`
+cell for cell.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import GeocodingError, RateLimitExceededError, ServiceUnavailableError
+from repro.errors import (
+    GeocodingError,
+    RateLimitExceededError,
+    ServiceUnavailableError,
+)
 from repro.geo.point import GeoPoint
 from repro.geo.region import AdminPath
 from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.policy import FailurePlan, RetryPolicy, resolve_with_retries
 from repro.yahooapi.xml import (
     PlaceFinderResponse,
     parse_response,
     render_error,
     render_success,
 )
+
+__all__ = [
+    "ERROR_NO_RESULT",
+    "ClientStats",
+    "FailurePlan",  # moved to repro.geocode.policy; re-exported here
+    "PlaceFinderClient",
+]
 
 #: Error code the real PlaceFinder used for "no result".
 ERROR_NO_RESULT = 100
@@ -69,30 +89,6 @@ class ClientStats:
         }
 
 
-@dataclass(frozen=True, slots=True)
-class FailurePlan:
-    """Deterministic transient-failure injection.
-
-    Every ``every_n``-th *uncached* request (1-based) raises
-    :class:`ServiceUnavailableError` before the lookup is attempted.
-    ``every_n = 0`` disables injection.
-
-    Quota interaction — pinned semantics: an injected failure fires
-    *after* the request is counted against the daily quota, so failed
-    requests burn quota with no result.  This is deliberate and mirrors
-    the real service, where a request that died with a 503 had already
-    been admitted and metered; a retry therefore consumes a fresh unit
-    of quota, and a retry storm can exhaust the day's budget (see
-    ``tests/yahooapi/test_client.py::TestQuotaFailureInteraction``).
-    """
-
-    every_n: int = 0
-
-    def should_fail(self, request_index: int) -> bool:
-        """Whether the ``request_index``-th request should fail."""
-        return self.every_n > 0 and request_index % self.every_n == 0
-
-
 class PlaceFinderClient:
     """Reverse-geocoding client with cache, quota, and failure injection.
 
@@ -127,6 +123,11 @@ class PlaceFinderClient:
     def reverse_geocode_xml(self, point: GeoPoint) -> str:
         """Perform a lookup and return the raw XML document.
 
+        A cache miss resolves the cell's canonical representative point
+        (the quantisation-grid anchor), not ``point`` itself — the
+        response is a pure function of the cache cell, so arrival order
+        can never change what a cell answers.
+
         Raises:
             RateLimitExceededError: once the daily quota is exhausted.
             ServiceUnavailableError: when the failure plan fires.
@@ -146,13 +147,14 @@ class PlaceFinderClient:
             self.stats.failures_injected += 1
             raise ServiceUnavailableError("simulated transient 503")
 
+        rep = GeoPoint(key[0] * self._cache_quantum_deg, key[1] * self._cache_quantum_deg)
         try:
-            result = self._geocoder.resolve(point)
+            result = self._geocoder.resolve(rep)
         except GeocodingError:
             self.stats.no_result += 1
             document = render_error(ERROR_NO_RESULT, "No result for coordinates")
         else:
-            document = render_success(point, result.path, result.quality)
+            document = render_success(rep, result.path, result.quality)
         self._cache[key] = document
         return document
 
@@ -173,21 +175,18 @@ class PlaceFinderClient:
         from ``no_result``, which means the service answered "nowhere").
         Each attempt — including retries — consumes quota, exactly as the
         real 503s did; :class:`RateLimitExceededError` raised mid-retry
-        propagates.
+        propagates.  The loop itself is the shared service-level policy
+        (:func:`~repro.geocode.policy.resolve_with_retries`), so the
+        client and the tiered service cannot drift apart.
         """
-        for attempt in range(max_retries + 1):
-            try:
-                response = self.reverse_geocode(point)
-            except ServiceUnavailableError:
-                if attempt == max_retries:
-                    self.stats.retry_exhausted += 1
-                    return None
-                self.stats.retries += 1
-                continue
-            if response.ok:
-                return response.path
-            return None
-        return None  # pragma: no cover - loop always returns
+
+        def attempt() -> AdminPath | None:
+            response = self.reverse_geocode(point)
+            return response.path if response.ok else None
+
+        return resolve_with_retries(
+            attempt, RetryPolicy(max_retries=max_retries), self.stats
+        )
 
     @property
     def cache_size(self) -> int:

@@ -89,6 +89,53 @@ class TestSpatial:
             brute.center.distance_km(point), abs=1e-9
         )
 
+    @given(
+        st.floats(min_value=-90.0, max_value=90.0),
+        st.one_of(
+            st.floats(min_value=-180.0, max_value=180.0),
+            # Hug the antimeridian from both sides.
+            st.floats(min_value=179.0, max_value=180.0),
+            st.floats(min_value=-180.0, max_value=-179.0),
+        ),
+        st.sampled_from([None, 0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_nearest_matches_brute_force_globally(self, lat, lon, snap_deg):
+        """Property: grid-accelerated nearest == brute force over the world
+        catalogue, for arbitrary points, points snapped onto grid-cell
+        boundaries, and points across the antimeridian."""
+        if snap_deg is not None:
+            # Snap onto cell boundaries of every factory grid size so the
+            # shell search is exercised exactly on cell edges and corners.
+            lat = max(-90.0, min(90.0, round(lat / snap_deg) * snap_deg))
+            lon = max(-180.0, min(180.0, round(lon / snap_deg) * snap_deg))
+        gazetteer = Gazetteer.world()
+        point = GeoPoint(lat, lon)
+        fast = gazetteer.nearest(point)
+        brute = min(gazetteer.districts, key=lambda d: d.center.distance_km(point))
+        assert fast.center.distance_km(point) == pytest.approx(
+            brute.center.distance_km(point), abs=1e-9
+        )
+
+    def test_nearest_across_antimeridian(self):
+        """A point just east of the antimeridian must find a centroid just
+        west of it (and vice versa) rather than ringing the long way round."""
+        west = _district("West-si", "W-do", 10.0, 179.8)
+        far = _district("Far-si", "F-do", 10.0, 170.0)
+        gazetteer = Gazetteer([west, far], grid_deg=0.5)
+        assert gazetteer.nearest(GeoPoint(10.0, -179.9)).name == "West-si"
+        mirrored = Gazetteer(
+            [_district("East-si", "E-do", 10.0, -179.8), far], grid_deg=0.5
+        )
+        assert mirrored.nearest(GeoPoint(10.0, 179.9)).name == "East-si"
+
+    def test_within_across_antimeridian(self):
+        west = _district("West-si", "W-do", 10.0, 179.8)
+        far = _district("Far-si", "F-do", 10.0, 170.0)
+        gazetteer = Gazetteer([west, far], grid_deg=0.5)
+        hits = gazetteer.within(GeoPoint(10.0, -179.9), radius_km=50.0)
+        assert [d.name for d in hits] == ["West-si"]
+
     def test_nearest_within_cutoff(self, korean_gazetteer):
         # Middle of the East Sea: far from everything at 10 km cutoff.
         sea = GeoPoint(37.5, 131.5)

@@ -1,0 +1,81 @@
+"""Unit tests for the persistent geocode cell store."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.geo.region import AdminPath
+from repro.geocode.cellstore import CellStore
+
+SEOUL = AdminPath(country="South Korea", state="Seoul", county="Mapo-gu")
+BUSAN = AdminPath(country="South Korea", state="Busan", county="Jung-gu")
+
+
+class TestBasics:
+    def test_missing_file_is_empty(self, tmp_path):
+        store = CellStore(tmp_path / "cells.jsonl")
+        assert len(store) == 0
+        assert (1, 2) not in store
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = CellStore(tmp_path / "cells.jsonl")
+        store.put((37_533, 126_990), SEOUL)
+        store.put((35_100, 129_040), None)
+        assert store.get((37_533, 126_990)) == SEOUL
+        assert store.get((35_100, 129_040)) is None
+        assert len(store) == 2
+
+    def test_get_absent_raises(self, tmp_path):
+        store = CellStore(tmp_path / "cells.jsonl")
+        with pytest.raises(KeyError):
+            store.get((0, 0))
+
+    def test_identical_put_does_not_grow_file(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        store = CellStore(path)
+        store.put((1, 2), SEOUL)
+        size = path.stat().st_size
+        store.put((1, 2), SEOUL)
+        assert path.stat().st_size == size
+
+
+class TestPersistence:
+    def test_reload_sees_all_cells(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        first = CellStore(path)
+        first.put((1, 2), SEOUL)
+        first.put((3, 4), None)
+        second = CellStore(path)
+        assert second.get((1, 2)) == SEOUL
+        assert second.get((3, 4)) is None
+
+    def test_last_write_wins_on_reload(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        first = CellStore(path)
+        first.put((1, 2), SEOUL)
+        first.put((1, 2), BUSAN)
+        second = CellStore(path)
+        assert second.get((1, 2)) == BUSAN
+        assert len(second) == 1
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        store = CellStore(path)
+        store.put((1, 2), SEOUL)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"cell": [3, 4], "pa')  # crash mid-append
+        recovered = CellStore(path)
+        assert len(recovered) == 1
+        assert (3, 4) not in recovered
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        lines = [
+            json.dumps({"cell": [1, 2], "path": None}),
+            "not json at all",
+            json.dumps({"cell": [3, 4], "path": None}),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(StorageError):
+            CellStore(path)

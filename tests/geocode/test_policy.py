@@ -1,0 +1,75 @@
+"""Unit tests for the shared lookup policy (failure plans, retries)."""
+
+import pytest
+
+from repro.errors import RateLimitExceededError, ServiceUnavailableError
+from repro.geocode import FailurePlan, RetryPolicy, resolve_with_retries
+
+
+class Counters:
+    """Minimal RetryCounters implementation."""
+
+    def __init__(self):
+        self.retries = 0
+        self.retry_exhausted = 0
+
+
+class TestFailurePlan:
+    def test_disabled_by_default(self):
+        plan = FailurePlan()
+        assert not any(plan.should_fail(i) for i in range(1, 100))
+
+    def test_every_n_cadence(self):
+        plan = FailurePlan(every_n=3)
+        fired = [i for i in range(1, 10) if plan.should_fail(i)]
+        assert fired == [3, 6, 9]
+
+    def test_reexported_from_client(self):
+        from repro.yahooapi.client import FailurePlan as ClientFailurePlan
+
+        assert ClientFailurePlan is FailurePlan
+
+
+class TestResolveWithRetries:
+    def test_success_first_try(self):
+        counters = Counters()
+        result = resolve_with_retries(lambda: "ok", RetryPolicy(), counters)
+        assert result == "ok"
+        assert counters.retries == 0
+        assert counters.retry_exhausted == 0
+
+    def test_retries_then_succeeds(self):
+        counters = Counters()
+        attempts = iter([ServiceUnavailableError("503"), ServiceUnavailableError("503")])
+
+        def attempt():
+            error = next(attempts, None)
+            if error is not None:
+                raise error
+            return "ok"
+
+        result = resolve_with_retries(attempt, RetryPolicy(max_retries=2), counters)
+        assert result == "ok"
+        assert counters.retries == 2
+        assert counters.retry_exhausted == 0
+
+    def test_budget_exhaustion_returns_none(self):
+        counters = Counters()
+
+        def attempt():
+            raise ServiceUnavailableError("503")
+
+        result = resolve_with_retries(attempt, RetryPolicy(max_retries=2), counters)
+        assert result is None
+        assert counters.retries == 2
+        assert counters.retry_exhausted == 1
+
+    def test_non_transient_errors_propagate(self):
+        counters = Counters()
+
+        def attempt():
+            raise RateLimitExceededError(retry_after_s=1.0)
+
+        with pytest.raises(RateLimitExceededError):
+            resolve_with_retries(attempt, RetryPolicy(), counters)
+        assert counters.retries == 0

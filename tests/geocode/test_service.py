@@ -1,0 +1,190 @@
+"""Unit tests for the tiered, order-insensitive GeocodeService."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceUnavailableError
+from repro.geo.point import GeoPoint
+from repro.geo.region import AdminPath
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode import (
+    DirectBackend,
+    GeocodeService,
+    PlaceFinderBackend,
+    RetryPolicy,
+)
+from repro.yahooapi.client import PlaceFinderClient
+
+SEOUL = AdminPath(country="South Korea", state="Seoul", county="Mapo-gu")
+
+
+class RecordingBackend:
+    """Test backend: scripted outcome, optional transient failures."""
+
+    def __init__(self, outcome=SEOUL, fail_times=0):
+        self.outcome = outcome
+        self.fail_times = fail_times
+        self.lookups: list[GeoPoint] = []
+
+    def lookup(self, point: GeoPoint):
+        self.lookups.append(point)
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise ServiceUnavailableError("injected 503")
+        return self.outcome
+
+
+class TestConfiguration:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            GeocodeService(RecordingBackend(), l1_capacity=0)
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ConfigurationError):
+            GeocodeService(RecordingBackend(), quantum_deg=0.0)
+
+
+class TestCanonicalRepresentative:
+    def test_representative_maps_back_to_its_cell(self):
+        """The grid anchor must re-quantise to the cell it represents —
+        the float roundtrip the pure-function contract rests on."""
+        service = GeocodeService(RecordingBackend())
+        for cell in [(37_533, 126_990), (0, 0), (-33_450, -70_667), (89_999, 179_999)]:
+            assert service.cell_of(service.representative(cell)) == cell
+
+    def test_same_cell_resolved_once_at_representative(self):
+        backend = RecordingBackend()
+        service = GeocodeService(backend)
+        a = GeoPoint(37.5330, 126.9901)
+        b = GeoPoint(37.5332, 126.9903)  # same 0.001 deg cell
+        assert service.cell_of(a) == service.cell_of(b)
+        service.resolve(a)
+        service.resolve(b)
+        assert len(backend.lookups) == 1
+        assert backend.lookups[0] == service.representative(service.cell_of(a))
+
+    def test_outcome_independent_of_arrival_order(self, korean_gazetteer):
+        points = [
+            GeoPoint(37.5326, 126.9904),
+            GeoPoint(37.5331, 126.9909),
+            GeoPoint(35.1028, 129.0403),
+            GeoPoint(37.5326, 126.9904),
+        ]
+        forward = GeocodeService(DirectBackend(ReverseGeocoder(korean_gazetteer)))
+        backward = GeocodeService(DirectBackend(ReverseGeocoder(korean_gazetteer)))
+        a = [forward.resolve(p) for p in points]
+        b = list(reversed([backward.resolve(p) for p in reversed(points)]))
+        assert a == b
+
+
+class TestTiers:
+    def test_l1_hit_counts(self):
+        service = GeocodeService(RecordingBackend())
+        point = GeoPoint(37.5, 127.0)
+        service.resolve(point)
+        service.resolve(point)
+        assert service.stats.l1_hits == 1
+        assert service.stats.l1_misses == 1
+        assert service.stats.backend_lookups == 1
+
+    def test_l1_eviction_at_capacity(self):
+        backend = RecordingBackend()
+        service = GeocodeService(backend, l1_capacity=2)
+        cells = [(0, 0), (0, 1), (0, 2)]
+        for cell in cells:
+            service.resolve_cell(cell)
+        assert service.l1_size == 2
+        assert service.stats.l1_evictions == 1
+        # (0, 0) was evicted: resolving it again reaches the backend.
+        before = len(backend.lookups)
+        service.resolve_cell((0, 0))
+        assert len(backend.lookups) == before + 1
+
+    def test_lru_order_refreshed_on_hit(self):
+        service = GeocodeService(RecordingBackend(), l1_capacity=2)
+        service.resolve_cell((0, 0))
+        service.resolve_cell((0, 1))
+        service.resolve_cell((0, 0))  # refresh: (0, 1) is now oldest
+        service.resolve_cell((0, 2))  # evicts (0, 1)
+        hit, _ = service.lookup_cached((0, 0))
+        assert hit
+        hit, _ = service.lookup_cached((0, 1))
+        assert not hit
+
+    def test_disk_hit_promotes_to_l1(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        warm = GeocodeService(RecordingBackend(), cache_path=path)
+        warm.resolve_cell((1, 2))
+
+        backend = RecordingBackend()
+        cold = GeocodeService(backend, cache_path=path)
+        assert cold.resolve_cell((1, 2)) == SEOUL
+        assert backend.lookups == []
+        assert cold.stats.disk_hits == 1
+        # Promoted: the second lookup is an L1 hit, not another disk hit.
+        cold.resolve_cell((1, 2))
+        assert cold.stats.l1_hits == 1
+        assert cold.stats.disk_hits == 1
+
+    def test_warm_disk_tier_means_zero_backend_lookups(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        first = GeocodeService(RecordingBackend(), cache_path=path)
+        cells = [(i, i + 1) for i in range(40)]
+        for cell in cells:
+            first.resolve_cell(cell)
+
+        backend = RecordingBackend()
+        second = GeocodeService(backend, cache_path=path)
+        for cell in cells:
+            second.resolve_cell(cell)
+        assert second.stats.backend_lookups == 0
+        assert backend.lookups == []
+        assert second.cache_size == len(cells)
+
+
+class TestOutcomeCaching:
+    def test_no_result_is_cached(self):
+        backend = RecordingBackend(outcome=None)
+        service = GeocodeService(backend)
+        assert service.resolve_cell((5, 5)) is None
+        assert service.resolve_cell((5, 5)) is None
+        assert len(backend.lookups) == 1
+        assert service.stats.no_result == 1
+
+    def test_transient_success_after_retry_is_cached(self):
+        backend = RecordingBackend(fail_times=1)
+        service = GeocodeService(backend, retry_policy=RetryPolicy(max_retries=2))
+        assert service.resolve_cell((5, 5)) == SEOUL
+        assert service.stats.retries == 1
+        assert service.stats.retry_exhausted == 0
+        hit, outcome = service.lookup_cached((5, 5))
+        assert hit and outcome == SEOUL
+
+    def test_retry_exhaustion_is_not_cached(self):
+        backend = RecordingBackend(fail_times=3)  # one full retry budget
+        service = GeocodeService(backend, retry_policy=RetryPolicy(max_retries=2))
+        assert service.resolve_cell((5, 5)) is None
+        assert service.stats.retry_exhausted == 1
+        assert service.stats.no_result == 0
+        hit, _ = service.lookup_cached((5, 5))
+        assert not hit  # a later attempt may still succeed
+        assert service.resolve_cell((5, 5)) == SEOUL  # backend recovered
+
+
+class TestStatsSource:
+    def test_includes_occupancy(self, tmp_path):
+        service = GeocodeService(
+            RecordingBackend(), cache_path=tmp_path / "cells.jsonl"
+        )
+        service.resolve_cell((1, 2))
+        source = service.stats_source()
+        assert source["cache_size"] == 1
+        assert source["l1_size"] == 1
+        assert source["l1"]["misses"] == 1
+        assert "client_cache_size" not in source
+
+    def test_exposes_client_cache_size(self, korean_gazetteer):
+        client = PlaceFinderClient(ReverseGeocoder(korean_gazetteer), daily_quota=10**9)
+        service = GeocodeService(PlaceFinderBackend(client))
+        service.resolve(GeoPoint(37.5326, 126.9904))
+        source = service.stats_source()
+        assert source["client_cache_size"] == client.cache_size == 1

@@ -43,6 +43,33 @@ class TestStudy:
         assert "funnel.study_users" in out
         assert "reverse_geocode" in out
 
+    def test_study_metrics_exposes_geocode_tiers(self, capsys):
+        """`repro study --metrics` surfaces the geocode service's tier
+        hit/miss counters and cache sizes (snapshot keys + summary line)."""
+        assert main(["study", "--dataset", "korean", "--metrics", *FAST]) == 0
+        out = capsys.readouterr().out
+        for key in (
+            "geocode.tiers.l1.hits",
+            "geocode.tiers.l1.misses",
+            "geocode.tiers.disk.hits",
+            "geocode.tiers.disk.misses",
+            "geocode.tiers.backend.lookups",
+            "geocode.tiers.cache_size",
+            "geocode.tiers.client_cache_size",
+        ):
+            assert key in out
+        assert "geocode tiers: l1" in out
+
+    def test_study_cache_dir_warm_run_matches(self, capsys, tmp_path):
+        """A second run over a shared --cache-dir reproduces the study
+        byte for byte from the warm disk tier."""
+        cache = str(tmp_path / "geocache")
+        assert main(["study", "--dataset", "korean", "--cache-dir", cache, *FAST]) == 0
+        cold = capsys.readouterr().out
+        assert main(["study", "--dataset", "korean", "--cache-dir", cache, *FAST]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
     def test_study_sharded_matches_serial(self, capsys):
         assert main(["study", "--dataset", "korean", *FAST]) == 0
         serial = capsys.readouterr().out
@@ -181,6 +208,40 @@ class TestStream:
         assert "stream.batch" in out
         assert "stream.queue.depth" in out
         assert "stream.checkpoint.age_batches" in out
+
+    def test_resume_missing_checkpoint_exits_distinctly(self, capsys, tmp_path):
+        """--resume with no checkpoint log: exit code 3 and a one-line
+        actionable message, no traceback."""
+        code = main(
+            ["stream", "--dataset", "korean",
+             "--state-dir", str(tmp_path / "never-ran"), "--resume", *FAST]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert "cannot resume" in lines[0]
+        assert "no checkpoint log" in lines[0]
+        assert "--resume" in lines[0]  # tells the operator what to do
+        assert "Traceback" not in err
+
+    def test_resume_truncated_checkpoint_exits_distinctly(self, capsys, tmp_path):
+        """--resume against a checkpoint log whose only record was torn
+        mid-write: exit code 3 and a one-line message, no traceback."""
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "checkpoints.jsonl").write_text('{"offset": 12, "wal_rec')
+        code = main(
+            ["stream", "--dataset", "korean",
+             "--state-dir", str(state), "--resume", *FAST]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert "cannot resume" in lines[0]
+        assert "no complete checkpoint" in lines[0]
+        assert "Traceback" not in err
 
     def test_stream_save_writes_loadable_study(self, capsys, tmp_path):
         saved = tmp_path / "stream_study.json"

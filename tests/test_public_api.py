@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.engine",
     "repro.events",
     "repro.geo",
+    "repro.geocode",
     "repro.grouping",
     "repro.pipelines",
     "repro.storage",
