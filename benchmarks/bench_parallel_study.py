@@ -1,0 +1,93 @@
+"""Parallel-engine benchmark: serial vs process backend (BENCH_parallel.json).
+
+Times a full ``run_study`` at the default benchmark scale on the serial
+backend, then on the process backend at 2 and 4 shards, asserting every
+parallel run is byte-identical to the serial reference before recording
+wall times.  The speedup floor (>= 1.5x at 4 shards) is only asserted on
+machines with at least 4 cores — the pool is capped at ``os.cpu_count()``,
+so on smaller boxes the benchmark records honest numbers without failing.
+
+Results accumulate machine-readably in
+``benchmarks/output/BENCH_parallel.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.correlation import run_study
+from repro.engine import EngineConfig, RunContext
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_parallel.json"
+
+
+def _timed_study(ctx, shards, backend):
+    dataset = ctx.korean_dataset
+    context = RunContext(dataset_name="korean")
+    start = time.perf_counter()
+    study = run_study(
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name="Korean",
+        engine_config=EngineConfig(shards=shards, backend=backend),
+        context=context,
+    )
+    return time.perf_counter() - start, study, context.metrics.snapshot()
+
+
+def _identical(reference, candidate):
+    return (
+        candidate.funnel == reference.funnel
+        and candidate.observations == reference.observations
+        and candidate.groupings == reference.groupings
+        and candidate.statistics == reference.statistics
+        and candidate.profile_districts == reference.profile_districts
+        and candidate.api_stats == reference.api_stats
+    )
+
+
+@pytest.mark.slow
+def test_serial_vs_process_study_runs(ctx):
+    cpus = os.cpu_count() or 1
+    serial_s, reference, _ = _timed_study(ctx, shards=1, backend="serial")
+
+    runs = {}
+    for shards in (2, 4):
+        parallel_s, study, snapshot = _timed_study(
+            ctx, shards=shards, backend="process"
+        )
+        assert _identical(reference, study)
+        runs[shards] = {
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+            "max_workers": int(snapshot["sharding.max_workers"]),
+        }
+
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    report = {}
+    if _OUTPUT.exists():
+        report = json.loads(_OUTPUT.read_text(encoding="utf-8"))
+    report.update(
+        {
+            "cpu_count": cpus,
+            "serial_s": round(serial_s, 4),
+            "process": {str(shards): stats for shards, stats in runs.items()},
+        }
+    )
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for shards, stats in runs.items():
+        print(
+            f"\nparallel study: serial {serial_s:.3f}s vs "
+            f"{shards} shards {stats['parallel_s']:.3f}s "
+            f"({stats['speedup']:.2f}x, {stats['max_workers']} worker(s), "
+            f"{cpus} cpu(s))"
+        )
+
+    # The acceptance floor only binds where the hardware can deliver it.
+    if cpus >= 4:
+        assert runs[4]["speedup"] >= 1.5

@@ -86,10 +86,10 @@ def run_study(
     """
     from dataclasses import replace
 
-    from repro.engine.engine import EngineConfig, StudyEngine
+    from repro.engine.engine import StudyEngine, default_engine_config
 
     config = replace(
-        engine_config or EngineConfig(), min_gps_tweets=min_gps_tweets
+        engine_config or default_engine_config(), min_gps_tweets=min_gps_tweets
     )
     engine = StudyEngine(gazetteer, config=config, placefinder=placefinder)
     return engine.run(users, tweets, dataset_name=dataset_name, context=context)

@@ -48,7 +48,7 @@ from repro.geo.region import District
 from repro.geo.reverse import ReverseGeocoder
 from repro.geocode.backend import PlaceFinderBackend
 from repro.geocode.cellstore import Cell
-from repro.geocode.service import GeocodeService, simulated_latency
+from repro.geocode.service import GeocodeService, cell_cache_path, simulated_latency
 from repro.grouping.incremental import IncrementalGrouper
 from repro.grouping.merge import TieBreak
 from repro.grouping.stats import GroupRow, GroupStatistics, compute_group_statistics
@@ -110,7 +110,7 @@ class IncrementalStudyAccumulator:
         self._text_geocoder = TextGeocoder(gazetteer)
         if geocode is None:
             cache_path = (
-                Path(cache_dir) / "geocells.jsonl" if cache_dir is not None else None
+                cell_cache_path(cache_dir) if cache_dir is not None else None
             )
             geocode = GeocodeService(
                 PlaceFinderBackend(

@@ -36,7 +36,7 @@ from repro.engine import EngineConfig, RunContext, render_trace
 from repro.geo.gazetteer import Gazetteer
 from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
 from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
-from repro.errors import ReproError, StorageError
+from repro.errors import ReproError, ShardExecutionError, StorageError
 from repro.events.evaluation import (
     LocalizationExperiment,
     make_korean_scenarios,
@@ -190,6 +190,12 @@ def _cmd_localize(args: argparse.Namespace) -> int:
 #: can tell "fix the state directory" apart from every other failure.
 EXIT_RESUME_STATE = 3
 
+#: Exit code for a shard worker failing with an application exception
+#: under ``--backend process`` (:class:`~repro.errors.ShardExecutionError`
+#: names the shard and item range) — distinct from 1 so scripts can tell
+#: "a worker hit a bug on this data" apart from ordinary bad input.
+EXIT_SHARD_FAILURE = 4
+
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     state_dir = Path(args.state_dir)
@@ -295,7 +301,10 @@ def _add_build_options(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shards", type=int, default=1,
-                        help="shard count for the engine's hot-path stages")
+                        help="shard count for the engine's hot-path stages; "
+                        "with --backend process the worker pool is capped at "
+                        "the machine's CPU count, so more shards than cores "
+                        "queue on the same workers")
     parser.add_argument("--backend", choices=("serial", "process"),
                         default="serial", help="shard execution backend")
     _add_cache_option(parser)
@@ -406,6 +415,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ShardExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SHARD_FAILURE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -12,9 +12,22 @@ Public surface of :mod:`repro.engine`:
 """
 
 from repro.engine.context import RunContext, StageSpan, render_trace
-from repro.engine.engine import EngineConfig, EngineRun, StudyEngine, default_stages
+from repro.engine.engine import (
+    EngineConfig,
+    EngineRun,
+    StudyEngine,
+    default_engine_config,
+    default_stages,
+)
 from repro.engine.metrics import MetricsRegistry
-from repro.engine.sharding import BACKENDS, ShardedExecutor, partition
+from repro.engine.sharding import (
+    BACKENDS,
+    ShardedExecutor,
+    ShardOutcome,
+    ShardRunReport,
+    WorkerFaultPlan,
+    partition,
+)
 from repro.engine.stages import (
     GroupingStage,
     ProfileGeocodeStage,
@@ -35,12 +48,16 @@ __all__ = [
     "RefineStage",
     "ReverseGeocodeStage",
     "RunContext",
+    "ShardOutcome",
+    "ShardRunReport",
     "ShardedExecutor",
     "Stage",
     "StageSpan",
     "StatisticsStage",
     "StudyEngine",
     "StudyState",
+    "WorkerFaultPlan",
+    "default_engine_config",
     "default_stages",
     "partition",
     "render_trace",

@@ -12,12 +12,12 @@ are now thin wrappers over this class.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from pathlib import Path
 
 from repro.analysis.correlation import StudyResult
 from repro.engine.context import RunContext
-from repro.engine.sharding import BACKENDS, ShardedExecutor
+from repro.engine.sharding import BACKENDS, ShardedExecutor, WorkerFaultPlan
 from repro.engine.stages import (
     GroupingStage,
     ProfileGeocodeStage,
@@ -33,7 +33,7 @@ from repro.geo.forward import TextGeocoder
 from repro.geo.gazetteer import Gazetteer
 from repro.geo.reverse import ReverseGeocoder
 from repro.geocode.backend import PlaceFinderBackend
-from repro.geocode.service import GeocodeService
+from repro.geocode.service import GeocodeService, cell_cache_path
 from repro.grouping.merge import TieBreak
 from repro.storage.tweetstore import TweetStore
 from repro.storage.userstore import UserStore
@@ -53,6 +53,10 @@ class EngineConfig:
             tier (``geocells.jsonl``); ``None`` keeps the cache in
             memory only.  A second run pointed at a warm directory
             issues zero backend geocode lookups.
+        fault_plan: Optional deterministic worker-crash injection
+            (crash-recovery drills; see
+            :class:`~repro.engine.sharding.WorkerFaultPlan`), mirroring
+            the API-level ``FailurePlan`` idiom.
     """
 
     shards: int = 1
@@ -60,6 +64,7 @@ class EngineConfig:
     min_gps_tweets: int = 1
     tie_break: TieBreak = TieBreak.STRING_ASC
     cache_dir: str | None = None
+    fault_plan: WorkerFaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -72,6 +77,38 @@ class EngineConfig:
             raise ConfigurationError(
                 f"min_gps_tweets must be >= 1, got {self.min_gps_tweets}"
             )
+
+
+def default_engine_config() -> EngineConfig:
+    """The :class:`EngineConfig` a caller gets when passing none.
+
+    Honours two environment overrides so an unmodified workload — the
+    tier-1 test suite in particular — can be soaked under the parallel
+    execution layer (the CI ``tests-process`` job sets both):
+
+    * ``REPRO_BACKEND`` — ``"serial"`` or ``"process"``;
+    * ``REPRO_SHARDS`` — shard count (the worker pool stays capped at
+      the machine's CPU count regardless).
+
+    Sharded runs are byte-identical to serial ones, so the overrides can
+    never change a result — only how it is computed.
+
+    Raises:
+        ConfigurationError: for an unparseable or invalid override.
+    """
+    kwargs: dict[str, object] = {}
+    backend = os.environ.get("REPRO_BACKEND", "").strip()
+    if backend:
+        kwargs["backend"] = backend
+    shards = os.environ.get("REPRO_SHARDS", "").strip()
+    if shards:
+        try:
+            kwargs["shards"] = int(shards)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_SHARDS must be an integer, got {shards!r}"
+            ) from None
+    return EngineConfig(**kwargs)  # type: ignore[arg-type]
 
 
 @dataclass
@@ -106,7 +143,7 @@ class StudyEngine:
         stages: list[Stage] | None = None,
     ):
         self._gazetteer = gazetteer
-        self._config = config or EngineConfig()
+        self._config = config or default_engine_config()
         self._placefinder = placefinder
         self._stages: list[Stage] = stages if stages is not None else default_stages()
         self._last_run: EngineRun | None = None
@@ -115,7 +152,7 @@ class StudyEngine:
         self._geocode: GeocodeService | None = None
         if placefinder is None:
             cache_path = (
-                Path(self._config.cache_dir) / "geocells.jsonl"
+                cell_cache_path(self._config.cache_dir)
                 if self._config.cache_dir
                 else None
             )
@@ -168,6 +205,11 @@ class StudyEngine:
                 context stays available on :attr:`last_run`.
         """
         context = context or RunContext(dataset_name=dataset_name)
+        executor = ShardedExecutor(
+            shards=self._config.shards,
+            backend=self._config.backend,
+            fault_plan=self._config.fault_plan,
+        )
         state = StudyState(
             users=users,
             tweets=tweets,
@@ -175,15 +217,18 @@ class StudyEngine:
             gazetteer=self._gazetteer,
             placefinder=self._placefinder,
             geocode=self._geocode,
-            executor=ShardedExecutor(
-                shards=self._config.shards, backend=self._config.backend
-            ),
+            executor=executor,
             min_gps_tweets=self._config.min_gps_tweets,
             tie_break=self._config.tie_break,
         )
-        with context.metrics.timer("engine.total.s"):
-            for stage in self._stages:
-                stage.run(context, state)
+        # The bounded worker pool is shared by every sharded stage of the
+        # run (one fork cost, not one per stage) and reaped afterwards.
+        try:
+            with context.metrics.timer("engine.total.s"):
+                for stage in self._stages:
+                    stage.run(context, state)
+        finally:
+            executor.close()
         if state.statistics is None:
             raise InsufficientDataError(
                 "engine stage sequence produced no statistics"

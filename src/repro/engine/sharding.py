@@ -9,21 +9,53 @@ a worker over the shards through one of two backends:
 
 * ``"serial"`` — run shards in-process, one after another (the default;
   zero overhead, used by the thin ``run_study`` wrapper);
-* ``"process"`` — a ``concurrent.futures`` process pool, one worker per
-  shard, for multi-core machines.
+* ``"process"`` — a bounded, *reusable* ``concurrent.futures`` process
+  pool for multi-core machines.  The pool holds
+  ``min(shards, os.cpu_count())`` workers — ``--shards 64`` on a 4-core
+  box runs 64 shards through 4 interpreters, not 64 — and is kept alive
+  across :meth:`ShardedExecutor.run_shards` calls so one study run pays
+  the fork cost once, not once per stage.
 
 Workers must be module-level callables of ``(chunk, payload)`` so the
 process backend can pickle them; payloads carry shared read-only inputs
-(gazetteer, tie-break policy, …).
+(gazetteer, tie-break policy, …), or per-shard inputs via
+``shard_payloads`` (shard-local cache segment paths, …).
+
+Failure semantics
+-----------------
+
+Two failure modes are kept deliberately distinct:
+
+* **Worker exception** — the worker callable *raised*.  Retrying cannot
+  change a deterministic error, so the raw (pickled) traceback is
+  wrapped in :class:`~repro.errors.ShardExecutionError` naming the shard
+  index and global item range; the CLI maps it to exit code 4.
+* **Worker crash** — the worker *process* died (OOM kill, native crash,
+  ``os._exit``), surfacing as ``BrokenProcessPool``.  The executor
+  discards the broken pool, retries every unfinished shard once on a
+  fresh pool, and if that pool breaks too it runs the remaining shards
+  serially in the parent — an actionable :class:`RuntimeWarning` each
+  time, never a raw traceback, and results stay byte-identical because
+  shard workers are pure functions of their chunk (crash drills are
+  property-tested in ``tests/engine/test_crash_recovery.py``).
+
+:class:`WorkerFaultPlan` is the deterministic crash-injection seam those
+drills use, mirroring the API-level
+:class:`~repro.geocode.policy.FailurePlan` idiom.
 """
 
 from __future__ import annotations
 
+import os
+import time
+import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
 from typing import TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShardExecutionError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -54,26 +86,172 @@ def partition(items: Sequence[T], shards: int) -> list[list[T]]:
     return chunks
 
 
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic worker-crash injection for crash-recovery drills.
+
+    Kills the worker *process* (``os._exit``) handling ``shard`` while the
+    token file still holds a positive crash budget; each crash consumes
+    one unit, so ``crashes=1`` exercises the retry-on-fresh-pool path and
+    ``crashes=2`` exhausts the retry too, forcing the serial fallback.
+    The parent process is never killed — serial fallback runs the same
+    worker in the parent, guarded by ``parent_pid``.
+
+    Attributes:
+        shard: 0-based index of the shard whose worker dies.
+        token_path: File holding the remaining crash budget (an integer).
+        parent_pid: PID of the orchestrating process, exempt from crashes.
+    """
+
+    shard: int
+    token_path: str
+    parent_pid: int
+
+    @classmethod
+    def arm(cls, token_path: str | Path, shard: int, crashes: int) -> "WorkerFaultPlan":
+        """Write the crash budget to ``token_path`` and return the plan."""
+        path = Path(token_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(str(crashes), encoding="utf-8")
+        return cls(shard=shard, token_path=str(path), parent_pid=os.getpid())
+
+    def maybe_crash(self, shard_index: int) -> None:
+        """Die (``os._exit``) if this shard's budget allows, else return."""
+        if shard_index != self.shard or os.getpid() == self.parent_pid:
+            return
+        path = Path(self.token_path)
+        try:
+            remaining = int(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if remaining <= 0:
+            return
+        path.write_text(str(remaining - 1), encoding="utf-8")
+        os._exit(43)
+
+
+def _shard_call(
+    worker: Callable[[list[T], object], R],
+    chunk: list[T],
+    payload: object,
+    index: int,
+    fault: WorkerFaultPlan | None,
+) -> tuple[R, float]:
+    """Run one shard, timed; the unit of work both backends execute.
+
+    Module-level so the process backend can pickle it; the fault plan is
+    consulted before the worker runs so an injected crash costs nothing.
+    """
+    if fault is not None:
+        fault.maybe_crash(index)
+    start = time.perf_counter()
+    result = worker(chunk, payload)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's execution record.
+
+    Attributes:
+        index: 0-based shard index.
+        items: Items in the shard's chunk.
+        item_range: Half-open global ``(start, stop)`` index range.
+        result: The worker's return value.
+        duration_s: Worker wall time (excludes queueing and pickling).
+        attempts: Executions it took — 1 for a clean run, 2 when the
+            first pool broke, 3 when the retry pool broke too.
+        via: How the shard ultimately ran — ``"serial"``, ``"pool"``,
+            ``"retry"``, ``"serial-fallback"``, or ``"inline-empty"``
+            (an empty chunk answered in the parent, never submitted).
+    """
+
+    index: int
+    items: int
+    item_range: tuple[int, int]
+    result: object
+    duration_s: float
+    attempts: int
+    via: str
+
+
+@dataclass
+class ShardRunReport:
+    """Everything one :meth:`ShardedExecutor.run_shards` call observed.
+
+    Attributes:
+        shards: Configured shard count.
+        backend: Backend that executed the run.
+        max_workers: Pool bound the run was subject to.
+        outcomes: Per-shard records, in shard order.
+    """
+
+    shards: int
+    backend: str
+    max_workers: int
+    outcomes: list[ShardOutcome]
+
+    @property
+    def results(self) -> list[object]:
+        """Worker results in shard order (the :meth:`map_shards` view)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def worker_retries(self) -> int:
+        """Shards that needed a second pool attempt (or worse)."""
+        return sum(1 for o in self.outcomes if o.attempts >= 2)
+
+    @property
+    def serial_fallbacks(self) -> int:
+        """Shards that exhausted both pools and ran in the parent."""
+        return sum(1 for o in self.outcomes if o.via == "serial-fallback")
+
+
 class ShardedExecutor:
     """Maps workers over deterministic contiguous shards.
+
+    The process backend owns a bounded pool of
+    ``min(shards, os.cpu_count())`` workers (overridable via
+    ``max_workers``, still capped at the shard count), created lazily on
+    the first sharded call and reused until :meth:`close` — the executor
+    is also a context manager.  See the module docstring for the
+    crash-recovery contract.
 
     Args:
         shards: Number of shards to partition work into (>= 1).
         backend: ``"serial"`` or ``"process"``.
+        max_workers: Optional pool-size override (>= 1); defaults to the
+            machine's CPU count.  Always capped at ``shards``.
+        fault_plan: Optional deterministic crash-injection plan for
+            recovery drills.
 
     Raises:
-        ConfigurationError: for an invalid shard count or backend name.
+        ConfigurationError: for an invalid shard count, backend name, or
+            worker bound.
     """
 
-    def __init__(self, shards: int = 1, backend: str = "serial"):
+    def __init__(
+        self,
+        shards: int = 1,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        fault_plan: WorkerFaultPlan | None = None,
+    ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
             )
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
         self._shards = shards
         self._backend = backend
+        self._max_workers = min(shards, max_workers or os.cpu_count() or 1)
+        self._fault_plan = fault_plan
+        self._pool: ProcessPoolExecutor | None = None
 
     @property
     def shards(self) -> int:
@@ -85,6 +263,35 @@ class ShardedExecutor:
         """Configured backend name."""
         return self._backend
 
+    @property
+    def max_workers(self) -> int:
+        """Worker-process bound: ``min(shards, cpu_count)`` by default."""
+        return self._max_workers
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later call re-forks)."""
+        self._discard_pool(wait=True)
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def _discard_pool(self, wait: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # A broken pool's workers are already gone; cancel whatever
+            # queued work remains and reap without blocking on it.
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    # ------------------------------------------------------------------- map
     def map_shards(
         self,
         items: Sequence[T],
@@ -94,13 +301,193 @@ class ShardedExecutor:
         """Run ``worker(chunk, payload)`` over every shard, in shard order.
 
         Returns one result per shard (empty shards included), ordered so
-        that order-sensitive merges are just concatenation.  With the
-        process backend, ``worker`` must be a module-level callable and
-        ``chunk``/``payload``/results must be picklable.
+        that order-sensitive merges are just concatenation.  Thin wrapper
+        over :meth:`run_shards` for callers that only want the results.
+        """
+        return self.run_shards(items, worker, payload).results  # type: ignore[return-value]
+
+    def run_shards(
+        self,
+        items: Sequence[T],
+        worker: Callable[[list[T], object], R],
+        payload: object = None,
+        *,
+        shard_payloads: Sequence[object] | None = None,
+    ) -> ShardRunReport:
+        """Run every shard and report per-shard timings and recovery info.
+
+        With the process backend, ``worker`` must be a module-level
+        callable and chunks/payloads/results must be picklable.  Empty
+        shards are answered in the parent process (workers must accept an
+        empty chunk cheaply) — the pool never sees them.  ``shard_payloads``
+        supplies one payload per shard (length must equal ``shards``) for
+        workers that need shard-local inputs such as cache segment paths.
+
+        Raises:
+            ShardExecutionError: when a worker callable raises, naming
+                the shard and its global item range (both backends).
+            ConfigurationError: for a mis-sized ``shard_payloads``.
         """
         chunks = partition(items, self._shards)
+        if shard_payloads is not None and len(shard_payloads) != self._shards:
+            raise ConfigurationError(
+                f"shard_payloads must hold one payload per shard "
+                f"({self._shards}), got {len(shard_payloads)}"
+            )
+        payloads = (
+            list(shard_payloads)
+            if shard_payloads is not None
+            else [payload] * self._shards
+        )
+        ranges: list[tuple[int, int]] = []
+        start = 0
+        for chunk in chunks:
+            ranges.append((start, start + len(chunk)))
+            start += len(chunk)
+
         if self._backend == "serial" or self._shards == 1:
-            return [worker(chunk, payload) for chunk in chunks]
-        with ProcessPoolExecutor(max_workers=self._shards) as pool:
-            futures = [pool.submit(worker, chunk, payload) for chunk in chunks]
-            return [future.result() for future in futures]
+            outcomes = [
+                self._run_inline(i, chunks, ranges, worker, payloads,
+                                 via="serial", attempts=1)
+                for i in range(self._shards)
+            ]
+        else:
+            outcomes = self._run_process(chunks, ranges, worker, payloads)
+        return ShardRunReport(
+            shards=self._shards,
+            backend=self._backend,
+            max_workers=self._max_workers,
+            outcomes=outcomes,
+        )
+
+    # -------------------------------------------------------------- internals
+    def _run_inline(
+        self,
+        index: int,
+        chunks: list[list[T]],
+        ranges: list[tuple[int, int]],
+        worker: Callable[[list[T], object], R],
+        payloads: list[object],
+        via: str,
+        attempts: int,
+    ) -> ShardOutcome:
+        """Execute one shard in the parent process."""
+        try:
+            result, duration_s = _shard_call(
+                worker, chunks[index], payloads[index], index, self._fault_plan
+            )
+        except Exception as exc:
+            raise ShardExecutionError(
+                index, self._shards, ranges[index], exc
+            ) from exc
+        return ShardOutcome(
+            index=index,
+            items=len(chunks[index]),
+            item_range=ranges[index],
+            result=result,
+            duration_s=duration_s,
+            attempts=attempts,
+            via=via,
+        )
+
+    def _run_process(
+        self,
+        chunks: list[list[T]],
+        ranges: list[tuple[int, int]],
+        worker: Callable[[list[T], object], R],
+        payloads: list[object],
+    ) -> list[ShardOutcome]:
+        outcomes: list[ShardOutcome | None] = [None] * self._shards
+        pending: list[int] = []
+        for index, chunk in enumerate(chunks):
+            if chunk:
+                pending.append(index)
+            else:
+                # An empty shard is pure bookkeeping — answer it here
+                # rather than paying a pickle round-trip for nothing.
+                outcomes[index] = self._run_inline(
+                    index, chunks, ranges, worker, payloads,
+                    via="inline-empty", attempts=0,
+                )
+
+        failed = self._submit_round(
+            pending, chunks, ranges, worker, payloads, outcomes, attempt=1
+        )
+        if failed:
+            self._discard_pool()
+            warnings.warn(
+                f"{len(failed)} shard worker(s) died "
+                f"(shards {', '.join(str(i) for i in failed)} of "
+                f"{self._shards}); retrying once on a fresh pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            failed = self._submit_round(
+                failed, chunks, ranges, worker, payloads, outcomes, attempt=2
+            )
+        if failed:
+            self._discard_pool()
+            warnings.warn(
+                f"shard worker(s) died again on the fresh pool; running "
+                f"shard(s) {', '.join(str(i) for i in failed)} serially in "
+                f"the parent — check for OOM kills, ulimits, or native "
+                f"crashes in worker logs",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for index in failed:
+                outcomes[index] = self._run_inline(
+                    index, chunks, ranges, worker, payloads,
+                    via="serial-fallback", attempts=3,
+                )
+        return outcomes  # type: ignore[return-value]
+
+    def _submit_round(
+        self,
+        shard_ids: list[int],
+        chunks: list[list[T]],
+        ranges: list[tuple[int, int]],
+        worker: Callable[[list[T], object], R],
+        payloads: list[object],
+        outcomes: list[ShardOutcome | None],
+        attempt: int,
+    ) -> list[int]:
+        """Submit ``shard_ids`` to the pool; return the ids that crashed.
+
+        A worker *exception* raises :class:`ShardExecutionError`
+        immediately — it is deterministic, so neither the retry pool nor
+        the serial fallback could answer differently.  A worker *crash*
+        (``BrokenExecutor``) marks the shard failed and poisons the pool,
+        so every not-yet-finished shard of the round fails with it.
+        """
+        pool = self._ensure_pool()
+        futures = {}
+        broken: list[int] = []
+        for index in shard_ids:
+            try:
+                futures[index] = pool.submit(
+                    _shard_call, worker, chunks[index], payloads[index],
+                    index, self._fault_plan,
+                )
+            except BrokenExecutor:
+                broken.append(index)
+        for index, future in futures.items():
+            try:
+                result, duration_s = future.result()
+            except BrokenExecutor:
+                broken.append(index)
+            except Exception as exc:
+                raise ShardExecutionError(
+                    index, self._shards, ranges[index], exc
+                ) from exc
+            else:
+                outcomes[index] = ShardOutcome(
+                    index=index,
+                    items=len(chunks[index]),
+                    item_range=ranges[index],
+                    result=result,
+                    duration_s=duration_s,
+                    attempts=attempt,
+                    via="pool" if attempt == 1 else "retry",
+                )
+        return sorted(broken)

@@ -25,16 +25,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from pathlib import Path
+
 from repro.datasets.refine import RefinementFunnel
 from repro.engine.context import RunContext
-from repro.engine.sharding import ShardedExecutor
+from repro.engine.sharding import ShardedExecutor, ShardRunReport
 from repro.errors import ConfigurationError
 from repro.geo.forward import GeocodeStatus, TextGeocoder
 from repro.geo.gazetteer import Gazetteer
 from repro.geo.region import AdminPath, District
 from repro.geo.reverse import ReverseGeocoder
 from repro.geocode.cellstore import Cell
-from repro.geocode.service import GeocodeService, simulated_latency
+from repro.geocode.service import (
+    GeocodeService,
+    TierStats,
+    shard_segment_path,
+    simulated_latency,
+)
 from repro.geocode.backend import PlaceFinderBackend
 from repro.grouping.merge import TieBreak
 from repro.grouping.stats import GroupStatistics, compute_group_statistics
@@ -162,21 +169,66 @@ class ProfileGeocodeStage:
             )
 
 
-def _resolve_cells_shard(
-    points: list[tuple[tuple[int, int], object]], payload: object
-) -> list[tuple[tuple[int, int], AdminPath | None]]:
-    """Shard worker: resolve one representative point per cache cell.
+@dataclass
+class ShardGeocodeReport:
+    """What one reverse-geocode shard worker sends back to the parent.
 
-    Each shard owns a full PlaceFinder client (XML round trip included, so
-    per-lookup cost matches the serial path) over a resolver built from
-    the shared gazetteer.  Module-level so the process backend can pickle
-    it.
+    Attributes:
+        resolved: ``(cell, outcome)`` pairs in chunk order.
+        tier_stats: The shard-local service's tier accounting.
+        client_stats: The shard-local PlaceFinder client's accounting.
     """
-    gazetteer, latency_s = payload  # type: ignore[misc]
+
+    resolved: list[tuple[Cell, AdminPath | None]]
+    tier_stats: TierStats
+    client_stats: ClientStats
+
+
+def _resolve_cells_shard(
+    cells: list[Cell], payload: object
+) -> ShardGeocodeReport:
+    """Shard worker: resolve each cache cell at its representative point.
+
+    Each shard owns a full *shard-local* tiered
+    :class:`~repro.geocode.service.GeocodeService` — an L1 over an
+    optional shard-partitioned cell-store segment file — wrapping a
+    PlaceFinder client (XML round trip included, so per-lookup cost
+    matches the serial path) built from the shared gazetteer.  Workers
+    never touch the shared warm cache; the parent merges their segments
+    and stats after they return.  Because cell outcomes are pure
+    functions of the cell key, a worker retried after a crash reopens its
+    segment, warm-starts from the cells it already persisted, and still
+    returns byte-identical outcomes.  Module-level so the process
+    backend can pickle it.
+    """
+    gazetteer, latency_s, quantum_deg, segment = payload  # type: ignore[misc]
+    if not cells:
+        return ShardGeocodeReport([], TierStats(), ClientStats())
     client = PlaceFinderClient(
         ReverseGeocoder(gazetteer), daily_quota=ENGINE_QUOTA, latency_s=latency_s
     )
-    return [(cell, client.resolve_admin_path(point)) for cell, point in points]
+    service = GeocodeService(
+        PlaceFinderBackend(client), cache_path=segment, quantum_deg=quantum_deg
+    )
+    resolved = [(cell, service.resolve_cell(cell)) for cell in cells]
+    return ShardGeocodeReport(resolved, service.stats, client.stats)
+
+
+def _record_shard_run(
+    context: RunContext, stage_name: str, report: ShardRunReport
+) -> None:
+    """Mirror a sharded run into the trace: per-shard spans + counters."""
+    for outcome in report.outcomes:
+        context.record_span(
+            f"{stage_name}.shard{outcome.index}",
+            outcome.duration_s,
+            items_in=outcome.items,
+            items_out=outcome.items,
+        )
+    context.metrics.counter("sharding.worker_retries", report.worker_retries)
+    context.metrics.counter("sharding.serial_fallbacks", report.serial_fallbacks)
+    context.metrics.gauge("sharding.shards", report.shards)
+    context.metrics.gauge("sharding.max_workers", report.max_workers)
 
 
 class ReverseGeocodeStage:
@@ -218,7 +270,7 @@ class ReverseGeocodeStage:
                     lambda: {"cache_size": state.placefinder.cache_size},
                 )
             else:
-                stats = self._run_service(state, candidates)
+                stats = self._run_service(context, state, candidates)
                 assert state.geocode is not None
                 context.metrics.register_source(
                     "geocode.tiers", state.geocode.stats_source
@@ -267,6 +319,7 @@ class ReverseGeocodeStage:
     # --------------------------------------------------------- tiered service
     def _run_service(
         self,
+        context: RunContext,
         state: StudyState,
         candidates: list[tuple[int, District, list[Tweet]]],
     ) -> ClientStats:
@@ -290,7 +343,7 @@ class ReverseGeocodeStage:
                     outcomes[cell] = outcome
                 else:
                     misses.append(cell)
-        self._resolve_misses(state, service, misses, outcomes)
+        self._resolve_misses(context, state, service, misses, outcomes)
 
         # Canonical accounting, arithmetically: cell outcomes are pure
         # functions of the cell key, so a single shared serial client
@@ -339,13 +392,23 @@ class ReverseGeocodeStage:
 
     def _resolve_misses(
         self,
+        context: RunContext,
         state: StudyState,
         service: GeocodeService,
         misses: list[Cell],
         outcomes: dict[Cell, AdminPath | None],
     ) -> None:
         """Resolve uncached cells at their representatives, sharding when
-        the executor has more than one shard."""
+        the executor has more than one shard.
+
+        Sharded runs follow the shard-local-then-merge cellstore
+        protocol: each worker resolves its chunk through its own tiered
+        service over a shard-partitioned segment file (single writer per
+        journal — no concurrent appends to the shared warm cache), and
+        the parent merges outcomes append-only into the shared store and
+        folds worker :class:`TierStats`/:class:`ClientStats` into the
+        run's fleet totals, in shard order, deterministically.
+        """
         if not misses:
             return
         if state.executor.shards > 1:
@@ -353,16 +416,37 @@ class ReverseGeocodeStage:
                 raise ConfigurationError(
                     "sharded reverse geocoding requires a gazetteer on the state"
                 )
-            shard_outputs = state.executor.map_shards(
-                [(cell, service.representative(cell)) for cell in misses],
+            shards = state.executor.shards
+            segments = [
+                shard_segment_path(service.cache_path, index)
+                if service.cache_path is not None
+                else None
+                for index in range(shards)
+            ]
+            report = state.executor.run_shards(
+                misses,
                 _resolve_cells_shard,
-                payload=(state.gazetteer, self.latency_s),
+                shard_payloads=[
+                    (state.gazetteer, self.latency_s, service.quantum_deg, segment)
+                    for segment in segments
+                ],
             )
-            service.note_backend_lookups(len(misses))
-            for shard in shard_outputs:
-                for cell, path in shard:
+            fleet_clients = ClientStats()
+            for outcome in report.outcomes:
+                shard_report = outcome.result
+                assert isinstance(shard_report, ShardGeocodeReport)
+                service.stats.merge(shard_report.tier_stats)
+                fleet_clients.merge(shard_report.client_stats)
+                for cell, path in shard_report.resolved:
                     service.store(cell, path)
                     outcomes[cell] = path
+            for segment in segments:
+                if segment is not None:
+                    Path(segment).unlink(missing_ok=True)
+            context.metrics.register_source(
+                "geocode.workers", fleet_clients.snapshot
+            )
+            _record_shard_run(context, self.name, report)
         else:
             for cell in misses:
                 outcomes[cell] = service.resolve_uncached(cell)
@@ -427,13 +511,15 @@ class GroupingStage:
             per_user: dict[int, list[GeotaggedObservation]] = {}
             for observation in state.observations:
                 per_user.setdefault(observation.user_id, []).append(observation)
-            shard_outputs = state.executor.map_shards(
+            report = state.executor.run_shards(
                 list(per_user.values()),
                 _group_users_shard,
                 payload=(state.tie_break,),
             )
+            if state.executor.shards > 1:
+                _record_shard_run(context, self.name, report)
             groupings: dict[int, UserGrouping] = {}
-            for shard_result in shard_outputs:
+            for shard_result in report.results:
                 groupings.update(shard_result)
             state.groupings = groupings
             span.items_out = len(groupings)

@@ -17,14 +17,18 @@ from repro.geocode.backend import DirectBackend, GeocodeBackend, PlaceFinderBack
 from repro.geocode.cellstore import Cell, CellStore
 from repro.geocode.policy import FailurePlan, RetryPolicy, resolve_with_retries
 from repro.geocode.service import (
+    CELL_CACHE_FILENAME,
     DEFAULT_L1_CAPACITY,
     DEFAULT_QUANTUM_DEG,
     GeocodeService,
     TierStats,
+    cell_cache_path,
+    shard_segment_path,
     simulated_latency,
 )
 
 __all__ = [
+    "CELL_CACHE_FILENAME",
     "Cell",
     "CellStore",
     "DEFAULT_L1_CAPACITY",
@@ -36,6 +40,8 @@ __all__ = [
     "PlaceFinderBackend",
     "RetryPolicy",
     "TierStats",
+    "cell_cache_path",
     "resolve_with_retries",
+    "shard_segment_path",
     "simulated_latency",
 ]

@@ -47,6 +47,37 @@ DEFAULT_L1_CAPACITY = 65_536
 #: The cache quantum the paper-era client used (0.001° ≈ 110 m).
 DEFAULT_QUANTUM_DEG = 0.001
 
+#: Filename of the persistent cell tier inside a cache directory.
+CELL_CACHE_FILENAME = "geocells.jsonl"
+
+
+def cell_cache_path(cache_dir: str | Path) -> Path:
+    """The shared warm-cache file inside ``cache_dir``.
+
+    Every consumer of a cache directory — the batch engine, the streaming
+    accumulator, the CLI — derives the cell-store path through this one
+    helper, so a study run and a stream resume pointed at the same
+    directory always share the same warm tier.
+    """
+    return Path(cache_dir) / CELL_CACHE_FILENAME
+
+
+def shard_segment_path(cache_path: Path, shard_index: int) -> Path:
+    """The shard-local segment file for ``shard_index``.
+
+    Process-backend shard workers never append to the shared warm cache
+    concurrently — each writes its own ``geocells.shard-<k>.jsonl``
+    segment next to it (single writer per journal file, the
+    :mod:`repro.storage.journal` contract), and the parent merges the
+    segments append-only into the shared file after the workers return.
+    A crashed worker leaves at most a torn final segment line, which the
+    journal reader drops; its retry reopens the same segment and
+    warm-starts from the cells it already resolved.
+    """
+    return cache_path.with_name(
+        f"{cache_path.stem}.shard-{shard_index}{cache_path.suffix}"
+    )
+
 
 def simulated_latency(requests: int, latency_s: float) -> float:
     """``requests`` accumulations of ``latency_s``, by repeated addition.
@@ -87,6 +118,27 @@ class TierStats:
     stored: int = 0
     retries: int = 0
     retry_exhausted: int = 0
+
+    def merge(self, other: "TierStats") -> None:
+        """Fold another service's counters in (shard-fleet accounting).
+
+        Deterministic — plain integer sums, independent of merge order —
+        so ``study --metrics`` reports identical fleet totals no matter
+        which worker finished first.  ``stored`` then counts writes into
+        *any* tier instance: a cell a worker persisted into its shard
+        segment and the parent merged into the shared store counts twice,
+        once per journal it was written to.
+        """
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l1_evictions += other.l1_evictions
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
+        self.backend_lookups += other.backend_lookups
+        self.no_result += other.no_result
+        self.stored += other.stored
+        self.retries += other.retries
+        self.retry_exhausted += other.retry_exhausted
 
     def snapshot(self) -> dict[str, dict[str, int]]:
         """Nested dict view (flattens to ``…l1.hits`` etc. in metrics)."""
@@ -234,11 +286,6 @@ class GeocodeService:
             self._disk.put(cell, outcome)
         self.stats.stored += 1
 
-    def note_backend_lookups(self, count: int) -> None:
-        """Account ``count`` backend lookups performed outside the service
-        (sharded workers resolving misses in parallel)."""
-        self.stats.backend_lookups += count
-
     def _admit(self, cell: Cell, outcome: AdminPath | None) -> None:
         self._l1[cell] = outcome
         self._l1.move_to_end(cell)
@@ -263,6 +310,11 @@ class GeocodeService:
     def has_disk_tier(self) -> bool:
         """Whether a persistent tier backs the LRU."""
         return self._disk is not None
+
+    @property
+    def cache_path(self) -> Path | None:
+        """The persistent tier's journal file (``None`` when memory-only)."""
+        return self._disk.path if self._disk is not None else None
 
     def stats_source(self) -> dict[str, object]:
         """Metrics-registry source: tier counters plus cache occupancy."""

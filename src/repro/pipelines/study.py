@@ -33,7 +33,7 @@ from repro.datasets.ladygaga import (
     build_ladygaga_dataset,
 )
 from repro.engine.context import RunContext
-from repro.engine.engine import EngineConfig, StudyEngine
+from repro.engine.engine import EngineConfig, StudyEngine, default_engine_config
 
 
 @dataclass
@@ -85,7 +85,7 @@ def run_korean_study(
     context.metrics.register_source("crawl", dataset.crawl.snapshot)
     engine = StudyEngine(
         dataset.gazetteer,
-        config=replace(engine_config or EngineConfig(), min_gps_tweets=min_gps_tweets),
+        config=replace(engine_config or default_engine_config(), min_gps_tweets=min_gps_tweets),
     )
     study = engine.run(
         dataset.users, dataset.tweets, dataset_name="Korean", context=context
@@ -112,7 +112,7 @@ def run_ladygaga_study(
     context.metrics.register_source("crawl", dataset.stream_stats.snapshot)
     engine = StudyEngine(
         dataset.gazetteer,
-        config=replace(engine_config or EngineConfig(), min_gps_tweets=min_gps_tweets),
+        config=replace(engine_config or default_engine_config(), min_gps_tweets=min_gps_tweets),
     )
     study = engine.run(
         dataset.users, dataset.tweets, dataset_name="Lady Gaga", context=context

@@ -77,6 +77,31 @@ class TestStudy:
         sharded = capsys.readouterr().out
         assert sharded == serial
 
+    def test_study_process_backend_matches_serial(self, capsys):
+        assert main(["study", "--dataset", "korean", *FAST]) == 0
+        serial = capsys.readouterr().out
+        assert main(["study", "--dataset", "korean", "--backend", "process",
+                     "--shards", "4", *FAST]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_shard_failure_exits_code_4(self, capsys, monkeypatch):
+        """A worker exception surfaces as exit code 4 with the shard and
+        item range named — never a traceback."""
+        from repro.errors import ShardExecutionError
+
+        def boom(*args, **kwargs):
+            raise ShardExecutionError(2, 4, (6, 9), ValueError("bad row"))
+
+        monkeypatch.setattr("repro.cli.run_study", boom)
+        code = main(["study", "--dataset", "korean", *FAST])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "shard 3/4" in err
+        assert "[6:9)" in err
+        assert "bad row" in err
+        assert "Traceback" not in err
+
 
 class TestEngineTrace:
     def test_trace_output(self, capsys):
