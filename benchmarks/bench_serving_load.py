@@ -1,0 +1,221 @@
+"""Closed-loop serving load benchmark (BENCH_serving.json).
+
+Drives the transport-free :class:`~repro.serving.http.ServingApp`
+dispatch path — the exact code every HTTP request traverses minus the
+socket — with a closed loop of worker threads (each worker issues its
+next request only after the previous one returns).  Two claims are
+measured:
+
+* **Single-flight batching**: under a duplicate-heavy ``/reverse`` mix
+  against a cold cache, the number of backend geocode lookups is
+  strictly fewer than the number of geocode-bearing requests — duplicate
+  concurrent misses coalesce into one backend call and everything else
+  is served from the tier cache.
+* **Load shedding**: with a token-bucket rate far below the offered
+  load, excess requests are answered 429 immediately while the admitted
+  requests keep latency percentiles comparable to an unthrottled run —
+  overload degrades *capacity*, not *quality*.
+
+Results accumulate machine-readably in
+``benchmarks/output/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import DirectBackend
+from repro.geocode.service import GeocodeService
+from repro.serving import ServingApp, ServingSnapshot, SnapshotStore, TokenBucket
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_serving.json"
+
+WORKERS = 8
+REQUESTS_PER_WORKER = 400
+DISTINCT_CELLS = 24
+
+
+def _merge_into_report(payload: dict) -> None:
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    report = {}
+    if _OUTPUT.exists():
+        report = json.loads(_OUTPUT.read_text(encoding="utf-8"))
+    report.update(payload)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+class _SlowBackend:
+    """A backend with a realistic per-lookup latency.
+
+    The in-process gazetteer answers in microseconds, which makes
+    concurrent duplicate misses too short-lived to ever overlap; a real
+    geocoding API answers in milliseconds.  Injecting that latency makes
+    the single-flight coalescing measurable instead of merely possible.
+    """
+
+    def __init__(self, inner, delay_s: float):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def lookup(self, point):
+        """One delayed lookup through the wrapped backend."""
+        time.sleep(self._delay_s)
+        return self._inner.lookup(point)
+
+
+def _build_app(
+    ctx, bucket: TokenBucket | None = None, backend_delay_s: float = 0.0
+) -> ServingApp:
+    snapshot = ServingSnapshot.from_study(ctx.korean_study)
+    backend = DirectBackend(ReverseGeocoder(ctx.korean_dataset.gazetteer))
+    if backend_delay_s > 0.0:
+        backend = _SlowBackend(backend, backend_delay_s)
+    geocoder = GeocodeService(backend)
+    return ServingApp(SnapshotStore(snapshot), geocoder, bucket=bucket)
+
+
+def _closed_loop(app: ServingApp, targets_per_worker: list[list[str]]):
+    """Run one closed-loop phase; returns (statuses, wall_s)."""
+
+    def worker(targets: list[str]) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for target in targets:
+            status, _ = app.dispatch("GET", target)
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(targets_per_worker)) as pool:
+        results = list(pool.map(worker, targets_per_worker))
+    wall_s = time.perf_counter() - start
+    statuses: dict[int, int] = {}
+    for counts in results:
+        for status, n in counts.items():
+            statuses[status] = statuses.get(status, 0) + n
+    return statuses, wall_s
+
+
+def _latency(app: ServingApp, endpoint: str) -> dict[str, float]:
+    metrics = app.metrics.snapshot()
+    return {
+        q: round(metrics[f"serving.latency.{endpoint}.{q}"] * 1e6, 2)  # µs
+        for q in ("p50", "p95", "p99")
+    }
+
+
+@pytest.mark.slow
+def test_single_flight_batches_duplicate_geocodes(ctx):
+    """Cold cache + duplicate-heavy mix: backend lookups < requests."""
+    app = _build_app(ctx, backend_delay_s=0.005)
+    rng = random.Random(11)
+    districts = list(ctx.korean_study.profile_districts.values())
+    cells = [
+        f"/reverse?lat={d.center.lat:.4f}&lon={d.center.lon:.4f}"
+        for d in rng.sample(districts, min(DISTINCT_CELLS, len(districts)))
+    ]
+    # Every worker walks the cold cells in the same order before its
+    # random tail, so duplicate misses genuinely collide in flight.
+    plans = [
+        cells + [rng.choice(cells) for _ in range(REQUESTS_PER_WORKER - len(cells))]
+        for _ in range(WORKERS)
+    ]
+    statuses, wall_s = _closed_loop(app, plans)
+
+    total = WORKERS * REQUESTS_PER_WORKER
+    metrics = app.metrics.snapshot()
+    backend_lookups = int(metrics["serving.geocode.backend.lookups"])
+    flight = app.flight.stats()
+
+    assert statuses.get(200, 0) == total
+    # The batching claim: every request bears a geocode, yet the backend
+    # saw at most one lookup per distinct cell — strictly fewer than the
+    # geocode-bearing requests.
+    assert backend_lookups < total
+    assert backend_lookups <= len(cells)
+    # With an 8-wide cold walk over 5 ms lookups, duplicate misses must
+    # have overlapped — the coalescer, not luck, kept the backend count
+    # at one per distinct cell.
+    assert flight.followers > 0
+
+    _merge_into_report(
+        {
+            "batching": {
+                "requests": total,
+                "distinct_cells": len(cells),
+                "backend_lookups": backend_lookups,
+                "coalesced_followers": flight.followers,
+                "l1_hits": int(metrics["serving.geocode.l1.hits"]),
+                "wall_s": round(wall_s, 4),
+                "throughput_rps": round(total / wall_s, 1),
+                "latency_us": _latency(app, "reverse"),
+            }
+        }
+    )
+    print(
+        f"\nbatching: {total} geocode requests over {len(cells)} cells -> "
+        f"{backend_lookups} backend lookups "
+        f"({flight.followers} coalesced followers)"
+    )
+
+
+@pytest.mark.slow
+def test_shedding_preserves_admitted_latency(ctx):
+    """An overloaded, rate-limited server sheds with 429s while admitted
+    requests keep percentiles comparable to an unthrottled baseline."""
+    rng = random.Random(13)
+    user_ids = list(ctx.korean_study.groupings)
+    plans = [
+        [f"/lookup?user={rng.choice(user_ids)}" for _ in range(REQUESTS_PER_WORKER)]
+        for _ in range(WORKERS)
+    ]
+
+    baseline_app = _build_app(ctx)
+    baseline_statuses, baseline_wall = _closed_loop(baseline_app, plans)
+    baseline = _latency(baseline_app, "lookup")
+    offered_rps = WORKERS * REQUESTS_PER_WORKER / baseline_wall
+
+    # Admit well under the measured capacity so shedding must occur.
+    rate = max(50.0, offered_rps / 20.0)
+    limited_app = _build_app(ctx, bucket=TokenBucket(rate=rate, burst=16))
+    limited_statuses, limited_wall = _closed_loop(limited_app, plans)
+    limited = _latency(limited_app, "lookup")
+
+    total = WORKERS * REQUESTS_PER_WORKER
+    shed = limited_statuses.get(429, 0)
+    admitted = limited_statuses.get(200, 0)
+    assert baseline_statuses.get(200, 0) == total
+    assert shed > 0, "offered load never exceeded the admission rate"
+    assert admitted + shed == total
+    assert int(limited_app.metrics.snapshot()["serving.shed"]) == shed
+    # Quality holds under overload: admitted p95 stays within an order of
+    # magnitude of the unthrottled p95 (generous bound — CI machines are
+    # noisy; the JSON report carries the exact numbers).
+    assert limited["p95"] <= max(baseline["p95"] * 10.0, baseline["p95"] + 500.0)
+
+    _merge_into_report(
+        {
+            "shedding": {
+                "requests": total,
+                "offered_rps": round(offered_rps, 1),
+                "admission_rate_rps": round(rate, 1),
+                "admitted": admitted,
+                "shed": shed,
+                "baseline_latency_us": baseline,
+                "admitted_latency_us": limited,
+                "baseline_wall_s": round(baseline_wall, 4),
+                "limited_wall_s": round(limited_wall, 4),
+            }
+        }
+    )
+    print(
+        f"\nshedding: {shed}/{total} shed at {rate:.0f} rps admission "
+        f"(offered {offered_rps:.0f} rps); admitted p95 {limited['p95']}us "
+        f"vs baseline p95 {baseline['p95']}us"
+    )

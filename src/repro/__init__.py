@@ -23,7 +23,9 @@ weighted localisation), :mod:`repro.datasets` and :mod:`repro.pipelines`
 (builders, funnel, experiment registry), :mod:`repro.engine` (the staged
 execution substrate: stages, run context, metrics, sharding), and
 :mod:`repro.streaming` (live firehose ingestion with backpressure and
-checkpoint/resume).
+checkpoint/resume), and :mod:`repro.serving` (online query API over
+saved studies: versioned hot-swappable snapshots, single-flight geocode
+batching, admission control).
 """
 
 from repro.analysis import (

@@ -25,7 +25,12 @@ from repro.analysis.regional import (
     regional_breakdown,
     render_regional_breakdown,
 )
-from repro.analysis.serialization import load_study, save_study, study_to_json
+from repro.analysis.serialization import (
+    load_study,
+    save_study,
+    study_digest,
+    study_to_json,
+)
 from repro.analysis.stability import (
     StabilityResult,
     median_timestamp,
@@ -75,6 +80,7 @@ __all__ = [
     "render_regional_breakdown",
     "render_stability",
     "save_study",
+    "study_digest",
     "split_half_stability",
     "study_to_json",
     "render_comparison",

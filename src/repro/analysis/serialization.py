@@ -12,6 +12,7 @@ form, so a saved study doubles as a human-readable Table II dump.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -84,6 +85,19 @@ def study_to_json(study: StudyResult) -> str:
         "api_stats": study.api_stats.snapshot(),
     }
     return json.dumps(document, ensure_ascii=False, indent=1)
+
+
+def study_digest(study: StudyResult) -> str:
+    """Content digest of the canonical JSON document (SHA-256 hex).
+
+    This is the serving layer's snapshot-version contract: a
+    :class:`~repro.serving.state.ServingSnapshot` is versioned by the
+    digest of the study it was loaded from, so two snapshots built from
+    equal studies — whether loaded from the same file twice, saved by a
+    batch run, or streamed to the same end state — carry the *same*
+    version tag, and a hot-swap between them is observationally a no-op.
+    """
+    return hashlib.sha256(study_to_json(study).encode("utf-8")).hexdigest()
 
 
 def save_study(study: StudyResult, path: str | Path) -> None:

@@ -8,6 +8,7 @@ Commands:
 * ``localize``    — run the reliability-weighted localisation experiment
 * ``engine``      — staged-engine introspection (``engine trace``)
 * ``stream``      — live firehose ingestion with checkpoint/resume
+* ``serve``       — online query API over a saved study snapshot
 
 Everything is deterministic given ``--seed``; ``--shards``/``--backend``
 change only how the study executes, never its result.
@@ -42,7 +43,19 @@ from repro.events.evaluation import (
     make_korean_scenarios,
     render_localization_table,
 )
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import DirectBackend
+from repro.geocode.service import GeocodeService
 from repro.pipelines.experiments import EXPERIMENTS, run_experiment
+from repro.serving import (
+    ServingApp,
+    SnapshotStore,
+    StudyServer,
+    TokenBucket,
+    install_reload_signal,
+    load_snapshot,
+    render_serving_summary,
+)
 from repro.streaming import (
     BackpressurePolicy,
     BoundedTweetQueue,
@@ -289,6 +302,38 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a saved study over HTTP until interrupted."""
+    gazetteer = (
+        Gazetteer.combined() if args.gazetteer == "combined" else Gazetteer.korean()
+    )
+    snapshot_path = args.snapshot
+
+    def reloader():
+        """Re-read the study document from disk (SIGHUP / /admin/reload)."""
+        return load_snapshot(snapshot_path, gazetteer)
+
+    store = SnapshotStore(reloader())
+    geocoder = GeocodeService(DirectBackend(ReverseGeocoder(gazetteer)))
+    bucket = TokenBucket(rate=args.rate if args.rate > 0 else None, burst=args.burst)
+    app = ServingApp(store, geocoder, bucket=bucket, reloader=reloader)
+    server = StudyServer(app, host=args.host, port=args.port)
+    hup = install_reload_signal(app)
+    print(render_serving_summary(app, args.host, server.port))
+    if hup:
+        print("  reload: POST /admin/reload or SIGHUP")
+    else:
+        print("  reload: POST /admin/reload")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _add_build_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--population", type=int, default=2_000,
                         help="accounts on the simulated platform")
@@ -316,12 +361,59 @@ def _add_cache_option(parser: argparse.ArgumentParser) -> None:
                         "reuse it across runs to skip already-resolved cells")
 
 
+class _OneLineArgumentParser(argparse.ArgumentParser):
+    """An ``ArgumentParser`` whose failures are one actionable line.
+
+    ``argparse`` normally prints a multi-line usage dump before the error;
+    for scripted callers (CI smoke steps, shell pipelines) a single line
+    naming the problem and pointing at ``--help`` is easier to surface.
+    The exit code stays argparse's conventional 2, so an unknown
+    subcommand is distinguishable from a study failure (1), a bad resume
+    state (3), and a shard failure (4).
+    """
+
+    def error(self, message: str):
+        """Exit 2 with a one-line diagnostic instead of a usage dump."""
+        self.exit(2, f"{self.prog}: error: {message} — see `repro --help`\n")
+
+
+def package_version() -> str:
+    """The installed package version, from metadata or ``pyproject.toml``.
+
+    An installed distribution answers from its metadata; a source
+    checkout run via ``PYTHONPATH=src`` falls back to the repository's
+    ``pyproject.toml``, and finally to the library's ``__version__`` —
+    the three can only disagree during a version bump, where the
+    checkout's files win over stale installed metadata anyway.
+    """
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    if pyproject.is_file():
+        try:
+            import tomllib
+
+            with pyproject.open("rb") as handle:
+                return tomllib.load(handle)["project"]["version"]
+        except Exception:  # malformed/pre-3.11 — fall through to metadata
+            pass
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
-    parser = argparse.ArgumentParser(
+    parser = _OneLineArgumentParser(
         prog="repro",
         description="Reproduction of Lee & Hwang (ICDE 2012): spatial "
         "attributes on Twitter",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -397,6 +489,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_build_options(stream)
     _add_cache_option(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a saved study over a JSON HTTP API"
+    )
+    serve.add_argument("--snapshot", required=True,
+                       help="study JSON from `study --save` / `stream --save`")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--gazetteer", choices=("korean", "combined"),
+                       default="korean",
+                       help="district catalogue for /reverse and snapshot load")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="admitted data requests per second "
+                       "(0 = unlimited; excess answered 429)")
+    serve.add_argument("--burst", type=int, default=32,
+                       help="admission burst capacity above the sustained rate")
+    serve.set_defaults(func=_cmd_serve)
 
     localize = subparsers.add_parser(
         "localize", help="reliability-weighted event localisation"

@@ -5,7 +5,8 @@ Public surface of :mod:`repro.engine`:
 * :class:`StudyEngine` / :class:`EngineConfig` — the staged study runner
 * :class:`RunContext` / :class:`StageSpan` / :func:`render_trace` — the
   per-run context with structured stage spans
-* :class:`MetricsRegistry` — unified counters/timers/gauges + sources
+* :class:`MetricsRegistry` — unified counters/timers/gauges + sources,
+  plus :class:`LatencyHistogram` windows with p50/p95/p99 summaries
 * :class:`ShardedExecutor` / :func:`partition` — deterministic sharding
 * The concrete stages (``RefineStage`` … ``StatisticsStage``) and the
   :class:`Stage` protocol for swapping in custom ones
@@ -19,7 +20,7 @@ from repro.engine.engine import (
     default_engine_config,
     default_stages,
 )
-from repro.engine.metrics import MetricsRegistry
+from repro.engine.metrics import LatencyHistogram, MetricsRegistry
 from repro.engine.sharding import (
     BACKENDS,
     ShardedExecutor,
@@ -43,6 +44,7 @@ __all__ = [
     "EngineConfig",
     "EngineRun",
     "GroupingStage",
+    "LatencyHistogram",
     "MetricsRegistry",
     "ProfileGeocodeStage",
     "RefineStage",

@@ -17,6 +17,7 @@ legacy call sites keep working while engine runs see everything.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable, Mapping
 from contextlib import contextmanager
@@ -26,6 +27,97 @@ from repro.errors import ConfigurationError
 #: A snapshot source: zero-argument callable returning a (possibly nested)
 #: mapping of metric names to numbers; evaluated lazily at snapshot time.
 SnapshotSource = Callable[[], Mapping[str, object]]
+
+#: Default observation window of a :class:`LatencyHistogram` — large
+#: enough for stable tail percentiles, small enough that a long-lived
+#: server never grows without bound.
+DEFAULT_HISTOGRAM_WINDOW = 4096
+
+
+class LatencyHistogram:
+    """Bounded sliding-window histogram with percentile summaries.
+
+    The serving layer records one of these per endpoint.  Observations
+    land in a fixed-size ring buffer (the most recent ``window`` values),
+    while ``count``/``sum``/``max`` track the full lifetime — so p50/p95/
+    p99 describe *recent* behaviour and the totals describe the whole
+    run.  All operations are thread-safe: HTTP handler threads observe
+    concurrently with ``/metrics`` snapshots.
+
+    Args:
+        window: Ring-buffer capacity (>= 1).
+
+    Raises:
+        ConfigurationError: for a non-positive window.
+    """
+
+    def __init__(self, window: int = DEFAULT_HISTOGRAM_WINDOW):
+        if window < 1:
+            raise ConfigurationError(f"histogram window must be >= 1, got {window}")
+        self._window = window
+        self._ring: list[float] = []
+        self._next = 0
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, bytes, whatever the name says)."""
+        with self._lock:
+            if len(self._ring) < self._window:
+                self._ring.append(value)
+            else:
+                self._ring[self._next] = value
+                self._next = (self._next + 1) % self._window
+            self.count += 1
+            self.total += value
+            if value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the current window (0.0 empty).
+
+        Nearest-rank on a sorted copy — exact, deterministic, and cheap at
+        the serving layer's window sizes.
+        """
+        with self._lock:
+            values = sorted(self._ring)
+        if not values:
+            return 0.0
+        rank = max(0, min(len(values) - 1, int(round(q / 100.0 * (len(values) - 1)))))
+        return values[rank]
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in: totals sum, windows concatenate
+        (truncated to this histogram's capacity, newest kept)."""
+        with other._lock:
+            other_ring = list(other._ring)
+            other_count, other_total, other_max = other.count, other.total, other.max
+        with self._lock:
+            self.count += other_count
+            self.total += other_total
+            if other_max > self.max:
+                self.max = other_max
+            for value in other_ring:
+                if len(self._ring) < self._window:
+                    self._ring.append(value)
+                else:
+                    self._ring[self._next] = value
+                    self._next = (self._next + 1) % self._window
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat summary: count, mean, max, and the p50/p95/p99 tail."""
+        with self._lock:
+            count, total, peak = self.count, self.total, self.max
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "max": peak,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
 
 
 def _flatten(prefix: str, mapping: Mapping[str, object], out: dict[str, float]) -> None:
@@ -53,13 +145,21 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         self._timers: dict[str, float] = {}
         self._sources: dict[str, SnapshotSource] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
 
     # ---------------------------------------------------------------- record
     def counter(self, name: str, delta: float = 1) -> float:
-        """Add ``delta`` to counter ``name`` and return its new value."""
-        value = self._counters.get(name, 0) + delta
-        self._counters[name] = value
-        return value
+        """Add ``delta`` to counter ``name`` and return its new value.
+
+        Safe under concurrent callers (the serving layer's handler
+        threads share one registry); single-threaded engine runs pay one
+        uncontended lock acquisition.
+        """
+        with self._lock:
+            value = self._counters.get(name, 0) + delta
+            self._counters[name] = value
+            return value
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
@@ -92,6 +192,29 @@ class MetricsRegistry:
             raise ConfigurationError("metrics source prefix must be non-empty")
         self._sources[prefix] = source
 
+    def histogram(
+        self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW
+    ) -> LatencyHistogram:
+        """The :class:`LatencyHistogram` registered under ``name``,
+        creating it on first use.
+
+        Snapshots surface it as ``<name>.count`` / ``.mean`` / ``.max`` /
+        ``.p50`` / ``.p95`` / ``.p99``.  Repeated calls return the same
+        instance (the ``window`` argument only applies on creation), so
+        hot paths may cache the handle or re-ask by name.
+
+        Raises:
+            ConfigurationError: for an empty name.
+        """
+        if not name:
+            raise ConfigurationError("histogram name must be non-empty")
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram(window)
+                self._histograms[name] = histogram
+            return histogram
+
     # ----------------------------------------------------------------- merge
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in: counters/timers sum, gauges last-write.
@@ -105,6 +228,8 @@ class MetricsRegistry:
             self.add_time(name, seconds)
         self._gauges.update(other._gauges)
         self._sources.update(other._sources)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram._window).merge(histogram)
 
     # -------------------------------------------------------------- snapshot
     def snapshot(self) -> dict[str, float]:
@@ -114,9 +239,13 @@ class MetricsRegistry:
         suffix); source values appear under ``<prefix>.<key>``.
         """
         out: dict[str, float] = {}
-        out.update(self._counters)
+        with self._lock:
+            out.update(self._counters)
+            histograms = list(self._histograms.items())
         out.update(self._gauges)
         out.update(self._timers)
+        for name, histogram in histograms:
+            _flatten(name, histogram.snapshot(), out)
         for prefix, source in self._sources.items():
             _flatten(prefix, source(), out)
         return dict(sorted(out.items()))

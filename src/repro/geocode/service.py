@@ -29,9 +29,12 @@ so a flaky backend cannot poison the tiers.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Protocol, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.geo.point import GeoPoint
@@ -39,6 +42,25 @@ from repro.geo.region import AdminPath
 from repro.geocode.backend import GeocodeBackend
 from repro.geocode.cellstore import Cell, CellStore
 from repro.geocode.policy import RetryPolicy, resolve_with_retries
+
+_T = TypeVar("_T")
+
+
+class FlightCoordinator(Protocol):
+    """Deduplicates concurrent keyed calls (the single-flight pattern).
+
+    ``do(key, fn)`` runs ``fn`` at most once per key at a time: the first
+    caller for a key (the *leader*) executes it, every concurrent caller
+    for the same key (a *follower*) blocks and receives the leader's
+    result (or its raised exception).  The serving layer's
+    :class:`~repro.serving.batcher.SingleFlight` implements this; the
+    protocol lives here so :class:`GeocodeService` can accept a
+    coordinator without importing the serving package.
+    """
+
+    def do(self, key: object, fn: Callable[[], _T]) -> _T:
+        """Run ``fn`` once per concurrent ``key``; all callers share the result."""
+        ...
 
 #: Default L1 capacity — comfortably holds both study corpora's distinct
 #: cells while still exercising eviction under adversarial tests.
@@ -192,6 +214,8 @@ class GeocodeService:
         self._l1_capacity = l1_capacity
         self._disk = CellStore(cache_path) if cache_path is not None else None
         self._retry_policy = retry_policy or RetryPolicy()
+        self._flight: FlightCoordinator | None = None
+        self._tier_lock: threading.RLock | None = None
         self.stats = TierStats()
 
     # ------------------------------------------------------------------- keys
@@ -221,16 +245,72 @@ class GeocodeService:
         )
 
     # ---------------------------------------------------------------- resolve
+    def enable_single_flight(self, coordinator: FlightCoordinator) -> None:
+        """Make :meth:`resolve` / :meth:`resolve_cell` safe for concurrent
+        callers, coalescing duplicate misses through ``coordinator``.
+
+        Once enabled, cache probes and stores serialise on an internal
+        lock while backend lookups for *distinct* cells still run
+        concurrently; concurrent misses for the *same* cell collapse into
+        one backend call whose outcome every waiter shares.  The batch
+        engine and streaming accumulator never call this — their serial
+        resolve path is unchanged and pays no locking.
+        """
+        self._flight = coordinator
+        self._tier_lock = threading.RLock()
+
     def resolve(self, point: GeoPoint) -> AdminPath | None:
         """Resolve ``point`` through the tiers (``None`` = unresolvable)."""
         return self.resolve_cell(self.cell_of(point))
 
     def resolve_cell(self, cell: Cell) -> AdminPath | None:
-        """Resolve one cell: L1, then disk, then the backend."""
-        hit, outcome = self.lookup_cached(cell)
+        """Resolve one cell: L1, then disk, then the backend.
+
+        With single-flight enabled (:meth:`enable_single_flight`) this is
+        the thread-safe entry point; concurrent duplicate misses cost one
+        backend lookup.
+        """
+        if self._flight is None:
+            hit, outcome = self.lookup_cached(cell)
+            if hit:
+                return outcome
+            return self.resolve_uncached(cell)
+        assert self._tier_lock is not None
+        with self._tier_lock:
+            hit, outcome = self.lookup_cached(cell)
         if hit:
             return outcome
-        return self.resolve_uncached(cell)
+        return self._flight.do(cell, lambda: self._resolve_coalesced(cell))
+
+    def _resolve_coalesced(self, cell: Cell) -> AdminPath | None:
+        """Leader body of a single-flight miss: re-probe, then backend.
+
+        The re-probe (under the tier lock) closes the race where a
+        request misses the cache, the concurrent leader for the same cell
+        stores and retires its flight, and this request would otherwise
+        become a fresh leader and pay a second backend call for a cell
+        that is now cached.
+        """
+        assert self._tier_lock is not None
+        with self._tier_lock:
+            hit, outcome = self.lookup_cached(cell)
+            if hit:
+                return outcome
+        point = self.representative(cell)
+        scratch = TierStats()
+        result = resolve_with_retries(
+            lambda: self._backend.lookup(point), self._retry_policy, scratch
+        )
+        with self._tier_lock:
+            self.stats.backend_lookups += 1
+            self.stats.retries += scratch.retries
+            self.stats.retry_exhausted += scratch.retry_exhausted
+            if scratch.retry_exhausted:
+                return None  # transient give-up: stays uncached
+            if result is None:
+                self.stats.no_result += 1
+            self.store(cell, result)
+        return result
 
     def lookup_cached(self, cell: Cell) -> tuple[bool, AdminPath | None]:
         """Probe the cache tiers only; ``(hit, outcome)``.

@@ -1,0 +1,134 @@
+"""Single-flight coalescing of concurrent duplicate keyed calls.
+
+When N requests ask to reverse-geocode the same cell at the same moment,
+only one of them should pay the backend call; the other N-1 should wait
+for — and share — its result.  :class:`SingleFlight` implements this
+leader/follower protocol: the first caller for a key becomes the
+*leader* and runs the function; callers arriving while the flight is
+open become *followers* and block on the leader's completion event.
+
+This is the serving half of the contract declared by
+:class:`repro.geocode.service.FlightCoordinator`; the
+:class:`~repro.geocode.service.GeocodeService` plugs an instance in via
+``enable_single_flight`` and routes every cold-cache ``resolve_cell``
+through :meth:`do`.
+
+Error semantics: if the leader's function raises, every follower of that
+flight re-raises the same exception — a failed flight is not silently
+retried, because the admission layer above decides retry policy.  The
+flight is removed either way, so the *next* caller for the key starts a
+fresh flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+_T = TypeVar("_T")
+
+
+class _Flight:
+    """One in-progress call: completion event plus its outcome."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: BaseException | None = None
+
+
+@dataclass
+class FlightStats:
+    """Counters describing how much duplicate work coalescing saved.
+
+    Attributes:
+        leaders: Calls that actually executed the function.
+        followers: Calls that waited on a leader and shared its result.
+        failures: Flights whose function raised (followers re-raised).
+    """
+
+    leaders: int = 0
+    followers: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON/metrics-friendly view."""
+        return {
+            "leaders": self.leaders,
+            "followers": self.followers,
+            "failures": self.failures,
+        }
+
+
+class SingleFlight:
+    """Keyed leader/follower call coalescer (the Go ``singleflight`` idiom).
+
+    Thread-safe; one instance serves all handler threads.  Keys must be
+    hashable.  Results are *not* cached across flights — once a flight
+    lands, the next call for the same key starts a new one.  Caching is
+    the caller's concern (the geocode tier cache, for the serving layer).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[object, _Flight] = {}
+        self._stats = FlightStats()
+
+    def do(self, key: object, fn: Callable[[], _T]) -> _T:
+        """Run ``fn`` once per concurrent burst of callers with ``key``.
+
+        The first caller executes ``fn``; concurrent callers with the
+        same key block until it finishes and receive the same result (or
+        re-raise the same exception).
+
+        Args:
+            key: Hashable identity of the call (e.g. a geocode cell).
+            fn: Zero-argument callable producing the shared result.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+                self._stats.leaders += 1
+            else:
+                leader = False
+                self._stats.followers += 1
+
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result  # type: ignore[return-value]
+
+        try:
+            flight.result = fn()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._stats.failures += 1
+                self._flights.pop(key, None)
+            flight.done.set()
+            raise
+        with self._lock:
+            self._flights.pop(key, None)
+        flight.done.set()
+        return flight.result  # type: ignore[return-value]
+
+    def stats(self) -> FlightStats:
+        """A copy of the coalescing counters (safe to read anytime)."""
+        with self._lock:
+            return FlightStats(
+                leaders=self._stats.leaders,
+                followers=self._stats.followers,
+                failures=self._stats.failures,
+            )
+
+    def in_flight(self) -> int:
+        """Number of currently open flights (for tests and metrics)."""
+        with self._lock:
+            return len(self._flights)

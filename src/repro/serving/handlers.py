@@ -1,0 +1,158 @@
+"""Pure endpoint handlers: ``(snapshot, params) -> (status, body)``.
+
+Every data handler here is a pure function of the snapshot it is handed
+and its query parameters — no clocks, no ambient state, no mutation.
+That is the determinism contract the property tests enforce: the same
+query against the same snapshot version yields the same body, whether
+the requests are serial, concurrent, or separated by a hot-swap to an
+equal snapshot.  The HTTP layer (:mod:`repro.serving.http`) grabs the
+snapshot reference once per request and passes it in, so a handler can
+never observe a swap mid-response.
+
+Each body carries the snapshot's ``version`` tag, which is how the
+hot-swap test detects torn reads: a response mixing data from one
+snapshot with the version tag of another is impossible by construction,
+because both come from the single reference the handler received.
+
+The only handler touching state outside the snapshot is
+:func:`handle_reverse`, whose geocode service is read-only at serving
+time (a :class:`~repro.geocode.backend.DirectBackend` over the static
+gazetteer) — its outcome is a pure function of the cell key by the
+canonical-representative contract.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.geo.point import GeoPoint
+from repro.geocode.service import GeocodeService
+from repro.serving.state import ServingSnapshot
+
+#: Status codes the handlers emit (kept symbolic for the tests).
+OK = 200
+BAD_REQUEST = 400
+NOT_FOUND = 404
+
+
+def _error(status: int, message: str, snapshot: ServingSnapshot) -> tuple[int, dict]:
+    """A uniform error body, still version-tagged for traceability."""
+    return status, {"error": message, "version": snapshot.version}
+
+
+def handle_overview(snapshot: ServingSnapshot) -> tuple[int, dict]:
+    """``GET /`` — dataset-level summary of the live snapshot."""
+    body = snapshot.overview()
+    body["reliability"] = snapshot.reliability
+    return OK, body
+
+
+def handle_healthz(snapshot: ServingSnapshot, generation: int) -> tuple[int, dict]:
+    """``GET /healthz`` — liveness plus which snapshot is being served.
+
+    Args:
+        snapshot: The live snapshot.
+        generation: The store's publish counter (how many swaps + 1).
+    """
+    return OK, {
+        "status": "ok",
+        "dataset": snapshot.dataset_name,
+        "version": snapshot.version,
+        "generation": generation,
+    }
+
+
+def handle_lookup(
+    snapshot: ServingSnapshot, params: dict[str, str]
+) -> tuple[int, dict]:
+    """``GET /lookup?user=<id>`` — one user's match record.
+
+    The body is the precomputed per-user view: group, matched rank and
+    string, tweet counts, matched share, reliability weight, merged
+    location strings, and the profile district.
+    """
+    raw = params.get("user")
+    if raw is None:
+        return _error(BAD_REQUEST, "missing required parameter: user", snapshot)
+    try:
+        user_id = int(raw)
+    except ValueError:
+        return _error(BAD_REQUEST, f"user must be an integer, got {raw!r}", snapshot)
+    record = snapshot.user(user_id)
+    if record is None:
+        return _error(NOT_FOUND, f"unknown user: {user_id}", snapshot)
+    body = dict(record)
+    body["version"] = snapshot.version
+    return OK, body
+
+
+def handle_region(
+    snapshot: ServingSnapshot, params: dict[str, str]
+) -> tuple[int, dict]:
+    """``GET /region?state=<name>`` — one profile state's agreement stats."""
+    state = params.get("state")
+    if state is None:
+        return _error(BAD_REQUEST, "missing required parameter: state", snapshot)
+    record = snapshot.region(state)
+    if record is None:
+        return _error(NOT_FOUND, f"unknown region: {state}", snapshot)
+    body = dict(record)
+    body["version"] = snapshot.version
+    return OK, body
+
+
+def handle_regions(snapshot: ServingSnapshot) -> tuple[int, dict]:
+    """``GET /regions`` — every region's stats, sorted by state name."""
+    return OK, {
+        "regions": [snapshot.regions[state] for state in sorted(snapshot.regions)],
+        "version": snapshot.version,
+    }
+
+
+def handle_stats(snapshot: ServingSnapshot) -> tuple[int, dict]:
+    """``GET /stats`` — the per-group statistics table and funnel."""
+    return OK, {
+        "statistics": snapshot.statistics,
+        "funnel": snapshot.funnel,
+        "reliability": snapshot.reliability,
+        "version": snapshot.version,
+    }
+
+
+def handle_reverse(
+    snapshot: ServingSnapshot,
+    geocoder: GeocodeService,
+    params: dict[str, str],
+) -> tuple[int, dict]:
+    """``GET /reverse?lat=<deg>&lon=<deg>`` — reverse-geocode one point.
+
+    Routed through the shared tiered :class:`GeocodeService` with
+    single-flight enabled, so concurrent duplicate lookups for one cell
+    cost one backend call.  The outcome is a pure function of the cell
+    the point quantises to (canonical-representative semantics), so the
+    response includes the cell key for cache-behaviour debugging.
+    """
+    try:
+        lat = float(params["lat"])
+        lon = float(params["lon"])
+    except KeyError as exc:
+        return _error(BAD_REQUEST, f"missing required parameter: {exc.args[0]}", snapshot)
+    except ValueError:
+        return _error(BAD_REQUEST, "lat and lon must be numbers", snapshot)
+    if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+        return _error(BAD_REQUEST, "lat/lon out of range", snapshot)
+    point = GeoPoint(lat, lon)
+    cell = geocoder.cell_of(point)
+    try:
+        path = geocoder.resolve_cell(cell)
+    except ReproError as exc:
+        return _error(BAD_REQUEST, f"geocode failed: {exc}", snapshot)
+    body: dict[str, object] = {
+        "cell": list(cell),
+        "resolved": path is not None,
+        "version": snapshot.version,
+    }
+    if path is not None:
+        body["state"] = path.state
+        body["county"] = path.county
+        body["country"] = path.country
+    return OK, body

@@ -1,0 +1,273 @@
+"""The serving front door: dispatch, admission, metrics, and the server.
+
+Layering — each request passes through, in order:
+
+1. **Admission** (:class:`~repro.serving.ratelimit.TokenBucket`): data
+   endpoints only; a shed request is answered ``429`` in microseconds and
+   counted under ``serving.shed``, so admitted requests keep their
+   latency.  Operational endpoints (``/healthz``, ``/metrics``,
+   ``/admin/reload``) are never shed — you must be able to observe and
+   fix an overloaded server.
+2. **Snapshot grab**: the live :class:`~repro.serving.state
+   .ServingSnapshot` reference is read exactly once; the handler sees
+   one immutable snapshot for its whole lifetime, which is what makes
+   hot-swap safe under concurrent readers.
+3. **Handler** (:mod:`repro.serving.handlers`): a pure function of the
+   snapshot and query parameters.
+4. **Encoding**: canonical JSON — ``sort_keys=True``, no ASCII escaping
+   — so equal bodies are equal *bytes* (the property tests compare raw
+   payloads).
+5. **Latency recording**: one
+   :class:`~repro.engine.metrics.LatencyHistogram` per endpoint
+   (``serving.latency.<endpoint>``), surfaced by ``/metrics``.
+
+:class:`ServingApp` is the transport-free core — tests drive it directly
+via :meth:`ServingApp.dispatch` without sockets.  :class:`StudyServer`
+mounts it on a stdlib ``ThreadingHTTPServer``.  Hot reload is exposed
+twice: ``POST /admin/reload`` and (where the platform has it) ``SIGHUP``
+via :func:`install_reload_signal`.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.engine.metrics import MetricsRegistry
+from repro.errors import ReproError
+from repro.geocode.service import GeocodeService
+from repro.serving import handlers
+from repro.serving.batcher import SingleFlight
+from repro.serving.ratelimit import TokenBucket
+from repro.serving.state import ServingSnapshot, SnapshotStore
+
+#: Content type of every response body.
+CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Endpoints subject to admission control.  Operational endpoints are
+#: exempt: shedding ``/healthz`` would turn overload into a false outage.
+DATA_ENDPOINTS = frozenset({"/lookup", "/region", "/regions", "/reverse", "/stats"})
+
+
+def encode_body(body: dict) -> bytes:
+    """Canonical JSON encoding: sorted keys, real UTF-8 (no ``\\uXXXX``).
+
+    Canonicalisation is what upgrades "equal responses" to "byte-identical
+    responses": two handlers returning equal dicts — possibly built in
+    different key orders on different threads — always serialise to the
+    same bytes.
+    """
+    return json.dumps(body, ensure_ascii=False, sort_keys=True).encode("utf-8")
+
+
+class ServingApp:
+    """Transport-independent request core shared by HTTP and tests.
+
+    Args:
+        store: Holder of the live snapshot (swapped by reload).
+        geocoder: Tiered service answering ``/reverse``; single-flight is
+            enabled on it here so concurrent duplicate lookups coalesce.
+        metrics: Registry for counters/histograms (fresh one if omitted).
+        bucket: Admission controller (unlimited if omitted).
+        reloader: Zero-argument callable producing a fresh snapshot for
+            ``POST /admin/reload`` / SIGHUP; ``None`` disables reload.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        geocoder: GeocodeService,
+        metrics: MetricsRegistry | None = None,
+        bucket: TokenBucket | None = None,
+        reloader: Callable[[], ServingSnapshot] | None = None,
+    ):
+        self.store = store
+        self.geocoder = geocoder
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bucket = bucket if bucket is not None else TokenBucket(rate=None)
+        self._reloader = reloader
+        self._reload_lock = threading.Lock()
+        self.flight = SingleFlight()
+        geocoder.enable_single_flight(self.flight)
+        self.metrics.register_source("serving.snapshot", store.snapshot_source)
+        self.metrics.register_source("serving.admission", self.bucket.snapshot_source)
+        self.metrics.register_source(
+            "serving.flight", lambda: self.flight.stats().as_dict()
+        )
+        self.metrics.register_source("serving.geocode", geocoder.stats_source)
+
+    # ------------------------------------------------------------- dispatch
+    def dispatch(self, method: str, target: str) -> tuple[int, bytes]:
+        """Serve one request; returns ``(status, canonical JSON bytes)``.
+
+        Args:
+            method: HTTP method (``GET`` for queries, ``POST`` for admin).
+            target: Request target, path plus optional query string
+                (e.g. ``"/lookup?user=17"``).
+        """
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        params = dict(parse_qsl(split.query))
+        self.metrics.counter("serving.requests")
+
+        if path in DATA_ENDPOINTS and not self.bucket.try_acquire():
+            self.metrics.counter("serving.shed")
+            return 429, encode_body({"error": "rate limited; retry later"})
+
+        start = time.perf_counter()
+        status, body = self._route(method, path, params)
+        endpoint = path.strip("/").replace("/", ".") or "overview"
+        self.metrics.histogram(f"serving.latency.{endpoint}").observe(
+            time.perf_counter() - start
+        )
+        return status, encode_body(body)
+
+    def _route(
+        self, method: str, path: str, params: dict[str, str]
+    ) -> tuple[int, dict]:
+        """Map one (method, path) to its handler."""
+        if path == "/admin/reload":
+            if method != "POST":
+                return 405, {"error": "reload requires POST"}
+            return self.reload()
+        if method != "GET":
+            return 405, {"error": f"method not allowed: {method}"}
+        snapshot = self.store.current()
+        if path == "/":
+            return handlers.handle_overview(snapshot)
+        if path == "/healthz":
+            return handlers.handle_healthz(snapshot, self.store.generation)
+        if path == "/metrics":
+            return 200, {"metrics": self.metrics.snapshot()}
+        if path == "/lookup":
+            return handlers.handle_lookup(snapshot, params)
+        if path == "/region":
+            return handlers.handle_region(snapshot, params)
+        if path == "/regions":
+            return handlers.handle_regions(snapshot)
+        if path == "/stats":
+            return handlers.handle_stats(snapshot)
+        if path == "/reverse":
+            return handlers.handle_reverse(snapshot, self.geocoder, params)
+        return 404, {"error": f"unknown endpoint: {path}"}
+
+    # --------------------------------------------------------------- reload
+    def reload(self) -> tuple[int, dict]:
+        """Load a fresh snapshot and swap it live (no requests dropped).
+
+        Serialised by a lock so overlapping reloads cannot interleave a
+        load with a stale swap.  On a load failure the previous snapshot
+        stays live — a bad file on disk never takes the server down.
+        """
+        if self._reloader is None:
+            return 400, {"error": "reload not configured"}
+        with self._reload_lock:
+            try:
+                fresh = self._reloader()
+            except ReproError as exc:
+                self.metrics.counter("serving.reload_failures")
+                return 500, {"error": f"reload failed: {exc}"}
+            previous = self.store.swap(fresh)
+        self.metrics.counter("serving.reloads")
+        return 200, {
+            "previous": previous.version,
+            "current": fresh.version,
+            "changed": previous.version != fresh.version,
+            "generation": self.store.generation,
+        }
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin stdlib adapter: socket in, :meth:`ServingApp.dispatch` out."""
+
+    server: "StudyServer"
+    protocol_version = "HTTP/1.1"
+
+    def _serve(self) -> None:
+        status, payload = self.server.app.dispatch(self.command, self.path)
+        self.send_response(status)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib hook name
+        """Serve a GET request."""
+        self._serve()
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib hook name
+        """Serve a POST request (``/admin/reload``)."""
+        self._serve()
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging; ``/metrics`` replaces it."""
+
+
+class StudyServer(ThreadingHTTPServer):
+    """The study snapshot server: one thread per connection, shared app.
+
+    Thread-per-connection is the right shape here because every data
+    request is a dictionary read off an immutable snapshot — handlers
+    hold no locks, so threads never convoy.  The only blocking path is a
+    cold ``/reverse`` cell, and single-flight bounds that to one backend
+    call per distinct cell.
+
+    Args:
+        app: The request core.
+        host: Bind address.
+        port: TCP port; ``0`` picks a free one (see :attr:`port`).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, app: ServingApp, host: str = "127.0.0.1", port: int = 8080):
+        self.app = app
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful after binding port 0)."""
+        return self.server_address[1]
+
+
+def install_reload_signal(app: ServingApp) -> bool:
+    """Route ``SIGHUP`` to :meth:`ServingApp.reload` (classic daemon idiom).
+
+    Only possible from the main thread of the main interpreter and on
+    platforms that have ``SIGHUP``; returns whether the handler was
+    installed.  ``POST /admin/reload`` works everywhere regardless.
+    """
+    if not hasattr(signal, "SIGHUP"):
+        return False
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def _on_hup(signum: int, frame: object) -> None:
+        app.reload()
+
+    signal.signal(signal.SIGHUP, _on_hup)
+    return True
+
+
+def render_serving_summary(app: ServingApp, host: str, port: int) -> str:
+    """Startup banner for the CLI: where, what, and which version."""
+    snapshot = app.store.current()
+    lines = [
+        f"serving {snapshot.dataset_name!r} on http://{host}:{port}",
+        f"  snapshot version {snapshot.version} "
+        f"({snapshot.total_users} users, {snapshot.total_tweets} tweets, "
+        f"{len(snapshot.regions)} regions)",
+        "  endpoints: /lookup /region /regions /stats /reverse "
+        "/healthz /metrics /admin/reload",
+    ]
+    source = app.bucket.snapshot_source()
+    if source["rate"] != "unlimited":
+        lines.append(
+            f"  admission: {source['rate']}/s sustained, burst {source['burst']}"
+        )
+    return "\n".join(lines)

@@ -32,18 +32,26 @@ class MobilityProfile:
         archetype: Mobility class the distribution was built for.
         districts: Support of the distribution.
         weights: Matching sampling weights (sum to 1).
+        sample_radii_km: Per-district cap on GPS jitter, aligned with
+            ``districts``.  Empty means the legacy ``0.8 * radius_km``
+            cap; :class:`MobilityModel` fills it with the Voronoi-safe
+            radius so a sampled fix always reverse-geocodes back to the
+            district it was sampled in.
     """
 
     home: District
     archetype: MobilityClass
     districts: tuple[District, ...]
     weights: tuple[float, ...]
+    sample_radii_km: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.districts) != len(self.weights):
             raise ConfigurationError("districts and weights must align")
         if not self.districts:
             raise ConfigurationError("mobility profile needs at least one district")
+        if self.sample_radii_km and len(self.sample_radii_km) != len(self.districts):
+            raise ConfigurationError("sample_radii_km must align with districts")
         total = sum(self.weights)
         if not math.isclose(total, 1.0, rel_tol=1e-6):
             raise ConfigurationError(f"weights must sum to 1, got {total}")
@@ -61,14 +69,25 @@ class MobilityProfile:
     def sample_point(self, rng: random.Random) -> tuple[District, GeoPoint]:
         """Draw a district and a GPS fix uniformly inside it.
 
-        The fix is sampled within 80 % of the district radius so that
-        boundary jitter cannot push it into a neighbouring district under
-        nearest-centroid reverse geocoding.
+        The radial draw is capped at the district's entry in
+        ``sample_radii_km`` (falling back to 80 % of the district radius
+        when unset).  The model-supplied cap never crosses the Voronoi
+        boundary to the nearest other centroid, so the fix is guaranteed
+        to reverse-geocode to the district it was sampled in — without
+        it, a fix drawn near the edge of a district whose neighbour's
+        centroid is closer than its own would flip districts and break
+        the generator's ground truth (seen with Dobong-gu fixes
+        resolving to the adjacent Nowon-gu).
         """
-        district = self.sample_district(rng)
+        index = rng.choices(range(len(self.districts)), weights=self.weights, k=1)[0]
+        district = self.districts[index]
+        if self.sample_radii_km:
+            cap_km = self.sample_radii_km[index]
+        else:
+            cap_km = district.radius_km * 0.8
         bearing = rng.uniform(0.0, 360.0)
         # sqrt for an area-uniform radial draw inside the disc.
-        distance = district.radius_km * 0.8 * math.sqrt(rng.random())
+        distance = cap_km * math.sqrt(rng.random())
         return district, district.center.destination(bearing, distance)
 
 
@@ -91,6 +110,7 @@ class MobilityModel:
         self._gazetteer = gazetteer
         self._nearby_radius_km = nearby_radius_km
         self._travel_radius_km = travel_radius_km
+        self._safe_radius_cache: dict[tuple[str, str], float] = {}
 
     # ---------------------------------------------------------------- public
     def build_profile(
@@ -112,7 +132,33 @@ class MobilityModel:
             archetype=archetype,
             districts=tuple(districts),
             weights=normalized,
+            sample_radii_km=tuple(self._safe_radius_km(d) for d in districts),
         )
+
+    def _safe_radius_km(self, district: District) -> float:
+        """GPS-jitter cap that keeps fixes on ``district``'s side of the
+        Voronoi boundary.
+
+        Nearest-centroid reverse geocoding assigns a point to whichever
+        centroid is closest, so any fix within half the distance to the
+        nearest *other* centroid provably resolves back to ``district``.
+        The cap is the smaller of that bound (with a float-safety margin)
+        and the legacy ``0.8 * radius_km``; isolated districts (nothing
+        within 200 km) keep the legacy cap, which cannot flip either.
+        """
+        key = district.key()
+        cached = self._safe_radius_cache.get(key)
+        if cached is not None:
+            return cached
+        cap = district.radius_km * 0.8
+        for neighbour in self._gazetteer.within(district.center, 200.0):
+            if neighbour.key() == key:
+                continue
+            gap = neighbour.center.distance_km(district.center)
+            cap = min(cap, gap * 0.49)
+            break  # within() is sorted by distance: first other is nearest
+        self._safe_radius_cache[key] = cap
+        return cap
 
     # ----------------------------------------------------------- archetypes
     def _home_anchored(

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, package_version
 
 FAST = ["--population", "400", "--users", "300", "--days", "10", "--seed", "13"]
 
@@ -20,6 +20,49 @@ class TestParser:
         args = build_parser().parse_args(["study"])
         assert args.dataset == "korean"
         assert args.seed == 7
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+
+    def test_version_matches_pyproject(self):
+        """The version comes from package metadata, not a drifting copy."""
+        import tomllib
+        from pathlib import Path
+
+        import repro.cli as cli_module
+
+        pyproject = Path(cli_module.__file__).resolve().parents[2] / "pyproject.toml"
+        with pyproject.open("rb") as handle:
+            declared = tomllib.load(handle)["project"]["version"]
+        assert package_version() == declared
+
+
+class TestUnknownCommand:
+    def test_unknown_subcommand_exits_2_with_one_line_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert "invalid choice" in lines[0]
+        assert "repro --help" in lines[0]
+        assert "usage:" not in err
+
+    def test_unknown_option_exits_2_with_one_line_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "--frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert len(lines) == 1
+        assert "repro --help" in lines[0]
 
 
 class TestStudy:
@@ -173,6 +216,48 @@ class TestLocalize:
         out = capsys.readouterr().out
         assert "estimator x weighting scheme" in out
         assert "learned weight factors" in out
+
+
+class TestServe:
+    def test_serve_requires_snapshot(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve"])
+        assert excinfo.value.code == 2
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--snapshot", "s.json"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.rate == 0.0
+        assert args.gazetteer == "korean"
+
+    def test_serve_loads_snapshot_and_prints_banner(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """`repro serve` loads the saved study, binds, prints the banner,
+        and exits cleanly once serve_forever returns."""
+        from repro.serving import StudyServer
+
+        saved = tmp_path / "study.json"
+        assert main(["study", "--dataset", "korean",
+                     "--save", str(saved), *FAST]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr(StudyServer, "serve_forever", lambda self: None)
+        code = main(["serve", "--snapshot", str(saved), "--port", "0",
+                     "--rate", "100", "--burst", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 'korean'" in out
+        assert "snapshot version" in out
+        assert "/lookup" in out and "/admin/reload" in out
+        assert "admission: 100.0/s sustained, burst 5" in out
+
+    def test_serve_missing_snapshot_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["serve", "--snapshot", str(tmp_path / "absent.json")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
 
 class TestStream:

@@ -1,0 +1,40 @@
+"""Shared serving fixtures: snapshots for both study datasets and an app
+factory wiring a fresh geocode service per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import DirectBackend
+from repro.geocode.service import GeocodeService
+from repro.serving import ServingApp, ServingSnapshot, SnapshotStore
+
+
+@pytest.fixture(scope="session")
+def korean_snapshot(small_ctx) -> ServingSnapshot:
+    return ServingSnapshot.from_study(small_ctx.korean_study)
+
+
+@pytest.fixture(scope="session")
+def ladygaga_snapshot(small_ctx) -> ServingSnapshot:
+    return ServingSnapshot.from_study(small_ctx.ladygaga_study)
+
+
+@pytest.fixture
+def make_app(small_ctx, korean_snapshot):
+    """Factory building a ServingApp over the Korean snapshot.
+
+    Each call wires a fresh store, geocode service, and metrics registry,
+    so tests never share counters; keyword arguments pass through to
+    :class:`ServingApp`.
+    """
+
+    def build(snapshot: ServingSnapshot | None = None, **kwargs) -> ServingApp:
+        store = SnapshotStore(snapshot or korean_snapshot)
+        geocoder = GeocodeService(
+            DirectBackend(ReverseGeocoder(small_ctx.korean_dataset.gazetteer))
+        )
+        return ServingApp(store, geocoder, **kwargs)
+
+    return build

@@ -1,0 +1,119 @@
+"""SingleFlight: duplicate concurrent calls collapse into one execution."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serving import SingleFlight
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    """Poll ``predicate`` until true (tests only; fails loudly on timeout)."""
+    deadline = threading.Event()
+    import time
+
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return
+        deadline.wait(0.002)
+    raise AssertionError("condition not reached within timeout")
+
+
+class TestSerialCalls:
+    def test_each_serial_call_executes(self):
+        flight = SingleFlight()
+        calls = []
+        for i in range(3):
+            result = flight.do("key", lambda i=i: calls.append(i) or i)
+            assert result == i
+        assert calls == [0, 1, 2]
+        stats = flight.stats()
+        assert stats.leaders == 3
+        assert stats.followers == 0
+        assert flight.in_flight() == 0
+
+    def test_distinct_keys_are_independent(self):
+        flight = SingleFlight()
+        assert flight.do("a", lambda: 1) == 1
+        assert flight.do("b", lambda: 2) == 2
+        assert flight.stats().leaders == 2
+
+
+class TestCoalescing:
+    def test_concurrent_duplicates_share_one_execution(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        executions = []
+
+        def slow():
+            executions.append(1)
+            release.wait(5.0)
+            return "shared"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(flight.do, "cell", slow) for _ in range(8)]
+            # Wait until the leader is inside `slow` and every other caller
+            # is registered as a follower, then let the flight land.
+            _wait_until(lambda: flight.stats().followers == 7)
+            release.set()
+            results = [f.result(timeout=5.0) for f in futures]
+
+        assert results == ["shared"] * 8
+        assert executions == [1]
+        stats = flight.stats()
+        assert stats.leaders == 1
+        assert stats.followers == 7
+        assert flight.in_flight() == 0
+
+    def test_next_burst_starts_a_fresh_flight(self):
+        """Results are not cached across flights — caching is the tier
+        cache's job, not the coalescer's."""
+        flight = SingleFlight()
+        values = iter(["first", "second"])
+        assert flight.do("k", lambda: next(values)) == "first"
+        assert flight.do("k", lambda: next(values)) == "second"
+
+
+class TestFailures:
+    def test_leader_exception_reaches_every_follower(self):
+        flight = SingleFlight()
+        release = threading.Event()
+
+        def boom():
+            release.wait(5.0)
+            raise ValueError("backend down")
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(flight.do, "cell", boom) for _ in range(4)]
+            _wait_until(lambda: flight.stats().followers == 3)
+            release.set()
+            for future in futures:
+                with pytest.raises(ValueError, match="backend down"):
+                    future.result(timeout=5.0)
+
+        stats = flight.stats()
+        assert stats.failures == 1
+        assert flight.in_flight() == 0
+
+    def test_failed_flight_does_not_poison_the_key(self):
+        flight = SingleFlight()
+
+        def boom():
+            raise RuntimeError("once")
+
+        with pytest.raises(RuntimeError):
+            flight.do("k", boom)
+        assert flight.do("k", lambda: "recovered") == "recovered"
+
+    def test_stats_as_dict(self):
+        flight = SingleFlight()
+        flight.do("k", lambda: None)
+        assert flight.stats().as_dict() == {
+            "leaders": 1,
+            "followers": 0,
+            "failures": 0,
+        }

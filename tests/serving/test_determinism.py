@@ -1,0 +1,96 @@
+"""The acceptance property: responses are pure functions of the snapshot.
+
+For any query, the canonical response bytes depend only on (query,
+snapshot version).  Property-tested on both study datasets across the
+three regimes the acceptance criteria name:
+
+* **serial** — the same query twice in a row;
+* **concurrent** — the same query from many threads at once;
+* **hot-swap to an equal snapshot** — a reload that installs a *new
+  object* with the *same content version* must not change a single byte.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import DirectBackend
+from repro.geocode.service import GeocodeService
+from repro.serving import ServingApp, ServingSnapshot, SnapshotStore
+
+DATASETS = ("korean", "ladygaga")
+
+
+@pytest.fixture(scope="module")
+def apps(small_ctx):
+    """One long-lived app per dataset, with a reloader that rebuilds an
+    *equal* snapshot (same study → same version, different object)."""
+    built = {}
+    for name in DATASETS:
+        study = getattr(small_ctx, f"{name}_study")
+        store = SnapshotStore(ServingSnapshot.from_study(study))
+        geocoder = GeocodeService(
+            DirectBackend(ReverseGeocoder(small_ctx.korean_dataset.gazetteer))
+        )
+        built[name] = ServingApp(
+            store,
+            geocoder,
+            reloader=lambda study=study: ServingSnapshot.from_study(study),
+        )
+    return built
+
+
+def _query_strategy(app: ServingApp) -> st.SearchStrategy[str]:
+    """Targets spanning every data endpoint, valid and invalid."""
+    snapshot = app.store.current()
+    user_ids = sorted(snapshot.users)
+    states = sorted(snapshot.regions) or ["Nowhere"]
+    lookups = st.one_of(
+        st.sampled_from(user_ids),
+        st.integers(min_value=0, max_value=10_000_000),
+    ).map(lambda uid: f"/lookup?user={uid}")
+    regions = st.one_of(
+        st.sampled_from(states),
+        st.just("Atlantis"),
+    ).map(lambda state: f"/region?state={state}")
+    reverse = st.tuples(
+        st.floats(min_value=33.0, max_value=39.0),
+        st.floats(min_value=125.0, max_value=130.0),
+    ).map(lambda ll: f"/reverse?lat={round(ll[0], 3)}&lon={round(ll[1], 3)}")
+    fixed = st.sampled_from(["/regions", "/stats", "/"])
+    return st.one_of(lookups, regions, reverse, fixed)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_serial_and_concurrent_requests_are_byte_identical(apps, dataset, data):
+    app = apps[dataset]
+    target = data.draw(_query_strategy(app))
+    reference = app.dispatch("GET", target)
+    assert app.dispatch("GET", target) == reference
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        results = list(pool.map(lambda _: app.dispatch("GET", target), range(12)))
+    assert all(result == reference for result in results), target
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_hot_swap_to_equal_snapshot_changes_no_bytes(apps, dataset, data):
+    app = apps[dataset]
+    target = data.draw(_query_strategy(app))
+    before_snapshot = app.store.current()
+    before = app.dispatch("GET", target)
+    status, _ = app.dispatch("POST", "/admin/reload")
+    assert status == 200
+    # The reload really did install a different object...
+    assert app.store.current() is not before_snapshot
+    # ...with the same content version, so responses cannot change.
+    assert app.store.current().version == before_snapshot.version
+    assert app.dispatch("GET", target) == before

@@ -1,0 +1,134 @@
+"""Pure endpoint handlers: status codes, bodies, and version tagging."""
+
+from __future__ import annotations
+
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import DirectBackend
+from repro.geocode.service import GeocodeService
+from repro.serving import (
+    handle_healthz,
+    handle_lookup,
+    handle_overview,
+    handle_region,
+    handle_regions,
+    handle_reverse,
+    handle_stats,
+)
+
+
+class TestLookup:
+    def test_known_user(self, korean_snapshot):
+        user_id = next(iter(korean_snapshot.users))
+        status, body = handle_lookup(korean_snapshot, {"user": str(user_id)})
+        assert status == 200
+        assert body["user_id"] == user_id
+        assert body["version"] == korean_snapshot.version
+        assert "weight" in body and "merged" in body
+
+    def test_unknown_user_is_404(self, korean_snapshot):
+        status, body = handle_lookup(korean_snapshot, {"user": "999999999"})
+        assert status == 404
+        assert body["version"] == korean_snapshot.version
+
+    def test_missing_and_malformed_user_are_400(self, korean_snapshot):
+        assert handle_lookup(korean_snapshot, {})[0] == 400
+        assert handle_lookup(korean_snapshot, {"user": "abc"})[0] == 400
+
+    def test_handler_does_not_leak_snapshot_state(self, korean_snapshot):
+        """The returned body is a copy: mutating it must not corrupt the
+        snapshot for later requests."""
+        user_id = next(iter(korean_snapshot.users))
+        _, body = handle_lookup(korean_snapshot, {"user": str(user_id)})
+        body["group"] = "tampered"
+        _, again = handle_lookup(korean_snapshot, {"user": str(user_id)})
+        assert again["group"] != "tampered"
+
+
+class TestRegions:
+    def test_known_region(self, korean_snapshot):
+        state = next(iter(korean_snapshot.regions))
+        status, body = handle_region(korean_snapshot, {"state": state})
+        assert status == 200
+        assert body["state"] == state
+        assert body["version"] == korean_snapshot.version
+
+    def test_unknown_region_is_404(self, korean_snapshot):
+        assert handle_region(korean_snapshot, {"state": "Atlantis"})[0] == 404
+
+    def test_missing_state_is_400(self, korean_snapshot):
+        assert handle_region(korean_snapshot, {})[0] == 400
+
+    def test_regions_listing_is_sorted(self, korean_snapshot):
+        status, body = handle_regions(korean_snapshot)
+        assert status == 200
+        states = [row["state"] for row in body["regions"]]
+        assert states == sorted(states)
+        assert len(states) == len(korean_snapshot.regions)
+
+
+class TestOverviewHealthStats:
+    def test_overview(self, korean_snapshot):
+        status, body = handle_overview(korean_snapshot)
+        assert status == 200
+        assert body["dataset"] == korean_snapshot.dataset_name
+        assert "reliability" in body
+
+    def test_healthz_reports_generation(self, korean_snapshot):
+        status, body = handle_healthz(korean_snapshot, generation=7)
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["generation"] == 7
+        assert body["version"] == korean_snapshot.version
+
+    def test_stats_carries_tables(self, korean_snapshot):
+        status, body = handle_stats(korean_snapshot)
+        assert status == 200
+        assert body["statistics"] == korean_snapshot.statistics
+        assert body["funnel"] == korean_snapshot.funnel
+        assert body["reliability"] == korean_snapshot.reliability
+
+
+class TestReverse:
+    def _geocoder(self, small_ctx) -> GeocodeService:
+        return GeocodeService(
+            DirectBackend(ReverseGeocoder(small_ctx.korean_dataset.gazetteer))
+        )
+
+    def test_resolves_a_district_center(self, small_ctx, korean_snapshot):
+        district = next(iter(small_ctx.korean_study.profile_districts.values()))
+        geocoder = self._geocoder(small_ctx)
+        status, body = handle_reverse(
+            korean_snapshot,
+            geocoder,
+            {"lat": str(district.center.lat), "lon": str(district.center.lon)},
+        )
+        assert status == 200
+        assert body["resolved"] is True
+        assert body["state"] == district.state
+        assert body["county"] == district.name
+        assert body["cell"] == list(geocoder.cell_of(district.center))
+
+    def test_far_away_point_is_unresolved_not_an_error(
+        self, small_ctx, korean_snapshot
+    ):
+        status, body = handle_reverse(
+            korean_snapshot, self._geocoder(small_ctx), {"lat": "0.0", "lon": "0.0"}
+        )
+        assert status == 200
+        assert body["resolved"] is False
+        assert "state" not in body
+
+    def test_parameter_validation(self, small_ctx, korean_snapshot):
+        geocoder = self._geocoder(small_ctx)
+        assert handle_reverse(korean_snapshot, geocoder, {})[0] == 400
+        assert handle_reverse(korean_snapshot, geocoder, {"lat": "37.5"})[0] == 400
+        assert (
+            handle_reverse(korean_snapshot, geocoder, {"lat": "x", "lon": "y"})[0]
+            == 400
+        )
+        assert (
+            handle_reverse(
+                korean_snapshot, geocoder, {"lat": "91.0", "lon": "0.0"}
+            )[0]
+            == 400
+        )

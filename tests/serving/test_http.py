@@ -1,0 +1,251 @@
+"""ServingApp dispatch: routing, admission, metrics, reload, real HTTP."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import StorageError
+from repro.serving import StudyServer, TokenBucket, encode_body
+from tests.serving.test_ratelimit import FakeClock
+
+
+def body_of(response: tuple[int, bytes]) -> dict:
+    return json.loads(response[1])
+
+
+class TestRouting:
+    def test_all_endpoints_answer(self, make_app, korean_snapshot):
+        app = make_app()
+        user_id = next(iter(korean_snapshot.users))
+        state = next(iter(korean_snapshot.regions))
+        for target in (
+            "/",
+            "/healthz",
+            "/metrics",
+            "/regions",
+            "/stats",
+            f"/lookup?user={user_id}",
+            f"/region?state={state}",
+            "/reverse?lat=37.5&lon=127.0",
+        ):
+            status, payload = app.dispatch("GET", target)
+            assert status == 200, target
+            json.loads(payload)  # every body is valid JSON
+
+    def test_unknown_endpoint_is_404(self, make_app):
+        status, payload = make_app().dispatch("GET", "/nope")
+        assert status == 404
+        assert "unknown endpoint" in body_of((status, payload))["error"]
+
+    def test_trailing_slash_is_normalised(self, make_app):
+        app = make_app()
+        assert app.dispatch("GET", "/healthz/") == app.dispatch("GET", "/healthz")
+
+    def test_non_get_on_data_endpoint_is_405(self, make_app):
+        assert make_app().dispatch("POST", "/regions")[0] == 405
+
+    def test_bodies_are_canonical_json(self, make_app):
+        """Keys are sorted and UTF-8 is unescaped — the byte-identity
+        contract's encoding half."""
+        status, payload = make_app().dispatch("GET", "/stats")
+        assert payload == encode_body(json.loads(payload))
+
+
+class TestAdmission:
+    def test_data_requests_shed_with_429(self, make_app, korean_snapshot):
+        clock = FakeClock()
+        app = make_app(bucket=TokenBucket(rate=1.0, burst=2, clock=clock))
+        user_id = next(iter(korean_snapshot.users))
+        target = f"/lookup?user={user_id}"
+        assert app.dispatch("GET", target)[0] == 200
+        assert app.dispatch("GET", target)[0] == 200
+        status, payload = app.dispatch("GET", target)
+        assert status == 429
+        assert "rate limited" in body_of((status, payload))["error"]
+        assert app.metrics.snapshot()["serving.shed"] == 1
+
+    def test_operational_endpoints_never_shed(self, make_app):
+        clock = FakeClock()
+        app = make_app(bucket=TokenBucket(rate=1.0, burst=1, clock=clock))
+        app.dispatch("GET", "/regions")  # drains the only token
+        for target in ("/healthz", "/metrics", "/"):
+            assert app.dispatch("GET", target)[0] == 200
+        assert app.dispatch("GET", "/regions")[0] == 429
+
+    def test_tokens_refill_after_shedding(self, make_app):
+        clock = FakeClock()
+        app = make_app(bucket=TokenBucket(rate=10.0, burst=1, clock=clock))
+        assert app.dispatch("GET", "/regions")[0] == 200
+        assert app.dispatch("GET", "/regions")[0] == 429
+        clock.advance(0.1)
+        assert app.dispatch("GET", "/regions")[0] == 200
+
+
+class TestMetrics:
+    def test_latency_histograms_per_endpoint(self, make_app, korean_snapshot):
+        app = make_app()
+        user_id = next(iter(korean_snapshot.users))
+        for _ in range(5):
+            app.dispatch("GET", f"/lookup?user={user_id}")
+        app.dispatch("GET", "/regions")
+        metrics = body_of(app.dispatch("GET", "/metrics"))["metrics"]
+        assert metrics["serving.latency.lookup.count"] == 5
+        assert metrics["serving.latency.regions.count"] == 1
+        for quantile in ("p50", "p95", "p99"):
+            assert metrics[f"serving.latency.lookup.{quantile}"] >= 0.0
+        assert metrics["serving.requests"] >= 6
+
+    def test_flight_and_geocode_sources_registered(self, make_app):
+        app = make_app()
+        app.dispatch("GET", "/reverse?lat=37.5&lon=127.0")
+        metrics = body_of(app.dispatch("GET", "/metrics"))["metrics"]
+        assert metrics["serving.flight.leaders"] == 1
+        assert metrics["serving.geocode.backend.lookups"] == 1
+        assert metrics["serving.snapshot.generation"] == 1
+
+    def test_duplicate_reverse_hits_the_cache_not_the_backend(self, make_app):
+        app = make_app()
+        for _ in range(4):
+            app.dispatch("GET", "/reverse?lat=37.5&lon=127.0")
+        metrics = body_of(app.dispatch("GET", "/metrics"))["metrics"]
+        assert metrics["serving.geocode.backend.lookups"] == 1
+        assert metrics["serving.geocode.l1.hits"] == 3
+
+
+class TestReload:
+    def test_reload_not_configured_is_400(self, make_app):
+        assert make_app().dispatch("POST", "/admin/reload")[0] == 400
+
+    def test_reload_requires_post(self, make_app, korean_snapshot):
+        app = make_app(reloader=lambda: korean_snapshot)
+        assert app.dispatch("GET", "/admin/reload")[0] == 405
+
+    def test_reload_swaps_the_snapshot(
+        self, make_app, korean_snapshot, ladygaga_snapshot
+    ):
+        app = make_app(reloader=lambda: ladygaga_snapshot)
+        status, payload = app.dispatch("POST", "/admin/reload")
+        assert status == 200
+        body = json.loads(payload)
+        assert body["previous"] == korean_snapshot.version
+        assert body["current"] == ladygaga_snapshot.version
+        assert body["changed"] is True
+        assert body["generation"] == 2
+        health = body_of(app.dispatch("GET", "/healthz"))
+        assert health["version"] == ladygaga_snapshot.version
+
+    def test_reload_to_equal_snapshot_reports_unchanged(
+        self, make_app, small_ctx, korean_snapshot
+    ):
+        from repro.serving import ServingSnapshot
+
+        app = make_app(
+            reloader=lambda: ServingSnapshot.from_study(small_ctx.korean_study)
+        )
+        body = body_of(app.dispatch("POST", "/admin/reload"))
+        assert body["changed"] is False
+        assert body["current"] == korean_snapshot.version
+
+    def test_failed_reload_keeps_the_old_snapshot(self, make_app, korean_snapshot):
+        def broken():
+            raise StorageError("study.json is torn")
+
+        app = make_app(reloader=broken)
+        status, payload = app.dispatch("POST", "/admin/reload")
+        assert status == 500
+        assert "study.json is torn" in json.loads(payload)["error"]
+        health = body_of(app.dispatch("GET", "/healthz"))
+        assert health["version"] == korean_snapshot.version
+        assert health["generation"] == 1
+        metrics = body_of(app.dispatch("GET", "/metrics"))["metrics"]
+        assert metrics["serving.reload_failures"] == 1
+
+
+class TestHttpServer:
+    @pytest.fixture
+    def server(self, make_app, korean_snapshot, ladygaga_snapshot):
+        app = make_app(reloader=lambda: ladygaga_snapshot)
+        server = StudyServer(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def _get(self, server: StudyServer, path: str) -> tuple[int, dict]:
+        url = f"http://127.0.0.1:{server.port}{path}"
+        try:
+            with urllib.request.urlopen(url) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_healthz_and_lookup_over_real_sockets(self, server, korean_snapshot):
+        status, body = self._get(server, "/healthz")
+        assert status == 200
+        assert body["version"] == korean_snapshot.version
+        user_id = next(iter(korean_snapshot.users))
+        status, body = self._get(server, f"/lookup?user={user_id}")
+        assert status == 200
+        assert body["user_id"] == user_id
+
+    def test_error_statuses_cross_the_wire(self, server):
+        assert self._get(server, "/lookup?user=zzz")[0] == 400
+        assert self._get(server, "/nope")[0] == 404
+
+    def test_admin_reload_over_post(self, server, ladygaga_snapshot):
+        url = f"http://127.0.0.1:{server.port}/admin/reload"
+        request = urllib.request.Request(url, method="POST", data=b"")
+        with urllib.request.urlopen(request) as response:
+            body = json.loads(response.read())
+        assert body["current"] == ladygaga_snapshot.version
+        status, health = self._get(server, "/healthz")
+        assert health["version"] == ladygaga_snapshot.version
+
+
+class TestSighup:
+    def test_install_and_fire(self, make_app, ladygaga_snapshot):
+        import os
+        import signal
+        import time
+
+        from repro.serving import install_reload_signal
+
+        if not hasattr(signal, "SIGHUP"):
+            pytest.skip("platform has no SIGHUP")
+        app = make_app(reloader=lambda: ladygaga_snapshot)
+        previous = signal.getsignal(signal.SIGHUP)
+        try:
+            assert install_reload_signal(app) is True
+            os.kill(os.getpid(), signal.SIGHUP)
+            deadline = time.monotonic() + 5.0
+            while app.store.generation == 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert app.store.generation == 2
+            assert app.store.current() is ladygaga_snapshot
+        finally:
+            signal.signal(signal.SIGHUP, previous)
+
+    def test_not_installed_off_main_thread(self, make_app, korean_snapshot):
+        import signal
+
+        from repro.serving import install_reload_signal
+
+        if not hasattr(signal, "SIGHUP"):
+            pytest.skip("platform has no SIGHUP")
+        app = make_app(reloader=lambda: korean_snapshot)
+        outcome = []
+        thread = threading.Thread(
+            target=lambda: outcome.append(install_reload_signal(app))
+        )
+        thread.start()
+        thread.join()
+        assert outcome == [False]

@@ -1,0 +1,76 @@
+"""TokenBucket admission control, driven by an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import TokenBucket
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_shed(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert bucket.admitted == 3
+        assert bucket.shed == 2
+
+    def test_refills_at_the_sustained_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(60.0)  # would be 6000 tokens unclamped
+        results = [bucket.try_acquire() for _ in range(4)]
+        assert results == [True, True, False, False]
+
+    def test_unlimited_always_admits(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_acquire() for _ in range(100))
+        assert bucket.admitted == 100
+        assert bucket.shed == 0
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-5.0)
+
+    def test_burst_clamped_to_at_least_one(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_snapshot_source_shape(self):
+        bucket = TokenBucket(rate=50.0, burst=10)
+        bucket.try_acquire()
+        source = bucket.snapshot_source()
+        assert source == {"admitted": 1, "shed": 0, "rate": 50.0, "burst": 10}
+
+    def test_snapshot_source_unlimited_label(self):
+        assert TokenBucket(rate=None).snapshot_source()["rate"] == "unlimited"

@@ -1,0 +1,102 @@
+"""Snapshot construction, content versioning, and the atomic store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serialization import save_study, study_digest
+from repro.serving import ServingSnapshot, SnapshotStore, load_snapshot
+from repro.serving.state import VERSION_TAG_LENGTH
+
+
+class TestServingSnapshot:
+    def test_version_is_digest_prefix(self, small_ctx, korean_snapshot):
+        digest = study_digest(small_ctx.korean_study)
+        assert korean_snapshot.digest == digest
+        assert korean_snapshot.version == digest[:VERSION_TAG_LENGTH]
+        assert len(korean_snapshot.version) == VERSION_TAG_LENGTH
+
+    def test_equal_studies_share_a_version(self, small_ctx, korean_snapshot):
+        again = ServingSnapshot.from_study(small_ctx.korean_study)
+        assert again is not korean_snapshot
+        assert again.version == korean_snapshot.version
+        assert again.users == korean_snapshot.users
+        assert again.regions == korean_snapshot.regions
+
+    def test_distinct_studies_get_distinct_versions(
+        self, korean_snapshot, ladygaga_snapshot
+    ):
+        assert korean_snapshot.version != ladygaga_snapshot.version
+
+    def test_every_grouped_user_has_a_record(self, small_ctx, korean_snapshot):
+        study = small_ctx.korean_study
+        assert set(korean_snapshot.users) == set(study.groupings)
+        user_id, grouping = next(iter(study.groupings.items()))
+        record = korean_snapshot.user(user_id)
+        assert record["group"] == grouping.group.value
+        assert record["total_tweets"] == grouping.total_tweets
+        assert record["matched_rank"] == grouping.matched_rank
+        assert len(record["merged"]) == len(grouping.merged)
+
+    def test_matched_string_present_iff_matched(self, korean_snapshot):
+        for record in korean_snapshot.users.values():
+            if record["matched_rank"] is None:
+                assert record["matched_string"] is None
+            else:
+                assert record["matched_string"] in record["merged"]
+
+    def test_unknown_user_and_region_return_none(self, korean_snapshot):
+        assert korean_snapshot.user(999_999_999) is None
+        assert korean_snapshot.region("Atlantis") is None
+
+    def test_regions_cover_profile_states(self, small_ctx, korean_snapshot):
+        states = {d.state for d in small_ctx.korean_study.profile_districts.values()}
+        assert set(korean_snapshot.regions) == states
+        for record in korean_snapshot.regions.values():
+            assert record["users"] >= 1
+            assert 0.0 <= record["top1_share"] <= 1.0
+
+    def test_overview_summarises_the_study(self, small_ctx, korean_snapshot):
+        overview = korean_snapshot.overview()
+        assert overview["dataset"] == "Korean"
+        assert overview["users"] == small_ctx.korean_study.statistics.total_users
+        assert overview["version"] == korean_snapshot.version
+
+
+class TestLoadSnapshot:
+    def test_roundtrip_preserves_the_version(self, small_ctx, tmp_path, korean_snapshot):
+        """save -> load -> snapshot carries the same content version, so a
+        reload from an unchanged file is observationally a no-op."""
+        path = tmp_path / "study.json"
+        save_study(small_ctx.korean_study, path)
+        loaded = load_snapshot(path, small_ctx.korean_dataset.gazetteer)
+        assert loaded.version == korean_snapshot.version
+        assert loaded.users == korean_snapshot.users
+
+    def test_missing_file_raises_storage_error(self, small_ctx, tmp_path):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            load_snapshot(tmp_path / "absent.json", small_ctx.korean_dataset.gazetteer)
+
+
+class TestSnapshotStore:
+    def test_swap_returns_previous_and_bumps_generation(
+        self, korean_snapshot, ladygaga_snapshot
+    ):
+        store = SnapshotStore(korean_snapshot)
+        assert store.generation == 1
+        assert store.current() is korean_snapshot
+        previous = store.swap(ladygaga_snapshot)
+        assert previous is korean_snapshot
+        assert store.current() is ladygaga_snapshot
+        assert store.generation == 2
+
+    def test_snapshot_source_reports_swaps(self, korean_snapshot, ladygaga_snapshot):
+        store = SnapshotStore(korean_snapshot)
+        store.swap(ladygaga_snapshot)
+        store.swap(korean_snapshot)
+        source = store.snapshot_source()
+        assert source["generation"] == 3
+        assert source["swaps"] == 2
+        assert source["users"] == korean_snapshot.total_users

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.geocode",
     "repro.grouping",
     "repro.pipelines",
+    "repro.serving",
     "repro.storage",
     "repro.streaming",
     "repro.text",

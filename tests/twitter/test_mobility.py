@@ -116,6 +116,26 @@ class TestSampling:
             district, point = profile.sample_point(rng)
             assert district.center.distance_km(point) <= district.radius_km * 0.8 + 1e-6
 
+    @given(archetypes, seeds, home_keys)
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_points_reverse_geocode_to_their_district(
+        self, archetype, seed, home_key
+    ):
+        """The generator's ground truth must agree with the resolver: a
+        fix sampled in district D always reverse-geocodes to D.  Without
+        the Voronoi-safe cap, edge-of-disc fixes in a district whose
+        neighbour's centroid is closer flipped districts (a Dobong-gu fix
+        resolving to Nowon-gu put a FIXED_ELSEWHERE user in Top-1)."""
+        gazetteer = Gazetteer.korean()
+        model = MobilityModel(gazetteer)
+        profile = model.build_profile(
+            gazetteer.get(*home_key), archetype, random.Random(seed)
+        )
+        rng = random.Random(seed + 1)
+        for _ in range(25):
+            district, point = profile.sample_point(rng)
+            assert gazetteer.nearest(point).key() == district.key()
+
     def test_deterministic_given_seed(self, model, korean_gazetteer):
         home = _home(korean_gazetteer)
         a = model.build_profile(home, MobilityClass.WANDERER, random.Random(42))
