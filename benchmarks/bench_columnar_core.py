@@ -1,0 +1,123 @@
+"""Columnar grouping benchmark: dict path vs packed columns (BENCH_columnar.json).
+
+Times the grouping *merge phase* — the work the columnar core replaced —
+on both datasets at the default benchmark scale:
+
+* **dict path**: build a :class:`LocationString` per observation, merge
+  into per-user ``Counter`` tables (``merge_strings``);
+* **columnar path**: intern into :class:`MatchColumns`, pack and
+  run-length count (``merged_rows_packed``).
+
+Downstream classification (``classify_rows``) is shared verbatim by both
+paths, so it is timed separately and reported as the end-to-end numbers
+(``group_users`` vs ``columnar_group_users``) without a floor.  Peak
+allocation for each path is measured with ``tracemalloc``.
+
+The acceptance floor — columnar merge throughput >= 2x the dict path on
+the ladygaga dataset — is asserted here, so the CI smoke step fails if
+the packed representation ever loses its raw-speed edge.
+
+Results accumulate machine-readably in
+``benchmarks/output/BENCH_columnar.json``.
+"""
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.columnar.grouping import columnar_group_users, merged_rows_packed
+from repro.columnar.records import MatchColumns
+from repro.grouping.merge import merge_strings
+from repro.grouping.strings import LocationString
+from repro.grouping.topk import group_users
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_columnar.json"
+
+#: Timing repetitions; best-of keeps scheduler noise out of the floor.
+_REPEATS = 5
+
+
+def _best_of(fn):
+    best = float("inf")
+    result = None
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _peak_kib(fn):
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
+
+
+def _dict_merge(observations):
+    return merge_strings(
+        [LocationString.from_observation(o) for o in observations]
+    )
+
+
+def _columnar_merge(observations):
+    return merged_rows_packed(MatchColumns.from_observations(observations))
+
+
+@pytest.mark.slow
+def test_columnar_grouping_throughput(ctx):
+    report = {}
+    for name, study in (("korean", ctx.korean_study), ("ladygaga", ctx.ladygaga_study)):
+        observations = study.observations
+        rows = len(observations)
+
+        dict_s, _ = _best_of(lambda: _dict_merge(observations))
+        columnar_s, _ = _best_of(lambda: _columnar_merge(observations))
+        end_dict_s, reference = _best_of(lambda: group_users(observations))
+        end_columnar_s, grouped = _best_of(
+            lambda: columnar_group_users(MatchColumns.from_observations(observations))
+        )
+        assert grouped == reference, "columnar grouping diverged from dict path"
+
+        report[name] = {
+            "observations": rows,
+            "merge": {
+                "dict_s": round(dict_s, 5),
+                "columnar_s": round(columnar_s, 5),
+                "dict_obs_per_s": round(rows / dict_s),
+                "columnar_obs_per_s": round(rows / columnar_s),
+                "speedup": round(dict_s / columnar_s, 3),
+            },
+            "end_to_end": {
+                "dict_s": round(end_dict_s, 5),
+                "columnar_s": round(end_columnar_s, 5),
+                "speedup": round(end_dict_s / end_columnar_s, 3),
+            },
+            "peak_kib": {
+                "dict": round(_peak_kib(lambda: _dict_merge(observations)), 1),
+                "columnar": round(
+                    _peak_kib(lambda: _columnar_merge(observations)), 1
+                ),
+            },
+        }
+        print(
+            f"\ncolumnar grouping [{name}]: merge {report[name]['merge']['speedup']}x "
+            f"({report[name]['merge']['columnar_obs_per_s']:,} vs "
+            f"{report[name]['merge']['dict_obs_per_s']:,} obs/s), "
+            f"end-to-end {report[name]['end_to_end']['speedup']}x, "
+            f"peak {report[name]['peak_kib']['columnar']:.0f} vs "
+            f"{report[name]['peak_kib']['dict']:.0f} KiB"
+        )
+
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    # The acceptance floor: the packed merge must stay >= 2x the dict
+    # path on ladygaga (the harder dataset: high distinct-row ratio).
+    assert report["ladygaga"]["merge"]["speedup"] >= 2.0

@@ -18,8 +18,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.analysis.correlation import StudyResult
+from repro.columnar.interner import StringInterner, study_interner
 from repro.datasets.refine import RefinementFunnel
-from repro.errors import StorageError
+from repro.errors import ConfigurationError, StorageError
 from repro.geo.gazetteer import Gazetteer
 from repro.grouping.merge import MergedString
 from repro.grouping.strings import LocationString
@@ -28,7 +29,16 @@ from repro.grouping.topk import classify_rows
 from repro.twitter.models import GeotaggedObservation
 from repro.yahooapi.client import ClientStats
 
-_FORMAT_VERSION = 1
+#: Current document version.  Version 2 added the ``interner`` key — the
+#: canonical string-id table of :func:`~repro.columnar.interner
+#: .study_interner` — so the interned columnar view is versioned into the
+#: document (and therefore into :func:`study_digest`).
+_FORMAT_VERSION = 2
+
+#: Versions :func:`load_study` accepts.  Version-1 documents predate the
+#: interner table; the table is derivable from the observations, so they
+#: load unchanged.
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 def _merged_to_text(merged: tuple[MergedString, ...]) -> list[str]:
@@ -83,6 +93,9 @@ def study_to_json(study: StudyResult) -> str:
             for user_id, district in study.profile_districts.items()
         },
         "api_stats": study.api_stats.snapshot(),
+        "interner": study_interner(
+            study.observations, study.profile_districts
+        ).to_lines(),
     }
     return json.dumps(document, ensure_ascii=False, indent=1)
 
@@ -110,7 +123,10 @@ def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
 
     Groupings and statistics are *recomputed* from the stored merged
     strings rather than trusted from disk, so a loaded study can never
-    disagree with its own observations.
+    disagree with its own observations.  A version-2 document's stored
+    interner table is checked against the table the observations derive
+    to, so a document whose columnar view was edited out from under its
+    rows is rejected rather than silently re-interned.
 
     Args:
         path: The JSON document.
@@ -125,7 +141,7 @@ def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(f"cannot read study from {path}: {exc}") from exc
     version = document.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise StorageError(f"unsupported study format version: {version}")
 
     observations = [
@@ -148,6 +164,16 @@ def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
     profile_districts = {}
     for user_text, (state, county) in document["profile_districts"].items():
         profile_districts[int(user_text)] = gazetteer.get(state, county)
+
+    if "interner" in document:
+        try:
+            stored = StringInterner.from_lines(document["interner"])
+        except ConfigurationError as exc:
+            raise StorageError(f"malformed interner table in {path}: {exc}") from exc
+        if stored != study_interner(observations, profile_districts):
+            raise StorageError(
+                f"interner table in {path} does not match the study content"
+            )
 
     funnel_data = dict(document["funnel"])
     status_counts = funnel_data.pop("profile_status_counts", {})

@@ -1,0 +1,170 @@
+"""String interning: every location string becomes a stable integer id.
+
+The hot paths of the study shuffle the same few thousand strings —
+state names, county names, the components of ``uid#state#county`` keys —
+through dicts, pickles, and JSON millions of times.  A
+:class:`StringInterner` maps each distinct string to a small, stable
+integer once; downstream layers (grouping, sharding, streaming, serving)
+then move fixed-width integer columns instead of object graphs.
+
+Id assignment is *dense first-encounter order*: the first string ever
+interned gets id 0, the next new one id 1, and so on.  Re-interning a
+known string returns its existing id, and ids survive a
+:meth:`to_lines` / :meth:`from_lines` round trip unchanged — the
+property the persisted study artifact and warm caches depend on
+(property-tested in ``tests/columnar/test_interner.py`` over both
+datasets' real location strings, Korean district names included).
+
+Arbitrary strings are supported — empty strings, ``#``-containing
+strings, any Unicode — because the interner works on whole components,
+never on the delimited record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+
+
+class StringInterner:
+    """A bidirectional string ↔ dense-integer-id table.
+
+    Ids are assigned in first-encounter order starting at 0, so two
+    interners fed the same strings in the same order are identical —
+    the determinism the columnar study digest builds on.
+    """
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StringInterner):
+            return NotImplemented
+        return self._strings == other._strings
+
+    def intern(self, text: str) -> int:
+        """The id for ``text``, assigning the next dense id if unseen."""
+        table = self._ids
+        found = table.get(text)
+        if found is not None:
+            return found
+        assigned = len(self._strings)
+        table[text] = assigned
+        self._strings.append(text)
+        return assigned
+
+    def intern_many(self, texts: Iterable[str]) -> list[int]:
+        """Intern every string of ``texts``, returning their ids in order."""
+        return [self.intern(text) for text in texts]
+
+    def id_of(self, text: str) -> int:
+        """The id of an already-interned string.
+
+        Raises:
+            KeyError: if ``text`` has never been interned.
+        """
+        return self._ids[text]
+
+    def lookup(self, string_id: int) -> str:
+        """The string behind ``string_id``.
+
+        Raises:
+            ConfigurationError: for an id the table never assigned.
+        """
+        if not 0 <= string_id < len(self._strings):
+            raise ConfigurationError(
+                f"interner id {string_id} out of range "
+                f"(table holds {len(self._strings)} strings)"
+            )
+        return self._strings[string_id]
+
+    @property
+    def strings(self) -> tuple[str, ...]:
+        """Every interned string, in id order (index == id)."""
+        return tuple(self._strings)
+
+    # ----------------------------------------------------------- persistence
+    def to_lines(self) -> list[str]:
+        """The table as a list of strings in id order (the wire form).
+
+        The list *is* the table: index equals id, so serialising it into
+        a study document (or a columnar buffer's string section) and
+        rebuilding with :meth:`from_lines` preserves every id exactly.
+        """
+        return list(self._strings)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "StringInterner":
+        """Rebuild an interner from :meth:`to_lines` output.
+
+        Raises:
+            ConfigurationError: if ``lines`` holds duplicate strings —
+                a table that cannot have come from an interner.
+        """
+        interner = cls()
+        for index, text in enumerate(lines):
+            assigned = interner.intern(text)
+            if assigned != index:
+                raise ConfigurationError(
+                    f"duplicate string {text!r} at position {index} in "
+                    "interner table (first seen as id "
+                    f"{assigned})"
+                )
+        return interner
+
+    def digest(self) -> str:
+        """SHA-256 over the table contents (order-sensitive).
+
+        Two interners digest equal iff they assign every id identically,
+        which is the cheap equality warm caches and snapshot versioning
+        compare.
+        """
+        hasher = hashlib.sha256()
+        for text in self._strings:
+            encoded = text.encode("utf-8")
+            hasher.update(len(encoded).to_bytes(4, "little"))
+            hasher.update(encoded)
+        return hasher.hexdigest()
+
+
+def study_interner(observations, profile_districts=None) -> StringInterner:
+    """The canonical interner for a study's content.
+
+    One sweep in canonical order — each observation's profile state,
+    profile county, tweet state, tweet county, then each kept profile
+    district's state and name — so every layer that derives an interner
+    from the same study content (the engine's columnar batch, the JSON
+    serializer, the columnar artifact writer) produces the *same* table
+    with the *same* ids.
+
+    Args:
+        observations: Iterable of
+            :class:`~repro.twitter.models.GeotaggedObservation` rows in
+            study order.
+        profile_districts: Optional mapping of user id to
+            :class:`~repro.geo.region.District`, swept after the
+            observations in iteration order.
+    """
+    interner = StringInterner()
+    intern = interner.intern
+    for observation in observations:
+        intern(observation.profile_state)
+        intern(observation.profile_county)
+        intern(observation.tweet_state)
+        intern(observation.tweet_county)
+    if profile_districts is not None:
+        for district in profile_districts.values():
+            intern(district.state)
+            intern(district.name)
+    return interner

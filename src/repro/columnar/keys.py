@@ -1,0 +1,74 @@
+"""The one home of the ``uid#state#county#state#county`` key logic.
+
+The paper's working representation is a ``#``-delimited text record per
+tweet (Table I), and three layers used to re-implement pieces of it —
+the batch merger (:mod:`repro.grouping.merge`), the incremental grouper
+(:mod:`repro.grouping.incremental`), and the serving snapshot all built
+the rendered key and the merged-row ordering independently.  This module
+is now the single source of truth: :data:`DELIMITER` and
+:func:`location_key` define the record's text form, and
+:func:`merged_sort_key` produces the one tie-break-aware ordering every
+grouping path (dict, incremental, columnar) sorts with.
+
+Keeping the key logic here — inside the columnar package — is not an
+accident of layering: the columnar grouping path orders *interned* rows
+by exactly these rendered strings, so byte-identity between the dict and
+columnar paths reduces to both calling the same two functions.  The
+module is deliberately import-free (``TieBreak`` is resolved lazily) so
+every grouping module can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+#: Field delimiter of the paper's string records.  Defined here — the
+#: grouping package re-exports it — so the key builders and the record
+#: validators agree by construction.
+DELIMITER = "#"
+
+
+def location_key(
+    user_id: int,
+    profile_state: str,
+    profile_county: str,
+    tweet_state: str,
+    tweet_county: str,
+) -> str:
+    """Render the canonical ``uid#state#county#state#county`` record.
+
+    This is the paper's Table I string form; every layer that needs the
+    rendered key — grouping, the incremental accumulator, the serving
+    snapshot, columnar workers — builds it through here.
+    """
+    return DELIMITER.join(
+        (str(user_id), profile_state, profile_county, tweet_state, tweet_county)
+    )
+
+
+def merged_sort_key(tie_break) -> Callable[[object], object]:
+    """The ordering key for one user's merged strings.
+
+    Count descending, then the ``tie_break``
+    (:class:`~repro.grouping.merge.TieBreak`) policy over the rendered
+    string — the exact ordering of paper Table II.  All three grouping
+    implementations (batch dict, incremental, columnar) sort with the
+    key returned here, which is what makes their outputs interchangeable
+    byte for byte.  Rows must carry ``count``, ``is_matched``, and a
+    ``record`` with ``render()`` (the :class:`~repro.grouping.merge
+    .MergedString` surface).
+    """
+    from repro.grouping.merge import TieBreak
+
+    def sort_key(row) -> object:
+        if tie_break is TieBreak.STRING_ASC:
+            tail: object = row.record.render()
+        elif tie_break is TieBreak.STRING_DESC:
+            tail = tuple(-ord(ch) for ch in row.record.render())
+        elif tie_break is TieBreak.MATCHED_FIRST:
+            tail = (0 if row.is_matched else 1, row.record.render())
+        else:  # MATCHED_LAST
+            tail = (1 if row.is_matched else 0, row.record.render())
+        return (-row.count, tail)
+
+    return sort_key

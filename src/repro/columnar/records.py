@@ -1,0 +1,239 @@
+"""Packed match-record columns — the study's rows as flat int64 arrays.
+
+A :class:`~repro.twitter.models.GeotaggedObservation` is five strings and
+two integers in a Python object; a million of them is a million boxed
+objects that must be pickled field by field to cross a process boundary.
+:class:`MatchColumns` stores the same information as six parallel
+``array('q')`` columns over a :class:`~repro.columnar.interner
+.StringInterner` — user id, interned profile state/county, interned
+tweet state/county, timestamp — so a study's whole observation table is
+a handful of contiguous buffers that can be written to disk once and
+mapped zero-copy by any number of workers
+(:mod:`repro.columnar.share`).
+
+Construction preserves row order exactly, and
+:meth:`MatchColumns.to_observations` restores the original objects bit
+for bit, which is what the engine's columnar/dict equivalence property
+tests lean on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.columnar.interner import StringInterner
+from repro.columnar.share import BufferReader, BufferWriter
+from repro.errors import ConfigurationError
+from repro.twitter.models import GeotaggedObservation
+
+#: The array typecode every column uses: signed 64-bit, fixed width.
+TYPECODE = "q"
+
+
+class MatchColumns:
+    """Parallel int64 columns over one interner — the columnar batch.
+
+    Attributes:
+        interner: The string table every ``*_id`` column indexes into.
+        user_ids: Author id per row.
+        profile_states / profile_counties: Interned profile district.
+        tweet_states / tweet_counties: Interned tweet district.
+        timestamps_ms: Posting time per row.
+
+    Columns may be ``array('q')`` (owned) or ``memoryview`` slices cast
+    to int64 (zero-copy views over a mapped buffer) — every consumer
+    indexes and slices them identically.
+    """
+
+    __slots__ = (
+        "interner",
+        "user_ids",
+        "profile_states",
+        "profile_counties",
+        "tweet_states",
+        "tweet_counties",
+        "timestamps_ms",
+    )
+
+    def __init__(
+        self,
+        interner: StringInterner,
+        user_ids: Sequence[int],
+        profile_states: Sequence[int],
+        profile_counties: Sequence[int],
+        tweet_states: Sequence[int],
+        tweet_counties: Sequence[int],
+        timestamps_ms: Sequence[int],
+    ) -> None:
+        lengths = {
+            len(user_ids),
+            len(profile_states),
+            len(profile_counties),
+            len(tweet_states),
+            len(tweet_counties),
+            len(timestamps_ms),
+        }
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                f"match columns must be parallel; got lengths {sorted(lengths)}"
+            )
+        self.interner = interner
+        self.user_ids = user_ids
+        self.profile_states = profile_states
+        self.profile_counties = profile_counties
+        self.tweet_states = tweet_states
+        self.tweet_counties = tweet_counties
+        self.timestamps_ms = timestamps_ms
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    @classmethod
+    def from_observations(
+        cls,
+        observations: Iterable[GeotaggedObservation],
+        interner: StringInterner | None = None,
+    ) -> "MatchColumns":
+        """Pack observation rows into columns, interning as encountered.
+
+        The interning sweep order (profile state, profile county, tweet
+        state, tweet county per row) matches
+        :func:`~repro.columnar.interner.study_interner`, so a batch built
+        here carries the same table a study's canonical interner would.
+        """
+        interner = interner if interner is not None else StringInterner()
+        intern = interner.intern
+        user_ids = array(TYPECODE)
+        profile_states = array(TYPECODE)
+        profile_counties = array(TYPECODE)
+        tweet_states = array(TYPECODE)
+        tweet_counties = array(TYPECODE)
+        timestamps_ms = array(TYPECODE)
+        # Bound appends hoisted out of the loop: this sweep runs once per
+        # observation on the engine's hot path, so the six attribute
+        # lookups per row are worth eliding.
+        append_user = user_ids.append
+        append_ps = profile_states.append
+        append_pc = profile_counties.append
+        append_ts = tweet_states.append
+        append_tc = tweet_counties.append
+        append_time = timestamps_ms.append
+        for observation in observations:
+            append_user(observation.user_id)
+            append_ps(intern(observation.profile_state))
+            append_pc(intern(observation.profile_county))
+            append_ts(intern(observation.tweet_state))
+            append_tc(intern(observation.tweet_county))
+            append_time(observation.timestamp_ms)
+        return cls(
+            interner,
+            user_ids,
+            profile_states,
+            profile_counties,
+            tweet_states,
+            tweet_counties,
+            timestamps_ms,
+        )
+
+    def row(self, index: int) -> GeotaggedObservation:
+        """Materialise one row back into its observation object."""
+        lookup = self.interner.lookup
+        return GeotaggedObservation(
+            user_id=self.user_ids[index],
+            profile_state=lookup(self.profile_states[index]),
+            profile_county=lookup(self.profile_counties[index]),
+            tweet_state=lookup(self.tweet_states[index]),
+            tweet_county=lookup(self.tweet_counties[index]),
+            timestamp_ms=self.timestamps_ms[index],
+        )
+
+    def to_observations(self) -> list[GeotaggedObservation]:
+        """Materialise every row, in order (the inverse of packing)."""
+        lookup = self.interner.lookup
+        return [
+            GeotaggedObservation(
+                user_id=uid,
+                profile_state=lookup(ps),
+                profile_county=lookup(pc),
+                tweet_state=lookup(ts),
+                tweet_county=lookup(tc),
+                timestamp_ms=tms,
+            )
+            for uid, ps, pc, ts, tc, tms in zip(
+                self.user_ids,
+                self.profile_states,
+                self.profile_counties,
+                self.tweet_states,
+                self.tweet_counties,
+                self.timestamps_ms,
+            )
+        ]
+
+    def write(self, path: str | Path) -> Path:
+        """Lay the batch out as one mappable buffer file.
+
+        Writes the interner table (``interner.*``) and every column
+        (``obs.*``) through :class:`~repro.columnar.share.BufferWriter`;
+        :meth:`mapped` reopens the file as zero-copy views.  Requires an
+        owned batch (the interner must be a real
+        :class:`StringInterner`, not a mapped table).
+        """
+        writer = BufferWriter()
+        writer.add_strings("interner", self.interner.to_lines())
+        writer.add_i64("obs.user_ids", self.user_ids)
+        writer.add_i64("obs.profile_states", self.profile_states)
+        writer.add_i64("obs.profile_counties", self.profile_counties)
+        writer.add_i64("obs.tweet_states", self.tweet_states)
+        writer.add_i64("obs.tweet_counties", self.tweet_counties)
+        writer.add_i64("obs.timestamps_ms", self.timestamps_ms)
+        return writer.write(path)
+
+    @classmethod
+    def mapped(cls, reader: BufferReader) -> "MatchColumns":
+        """Open a :meth:`write` file's columns as zero-copy views.
+
+        The interner slot holds the reader's lazy
+        :class:`~repro.columnar.share.StringTable` — same ``len`` and
+        ``lookup`` surface, strings decoded only on demand — and every
+        column is a ``memoryview`` over the shared mapping, so a worker
+        "receiving" a million-row batch copies nothing.
+        """
+        return cls(
+            reader.strings("interner"),  # type: ignore[arg-type]
+            reader.i64("obs.user_ids"),
+            reader.i64("obs.profile_states"),
+            reader.i64("obs.profile_counties"),
+            reader.i64("obs.tweet_states"),
+            reader.i64("obs.tweet_counties"),
+            reader.i64("obs.timestamps_ms"),
+        )
+
+    def user_slices(self) -> list[tuple[int, int, int]]:
+        """Contiguous per-user row runs: ``(user_id, start, stop)``.
+
+        The engine appends observations user by user, so each user's
+        rows form one contiguous run; this is the unit the sharded
+        grouping path partitions.
+
+        Raises:
+            ConfigurationError: if a user's rows are not contiguous —
+                a batch that did not come from the staged pipeline.
+        """
+        slices: list[tuple[int, int, int]] = []
+        seen: set[int] = set()
+        user_ids = self.user_ids
+        start = 0
+        for index in range(1, len(user_ids) + 1):
+            if index == len(user_ids) or user_ids[index] != user_ids[start]:
+                user_id = user_ids[start]
+                if user_id in seen:
+                    raise ConfigurationError(
+                        f"user {user_id} has non-contiguous rows; columnar "
+                        "sharding requires per-user contiguity"
+                    )
+                seen.add(user_id)
+                slices.append((user_id, start, index))
+                start = index
+        return slices

@@ -1,0 +1,229 @@
+"""The columnar study artifact: a mappable ``.cstudy`` buffer file.
+
+:func:`~repro.analysis.serialization.save_study` writes a human-readable
+JSON document; this module writes the same study as a
+:mod:`repro.columnar.share` buffer file — interner table plus fixed-width
+int64 columns — that the serving layer can ``mmap`` and reload without
+parsing, decoding, or object churn.  The two formats are interchangeable:
+:func:`load_study_columnar` restores a :class:`StudyResult` whose
+``study_to_json`` text is byte-identical to the source study's.
+
+Sections (all ids index the ``interner`` string table):
+
+* ``meta`` — JSON blob: format version, dataset name, funnel, api stats;
+* ``interner.offsets`` / ``interner.bytes`` — the canonical
+  :func:`~repro.columnar.interner.study_interner` table;
+* ``obs.*`` — observation columns (user id, interned profile/tweet
+  district ids, timestamp);
+* ``merged.*`` — per-user merged rows *in final tie-broken order*, the
+  order the study's groupings already carry, so loading never needs a
+  tie-break policy (mirroring ``load_study``'s trust-the-row-order
+  semantics);
+* ``districts.*`` — per-user profile district keys as interned ids.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.correlation import StudyResult
+from repro.columnar.grouping import groupings_from_packed
+from repro.columnar.interner import StringInterner, study_interner
+from repro.columnar.share import MAGIC, BufferReader, BufferWriter
+from repro.datasets.refine import RefinementFunnel
+from repro.errors import StorageError
+from repro.geo.gazetteer import Gazetteer
+from repro.grouping.stats import compute_group_statistics
+from repro.twitter.models import GeotaggedObservation
+from repro.yahooapi.client import ClientStats
+
+#: Version stamp embedded in the ``meta`` section.
+COLUMNAR_FORMAT_VERSION = 1
+
+
+def is_columnar_study(path: str | Path) -> bool:
+    """True when ``path`` starts with the columnar buffer magic."""
+    try:
+        with Path(path).open("rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError as exc:
+        raise StorageError(f"cannot probe study file {path}: {exc}") from exc
+
+
+def save_study_columnar(study: StudyResult, path: str | Path) -> None:
+    """Write ``study`` to ``path`` as a mappable columnar buffer file.
+
+    The interner is the canonical study interner (observations swept
+    first, then profile districts), so every consumer that re-derives a
+    table from the same study content agrees on the ids.
+    """
+    interner = study_interner(study.observations, study.profile_districts)
+    intern = interner.intern
+
+    writer = BufferWriter()
+
+    meta: dict[str, Any] = {
+        "format_version": COLUMNAR_FORMAT_VERSION,
+        "dataset_name": study.dataset_name,
+        "funnel": study.funnel.as_dict(),
+        "api_stats": study.api_stats.snapshot(),
+    }
+    writer.add_blob("meta", json.dumps(meta, ensure_ascii=False).encode("utf-8"))
+
+    obs_users = array("q")
+    obs_ps = array("q")
+    obs_pc = array("q")
+    obs_ts = array("q")
+    obs_tc = array("q")
+    obs_t = array("q")
+    for observation in study.observations:
+        obs_users.append(observation.user_id)
+        obs_ps.append(intern(observation.profile_state))
+        obs_pc.append(intern(observation.profile_county))
+        obs_ts.append(intern(observation.tweet_state))
+        obs_tc.append(intern(observation.tweet_county))
+        obs_t.append(observation.timestamp_ms)
+    writer.add_i64("obs.user_ids", obs_users)
+    writer.add_i64("obs.profile_states", obs_ps)
+    writer.add_i64("obs.profile_counties", obs_pc)
+    writer.add_i64("obs.tweet_states", obs_ts)
+    writer.add_i64("obs.tweet_counties", obs_tc)
+    writer.add_i64("obs.timestamps_ms", obs_t)
+
+    merged_users = array("q")
+    merged_rows_per_user = array("q")
+    merged_ps = array("q")
+    merged_pc = array("q")
+    merged_ts = array("q")
+    merged_tc = array("q")
+    merged_counts = array("q")
+    for user_id, grouping in study.groupings.items():
+        merged_users.append(user_id)
+        merged_rows_per_user.append(len(grouping.merged))
+        for row in grouping.merged:
+            merged_ps.append(intern(row.record.profile_state))
+            merged_pc.append(intern(row.record.profile_county))
+            merged_ts.append(intern(row.record.tweet_state))
+            merged_tc.append(intern(row.record.tweet_county))
+            merged_counts.append(row.count)
+    writer.add_i64("merged.user_ids", merged_users)
+    writer.add_i64("merged.rows_per_user", merged_rows_per_user)
+    writer.add_i64("merged.profile_states", merged_ps)
+    writer.add_i64("merged.profile_counties", merged_pc)
+    writer.add_i64("merged.tweet_states", merged_ts)
+    writer.add_i64("merged.tweet_counties", merged_tc)
+    writer.add_i64("merged.counts", merged_counts)
+
+    district_users = array("q")
+    district_states = array("q")
+    district_names = array("q")
+    for user_id, district in study.profile_districts.items():
+        district_users.append(user_id)
+        district_states.append(intern(district.state))
+        district_names.append(intern(district.name))
+    writer.add_i64("districts.user_ids", district_users)
+    writer.add_i64("districts.states", district_states)
+    writer.add_i64("districts.names", district_names)
+
+    # The interner is written last but decoded first on load: sweeping
+    # the merged rows and districts above can only re-encounter strings
+    # the canonical sweep already assigned, so the table is final here.
+    writer.add_strings("interner", interner.to_lines())
+    writer.write(path)
+
+
+def load_study_columnar(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
+    """Restore a study written by :func:`save_study_columnar`.
+
+    Semantics mirror :func:`~repro.analysis.serialization.load_study`:
+    stored merged-row order is trusted (it is the final tie-broken
+    order), classification and statistics are recomputed, and district
+    keys resolve against the live ``gazetteer``.
+
+    Raises:
+        StorageError: on bad magic, version mismatch, or corrupt content.
+    """
+    with BufferReader(path) as reader:
+        try:
+            meta = json.loads(bytes(reader.blob("meta")))
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt meta section in {path}: {exc}") from exc
+        version = meta.get("format_version")
+        if version != COLUMNAR_FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported columnar study format version: {version}"
+            )
+
+        interner = StringInterner.from_lines(reader.strings("interner").all())
+        lookup = interner.lookup
+
+        observations = [
+            GeotaggedObservation(
+                user_id=uid,
+                profile_state=lookup(ps),
+                profile_county=lookup(pc),
+                tweet_state=lookup(ts),
+                tweet_county=lookup(tc),
+                timestamp_ms=tms,
+            )
+            for uid, ps, pc, ts, tc, tms in zip(
+                reader.i64("obs.user_ids"),
+                reader.i64("obs.profile_states"),
+                reader.i64("obs.profile_counties"),
+                reader.i64("obs.tweet_states"),
+                reader.i64("obs.tweet_counties"),
+                reader.i64("obs.timestamps_ms"),
+            )
+        ]
+
+        # Rows were stored in final tie-broken order under whatever
+        # policy produced the study; trust that order (tie_break=None),
+        # exactly as the JSON loader trusts its stored row order.
+        packed = {
+            "user_ids": reader.i64("merged.user_ids"),
+            "rows_per_user": reader.i64("merged.rows_per_user"),
+            "profile_states": reader.i64("merged.profile_states"),
+            "profile_counties": reader.i64("merged.profile_counties"),
+            "tweet_states": reader.i64("merged.tweet_states"),
+            "tweet_counties": reader.i64("merged.tweet_counties"),
+            "counts": reader.i64("merged.counts"),
+        }
+        groupings = groupings_from_packed(packed, lookup, tie_break=None)
+
+        profile_districts = {
+            uid: gazetteer.get(lookup(state_id), lookup(name_id))
+            for uid, state_id, name_id in zip(
+                reader.i64("districts.user_ids"),
+                reader.i64("districts.states"),
+                reader.i64("districts.names"),
+            )
+        }
+
+    funnel_data = dict(meta["funnel"])
+    status_counts = funnel_data.pop("profile_status_counts", {})
+    funnel = RefinementFunnel(**funnel_data)
+    funnel.profile_status_counts.update(status_counts)
+
+    stats_data = meta.get("api_stats", {})
+    api_stats = ClientStats(
+        requests=int(stats_data.get("requests", 0)),
+        cache_hits=int(stats_data.get("cache_hits", 0)),
+        failures_injected=int(stats_data.get("failures_injected", 0)),
+        no_result=int(stats_data.get("no_result", 0)),
+        retries=int(stats_data.get("retries", 0)),
+        retry_exhausted=int(stats_data.get("retry_exhausted", 0)),
+        simulated_latency_s=float(stats_data.get("simulated_latency_s", 0.0)),
+    )
+
+    return StudyResult(
+        dataset_name=meta["dataset_name"],
+        funnel=funnel,
+        observations=observations,
+        groupings=groupings,
+        statistics=compute_group_statistics(groupings.values()),
+        profile_districts=profile_districts,
+        api_stats=api_stats,
+    )

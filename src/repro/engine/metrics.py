@@ -44,6 +44,14 @@ class LatencyHistogram:
     run.  All operations are thread-safe: HTTP handler threads observe
     concurrently with ``/metrics`` snapshots.
 
+    Observations may carry an *epoch* — an opaque integer identifying the
+    regime they were measured under (the serving layer passes the
+    snapshot store's generation).  The window only ever holds samples
+    from one epoch: the first observation of a new epoch clears it, so
+    percentiles never average latencies measured against different
+    snapshots across an ``/admin/reload`` swap.  Lifetime ``count`` /
+    ``total`` / ``max`` still span every epoch.
+
     Args:
         window: Ring-buffer capacity (>= 1).
 
@@ -57,14 +65,32 @@ class LatencyHistogram:
         self._window = window
         self._ring: list[float] = []
         self._next = 0
+        self._epoch = 0
         self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
         self.max = 0.0
 
-    def observe(self, value: float) -> None:
-        """Record one observation (seconds, bytes, whatever the name says)."""
+    @property
+    def epoch(self) -> int:
+        """The epoch the current window's samples belong to (0 initially)."""
         with self._lock:
+            return self._epoch
+
+    def observe(self, value: float, epoch: int = 0) -> None:
+        """Record one observation (seconds, bytes, whatever the name says).
+
+        Args:
+            value: The measurement.
+            epoch: Regime tag; a value different from the window's
+                current epoch resets the window before recording (the
+                lifetime totals are never reset).
+        """
+        with self._lock:
+            if epoch != self._epoch:
+                self._ring.clear()
+                self._next = 0
+                self._epoch = epoch
             if len(self._ring) < self._window:
                 self._ring.append(value)
             else:
@@ -89,16 +115,31 @@ class LatencyHistogram:
         return values[rank]
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram in: totals sum, windows concatenate
-        (truncated to this histogram's capacity, newest kept)."""
+        """Fold another histogram in: totals always sum; windows obey epochs.
+
+        Same epoch: the windows concatenate (truncated to this
+        histogram's capacity).  ``other`` from a newer epoch: its window
+        *replaces* this one and the newer epoch is adopted.  ``other``
+        from an older epoch: its window samples are dropped — mixing
+        them in would reintroduce exactly the cross-swap contamination
+        the epoch exists to prevent.  Shard-local histograms never set an
+        epoch, so engine merges keep the plain concatenation behaviour.
+        """
         with other._lock:
             other_ring = list(other._ring)
+            other_epoch = other._epoch
             other_count, other_total, other_max = other.count, other.total, other.max
         with self._lock:
             self.count += other_count
             self.total += other_total
             if other_max > self.max:
                 self.max = other_max
+            if other_epoch < self._epoch:
+                return
+            if other_epoch > self._epoch:
+                self._ring.clear()
+                self._next = 0
+                self._epoch = other_epoch
             for value in other_ring:
                 if len(self._ring) < self._window:
                     self._ring.append(value)

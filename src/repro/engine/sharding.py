@@ -459,7 +459,13 @@ class ShardedExecutor:
         the serial fallback could answer differently.  A worker *crash*
         (``BrokenExecutor``) marks the shard failed and poisons the pool,
         so every not-yet-finished shard of the round fails with it.
+
+        An empty round never touches the pool: a workload whose shards
+        were all answered inline (every chunk empty) must not pay the
+        fork cost of a worker fleet it will never use.
         """
+        if not shard_ids:
+            return []
         pool = self._ensure_pool()
         futures = {}
         broken: list[int] = []

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
+from repro.columnar.keys import merged_sort_key
 from repro.errors import InsufficientDataError
 from repro.grouping.merge import MergedString, TieBreak
 from repro.grouping.strings import LocationString
@@ -95,17 +96,5 @@ class IncrementalGrouper:
     # ------------------------------------------------------------- internals
     def _ordered_rows(self, counts: Counter[LocationString]) -> list[MergedString]:
         rows = [MergedString(record=rec, count=n) for rec, n in counts.items()]
-
-        def sort_key(row: MergedString):
-            if self._tie_break is TieBreak.STRING_ASC:
-                tail: object = row.record.render()
-            elif self._tie_break is TieBreak.STRING_DESC:
-                tail = tuple(-ord(ch) for ch in row.record.render())
-            elif self._tie_break is TieBreak.MATCHED_FIRST:
-                tail = (0 if row.is_matched else 1, row.record.render())
-            else:
-                tail = (1 if row.is_matched else 0, row.record.render())
-            return (-row.count, tail)
-
-        rows.sort(key=sort_key)
+        rows.sort(key=merged_sort_key(self._tie_break))
         return rows

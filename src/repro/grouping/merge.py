@@ -19,6 +19,7 @@ from collections import Counter, defaultdict
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.columnar.keys import merged_sort_key
 from repro.grouping.strings import LocationString
 
 
@@ -66,17 +67,7 @@ def merge_strings(
     for record in records:
         per_user[record.user_id][record] += 1
 
-    def sort_key(row: MergedString):
-        if tie_break is TieBreak.STRING_ASC:
-            tail: object = row.record.render()
-        elif tie_break is TieBreak.STRING_DESC:
-            tail = tuple(-ord(ch) for ch in row.record.render())
-        elif tie_break is TieBreak.MATCHED_FIRST:
-            tail = (0 if row.is_matched else 1, row.record.render())
-        else:  # MATCHED_LAST
-            tail = (1 if row.is_matched else 0, row.record.render())
-        return (-row.count, tail)
-
+    sort_key = merged_sort_key(tie_break)
     merged: dict[int, list[MergedString]] = {}
     for user_id, counts in per_user.items():
         rows = [MergedString(record=rec, count=n) for rec, n in counts.items()]

@@ -122,8 +122,11 @@ class ServingApp:
         start = time.perf_counter()
         status, body = self._route(method, path, params)
         endpoint = path.strip("/").replace("/", ".") or "overview"
+        # Tag the sample with the store generation: the histogram window
+        # partitions on it, so an /admin/reload swap can never leave
+        # percentiles averaging old-snapshot and new-snapshot latencies.
         self.metrics.histogram(f"serving.latency.{endpoint}").observe(
-            time.perf_counter() - start
+            time.perf_counter() - start, epoch=self.store.generation
         )
         return status, encode_body(body)
 

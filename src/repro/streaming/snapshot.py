@@ -20,17 +20,21 @@ import json
 from dataclasses import dataclass
 
 from repro.analysis.correlation import StudyResult
+from repro.columnar.grouping import ColumnarGrouper
 from repro.engine.context import RunContext
 from repro.grouping.incremental import IncrementalGrouper
 
 
-def state_digest(grouper: IncrementalGrouper) -> str:
+def state_digest(grouper: IncrementalGrouper | ColumnarGrouper) -> str:
     """SHA-256 over the grouper's canonical per-user merge counters.
 
-    Built from :meth:`~repro.grouping.incremental.IncrementalGrouper
-    .export_counts` serialised with sorted keys, so the digest depends
-    only on *state*, never on arrival order — two accumulators that
-    folded the same tweets in different batchings digest identically.
+    Built from the grouper's ``export_counts`` (the record-keyed
+    :class:`~repro.grouping.incremental.IncrementalGrouper` and the
+    interned :class:`~repro.columnar.grouping.ColumnarGrouper` export
+    the identical rendered view) serialised with sorted keys, so the
+    digest depends only on *state*, never on arrival order or grouper
+    implementation — two accumulators that folded the same tweets in
+    different batchings digest identically.
     """
     payload = json.dumps(grouper.export_counts(), sort_keys=True, ensure_ascii=False)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

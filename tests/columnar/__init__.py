@@ -1,0 +1,1 @@
+"""Tests for the columnar raw-speed core."""

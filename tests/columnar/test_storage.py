@@ -1,0 +1,60 @@
+"""Round-trip tests for the columnar study artifact (.cstudy).
+
+The artifact's contract is byte-identity through the JSON lens: a study
+saved columnar and loaded back must produce the exact
+``study_to_json`` document — same digest, same serving version — as the
+original, on both datasets.
+"""
+
+import pytest
+
+from repro.analysis.serialization import save_study, study_digest, study_to_json
+from repro.columnar.storage import (
+    is_columnar_study,
+    load_study_columnar,
+    save_study_columnar,
+)
+from repro.errors import StorageError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dataset", ["korean", "ladygaga"])
+    def test_byte_identical_through_json_lens(self, small_ctx, tmp_path, dataset):
+        study = getattr(small_ctx, f"{dataset}_study")
+        gazetteer = getattr(small_ctx, f"{dataset}_dataset").gazetteer
+        path = tmp_path / f"{dataset}.cstudy"
+        save_study_columnar(study, path)
+        loaded = load_study_columnar(path, gazetteer)
+        assert study_to_json(loaded) == study_to_json(study)
+        assert study_digest(loaded) == study_digest(study)
+
+    def test_statistics_recomputed_identically(self, small_ctx, tmp_path):
+        study = small_ctx.korean_study
+        path = tmp_path / "korean.cstudy"
+        save_study_columnar(study, path)
+        loaded = load_study_columnar(path, small_ctx.korean_dataset.gazetteer)
+        assert loaded.statistics == study.statistics
+        assert loaded.funnel.as_dict() == study.funnel.as_dict()
+        assert loaded.api_stats.snapshot() == study.api_stats.snapshot()
+
+
+class TestFormatDetection:
+    def test_detects_columnar_artifact(self, small_ctx, tmp_path):
+        path = tmp_path / "study.cstudy"
+        save_study_columnar(small_ctx.korean_study, path)
+        assert is_columnar_study(path)
+
+    def test_rejects_json_artifact(self, small_ctx, tmp_path):
+        path = tmp_path / "study.json"
+        save_study(small_ctx.korean_study, path)
+        assert not is_columnar_study(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            is_columnar_study(tmp_path / "absent.cstudy")
+
+    def test_loading_json_as_columnar_raises(self, small_ctx, tmp_path):
+        path = tmp_path / "study.json"
+        save_study(small_ctx.korean_study, path)
+        with pytest.raises(StorageError):
+            load_study_columnar(path, small_ctx.korean_dataset.gazetteer)

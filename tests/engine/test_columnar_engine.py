@@ -1,0 +1,103 @@
+"""Engine-level equivalence of the columnar grouping path.
+
+The acceptance bar of the columnar refactor: with ``columnar`` on or
+off, ``run_study`` produces the byte-identical ``study_to_json``
+document — and therefore the identical ``study_digest`` / serving
+version — on both datasets, on the serial and the process backend.
+Also pins the ``ShardedExecutor`` no-pool fix: single-shard and
+all-empty workloads must never fork a worker fleet.
+"""
+
+import pytest
+
+from repro.analysis.correlation import run_study
+from repro.analysis.serialization import study_digest, study_to_json
+from repro.engine import EngineConfig
+from repro.engine.engine import default_engine_config
+from repro.engine.sharding import ShardedExecutor
+from repro.errors import ConfigurationError
+
+
+def _run(dataset, name, **config):
+    return run_study(
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name=name,
+        engine_config=EngineConfig(**config),
+    )
+
+
+def _echo_worker(chunk, payload):
+    """Module-level (picklable) worker: returns its chunk unchanged."""
+    return list(chunk)
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("dataset", ["korean", "ladygaga"])
+    def test_byte_identical_serial(self, small_ctx, dataset):
+        source = getattr(small_ctx, f"{dataset}_dataset")
+        reference = _run(source, dataset, columnar=False)
+        columnar = _run(source, dataset, columnar=True)
+        assert study_to_json(columnar) == study_to_json(reference)
+        assert study_digest(columnar) == study_digest(reference)
+
+    @pytest.mark.parametrize("shards", [2, 4, 7])
+    def test_byte_identical_sharded_serial_backend(self, small_ctx, shards):
+        source = small_ctx.korean_dataset
+        reference = _run(source, "korean", columnar=False)
+        columnar = _run(source, "korean", columnar=True, shards=shards)
+        assert study_to_json(columnar) == study_to_json(reference)
+
+    def test_byte_identical_process_backend(self, small_ctx):
+        source = small_ctx.ladygaga_dataset
+        reference = _run(source, "ladygaga", columnar=False)
+        columnar = _run(
+            source, "ladygaga", columnar=True, shards=4, backend="process"
+        )
+        assert study_to_json(columnar) == study_to_json(reference)
+
+    def test_process_single_shard_matches_serial(self, small_ctx):
+        """The regression the pool fix pins: ``--backend process
+        --shards 1`` answers inline and byte-identically to serial."""
+        source = small_ctx.korean_dataset
+        serial = _run(source, "korean", columnar=True)
+        process = _run(
+            source, "korean", columnar=True, shards=1, backend="process"
+        )
+        assert study_to_json(process) == study_to_json(serial)
+
+
+class TestNoPoolRegression:
+    def test_single_shard_never_forks(self):
+        with ShardedExecutor(shards=1, backend="process") as executor:
+            report = executor.run_shards([1, 2, 3], _echo_worker)
+            assert report.results == [[1, 2, 3]]
+            assert executor._pool is None
+
+    def test_empty_workload_never_forks(self):
+        with ShardedExecutor(shards=4, backend="process") as executor:
+            report = executor.run_shards([], _echo_worker)
+            assert report.results == [[], [], [], []]
+            assert executor._pool is None
+
+    def test_nonempty_multishard_workload_does_fork(self):
+        with ShardedExecutor(shards=2, backend="process") as executor:
+            report = executor.run_shards([1, 2, 3, 4], _echo_worker)
+            assert report.results == [[1, 2], [3, 4]]
+            assert executor._pool is not None
+
+
+class TestColumnarConfig:
+    def test_default_engine_config_columnar_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        assert default_engine_config().columnar is False
+        monkeypatch.setenv("REPRO_COLUMNAR", "on")
+        assert default_engine_config().columnar is True
+        monkeypatch.delenv("REPRO_COLUMNAR")
+        assert default_engine_config().columnar is True
+
+    def test_invalid_columnar_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "sideways")
+        with pytest.raises(ConfigurationError):
+            default_engine_config()

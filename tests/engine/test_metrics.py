@@ -143,3 +143,73 @@ class TestRunContext:
     def test_render_omits_api_client_line_without_counters(self):
         context = RunContext(dataset_name="t")
         assert "api client:" not in render_trace(context)
+
+
+class TestLatencyHistogramEpochs:
+    """The window partitions on the observation epoch: percentiles never
+    mix samples recorded under different snapshot generations."""
+
+    def test_epoch_change_resets_window_keeps_lifetime(self):
+        from repro.engine.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram(window=16)
+        for _ in range(10):
+            histogram.observe(10.0, epoch=1)
+        assert histogram.percentile(50) == 10.0
+        histogram.observe(1.0, epoch=2)
+        # Only the post-swap sample is in the window now.
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(99) == 1.0
+        assert histogram.epoch == 2
+        # Lifetime accounting spans both epochs.
+        assert histogram.count == 11
+        assert histogram.total == 101.0
+        assert histogram.max == 10.0
+
+    def test_same_epoch_accumulates(self):
+        from repro.engine.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram(window=8)
+        histogram.observe(1.0, epoch=3)
+        histogram.observe(3.0, epoch=3)
+        assert histogram.percentile(99) == 3.0
+        assert histogram.count == 2
+
+    def test_merge_same_epoch_concatenates(self):
+        from repro.engine.metrics import LatencyHistogram
+
+        left = LatencyHistogram(window=8)
+        right = LatencyHistogram(window=8)
+        left.observe(1.0)
+        right.observe(5.0)
+        left.merge(right)
+        assert left.count == 2
+        assert left.percentile(99) == 5.0
+
+    def test_merge_newer_epoch_replaces_window(self):
+        from repro.engine.metrics import LatencyHistogram
+
+        stale = LatencyHistogram(window=8)
+        fresh = LatencyHistogram(window=8)
+        for _ in range(5):
+            stale.observe(10.0, epoch=1)
+        fresh.observe(1.0, epoch=2)
+        stale.merge(fresh)
+        assert stale.epoch == 2
+        assert stale.percentile(99) == 1.0
+        assert stale.count == 6
+        assert stale.max == 10.0
+
+    def test_merge_older_epoch_drops_its_window(self):
+        from repro.engine.metrics import LatencyHistogram
+
+        fresh = LatencyHistogram(window=8)
+        stale = LatencyHistogram(window=8)
+        fresh.observe(1.0, epoch=2)
+        for _ in range(5):
+            stale.observe(10.0, epoch=1)
+        fresh.merge(stale)
+        assert fresh.epoch == 2
+        assert fresh.percentile(99) == 1.0
+        assert fresh.count == 6
+        assert fresh.max == 10.0

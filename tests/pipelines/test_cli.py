@@ -128,6 +128,23 @@ class TestStudy:
         parallel = capsys.readouterr().out
         assert parallel == serial
 
+    def test_study_no_columnar_matches_default(self, capsys):
+        """--no-columnar falls back to per-user dict merging; the output
+        must not move by a byte."""
+        assert main(["study", "--dataset", "korean", *FAST]) == 0
+        columnar = capsys.readouterr().out
+        assert main(["study", "--dataset", "korean", "--no-columnar", *FAST]) == 0
+        dicts = capsys.readouterr().out
+        assert dicts == columnar
+
+    def test_columnar_defaults_on(self):
+        args = build_parser().parse_args(["study", "--dataset", "korean"])
+        assert args.columnar is True
+        args = build_parser().parse_args(
+            ["study", "--dataset", "korean", "--no-columnar"]
+        )
+        assert args.columnar is False
+
     def test_shard_failure_exits_code_4(self, capsys, monkeypatch):
         """A worker exception surfaces as exit code 4 with the shard and
         item range named — never a traceback."""

@@ -1,0 +1,115 @@
+"""Serving over columnar study artifacts + latency epoch partitioning.
+
+Two claims: a snapshot served from a mmap'd ``.cstudy`` buffer is
+observationally identical to one served from the JSON document (same
+version tag, same bytes on every endpoint, hot-swapping between the two
+is a no-op); and the per-endpoint latency windows partition on the
+store generation, so a reload never leaves percentiles mixing samples
+measured against different snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serialization import save_study
+from repro.columnar.interner import study_interner
+from repro.columnar.storage import save_study_columnar
+from repro.serving import ServingSnapshot, load_snapshot
+
+
+@pytest.fixture(scope="module")
+def korean_cstudy(small_ctx, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cstudy") / "korean.cstudy"
+    save_study_columnar(small_ctx.korean_study, path)
+    return path
+
+
+class TestColumnarSnapshot:
+    def test_load_snapshot_sniffs_columnar(self, small_ctx, korean_cstudy):
+        """The same study produces the same snapshot version whether it
+        is loaded from JSON or mmap'd from the columnar buffer."""
+        reference = ServingSnapshot.from_study(small_ctx.korean_study)
+        columnar = load_snapshot(
+            korean_cstudy, small_ctx.korean_dataset.gazetteer
+        )
+        assert columnar.version == reference.version
+        assert columnar.digest == reference.digest
+        assert columnar.users == reference.users
+        assert columnar.regions == reference.regions
+
+    def test_load_snapshot_still_reads_json(self, small_ctx, tmp_path):
+        path = tmp_path / "korean.json"
+        save_study(small_ctx.korean_study, path)
+        loaded = load_snapshot(path, small_ctx.korean_dataset.gazetteer)
+        reference = ServingSnapshot.from_study(small_ctx.korean_study)
+        assert loaded.version == reference.version
+
+    def test_snapshot_interner_is_canonical(self, small_ctx, korean_snapshot):
+        study = small_ctx.korean_study
+        canonical = study_interner(study.observations, study.profile_districts)
+        assert korean_snapshot.interner == canonical
+        assert korean_snapshot.interner.digest() == canonical.digest()
+
+    def test_columnar_reload_shares_the_id_space(
+        self, small_ctx, korean_snapshot, korean_cstudy
+    ):
+        columnar = load_snapshot(
+            korean_cstudy, small_ctx.korean_dataset.gazetteer
+        )
+        assert columnar.interner.digest() == korean_snapshot.interner.digest()
+
+    def test_matched_keys_lookup(self, korean_snapshot):
+        assert korean_snapshot.matched_keys, "no matched users in study"
+        for key, user_id in korean_snapshot.matched_keys.items():
+            assert korean_snapshot.matched_user(key) == user_id
+            record = korean_snapshot.users[user_id]
+            assert record["matched_string"].startswith(key)
+        assert korean_snapshot.matched_user("no#such#key") is None
+
+
+class TestHotSwapAcrossFormats:
+    def test_swap_json_to_columnar_is_observational_noop(
+        self, small_ctx, make_app, korean_cstudy
+    ):
+        app = make_app(
+            reloader=lambda: load_snapshot(
+                korean_cstudy, small_ctx.korean_dataset.gazetteer
+            )
+        )
+        user_id = next(iter(app.store.current().users))
+        target = f"/lookup?user={user_id}"
+        status, before = app.dispatch("GET", target)
+        assert status == 200
+        status, body = app.dispatch("POST", "/admin/reload")
+        assert status == 200
+        assert b'"changed": false' in body or b'"changed":false' in body
+        status, after = app.dispatch("GET", target)
+        assert status == 200
+        assert after == before
+
+
+class TestLatencyEpochAcrossReload:
+    def test_window_resets_on_swap_lifetime_survives(
+        self, small_ctx, make_app, korean_cstudy
+    ):
+        app = make_app(
+            reloader=lambda: load_snapshot(
+                korean_cstudy, small_ctx.korean_dataset.gazetteer
+            )
+        )
+        user_id = next(iter(app.store.current().users))
+        target = f"/lookup?user={user_id}"
+        for _ in range(5):
+            app.dispatch("GET", target)
+        histogram = app.metrics.histogram("serving.latency.lookup")
+        assert histogram.count == 5
+        assert histogram.epoch == 1
+        assert len(histogram._ring) == 5
+
+        app.dispatch("POST", "/admin/reload")
+        app.dispatch("GET", target)
+        assert histogram.epoch == 2
+        # Window holds only the post-swap sample; lifetime spans both.
+        assert len(histogram._ring) == 1
+        assert histogram.count == 6

@@ -10,6 +10,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.columnar",
     "repro.datasets",
     "repro.engine",
     "repro.events",
