@@ -1,0 +1,79 @@
+"""Poll a running `repro live` instance's freshness metrics — stdlib only.
+
+Start the live pipeline in one terminal (paced so swaps are visible):
+
+    PYTHONPATH=src python -m repro live --dataset korean \
+        --state-dir ./live_state --cadence 8 --pace-ms 20 --port 8080
+
+then run this dashboard against it:
+
+    python examples/live_dashboard_client.py http://127.0.0.1:8080
+
+Every second it reads `/metrics` and `/healthz` and prints one line of
+the loop's vital signs: the serving generation and snapshot version,
+how long ago the last swap landed (`serving.snapshot.age_seconds`), how
+many batches the served snapshot trails the stream by
+(`live.snapshot_age_batches`), the rebuild backlog (`live.dirty_users`),
+and the publish cost (`live.swap_lag_seconds`).  A healthy pipeline
+shows the generation climbing while age and backlog keep returning to
+zero; a wedged one shows age growing without bound — which is the whole
+point of exporting these gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def get(base: str, path: str) -> dict:
+    """One GET; JSON body either way (errors are JSON too)."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return json.loads(error.read())
+
+
+def main() -> int:
+    base = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8080"
+    interval_s = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    print(f"polling {base} every {interval_s:g}s — ctrl-C to stop", flush=True)
+    print(f"{'gen':>5} {'version':<16} {'age_s':>7} {'behind':>7} "
+          f"{'dirty':>6} {'lag_ms':>7} {'swaps':>6} {'skip':>5} {'fail':>5}",
+          flush=True)
+
+    last_generation = None
+    try:
+        while True:
+            health = get(base, "/healthz")
+            metrics = get(base, "/metrics").get("metrics", {})
+            generation = health.get("generation", 0)
+            marker = " *" if generation != last_generation else ""
+            last_generation = generation
+            print(
+                f"{generation:>5} {health.get('version', '?'):<16} "
+                f"{metrics.get('serving.snapshot.age_seconds', 0.0):>7.1f} "
+                f"{int(metrics.get('live.snapshot_age_batches', 0)):>7} "
+                f"{int(metrics.get('live.dirty_users', 0)):>6} "
+                f"{metrics.get('live.swap_lag_seconds', 0.0) * 1e3:>7.1f} "
+                f"{int(metrics.get('live.swaps', 0)):>6} "
+                f"{int(metrics.get('live.swaps_skipped', 0)):>5} "
+                f"{int(metrics.get('live.build_failures', 0)):>5}"
+                f"{marker}",
+                flush=True,
+            )
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        print("\nstopped")
+    except (urllib.error.URLError, OSError) as error:
+        print(f"\nserver unreachable: {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

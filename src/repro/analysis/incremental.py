@@ -56,7 +56,7 @@ from repro.geocode.cellstore import Cell
 from repro.geocode.service import GeocodeService, cell_cache_path, simulated_latency
 from repro.grouping.incremental import IncrementalGrouper
 from repro.grouping.merge import TieBreak
-from repro.grouping.stats import GroupRow, GroupStatistics, compute_group_statistics
+from repro.grouping.stats import compute_group_statistics, empty_group_statistics
 from repro.grouping.topk import TopKGroup, UserGrouping
 from repro.storage.userstore import UserStore
 from repro.twitter.models import GeotaggedObservation, Tweet
@@ -141,6 +141,17 @@ class IncrementalStudyAccumulator:
         self._profile_status: dict[int, str] = {}
         self._profile_districts: dict[int, District] = {}
         self._groupings: dict[int, UserGrouping] = {}
+        # Users whose observations changed since the last take_dirty() —
+        # the delta the live snapshot builder rebuilds from.
+        self._dirty: set[int] = set()
+        # One-shot flag: snapshot()/build_funnel() must geocode *every*
+        # directory user (the batch pipeline does), but only once.
+        self._directory_swept = False
+        # Funnel status accounting kept incrementally: per-status counts
+        # plus the smallest uid that carries each status, which is the
+        # Counter *insertion order* a sorted-uid sweep would produce.
+        self._status_counts: Counter[str] = Counter()
+        self._status_min_uid: dict[str, int] = {}
         # GPS tweets of well-defined users — (tweet_id, timestamp, cell) —
         # kept sorted by tweet id so snapshots assemble observations in
         # batch-canonical order without touching the geocoder again.
@@ -199,6 +210,7 @@ class IncrementalStudyAccumulator:
             produced += 1
         for user_id in touched:
             self._reclassify(user_id)
+        self._dirty.update(touched)
         return produced
 
     def _district_of(self, user_id: int) -> District | None:
@@ -206,7 +218,11 @@ class IncrementalStudyAccumulator:
         if user_id not in self._profile_status:
             user = self._directory.get(user_id)
             result = self._text_geocoder.geocode(user.profile_location)
-            self._profile_status[user_id] = result.status.value
+            status = result.status.value
+            self._profile_status[user_id] = status
+            self._status_counts[status] += 1
+            if user_id < self._status_min_uid.get(status, user_id + 1):
+                self._status_min_uid[status] = user_id
             if result.status is GeocodeStatus.RESOLVED and result.district is not None:
                 self._profile_districts[user_id] = result.district
         return self._profile_districts.get(user_id)
@@ -219,6 +235,126 @@ class IncrementalStudyAccumulator:
             self._group_tally[previous.group] -= 1
         self._group_tally[current.group] += 1
         self._groupings[user_id] = current
+
+    # ------------------------------------------------------- delta-build views
+    @property
+    def dirty_count(self) -> int:
+        """Users whose observations changed since the last ``take_dirty``."""
+        return len(self._dirty)
+
+    def take_dirty(self) -> set[int]:
+        """Claim (and clear) the set of users changed since the last call.
+
+        The live :class:`~repro.live.builder.DeltaSnapshotBuilder` calls
+        this at the top of each build; it keeps the claimed set in its
+        own pending pool until the build *succeeds*, so a failed build
+        never loses dirt.
+        """
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def mark_dirty(self, user_ids) -> None:
+        """Force re-derivation of ``user_ids`` on the next delta build.
+
+        Folding marks dirt automatically; this hook exists for callers
+        that need to invalidate users without new tweets — churn
+        injection in ``benchmarks/bench_live_freshness.py``, or a cache
+        flush after out-of-band state surgery.  Marking a clean user is
+        harmless: the rebuild re-derives the same bytes.
+        """
+        self._dirty |= set(user_ids)
+
+    def ensure_directory_swept(self) -> None:
+        """Profile-geocode every directory user (once).
+
+        The batch ``ProfileGeocodeStage`` geocodes *every* crawled user,
+        not just the authors the stream happened to deliver — so any
+        view claiming batch equivalence (``snapshot``, a live delta
+        build) must sweep the rest of the directory through the cached
+        forward geocoder first.  Memoized: the directory is fixed for
+        the life of the accumulator, so one sweep settles it.
+        """
+        if self._directory_swept:
+            return
+        for user in self._directory:
+            self._district_of(user.user_id)
+        self._directory_swept = True
+
+    def build_funnel(self) -> RefinementFunnel:
+        """The refinement funnel, assembled from incremental counters.
+
+        Byte-identical to what a sorted-uid sweep would produce: the
+        per-status counts are maintained at geocode time, and the
+        Counter's insertion order — statuses by the smallest uid that
+        carries them — is exactly first-encounter order under a sweep of
+        ascending uids.
+        """
+        self.ensure_directory_swept()
+        funnel = RefinementFunnel()
+        funnel.crawled_users = len(self._profile_status)
+        funnel.total_tweets = self._total_tweets
+        funnel.gps_tweets = self._gps_tweets
+        for status in sorted(self._status_min_uid, key=self._status_min_uid.get):
+            funnel.profile_status_counts[status] = self._status_counts[status]
+        funnel.well_defined_users = len(self._profile_districts)
+        funnel.users_with_gps = len(self._gps_rows)
+        funnel.unresolvable_gps_tweets = self._unresolvable
+        funnel.resolved_observations = self.observations_folded
+        funnel.study_users = len(self._groupings)
+        return funnel
+
+    def study_user_ids(self) -> list[int]:
+        """Study users (>= 1 resolved observation), ascending by id."""
+        return sorted(self._groupings)
+
+    def grouping_of(self, user_id: int) -> UserGrouping:
+        """The cached grouping of one study user."""
+        return self._groupings[user_id]
+
+    def profile_district_of(self, user_id: int) -> District:
+        """The profile district of one well-defined user."""
+        return self._profile_districts[user_id]
+
+    def resolved_rows_with_ids(
+        self, user_id: int
+    ) -> list[tuple[int, GeotaggedObservation]]:
+        """One study user's ``(tweet_id, observation)`` pairs, ascending
+        by tweet id.
+
+        Assembled from the retained ``(tweet_id, timestamp, cell)`` rows
+        with no re-geocoding (cell outcomes are pure functions of the
+        cell key); unresolvable cells are skipped, exactly as the batch
+        pipeline drops them.  The tweet id is the canonical within-user
+        observation order — the delta builder keys interner occurrence
+        positions on it because it is stable under later insertions,
+        where a list index is not.
+        """
+        district = self._profile_districts[user_id]
+        rows: list[tuple[int, GeotaggedObservation]] = []
+        for tweet_id, timestamp_ms, cell in self._gps_rows.get(user_id, ()):
+            if cell in self._none_cells:
+                continue
+            path = self._geocode.resolve_cell(cell)
+            assert path is not None  # outcome is a pure function of cell
+            rows.append(
+                (
+                    tweet_id,
+                    GeotaggedObservation(
+                        user_id=user_id,
+                        profile_state=district.state,
+                        profile_county=district.name,
+                        tweet_state=path.state,
+                        tweet_county=path.county,
+                        timestamp_ms=timestamp_ms,
+                    ),
+                )
+            )
+        return rows
+
+    def resolved_rows(self, user_id: int) -> list[GeotaggedObservation]:
+        """One study user's observations, ascending by tweet id."""
+        return [row for _, row in self.resolved_rows_with_ids(user_id)]
 
     # ------------------------------------------------------------------ views
     @property
@@ -305,50 +441,16 @@ class IncrementalStudyAccumulator:
         work plus cached cell lookups, instead of the full serial replay
         earlier revisions needed.
         """
-        # The batch ProfileGeocodeStage geocodes *every* crawled user, not
-        # just the authors the stream happened to deliver — sweep the rest
-        # of the directory through the (cached) forward geocoder first.
-        for user in self._directory:
-            self._district_of(user.user_id)
-
-        funnel = RefinementFunnel()
-        funnel.crawled_users = len(self._profile_status)
-        funnel.total_tweets = self._total_tweets
-        funnel.gps_tweets = self._gps_tweets
-        for user_id in sorted(self._profile_status):
-            funnel.profile_status_counts[self._profile_status[user_id]] += 1
-        funnel.well_defined_users = len(self._profile_districts)
-        funnel.users_with_gps = len(self._gps_rows)
-        funnel.unresolvable_gps_tweets = self._unresolvable
+        funnel = self.build_funnel()
 
         observations: list[GeotaggedObservation] = []
         kept_districts: dict[int, District] = {}
-        for user_id in sorted(self._gps_rows):
-            district = self._profile_districts[user_id]
-            user_rows: list[GeotaggedObservation] = []
-            for _, timestamp_ms, cell in self._gps_rows[user_id]:
-                if cell in self._none_cells:
-                    continue
-                path = self._geocode.resolve_cell(cell)
-                assert path is not None  # outcome is a pure function of cell
-                user_rows.append(
-                    GeotaggedObservation(
-                        user_id=user_id,
-                        profile_state=district.state,
-                        profile_county=district.name,
-                        tweet_state=path.state,
-                        tweet_county=path.county,
-                        timestamp_ms=timestamp_ms,
-                    )
-                )
-            if user_rows:
-                observations.extend(user_rows)
-                kept_districts[user_id] = district
-        funnel.resolved_observations = len(observations)
+        for user_id in self.study_user_ids():
+            observations.extend(self.resolved_rows(user_id))
+            kept_districts[user_id] = self._profile_districts[user_id]
         groupings = {
-            user_id: self._groupings[user_id] for user_id in sorted(kept_districts)
+            user_id: self._groupings[user_id] for user_id in kept_districts
         }
-        funnel.study_users = len(groupings)
 
         return StudyResult(
             dataset_name=dataset_name,
@@ -358,34 +460,8 @@ class IncrementalStudyAccumulator:
             statistics=(
                 compute_group_statistics(groupings.values())
                 if groupings
-                else _empty_statistics()
+                else empty_group_statistics()
             ),
             profile_districts=kept_districts,
             api_stats=self._canonical_stats(),
         )
-
-
-def _empty_statistics() -> GroupStatistics:
-    """An all-zero statistics table for a stream with no study users yet.
-
-    The batch pipeline refuses an empty corpus outright
-    (:class:`~repro.errors.InsufficientDataError`), but a *young stream*
-    legitimately has zero study users and still owes callers a snapshot.
-    """
-    return GroupStatistics(
-        rows=tuple(
-            GroupRow(
-                group=group,
-                user_count=0,
-                user_share=0.0,
-                avg_tweet_locations=0.0,
-                tweet_count=0,
-                tweet_share=0.0,
-                avg_matched_share=0.0,
-            )
-            for group in TopKGroup.reporting_order()
-        ),
-        total_users=0,
-        total_tweets=0,
-        overall_avg_tweet_locations=0.0,
-    )

@@ -38,6 +38,26 @@ class RegionalRow:
     avg_tweet_locations: float
 
 
+def regional_row(state: str, members: list[UserGrouping]) -> RegionalRow:
+    """Aggregate one profile state's members into its summary row.
+
+    Every aggregate here is a count or an integer sum divided once, so
+    the row is independent of ``members`` ordering — the property the
+    live delta builder relies on when it recomputes only the states
+    whose users changed (:mod:`repro.live.builder`).
+    """
+    top1 = sum(1 for g in members if g.group is TopKGroup.TOP_1)
+    matched = sum(1 for g in members if g.group is not TopKGroup.NONE)
+    avg_locations = sum(g.tweet_location_count for g in members) / len(members)
+    return RegionalRow(
+        state=state,
+        users=len(members),
+        top1_share=top1 / len(members),
+        matched_share=matched / len(members),
+        avg_tweet_locations=avg_locations,
+    )
+
+
 def regional_breakdown(
     groupings: dict[int, UserGrouping],
     profile_districts: dict[int, District],
@@ -58,22 +78,11 @@ def regional_breakdown(
             continue
         by_state[district.state].append(grouping)
 
-    rows = []
-    for state, members in by_state.items():
-        if len(members) < min_users:
-            continue
-        top1 = sum(1 for g in members if g.group is TopKGroup.TOP_1)
-        matched = sum(1 for g in members if g.group is not TopKGroup.NONE)
-        avg_locations = sum(g.tweet_location_count for g in members) / len(members)
-        rows.append(
-            RegionalRow(
-                state=state,
-                users=len(members),
-                top1_share=top1 / len(members),
-                matched_share=matched / len(members),
-                avg_tweet_locations=avg_locations,
-            )
-        )
+    rows = [
+        regional_row(state, members)
+        for state, members in by_state.items()
+        if len(members) >= min_users
+    ]
     if not rows:
         raise InsufficientDataError(
             f"no region has >= {min_users} study users"

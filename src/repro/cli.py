@@ -9,6 +9,7 @@ Commands:
 * ``engine``      — staged-engine introspection (``engine trace``)
 * ``stream``      — live firehose ingestion with checkpoint/resume
 * ``serve``       — online query API over a saved study snapshot
+* ``live``        — ingestion + serving in one process with delta snapshots
 
 Everything is deterministic given ``--seed``; ``--shards``/``--backend``
 change only how the study executes, never its result.
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 
 from repro.analysis.correlation import run_study
@@ -46,6 +48,7 @@ from repro.events.evaluation import (
 from repro.geo.reverse import ReverseGeocoder
 from repro.geocode.backend import DirectBackend
 from repro.geocode.service import GeocodeService
+from repro.live import DeltaSnapshotBuilder, LiveConfig, LiveStudyPipeline
 from repro.pipelines.experiments import EXPERIMENTS, run_experiment
 from repro.serving import (
     ServingApp,
@@ -199,9 +202,11 @@ def _cmd_localize(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Exit code for ``stream --resume`` against unusable checkpoint state —
-#: distinct from 1 (generic :class:`ReproError`) so operators and scripts
-#: can tell "fix the state directory" apart from every other failure.
+#: Exit code for unusable on-disk state at boot — a ``stream --resume``
+#: against a bad state directory, or a ``serve``/``live`` boot over a
+#: missing/corrupt/truncated snapshot artifact.  Distinct from 1 (generic
+#: :class:`ReproError`) so operators and scripts can tell "fix the
+#: state/artifact" apart from every other failure.
 EXIT_RESUME_STATE = 3
 
 #: Exit code for a shard worker failing with an application exception
@@ -314,7 +319,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         """Re-read the study document from disk (SIGHUP / /admin/reload)."""
         return load_snapshot(snapshot_path, gazetteer)
 
-    store = SnapshotStore(reloader())
+    try:
+        boot = reloader()
+    except StorageError as exc:
+        # Same convention as `stream --resume` against a bad state dir:
+        # unusable on-disk state is exit 3, one line, no traceback.
+        print(f"error: cannot serve: {exc} — re-save the study with "
+              "`repro study --save` / `repro stream --save`", file=sys.stderr)
+        return EXIT_RESUME_STATE
+    store = SnapshotStore(boot)
     geocoder = GeocodeService(DirectBackend(ReverseGeocoder(gazetteer)))
     bucket = TokenBucket(rate=args.rate if args.rate > 0 else None, burst=args.burst)
     app = ServingApp(store, geocoder, bucket=bucket, reloader=reloader)
@@ -332,6 +345,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    """Run ingestion and serving in one process (`repro live`).
+
+    Boots a :class:`~repro.serving.http.StudyServer` over the (initially
+    empty or resumed) accumulator state, then pumps the synthetic
+    firehose while a :class:`~repro.live.pipeline.LiveStudyPipeline`
+    builds delta snapshots on cadence and hot-swaps them into the running
+    server — queries observe each publish as a generation bump on
+    ``/healthz``.
+    """
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    wal_path = state_dir / "wal.jsonl"
+    checkpoint_log = CheckpointLog(state_dir / "checkpoints.jsonl")
+
+    dataset = _build_dataset(args)
+    accumulator = IncrementalStudyAccumulator(
+        dataset.gazetteer, dataset.users, cache_dir=args.cache_dir or None
+    )
+    try:
+        if args.resume:
+            consumer, offset = StreamConsumer.resume(
+                accumulator, wal_path, checkpoint_log, args.checkpoint_every
+            )
+        else:
+            wal_path.unlink(missing_ok=True)
+            checkpoint_log.path.unlink(missing_ok=True)
+            consumer = StreamConsumer(
+                accumulator, wal_path, checkpoint_log, args.checkpoint_every
+            )
+            offset = 0
+    except StorageError as exc:
+        print(f"error: cannot resume: {exc} — run without --resume to start "
+              "a fresh stream", file=sys.stderr)
+        return EXIT_RESUME_STATE
+
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        capacity=args.capacity,
+        policy=BackpressurePolicy(args.policy),
+        drain_every=args.drain_every,
+        checkpoint_every=args.checkpoint_every,
+    )
+    source = FirehoseSource(dataset.tweets, dataset.users)
+    queue = BoundedTweetQueue(config.capacity, config.policy)
+    context = RunContext(dataset_name=args.dataset, seed=args.seed)
+    pump = StreamPump(source, queue, consumer, config, context)
+
+    builder = DeltaSnapshotBuilder(accumulator, dataset_name=args.dataset)
+    store = SnapshotStore(builder.build())  # generation 1: the boot state
+    geocoder = GeocodeService(DirectBackend(ReverseGeocoder(dataset.gazetteer)))
+    bucket = TokenBucket(rate=args.rate if args.rate > 0 else None, burst=args.burst)
+    # Share the pump's registry so /metrics surfaces stream.* and live.*
+    # gauges beside the serving.* counters — one pane of glass.
+    app = ServingApp(store, geocoder, metrics=context.metrics, bucket=bucket)
+    pipeline = LiveStudyPipeline(
+        pump,
+        builder,
+        store,
+        LiveConfig(
+            cadence_batches=args.cadence if args.cadence > 0 else None,
+            cadence_seconds=(
+                args.cadence_seconds if args.cadence_seconds > 0 else None
+            ),
+            pace_s=args.pace_ms / 1000.0,
+        ),
+    )
+    server = StudyServer(app, host=args.host, port=args.port)
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    print(render_serving_summary(app, args.host, server.port))
+    print(f"  live: cadence {args.cadence} batches"
+          + (f" / {args.cadence_seconds}s" if args.cadence_seconds > 0 else "")
+          + f", serving while streaming {len(source)} tweets")
+    sys.stdout.flush()
+
+    try:
+        snapshot = pipeline.run(start_offset=offset, max_batches=args.max_batches)
+    except KeyboardInterrupt:
+        server.shutdown()
+        server.server_close()
+        return 0
+    metrics = context.metrics.snapshot()
+    print(f"stream {'exhausted' if snapshot.exhausted else 'paused'} at "
+          f"offset {snapshot.offset}/{len(source)} after {snapshot.batches} "
+          f"batches; {int(metrics['live.swaps'])} snapshot swaps "
+          f"({int(metrics.get('live.swaps_skipped', 0))} content-equal skips), "
+          f"serving generation {store.generation}")
+    print(f"served version: {store.current().version} "
+          f"(swap lag p95 {metrics.get('live.swap_lag.p95', 0.0):.3f}s)")
+    sys.stdout.flush()
+    if args.on_exhausted == "serve":
+        try:
+            serve_thread.join()
+        except KeyboardInterrupt:
+            pass
+    server.shutdown()
+    server.server_close()
     return 0
 
 
@@ -513,6 +627,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--burst", type=int, default=32,
                        help="admission burst capacity above the sustained rate")
     serve.set_defaults(func=_cmd_serve)
+
+    live = subparsers.add_parser(
+        "live", help="stream the firehose and serve delta snapshots live"
+    )
+    live.add_argument("--dataset", choices=("korean", "ladygaga"), default="ladygaga")
+    live.add_argument("--cadence", type=int, default=8,
+                      help="micro-batches between snapshot builds "
+                      "(0 disables the batch trigger)")
+    live.add_argument("--cadence-seconds", type=float, default=0.0,
+                      help="wall-clock seconds between snapshot builds "
+                      "(0 disables the clock trigger)")
+    live.add_argument("--pace-ms", type=float, default=0.0,
+                      help="sleep this long after each folded batch — throttles "
+                      "the synthetic firehose to an observable rate")
+    live.add_argument("--host", default="127.0.0.1", help="bind address")
+    live.add_argument("--port", type=int, default=8080,
+                      help="TCP port (0 picks a free one)")
+    live.add_argument("--rate", type=float, default=0.0,
+                      help="admitted data requests per second "
+                      "(0 = unlimited; excess answered 429)")
+    live.add_argument("--burst", type=int, default=32,
+                      help="admission burst capacity above the sustained rate")
+    live.add_argument("--policy", choices=[p.value for p in BackpressurePolicy],
+                      default=BackpressurePolicy.BLOCK.value,
+                      help="backpressure policy when the ingest queue fills")
+    live.add_argument("--batch-size", type=int, default=256,
+                      help="tweets folded per micro-batch")
+    live.add_argument("--capacity", type=int, default=1024,
+                      help="bounded ingest-queue capacity")
+    live.add_argument("--drain-every", type=int, default=1,
+                      help="produced tweets between consumer drains")
+    live.add_argument("--checkpoint-every", type=int, default=1,
+                      help="micro-batches between durable checkpoints")
+    live.add_argument("--state-dir", default="./stream_state",
+                      help="directory for the write-ahead log and checkpoints")
+    live.add_argument("--resume", action="store_true",
+                      help="continue from the state directory's last checkpoint")
+    live.add_argument("--max-batches", type=int, default=None,
+                      help="pause after this many micro-batches (crash drill)")
+    live.add_argument("--on-exhausted", choices=("serve", "exit"),
+                      default="serve",
+                      help="after the stream ends: keep serving the final "
+                      "snapshot, or shut down (scripted runs)")
+    _add_build_options(live)
+    _add_cache_option(live)
+    live.set_defaults(func=_cmd_live)
 
     localize = subparsers.add_parser(
         "localize", help="reliability-weighted event localisation"

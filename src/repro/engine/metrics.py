@@ -203,12 +203,20 @@ class MetricsRegistry:
             return value
 
     def gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value`` (last write wins)."""
-        self._gauges[name] = value
+        """Set gauge ``name`` to ``value`` (last write wins).
+
+        Locked for the same reason counters are: the live pipeline's
+        ingest thread sets gauges while ``/metrics`` handler threads
+        snapshot the registry, and an unguarded dict write concurrent
+        with iteration is a ``RuntimeError``.
+        """
+        with self._lock:
+            self._gauges[name] = value
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` into timer ``name``."""
-        self._timers[name] = self._timers.get(name, 0.0) + seconds
+        with self._lock:
+            self._timers[name] = self._timers.get(name, 0.0) + seconds
 
     @contextmanager
     def timer(self, name: str):
@@ -231,7 +239,8 @@ class MetricsRegistry:
         """
         if not prefix:
             raise ConfigurationError("metrics source prefix must be non-empty")
-        self._sources[prefix] = source
+        with self._lock:
+            self._sources[prefix] = source
 
     def histogram(
         self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW
@@ -267,8 +276,9 @@ class MetricsRegistry:
             self.counter(name, value)
         for name, seconds in other._timers.items():
             self.add_time(name, seconds)
-        self._gauges.update(other._gauges)
-        self._sources.update(other._sources)
+        with self._lock:
+            self._gauges.update(other._gauges)
+            self._sources.update(other._sources)
         for name, histogram in other._histograms.items():
             self.histogram(name, histogram._window).merge(histogram)
 
@@ -282,11 +292,15 @@ class MetricsRegistry:
         out: dict[str, float] = {}
         with self._lock:
             out.update(self._counters)
+            out.update(self._gauges)
+            out.update(self._timers)
             histograms = list(self._histograms.items())
-        out.update(self._gauges)
-        out.update(self._timers)
+            sources = list(self._sources.items())
+        # Histograms and sources are evaluated outside the lock: both
+        # take their own locks (or read live objects), and holding ours
+        # across them would couple every gauge write to snapshot cost.
         for name, histogram in histograms:
             _flatten(name, histogram.snapshot(), out)
-        for prefix, source in self._sources.items():
+        for prefix, source in sources:
             _flatten(prefix, source(), out)
         return dict(sorted(out.items()))

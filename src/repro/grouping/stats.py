@@ -88,6 +88,33 @@ class GroupStatistics:
         }
 
 
+def empty_group_statistics() -> GroupStatistics:
+    """An all-zero statistics table (one row per group, totals zero).
+
+    The batch pipeline refuses an empty corpus outright
+    (:class:`~repro.errors.InsufficientDataError`), but live callers — a
+    young stream, a freshly booted delta builder — legitimately have zero
+    study users and still owe their consumers a full seven-row table.
+    """
+    return GroupStatistics(
+        rows=tuple(
+            GroupRow(
+                group=group,
+                user_count=0,
+                user_share=0.0,
+                avg_tweet_locations=0.0,
+                tweet_count=0,
+                tweet_share=0.0,
+                avg_matched_share=0.0,
+            )
+            for group in TopKGroup.reporting_order()
+        ),
+        total_users=0,
+        total_tweets=0,
+        overall_avg_tweet_locations=0.0,
+    )
+
+
 def compute_group_statistics(
     groupings: Iterable[UserGrouping],
 ) -> GroupStatistics:

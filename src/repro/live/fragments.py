@@ -1,0 +1,168 @@
+"""Incremental composition of the canonical study JSON document.
+
+The serving snapshot's version *is* the study's content digest —
+SHA-256 over the exact text of :func:`~repro.analysis.serialization
+.study_to_json` (``json.dumps(document, ensure_ascii=False, indent=1)``).
+A delta build that re-serialised the whole study to recompute that
+digest would be O(full study) no matter how few users changed, defeating
+the point of building deltas at all.
+
+This module exploits how ``json.dumps`` renders with ``indent=1``: a
+sub-value nested ``depth`` levels deep is the *standalone* rendering of
+that value with every newline followed by ``depth`` extra spaces.  So
+the per-user pieces of the document — a user's observation rows, its
+``merged`` entry, its ``profile_districts`` entry — can be rendered once
+at their final absolute depth, cached, and on later builds merely joined
+with ``",\\n"`` separators and hashed.  Unchanged users cost a C-speed
+string join and a SHA-256 update; only dirty users pay Python-level
+re-rendering.
+
+The composition is exact, not approximate: ``tests/live/test_fragments
+.py`` property-tests that the composed text equals ``study_to_json``
+character-for-character on both datasets, which is what entitles the
+delta builder to stamp ``digest[:16]`` as its version tag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.geo.region import District
+from repro.twitter.models import GeotaggedObservation
+
+
+def embed(text: str, depth: int) -> str:
+    """Re-indent a standalone ``indent=1`` rendering to nesting ``depth``.
+
+    ``json.dumps`` adds one leading space per nesting level to every
+    line after the first; embedding therefore only rewrites newlines —
+    the first line needs no prefix because it continues the parent's
+    ``"key": `` line.
+    """
+    return text.replace("\n", "\n" + " " * depth)
+
+
+def render(value: object) -> str:
+    """The standalone canonical rendering (``ensure_ascii=False, indent=1``)."""
+    return json.dumps(value, ensure_ascii=False, indent=1)
+
+
+def observation_fragment(rows: Sequence[GeotaggedObservation]) -> str:
+    """One user's observation items, rendered at absolute document depth.
+
+    The items live inside the top-level ``observations`` array (depth 2),
+    already joined with ``",\\n"`` — so the whole array is just the
+    per-user fragments joined with the same separator.
+    """
+    return ",\n".join(
+        "  "
+        + embed(
+            render(
+                {
+                    "user_id": row.user_id,
+                    "ps": row.profile_state,
+                    "pc": row.profile_county,
+                    "ts": row.tweet_state,
+                    "tc": row.tweet_county,
+                    "t": row.timestamp_ms,
+                }
+            ),
+            2,
+        )
+        for row in rows
+    )
+
+
+def merged_entry(user_id: int, merged_texts: Sequence[str]) -> str:
+    """One user's ``merged`` object entry at absolute document depth."""
+    return f'  "{user_id}": ' + embed(render(list(merged_texts)), 2)
+
+
+def district_entry(user_id: int, district: District) -> str:
+    """One user's ``profile_districts`` object entry at absolute depth."""
+    return f'  "{user_id}": ' + embed(render(list(district.key())), 2)
+
+
+def _array_block(fragments: Sequence[str]) -> Iterator[str]:
+    """A top-level array from depth-correct item fragments (``[]`` empty)."""
+    if not fragments:
+        yield "[]"
+        return
+    yield "[\n"
+    for index, fragment in enumerate(fragments):
+        if index:
+            yield ",\n"
+        yield fragment
+    yield "\n ]"
+
+
+def _object_block(entries: Sequence[str]) -> Iterator[str]:
+    """A top-level object from depth-correct entry fragments (``{}`` empty)."""
+    if not entries:
+        yield "{}"
+        return
+    yield "{\n"
+    for index, entry in enumerate(entries):
+        if index:
+            yield ",\n"
+        yield entry
+    yield "\n }"
+
+
+def compose_study_document(
+    dataset_name: str,
+    funnel: Mapping[str, object],
+    observation_fragments: Sequence[str],
+    merged_entries: Sequence[str],
+    district_entries: Sequence[str],
+    api_stats: Mapping[str, object],
+    interner_items: Sequence[str],
+) -> Iterator[str]:
+    """Stream the exact ``study_to_json`` text from cached fragments.
+
+    Args:
+        dataset_name: The study's dataset label.
+        funnel: ``RefinementFunnel.as_dict()`` (small; rendered fresh).
+        observation_fragments: Per-user :func:`observation_fragment`
+            pieces in ascending-uid order.
+        merged_entries: Per-user :func:`merged_entry` pieces, same order.
+        district_entries: Per-user :func:`district_entry` pieces, same
+            order.
+        api_stats: ``ClientStats.snapshot()`` (small; rendered fresh).
+        interner_items: Each interned string's ``json.dumps`` text in id
+            order (the caller caches these per string).
+
+    Yields text chunks whose concatenation is character-identical to
+    :func:`~repro.analysis.serialization.study_to_json` of the study the
+    fragments describe.
+    """
+    yield '{\n "format_version": 2,\n "dataset_name": '
+    yield json.dumps(dataset_name, ensure_ascii=False)
+    yield ',\n "funnel": '
+    yield embed(render(dict(funnel)), 1)
+    yield ',\n "observations": '
+    yield from _array_block(observation_fragments)
+    yield ',\n "merged": '
+    yield from _object_block(merged_entries)
+    yield ',\n "profile_districts": '
+    yield from _object_block(district_entries)
+    yield ',\n "api_stats": '
+    yield embed(render(dict(api_stats)), 1)
+    yield ',\n "interner": '
+    yield from _array_block(["  " + item for item in interner_items])
+    yield "\n}"
+
+
+def document_digest(chunks: Iterable[str]) -> str:
+    """SHA-256 hex digest of the streamed document text.
+
+    Equivalent to :func:`~repro.analysis.serialization.study_digest` on
+    the study the chunks describe, without ever materialising the full
+    document string.
+    """
+    hasher = hashlib.sha256()
+    for chunk in chunks:
+        hasher.update(chunk.encode("utf-8"))
+    return hasher.hexdigest()

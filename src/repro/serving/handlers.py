@@ -46,18 +46,24 @@ def handle_overview(snapshot: ServingSnapshot) -> tuple[int, dict]:
     return OK, body
 
 
-def handle_healthz(snapshot: ServingSnapshot, generation: int) -> tuple[int, dict]:
+def handle_healthz(
+    snapshot: ServingSnapshot, generation: int, age_seconds: float
+) -> tuple[int, dict]:
     """``GET /healthz`` — liveness plus which snapshot is being served.
 
     Args:
         snapshot: The live snapshot.
         generation: The store's publish counter (how many swaps + 1).
+        age_seconds: Seconds since that snapshot was published — the
+            externally observable freshness signal (a live pipeline that
+            stalls shows up here before anyone notices stale answers).
     """
     return OK, {
         "status": "ok",
         "dataset": snapshot.dataset_name,
         "version": snapshot.version,
         "generation": generation,
+        "age_seconds": round(age_seconds, 3),
     }
 
 
@@ -81,6 +87,10 @@ def handle_lookup(
     if record is None:
         return _error(NOT_FOUND, f"unknown user: {user_id}", snapshot)
     body = dict(record)
+    # The reliability weight is a function of *global* statistics, so it
+    # lives beside the snapshot (keyed by group) rather than inside each
+    # cached body — see serving.state.user_entry.
+    body["weight"] = snapshot.user_weights[body["group"]]
     body["version"] = snapshot.version
     return OK, body
 

@@ -144,7 +144,9 @@ class ServingApp:
         if path == "/":
             return handlers.handle_overview(snapshot)
         if path == "/healthz":
-            return handlers.handle_healthz(snapshot, self.store.generation)
+            return handlers.handle_healthz(
+                snapshot, self.store.generation, self.store.age_seconds()
+            )
         if path == "/metrics":
             return 200, {"metrics": self.metrics.snapshot()}
         if path == "/lookup":

@@ -27,11 +27,13 @@ no torn reads, no draining, no 5xx window.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.analysis.correlation import StudyResult
-from repro.analysis.regional import regional_breakdown
+from repro.analysis.regional import RegionalRow, regional_breakdown
 from repro.analysis.reliability import ReliabilityTable
 from repro.analysis.serialization import load_study, study_digest
 from repro.columnar.interner import StringInterner, study_interner
@@ -39,11 +41,82 @@ from repro.columnar.keys import location_key
 from repro.columnar.storage import is_columnar_study, load_study_columnar
 from repro.errors import ReproError
 from repro.geo.gazetteer import Gazetteer
+from repro.geo.region import District
+from repro.grouping.topk import UserGrouping
 
 #: Hex digits of the study digest used as the public version tag.  16
 #: hex chars (64 bits) cannot collide by accident at any realistic
 #: snapshot cadence; the full digest stays available on the snapshot.
 VERSION_TAG_LENGTH = 16
+
+
+def user_entry(
+    user_id: int,
+    grouping: UserGrouping,
+    district: District | None,
+) -> tuple[dict[str, object], str | None]:
+    """One user's precomputed lookup body and matched-key, if any.
+
+    The body deliberately omits the reliability ``weight``: that value
+    depends on *global* statistics (the group's mean matched share), so
+    caching it per user would force a full-study rebuild whenever any
+    user changed.  The handler splices it in at query time from
+    :attr:`ServingSnapshot.user_weights`, keyed by the user's group —
+    response bytes are unchanged, but the body itself becomes a pure
+    function of this user's own state, which is what lets the live
+    delta builder (:mod:`repro.live.builder`) reuse it across builds.
+    """
+    matched_string = None
+    matched_key = None
+    if grouping.matched_rank is not None:
+        matched = grouping.merged[grouping.matched_rank - 1]
+        matched_string = matched.render()
+        record = matched.record
+        matched_key = location_key(
+            record.user_id,
+            record.profile_state,
+            record.profile_county,
+            record.tweet_state,
+            record.tweet_county,
+        )
+    body: dict[str, object] = {
+        "user_id": user_id,
+        "group": grouping.group.value,
+        "matched_rank": grouping.matched_rank,
+        "matched_string": matched_string,
+        "matched_tweets": grouping.matched_tweets,
+        "total_tweets": grouping.total_tweets,
+        "matched_share": round(grouping.matched_share, 6),
+        "tweet_locations": grouping.tweet_location_count,
+        "merged": [row.render() for row in grouping.merged],
+        "profile_district": {
+            "state": district.state,
+            "county": district.name,
+        }
+        if district is not None
+        else None,
+    }
+    return body, matched_key
+
+
+def region_entry(row: RegionalRow) -> dict[str, object]:
+    """One profile state's precomputed response body."""
+    return {
+        "state": row.state,
+        "users": row.users,
+        "top1_share": round(row.top1_share, 6),
+        "matched_share": round(row.matched_share, 6),
+        "avg_tweet_locations": round(row.avg_tweet_locations, 6),
+    }
+
+
+def group_weights(table: ReliabilityTable) -> dict[str, float]:
+    """Per-group reliability weights keyed by group label, rounded as
+    they appear in lookup responses (6 places, matching the historical
+    per-user precompute)."""
+    return {
+        group.value: round(weight, 6) for group, weight in table.weights.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -56,9 +129,13 @@ class ServingSnapshot:
         digest: Full SHA-256 content digest of the source study.
         dataset_name: The study's dataset label.
         users: Per-user response bodies, keyed by user id (version tag
-            excluded; the handler adds it from ``version``).
+            and reliability weight excluded; the handler adds them from
+            ``version`` and ``user_weights``).
         regions: Per-profile-state response bodies, keyed by state name.
         reliability: The learned per-group weight table (JSON view).
+        user_weights: Reliability weight per group label, spliced into
+            lookup bodies at query time (see :func:`user_entry` for why
+            it is not cached per user).
         statistics: Per-group statistics table (JSON view).
         funnel: Refinement funnel counters (JSON view).
         total_users / total_tweets: Study-level aggregates.
@@ -79,6 +156,7 @@ class ServingSnapshot:
     users: dict[int, dict[str, object]]
     regions: dict[str, dict[str, object]]
     reliability: dict[str, float]
+    user_weights: dict[str, float]
     statistics: dict[str, dict[str, float]]
     funnel: dict[str, object]
     total_users: int
@@ -101,39 +179,12 @@ class ServingSnapshot:
         users: dict[int, dict[str, object]] = {}
         matched_keys: dict[str, int] = {}
         for user_id, grouping in study.groupings.items():
-            matched_string = None
-            if grouping.matched_rank is not None:
-                matched = grouping.merged[grouping.matched_rank - 1]
-                matched_string = matched.render()
-                record = matched.record
-                matched_keys[
-                    location_key(
-                        record.user_id,
-                        record.profile_state,
-                        record.profile_county,
-                        record.tweet_state,
-                        record.tweet_county,
-                    )
-                ] = user_id
-            district = study.profile_districts.get(user_id)
-            users[user_id] = {
-                "user_id": user_id,
-                "group": grouping.group.value,
-                "matched_rank": grouping.matched_rank,
-                "matched_string": matched_string,
-                "matched_tweets": grouping.matched_tweets,
-                "total_tweets": grouping.total_tweets,
-                "matched_share": round(grouping.matched_share, 6),
-                "tweet_locations": grouping.tweet_location_count,
-                "weight": round(table.weight_for_user(grouping), 6),
-                "merged": [row.render() for row in grouping.merged],
-                "profile_district": {
-                    "state": district.state,
-                    "county": district.name,
-                }
-                if district is not None
-                else None,
-            }
+            body, matched_key = user_entry(
+                user_id, grouping, study.profile_districts.get(user_id)
+            )
+            users[user_id] = body
+            if matched_key is not None:
+                matched_keys[matched_key] = user_id
 
         regions: dict[str, dict[str, object]] = {}
         try:
@@ -143,13 +194,7 @@ class ServingSnapshot:
         except ReproError:
             rows = []
         for row in rows:
-            regions[row.state] = {
-                "state": row.state,
-                "users": row.users,
-                "top1_share": round(row.top1_share, 6),
-                "matched_share": round(row.matched_share, 6),
-                "avg_tweet_locations": round(row.avg_tweet_locations, 6),
-            }
+            regions[row.state] = region_entry(row)
 
         return cls(
             version=digest[:VERSION_TAG_LENGTH],
@@ -158,6 +203,7 @@ class ServingSnapshot:
             users=users,
             regions=regions,
             reliability=table.as_dict(),
+            user_weights=group_weights(table),
             statistics=study.statistics.as_dict(),
             funnel=dict(study.funnel.as_dict()),
             total_users=study.statistics.total_users,
@@ -222,11 +268,17 @@ class SnapshotStore:
     initial grab.
     """
 
-    def __init__(self, snapshot: ServingSnapshot):
+    def __init__(
+        self,
+        snapshot: ServingSnapshot,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         self._lock = threading.Lock()
         self._current = snapshot
         self._generation = 1
         self._swaps = 0
+        self._clock = clock
+        self._swapped_at = clock()
 
     def current(self) -> ServingSnapshot:
         """The live snapshot (grab once per request)."""
@@ -245,6 +297,7 @@ class SnapshotStore:
             self._current = snapshot
             self._generation += 1
             self._swaps += 1
+            self._swapped_at = self._clock()
             return previous
 
     @property
@@ -253,11 +306,25 @@ class SnapshotStore:
         with self._lock:
             return self._generation
 
+    def age_seconds(self) -> float:
+        """Seconds since the live snapshot was published (0 at boot).
+
+        The one number an external freshness monitor needs: a live
+        pipeline that stops swapping shows up as unbounded age long
+        before anyone notices stale answers.
+        """
+        with self._lock:
+            return max(0.0, self._clock() - self._swapped_at)
+
     def snapshot_source(self) -> dict[str, object]:
-        """Metrics-registry source: generation, swap count, live version."""
+        """Metrics-registry source: generation, swap count, live version,
+        and seconds since the last publish."""
         with self._lock:
             return {
                 "generation": self._generation,
                 "swaps": self._swaps,
                 "users": self._current.total_users,
+                "age_seconds": round(
+                    max(0.0, self._clock() - self._swapped_at), 3
+                ),
             }

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.analysis.incremental import IncrementalStudyAccumulator
 from repro.engine.context import RunContext
@@ -253,6 +254,15 @@ class StreamPump:
         consumer: The journal-first batch consumer.
         config: Run tunables (batch size, drain cadence, …).
         context: Engine run context; a fresh one is created if omitted.
+
+    Attributes:
+        on_batch: Optional zero-argument callback invoked after every
+            folded micro-batch (not on empty drains).  This is the live
+            pipeline's cadence hook: it fires *between* batches, on the
+            pump's own thread, so a callback sees the accumulator
+            quiescent and may take arbitrarily long without corrupting
+            fold state.  ``None`` (the default) preserves the pure batch
+            behaviour.
     """
 
     def __init__(
@@ -267,6 +277,7 @@ class StreamPump:
         self._queue = queue
         self._consumer = consumer
         self._config = config
+        self.on_batch: Callable[[], None] | None = None
         self.context = context or RunContext(dataset_name="stream")
         metrics = self.context.metrics
         metrics.register_source("stream.source", source.stats.snapshot)
@@ -276,6 +287,12 @@ class StreamPump:
         metrics.register_source(
             "stream.accumulator", consumer.accumulator.stats_source
         )
+
+    @property
+    def consumer(self) -> StreamConsumer:
+        """The journal-first consumer this pump drains into (the live
+        pipeline reads batch counts and the accumulator off it)."""
+        return self._consumer
 
     # -------------------------------------------------------------------- run
     def run(
@@ -346,6 +363,8 @@ class StreamPump:
             span.items_out = self._consumer.consume(items, safe_offset)
         self.context.metrics.counter("stream.batches")
         self._update_gauges(pending_offset)
+        if self.on_batch is not None:
+            self.on_batch()
 
     def _update_gauges(self, pending_offset: int) -> None:
         metrics = self.context.metrics

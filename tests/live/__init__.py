@@ -1,0 +1,1 @@
+"""Tests for the live pipeline: delta builds, exact fragments, hot swaps."""

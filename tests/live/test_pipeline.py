@@ -1,0 +1,211 @@
+"""LiveStudyPipeline: cadence triggers, gauges, failure containment.
+
+Cadence and lag are driven through the injectable clock/sleep pair, so
+every timing assertion here is deterministic — no real sleeping, no
+flaky wall-clock thresholds.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint
+from repro.live import LiveConfig
+from repro.storage.tweetstore import TweetStore
+from repro.storage.userstore import UserStore
+from repro.twitter.models import Tweet
+
+from tests.live.conftest import (
+    assert_snapshots_identical,
+    batch_snapshot_of,
+    make_live,
+)
+from tests.streaming.conftest import make_user
+
+_DISTRICT_POINTS = {
+    "Gangnam-gu, Seoul": GeoPoint(37.517, 127.047),
+    "Jongno-gu, Seoul": GeoPoint(37.573, 126.979),
+    "Mapo-gu, Seoul": GeoPoint(37.566, 126.902),
+}
+_PROFILES = list(_DISTRICT_POINTS) + ["somewhere vague", ""]
+
+
+class FakeClock:
+    """A monotonic clock tests advance by hand (or through ``sleep``)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        """Advancing on sleep lets ``pace_s`` double as the tick width."""
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def micro():
+    """A 5-user, 40-tweet corpus: big enough to swap, instant to build."""
+    gazetteer = Gazetteer.korean()
+    users = UserStore()
+    for user_id in range(1, 6):
+        users.insert(make_user(user_id, _PROFILES[(user_id - 1) % len(_PROFILES)]))
+    tweets = TweetStore()
+    points = list(_DISTRICT_POINTS.values())
+    for i in range(40):
+        tweets.insert(
+            Tweet(tweet_id=100 + i, user_id=1 + (i * 3) % 5,
+                  created_at_ms=1_000_000 + i * 60_000,
+                  text=f"tweet {i}",
+                  coordinates=points[i % 3] if i % 4 else None)
+        )
+    return SimpleNamespace(gazetteer=gazetteer, users=users, tweets=tweets)
+
+
+def micro_live(micro, tmp_path, config, **kwargs):
+    """A live harness over the micro corpus: 4-tweet batches, 10 total."""
+    return make_live(
+        micro, "micro", tmp_path,
+        config=config, batch_size=4, drain_every=4, checkpoint_every=2,
+        **kwargs,
+    )
+
+
+def metric(harness, name):
+    """One value from the pipeline's metrics registry snapshot."""
+    return harness.pipeline.metrics.snapshot()[name]
+
+
+class TestBatchCadence:
+    def test_swaps_every_n_batches_plus_final(self, micro, tmp_path):
+        harness = micro_live(micro, tmp_path, LiveConfig(cadence_batches=3))
+        snapshot = harness.run()
+        assert snapshot.exhausted
+        assert snapshot.batches == 10
+        # Ticks at batches 3, 6, 9, then the forced end-of-stream build.
+        assert metric(harness, "live.builds") == 4
+        assert harness.store.generation == 1 + metric(harness, "live.swaps")
+        assert_snapshots_identical(
+            harness.store.current(), batch_snapshot_of(harness.accumulator, "micro")
+        )
+
+    def test_cadence_larger_than_stream_still_converges(self, micro, tmp_path):
+        """The forced final build makes the served state converge even
+        when no cadence window ever filled."""
+        harness = micro_live(micro, tmp_path, LiveConfig(cadence_batches=1000))
+        harness.run()
+        assert metric(harness, "live.builds") == 1
+        assert harness.store.generation == 2
+        assert_snapshots_identical(
+            harness.store.current(), batch_snapshot_of(harness.accumulator, "micro")
+        )
+
+    def test_gauges_are_published(self, micro, tmp_path):
+        harness = micro_live(micro, tmp_path, LiveConfig(cadence_batches=3))
+        harness.run()
+        snapshot = harness.pipeline.metrics.snapshot()
+        for name in (
+            "live.swap_lag_seconds",
+            "live.snapshot_age_batches",
+            "live.dirty_users",
+            "live.builds",
+            "live.build_failures",
+            "live.swaps",
+            "live.swaps_skipped",
+            "live.swap_lag.p95",
+        ):
+            assert name in snapshot, name
+        # The forced final build leaves nothing stale and nothing dirty.
+        assert snapshot["live.snapshot_age_batches"] == 0
+        assert snapshot["live.dirty_users"] == 0
+
+
+class TestWallClockCadence:
+    def test_seconds_trigger_with_advancing_clock(self, micro, tmp_path):
+        """pace_s=1 + a sleep-advanced fake clock = one second per batch,
+        so cadence_seconds=4 must fire roughly every 4 batches."""
+        clock = FakeClock()
+        harness = micro_live(
+            micro, tmp_path,
+            LiveConfig(cadence_batches=None, cadence_seconds=4.0, pace_s=1.0),
+            clock=clock, sleep=clock.sleep,
+        )
+        harness.run()
+        assert metric(harness, "live.builds") >= 3  # ~10s of stream / 4s
+        assert_snapshots_identical(
+            harness.store.current(), batch_snapshot_of(harness.accumulator, "micro")
+        )
+
+    def test_frozen_clock_never_fires_mid_stream(self, micro, tmp_path):
+        clock = FakeClock()
+        harness = micro_live(
+            micro, tmp_path,
+            LiveConfig(cadence_batches=None, cadence_seconds=4.0),
+            clock=clock,
+        )
+        harness.run()
+        # Only the forced end-of-stream build ever ran.
+        assert metric(harness, "live.builds") == 1
+        assert harness.store.generation == 2
+
+
+class TestDigestShortCircuit:
+    def test_content_equal_build_skips_the_swap(self, micro, tmp_path):
+        harness = micro_live(micro, tmp_path, LiveConfig(cadence_batches=3))
+        snapshot = harness.run()
+        generation = harness.store.generation
+        # Re-running over the exhausted stream folds nothing: the final
+        # forced build is content-equal and must not bump the generation.
+        harness.pipeline.run(start_offset=snapshot.offset)
+        assert harness.store.generation == generation
+        assert metric(harness, "live.swaps_skipped") == 1
+
+
+class TestBuildFailure:
+    def test_failed_builds_keep_serving_and_then_converge(
+        self, micro, tmp_path, monkeypatch
+    ):
+        harness = micro_live(micro, tmp_path, LiveConfig(cadence_batches=3))
+        boot = harness.store.current()
+        original = harness.builder.build
+        monkeypatch.setattr(
+            harness.builder, "build",
+            lambda: (_ for _ in ()).throw(RuntimeError("build crash")),
+        )
+        snapshot = harness.run()
+        assert metric(harness, "live.build_failures") == 4
+        assert metric(harness, "live.swaps") == 0
+        # The boot snapshot never stopped serving.
+        assert harness.store.generation == 1
+        assert harness.store.current() is boot
+        # Recovery: the builder kept every dirty user, so one good build
+        # catches the served state all the way up.
+        monkeypatch.setattr(harness.builder, "build", original)
+        harness.pipeline.run(start_offset=snapshot.offset)
+        assert harness.store.generation == 2
+        assert_snapshots_identical(
+            harness.store.current(), batch_snapshot_of(harness.accumulator, "micro")
+        )
+
+
+class TestLiveConfigValidation:
+    def test_both_triggers_disabled_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(cadence_batches=None, cadence_seconds=None)
+
+    @pytest.mark.parametrize("batches", (0, -1))
+    def test_non_positive_batch_cadence_rejected(self, batches):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(cadence_batches=batches)
+
+    @pytest.mark.parametrize("seconds", (0.0, -2.5))
+    def test_non_positive_seconds_cadence_rejected(self, seconds):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(cadence_batches=None, cadence_seconds=seconds)
+
+    def test_negative_pace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LiveConfig(pace_s=-0.1)

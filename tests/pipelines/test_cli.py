@@ -270,10 +270,81 @@ class TestServe:
         assert "admission: 100.0/s sustained, burst 5" in out
 
     def test_serve_missing_snapshot_file_fails_cleanly(self, capsys, tmp_path):
+        # Unusable on-disk state at boot is the `stream --resume`
+        # convention: exit 3, one line, no traceback.
         code = main(["serve", "--snapshot", str(tmp_path / "absent.json")])
-        assert code == 1
+        assert code == 3
         err = capsys.readouterr().err
         assert "error:" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_serve_corrupt_snapshot_fails_cleanly(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{ this is not a study", encoding="utf-8")
+        code = main(["serve", "--snapshot", str(corrupt)])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "error: cannot serve:" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_serve_truncated_snapshot_fails_cleanly(self, capsys, tmp_path):
+        """A study file cut mid-write (half its bytes) must fail exactly
+        like any other unusable boot state: exit 3, one line."""
+        saved = tmp_path / "study.json"
+        assert main(["study", "--dataset", "korean",
+                     "--save", str(saved), *FAST]) == 0
+        capsys.readouterr()
+        text = saved.read_text(encoding="utf-8")
+        saved.write_text(text[: len(text) // 2], encoding="utf-8")
+        code = main(["serve", "--snapshot", str(saved)])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "error: cannot serve:" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+
+class TestLive:
+    def test_live_defaults(self):
+        args = build_parser().parse_args(["live"])
+        assert args.dataset == "ladygaga"
+        assert args.cadence == 8
+        assert args.cadence_seconds == 0.0
+        assert args.on_exhausted == "serve"
+        assert args.port == 8080
+
+    def test_live_streams_swaps_and_exits(self, capsys, tmp_path):
+        """`repro live --on-exhausted exit` pumps the whole firehose,
+        publishes snapshots on cadence, and reports the final generation."""
+        code = main(
+            ["live", "--dataset", "korean", "--port", "0",
+             "--state-dir", str(tmp_path / "state"),
+             "--cadence", "50", "--on-exhausted", "exit", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 'korean'" in out
+        assert "live: cadence 50 batches" in out
+        assert "stream exhausted at offset" in out
+        assert "snapshot swaps" in out
+        assert "served version:" in out
+
+    def test_live_resume_over_bad_state_fails_cleanly(self, capsys, tmp_path):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "checkpoints.jsonl").write_text(
+            "not a checkpoint\n", encoding="utf-8"
+        )
+        code = main(
+            ["live", "--dataset", "korean", "--port", "0",
+             "--state-dir", str(state), "--resume",
+             "--on-exhausted", "exit", *FAST]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "error: cannot resume:" in err
         assert "Traceback" not in err
 
 

@@ -74,10 +74,13 @@ class TestOverviewHealthStats:
         assert "reliability" in body
 
     def test_healthz_reports_generation(self, korean_snapshot):
-        status, body = handle_healthz(korean_snapshot, generation=7)
+        status, body = handle_healthz(
+            korean_snapshot, generation=7, age_seconds=12.3456
+        )
         assert status == 200
         assert body["status"] == "ok"
         assert body["generation"] == 7
+        assert body["age_seconds"] == 12.346
         assert body["version"] == korean_snapshot.version
 
     def test_stats_carries_tables(self, korean_snapshot):

@@ -116,6 +116,34 @@ class TestMetrics:
         assert metrics["serving.geocode.backend.lookups"] == 1
         assert metrics["serving.geocode.l1.hits"] == 3
 
+    def test_snapshot_age_and_generation_surface_everywhere(
+        self, small_ctx, korean_snapshot, ladygaga_snapshot
+    ):
+        """/metrics and /healthz expose snapshot age + generation, driven
+        by the store's injected clock so freshness is testable."""
+        from repro.geo.reverse import ReverseGeocoder
+        from repro.geocode.backend import DirectBackend
+        from repro.geocode.service import GeocodeService
+        from repro.serving import ServingApp, SnapshotStore
+
+        clock = FakeClock()
+        store = SnapshotStore(korean_snapshot, clock=clock)
+        geocoder = GeocodeService(
+            DirectBackend(ReverseGeocoder(small_ctx.korean_dataset.gazetteer))
+        )
+        app = ServingApp(store, geocoder)
+        clock.advance(30.25)
+        metrics = body_of(app.dispatch("GET", "/metrics"))["metrics"]
+        assert metrics["serving.snapshot.age_seconds"] == 30.25
+        assert metrics["serving.snapshot.generation"] == 1
+        health = body_of(app.dispatch("GET", "/healthz"))
+        assert health["age_seconds"] == 30.25
+        assert health["generation"] == 1
+        store.swap(ladygaga_snapshot)
+        health = body_of(app.dispatch("GET", "/healthz"))
+        assert health["age_seconds"] == 0.0
+        assert health["generation"] == 2
+
 
 class TestReload:
     def test_reload_not_configured_is_400(self, make_app):

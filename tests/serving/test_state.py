@@ -100,3 +100,51 @@ class TestSnapshotStore:
         assert source["generation"] == 3
         assert source["swaps"] == 2
         assert source["users"] == korean_snapshot.total_users
+
+    def test_age_seconds_tracks_the_injected_clock(
+        self, korean_snapshot, ladygaga_snapshot
+    ):
+        """Snapshot age is seconds since the last publish — it grows with
+        the clock and resets to zero at every swap."""
+        clock = _TickClock()
+        store = SnapshotStore(korean_snapshot, clock=clock)
+        assert store.age_seconds() == 0.0
+        clock.advance(41.5)
+        assert store.age_seconds() == 41.5
+        store.swap(ladygaga_snapshot)
+        assert store.age_seconds() == 0.0
+        clock.advance(2.25)
+        assert store.age_seconds() == 2.25
+
+    def test_snapshot_source_reports_age_seconds(
+        self, korean_snapshot, ladygaga_snapshot
+    ):
+        clock = _TickClock()
+        store = SnapshotStore(korean_snapshot, clock=clock)
+        clock.advance(7.0005)
+        assert store.snapshot_source()["age_seconds"] == 7.0  # rounded, 3 places
+        store.swap(ladygaga_snapshot)
+        assert store.snapshot_source()["age_seconds"] == 0.0
+
+    def test_age_never_negative(self, korean_snapshot):
+        """A clock that jumps backwards must clamp at zero, not report a
+        snapshot from the future."""
+        clock = _TickClock()
+        clock.advance(10.0)
+        store = SnapshotStore(korean_snapshot, clock=clock)
+        clock.now = 3.0
+        assert store.age_seconds() == 0.0
+        assert store.snapshot_source()["age_seconds"] == 0.0
+
+
+class _TickClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

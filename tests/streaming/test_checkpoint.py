@@ -4,8 +4,14 @@ import json
 
 import pytest
 
+from repro.analysis.incremental import IncrementalStudyAccumulator
 from repro.errors import StorageError
-from repro.streaming import Checkpoint, CheckpointLog
+from repro.geo.point import GeoPoint
+from repro.storage.userstore import UserStore
+from repro.streaming import Checkpoint, CheckpointLog, StreamConsumer
+from repro.twitter.models import Tweet
+
+from tests.streaming.conftest import make_user
 
 
 def _checkpoint(n):
@@ -50,6 +56,37 @@ class TestCrashTolerance:
         payload = json.dumps(_checkpoint(2).to_dict())
         path.write_text(path.read_text(encoding="utf-8") + payload, encoding="utf-8")
         assert log.latest() == _checkpoint(2)
+
+    def test_resume_falls_back_past_a_torn_final_line(
+        self, tmp_path, korean_gazetteer
+    ):
+        """A crash mid-checkpoint-append costs nothing durable: resume
+        loads the log through the same torn-tail-tolerant journal read
+        and restarts from the last *complete* checkpoint."""
+        users = UserStore()
+        users.insert(make_user(1, "Gangnam-gu, Seoul"))
+        accumulator = IncrementalStudyAccumulator(korean_gazetteer, users)
+        log = CheckpointLog(tmp_path / "ckpt.jsonl")
+        wal_path = tmp_path / "wal.jsonl"
+        consumer = StreamConsumer(accumulator, wal_path, log, checkpoint_every=1)
+        for i in range(3):
+            tweet = Tweet(tweet_id=i, user_id=1, created_at_ms=i * 1000,
+                          text=f"t{i}",
+                          coordinates=GeoPoint(37.517, 127.047))
+            consumer.consume([(i, tweet)], safe_offset=i + 1)
+        durable = log.latest()
+        assert durable.batches == 3
+        with log.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"offset": 9, "wal_re')  # crash mid-append
+        assert log.load() == log.load()[:3] and len(log.load()) == 3
+        rebuilt = IncrementalStudyAccumulator(korean_gazetteer, users)
+        resumed, offset = StreamConsumer.resume(
+            rebuilt, wal_path, log, checkpoint_every=1
+        )
+        assert offset == durable.offset == 3
+        assert resumed.batches == durable.batches
+        assert resumed.wal_records == durable.wal_records
+        assert rebuilt.observations_folded == 3
 
     def test_corrupt_middle_raises(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"

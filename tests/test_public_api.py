@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.geo",
     "repro.geocode",
     "repro.grouping",
+    "repro.live",
     "repro.pipelines",
     "repro.serving",
     "repro.storage",
