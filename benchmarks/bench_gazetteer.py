@@ -1,0 +1,143 @@
+"""Gazetteer worker-load benchmark: mmap open vs object-graph rebuild.
+
+Builds a planetary-scale synthetic catalogue (>= 100k districts, each in
+its own grid cell) and times the two ways a process-pool worker can come
+up with a usable gazetteer:
+
+* **object graph**: unpickle the full in-memory :class:`Gazetteer` —
+  what shipping the catalogue by value costs on *every* worker;
+* **mmap**: open the shared ``RGAZ1`` artifact with
+  :class:`MmapGazetteer` and answer a first query — what
+  ``__reduce__``-by-path costs (columns stay in the page cache, district
+  objects materialise lazily per query).
+
+The acceptance floor — mmap worker load (open + first query) at least
+10x faster than the object-graph rebuild — is asserted here, so the CI
+smoke step fails if zero-copy loading ever loses its edge.  Query
+throughput over the mapped columns is reported without a floor.
+
+Results accumulate machine-readably in
+``benchmarks/output/BENCH_gazetteer.json``.
+"""
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.point import GeoPoint
+from repro.geo.region import District, DistrictKind
+from repro.geodata.artifact import write_gazetteer_artifact
+from repro.geodata.mmapgaz import MmapGazetteer
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_gazetteer.json"
+
+#: Synthetic catalogue size; every district occupies its own 0.5° cell.
+_DISTRICTS = 100_000
+_GRID_DEG = 0.5
+_LON_COLS = 720
+
+#: Timing repetitions; best-of keeps scheduler noise out of the floor.
+_REPEATS = 3
+
+_QUERIES = 2_000
+
+
+def _synthetic_districts():
+    """>= 100k districts, one per grid cell, spread over lat -60..60."""
+    districts = []
+    for i in range(_DISTRICTS):
+        row, col = divmod(i, _LON_COLS)
+        districts.append(
+            District(
+                name=f"D{i:06d}",
+                state=f"S{i // 1000:03d}",
+                country="Synthetica",
+                kind=DistrictKind.CITY,
+                center=GeoPoint(
+                    -60.0 + row * _GRID_DEG + 0.1, -180.0 + col * _GRID_DEG + 0.1
+                ),
+                radius_km=5.0,
+                aliases=(),
+            )
+        )
+    return districts
+
+
+def _best_of(fn):
+    best = float("inf")
+    result = None
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.slow
+def test_mmap_worker_load_floor(tmp_path):
+    districts = _synthetic_districts()
+    probe = GeoPoint(1.37, 42.73)
+
+    build_start = time.perf_counter()
+    memory = Gazetteer(districts, grid_deg=_GRID_DEG)
+    build_s = time.perf_counter() - build_start
+
+    prepare_start = time.perf_counter()
+    artifact = write_gazetteer_artifact(
+        tmp_path / "synthetic.rgaz", districts, grid_deg=_GRID_DEG
+    )
+    prepare_s = time.perf_counter() - prepare_start
+    payload = pickle.dumps(memory)
+
+    def rebuild_from_graph():
+        return pickle.loads(payload)
+
+    def load_from_mmap():
+        gazetteer = MmapGazetteer(artifact)
+        gazetteer.nearest(probe)  # first query: the worker is live
+        return gazetteer
+
+    graph_s, graph = _best_of(rebuild_from_graph)
+    mmap_s, mapped = _best_of(load_from_mmap)
+    assert mapped.nearest(probe) == graph.nearest(probe)
+
+    query_start = time.perf_counter()
+    for i in range(_QUERIES):
+        row, col = divmod((i * 7919) % _DISTRICTS, _LON_COLS)
+        mapped.nearest(
+            GeoPoint(-60.0 + row * _GRID_DEG + 0.3, -180.0 + col * _GRID_DEG)
+        )
+    query_s = time.perf_counter() - query_start
+
+    speedup = graph_s / mmap_s
+    report = {
+        "districts": _DISTRICTS,
+        "grid_deg": _GRID_DEG,
+        "artifact_bytes": artifact.stat().st_size,
+        "pickle_bytes": len(payload),
+        "build_memory_s": round(build_s, 4),
+        "prepare_artifact_s": round(prepare_s, 4),
+        "worker_load": {
+            "object_graph_s": round(graph_s, 5),
+            "mmap_s": round(mmap_s, 5),
+            "speedup": round(speedup, 2),
+        },
+        "mmap_nearest_qps": round(_QUERIES / query_s),
+    }
+    print(
+        f"\ngazetteer worker load [{_DISTRICTS:,} districts]: "
+        f"mmap {mmap_s * 1e3:.2f} ms vs object graph {graph_s * 1e3:.1f} ms "
+        f"({speedup:.1f}x), {report['mmap_nearest_qps']:,} nearest/s, "
+        f"artifact {report['artifact_bytes'] / 1e6:.1f} MB"
+    )
+
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    # The acceptance floor: zero-copy worker load must stay >= 10x faster
+    # than rebuilding the catalogue object graph from a pickled payload.
+    assert speedup >= 10.0

@@ -48,7 +48,7 @@ from repro.columnar.grouping import ColumnarGrouper
 from repro.datasets.refine import RefinementFunnel
 from repro.errors import ConfigurationError
 from repro.geo.forward import GeocodeStatus, TextGeocoder
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.geo.region import District
 from repro.geo.reverse import ReverseGeocoder
 from repro.geocode.backend import PlaceFinderBackend
@@ -101,7 +101,7 @@ class IncrementalStudyAccumulator:
 
     def __init__(
         self,
-        gazetteer: Gazetteer,
+        gazetteer: GazetteerBackend,
         directory: UserStore,
         tie_break: TieBreak = TieBreak.STRING_ASC,
         min_gps_tweets: int = 1,

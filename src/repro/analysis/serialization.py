@@ -21,7 +21,7 @@ from repro.analysis.correlation import StudyResult
 from repro.columnar.interner import StringInterner, study_interner
 from repro.datasets.refine import RefinementFunnel
 from repro.errors import ConfigurationError, StorageError
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.grouping.merge import MergedString
 from repro.grouping.strings import LocationString
 from repro.grouping.stats import compute_group_statistics
@@ -118,7 +118,7 @@ def save_study(study: StudyResult, path: str | Path) -> None:
     Path(path).write_text(study_to_json(study), encoding="utf-8")
 
 
-def load_study(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
+def load_study(path: str | Path, gazetteer: GazetteerBackend) -> StudyResult:
     """Restore a study result saved by :func:`save_study`.
 
     Groupings and statistics are *recomputed* from the stored merged

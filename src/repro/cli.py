@@ -10,6 +10,7 @@ Commands:
 * ``stream``      — live firehose ingestion with checkpoint/resume
 * ``serve``       — online query API over a saved study snapshot
 * ``live``        — ingestion + serving in one process with delta snapshots
+* ``geodata``     — compile / inspect mmap gazetteer artifacts (RGAZ1)
 
 Everything is deterministic given ``--seed``; ``--shards``/``--backend``
 change only how the study executes, never its result.
@@ -36,7 +37,9 @@ from repro.analysis.serialization import load_study, save_study
 from repro.analysis.significance import bootstrap_share_intervals
 from repro.analysis.stability import render_stability, split_half_stability
 from repro.engine import EngineConfig, RunContext, render_trace
-from repro.geo.gazetteer import Gazetteer
+from repro.geodata.prepare import prepare_artifact
+from repro.geodata.artifact import gazetteer_artifact_info
+from repro.geodata.registry import dataset_gazetteer
 from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
 from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
 from repro.errors import ReproError, ShardExecutionError, StorageError
@@ -141,7 +144,7 @@ def _cmd_engine_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    gazetteer = Gazetteer.combined() if args.gazetteer == "combined" else Gazetteer.korean()
+    gazetteer = dataset_gazetteer(args.gazetteer)
     study = load_study(args.study, gazetteer)
     print(f"loaded study {study.dataset_name!r}: "
           f"{study.statistics.total_users} users, "
@@ -308,11 +311,51 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_geodata_prepare(args: argparse.Namespace) -> int:
+    """Compile a district catalogue into an mmap gazetteer artifact."""
+    try:
+        summary = prepare_artifact(
+            args.out,
+            catalogue=args.catalogue or None,
+            districts_path=args.districts or None,
+            polygons_path=args.polygons or None,
+            grid_deg=args.grid_deg,
+        )
+    except StorageError as exc:
+        # Unusable input / artifact state: exit 3, one line, no traceback —
+        # the same convention as serve/live boot over a bad snapshot.
+        print(f"error: geodata prepare failed: {exc}", file=sys.stderr)
+        return EXIT_RESUME_STATE
+    print(
+        f"wrote {summary['path']}: {summary['districts']} districts, "
+        f"{summary['polygons']} polygons, grid {summary['grid_deg']}deg, "
+        f"{summary['bytes']} bytes (source {summary['source']})"
+    )
+    return 0
+
+
+def _cmd_geodata_info(args: argparse.Namespace) -> int:
+    """Print version, counts, and sections of a gazetteer artifact."""
+    try:
+        info = gazetteer_artifact_info(args.artifact)
+    except StorageError as exc:
+        print(f"error: cannot read gazetteer artifact: {exc}", file=sys.stderr)
+        return EXIT_RESUME_STATE
+    print(f"{info['path']}: {info['format']} v{info['version']} "
+          f"({info['bytes']} bytes, source {info['source']})")
+    print(f"  districts: {info['districts']}  states: {info['states']}  "
+          f"aliases: {info['aliases']}")
+    print(f"  grid: {info['grid_deg']}deg ({info['grid_cells']} occupied cells, "
+          f"{info['lon_cells']} lon columns)")
+    print(f"  polygons: {info['polygons']} ({info['rings']} rings, "
+          f"{info['vertices']} vertices)")
+    print(f"  sections: {', '.join(info['sections'])}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a saved study over HTTP until interrupted."""
-    gazetteer = (
-        Gazetteer.combined() if args.gazetteer == "combined" else Gazetteer.korean()
-    )
+    gazetteer = dataset_gazetteer(args.gazetteer)
     snapshot_path = args.snapshot
 
     def reloader():
@@ -673,6 +716,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_build_options(live)
     _add_cache_option(live)
     live.set_defaults(func=_cmd_live)
+
+    geodata = subparsers.add_parser(
+        "geodata", help="compile / inspect mmap gazetteer artifacts"
+    )
+    geodata_sub = geodata.add_subparsers(dest="geodata_command", required=True)
+    prepare = geodata_sub.add_parser(
+        "prepare", help="compile districts (+ polygons) into an RGAZ1 artifact"
+    )
+    prepare.add_argument("--out", required=True, help="artifact path to write")
+    prepare.add_argument(
+        "--catalogue", choices=("korean", "world", "combined"), default="",
+        help="builtin catalogue to compile (alternative to --districts)",
+    )
+    prepare.add_argument(
+        "--districts", default="",
+        help="external districts JSONL (alternative to --catalogue)",
+    )
+    prepare.add_argument(
+        "--polygons", default="",
+        help="optional boundary polygons JSON layered on the catalogue",
+    )
+    prepare.add_argument(
+        "--grid-deg", type=float, default=None,
+        help="spatial grid cell size in degrees (default: catalogue's)",
+    )
+    prepare.set_defaults(func=_cmd_geodata_prepare)
+    info = geodata_sub.add_parser(
+        "info", help="print version, counts, and sections of an artifact"
+    )
+    info.add_argument("artifact", help="artifact path to inspect")
+    info.set_defaults(func=_cmd_geodata_info)
 
     localize = subparsers.add_parser(
         "localize", help="reliability-weighted event localisation"

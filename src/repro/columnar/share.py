@@ -7,6 +7,7 @@ instead lays the shared inputs out once as named sections in a single
 file:
 
 * ``i64`` sections — ``array('q')`` columns written as raw bytes;
+* ``f64`` sections — ``array('d')`` columns (centroid/polygon coordinates);
 * ``blob`` sections — one UTF-8 byte blob (string tables, JSON headers).
 
 Workers open the file with :class:`BufferReader`, which ``mmap``\\ s it
@@ -81,6 +82,20 @@ class BufferWriter:
                 f"section {name!r}: expected typecode 'q', got {column.typecode!r}"
             )
         self._add(name, "i64", column.tobytes())
+
+    def add_f64(self, name: str, values) -> None:
+        """Add a float64 column (any iterable of floats, or ``array('d')``).
+
+        Float64 round-trips exactly through ``array('d')``, so coordinates
+        written here compare bit-identical after a reload — the property
+        the gazetteer artifact's byte-identity guarantee rests on.
+        """
+        column = values if isinstance(values, array) else array("d", values)
+        if column.typecode != "d":
+            raise StorageError(
+                f"section {name!r}: expected typecode 'd', got {column.typecode!r}"
+            )
+        self._add(name, "f64", column.tobytes())
 
     def add_blob(self, name: str, payload: bytes) -> None:
         """Add an opaque byte blob (string tables, JSON metadata)."""
@@ -207,6 +222,10 @@ class BufferReader:
     def i64(self, name: str) -> memoryview:
         """Zero-copy int64 view of section ``name`` (supports len/index/slice)."""
         return self._section(name, "i64").cast("q")
+
+    def f64(self, name: str) -> memoryview:
+        """Zero-copy float64 view of section ``name`` (supports len/index/slice)."""
+        return self._section(name, "f64").cast("d")
 
     def blob(self, name: str) -> memoryview:
         """Zero-copy byte view of blob section ``name``."""

@@ -35,7 +35,7 @@ from repro.columnar.interner import StringInterner, study_interner
 from repro.columnar.share import MAGIC, BufferReader, BufferWriter
 from repro.datasets.refine import RefinementFunnel
 from repro.errors import StorageError
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.grouping.stats import compute_group_statistics
 from repro.twitter.models import GeotaggedObservation
 from repro.yahooapi.client import ClientStats
@@ -135,7 +135,7 @@ def save_study_columnar(study: StudyResult, path: str | Path) -> None:
     writer.write(path)
 
 
-def load_study_columnar(path: str | Path, gazetteer: Gazetteer) -> StudyResult:
+def load_study_columnar(path: str | Path, gazetteer: GazetteerBackend) -> StudyResult:
     """Restore a study written by :func:`save_study_columnar`.
 
     Semantics mirror :func:`~repro.analysis.serialization.load_study`:

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
+from repro.geodata.registry import dataset_gazetteer
 from repro.storage.tweetstore import TweetStore
 from repro.storage.userstore import UserStore
 from repro.twitter.api import RestApi
@@ -81,7 +82,7 @@ class KoreanDataset:
 
     users: UserStore
     tweets: TweetStore
-    gazetteer: Gazetteer
+    gazetteer: GazetteerBackend
     summary: DatasetSummary
     crawl: CrawlResult
 
@@ -89,7 +90,7 @@ class KoreanDataset:
 def build_korean_dataset(config: KoreanDatasetConfig | None = None) -> KoreanDataset:
     """Build the Korean dataset deterministically from its config."""
     config = config or KoreanDatasetConfig()
-    gazetteer = Gazetteer.korean()
+    gazetteer = dataset_gazetteer("korean")
 
     population = PopulationGenerator(
         gazetteer, PopulationConfig(size=config.population_size, seed=config.seed)

@@ -19,7 +19,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
+from repro.geodata.registry import dataset_gazetteer
 from repro.storage.tweetstore import TweetStore
 from repro.storage.userstore import UserStore
 from repro.twitter.api import StreamingApi, StreamStats
@@ -96,7 +97,7 @@ class LadyGagaDataset:
 
     users: UserStore
     tweets: TweetStore
-    gazetteer: Gazetteer
+    gazetteer: GazetteerBackend
     summary: DatasetSummary
     stream_stats: StreamStats
 
@@ -106,7 +107,7 @@ def build_ladygaga_dataset(
 ) -> LadyGagaDataset:
     """Build the streaming dataset deterministically from its config."""
     config = config or LadyGagaDatasetConfig()
-    gazetteer = Gazetteer.combined()
+    gazetteer = dataset_gazetteer("combined")
 
     population = PopulationGenerator(
         gazetteer,

@@ -41,7 +41,7 @@ from repro.engine.context import RunContext
 from repro.engine.sharding import ShardedExecutor, ShardRunReport, partition
 from repro.errors import ConfigurationError
 from repro.geo.forward import GeocodeStatus, TextGeocoder
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.geo.region import AdminPath, District
 from repro.geo.reverse import ReverseGeocoder
 from repro.geocode.cellstore import Cell
@@ -108,7 +108,7 @@ class StudyState:
     users: UserStore
     tweets: TweetStore
     text_geocoder: TextGeocoder
-    gazetteer: Gazetteer | None = None
+    gazetteer: GazetteerBackend | None = None
     placefinder: PlaceFinderClient | None = None
     geocode: GeocodeService | None = None
     executor: ShardedExecutor = field(default_factory=ShardedExecutor)

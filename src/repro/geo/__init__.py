@@ -4,8 +4,11 @@ Public surface of :mod:`repro.geo`:
 
 * :class:`GeoPoint` plus great-circle helpers (:func:`haversine_km`, ...)
 * :class:`District`, :class:`AdminPath`, :class:`BoundingBox` region model
-* :class:`Gazetteer` with Korean / world / combined factory catalogues
-* :class:`ReverseGeocoder` (GPS -> admin path)
+* :class:`Gazetteer` with Korean / world / combined factory catalogues,
+  the :class:`GazetteerBackend` protocol it implements, and the
+  :class:`SpatialGridCore` search algorithm every backend shares
+* :class:`BoundaryPolygon` authoritative district outlines
+* :class:`ReverseGeocoder` (GPS -> admin path, polygon-first)
 * :class:`TextGeocoder` (free text -> district) and its status codes
 """
 
@@ -14,8 +17,14 @@ from repro.geo.forward import (
     GeocodeStatus,
     TextGeocoder,
 )
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import (
+    Gazetteer,
+    GazetteerBackend,
+    SpatialGridCore,
+    combined_districts,
+)
 from repro.geo.mentions import PlaceMention, PlaceMentionExtractor
+from repro.geo.polygon import BoundaryPolygon
 from repro.geo.point import (
     EARTH_RADIUS_KM,
     GeoPoint,
@@ -38,11 +47,13 @@ from repro.geo.reverse import ReverseGeocodeResult, ReverseGeocoder
 __all__ = [
     "EARTH_RADIUS_KM",
     "AdminPath",
+    "BoundaryPolygon",
     "BoundingBox",
     "District",
     "DistrictKind",
     "ForwardGeocodeResult",
     "Gazetteer",
+    "GazetteerBackend",
     "GeocodeStatus",
     "GeoPoint",
     "PlaceMention",
@@ -50,8 +61,10 @@ __all__ = [
     "RegionLevel",
     "ReverseGeocodeResult",
     "ReverseGeocoder",
+    "SpatialGridCore",
     "TextGeocoder",
     "centroid",
+    "combined_districts",
     "destination_point",
     "geographic_median",
     "haversine_km",

@@ -7,116 +7,170 @@ resolves free-text profile locations).  Keeping one catalogue guarantees
 the round trip "resident of X tweets near X's centroid -> reverse geocodes
 to X" that the study's matched-string logic depends on.
 
+Two implementations share one contract:
+
+* :class:`Gazetteer` — the in-memory catalogue built from Python
+  :class:`~repro.geo.region.District` objects (this module).
+* :class:`~repro.geodata.mmapgaz.MmapGazetteer` — the same catalogue read
+  zero-copy out of an ``RGAZ1`` artifact produced by
+  ``repro geodata prepare``.
+
+Both subclass :class:`SpatialGridCore`, which owns the *entire* spatial
+search algorithm — cell mapping, Chebyshev shell expansion, the provable
+stopping bound, tie-breaking, and point-in-polygon candidate lookup —
+parameterised only by tiny index accessors.  Because the algorithm is
+shared and both backends store grid buckets in catalogue order, the two
+return bit-identical answers, ties included; consumers depend on the
+structural :class:`GazetteerBackend` protocol rather than either class.
+
 Lookup structures:
 
 * ``by_key`` — exact ``(state, county)`` lookup.
-* ``alias index`` — lower-cased alias -> candidate districts (an alias such
-  as ``"jung-gu"`` is ambiguous across metropolitan cities, so the index
-  maps to a list).
+* ``alias index`` — case-folded alias -> candidate districts (an alias
+  such as ``"jung-gu"`` is ambiguous across metropolitan cities, so the
+  index maps to a list).  ``str.casefold()`` rather than ``lower()`` so
+  non-ASCII aliases (German sharp-s, Turkish dotted-I) match all their
+  spellings.
 * ``spatial grid`` — a uniform lat/lon grid for nearest-centroid queries;
   with a few hundred districts this keeps nearest-neighbour searches to a
   handful of candidate cells instead of a full scan.  Longitude cells wrap
   modulo the cell count, so a query at lon 179.9° sees candidates indexed
   at -179.9° — the antimeridian is an ordinary cell boundary, not an edge.
+* ``polygon grid`` — optional boundary polygons bucketed by bounding box
+  into the same cells, for authoritative point-in-polygon resolution.
 """
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Protocol, runtime_checkable
 
 from repro.errors import UnknownRegionError
 from repro.geo.point import EARTH_RADIUS_KM, GeoPoint
-from repro.geo.region import District
+from repro.geo.polygon import BoundaryPolygon
+from repro.geo.region import BoundingBox, District
 
 
-class Gazetteer:
-    """An immutable catalogue of districts with fast lookups."""
+@runtime_checkable
+class GazetteerBackend(Protocol):
+    """The catalogue contract every gazetteer consumer depends on.
 
-    def __init__(self, districts: Iterable[District], grid_deg: float = 0.5):
-        """Build a gazetteer over ``districts``.
+    Structural: any object with these members qualifies — the in-memory
+    :class:`Gazetteer` and the mmap-backed
+    :class:`~repro.geodata.mmapgaz.MmapGazetteer` both do.  Implementations
+    must agree bit-for-bit on every query (including nearest-neighbour
+    tie-breaks), which is why both derive from :class:`SpatialGridCore`.
+    """
 
-        Args:
-            districts: The districts to index.  ``(state, name)`` pairs must
-                be unique.
-            grid_deg: Cell size of the spatial index in degrees.
-        """
-        self._districts: tuple[District, ...] = tuple(districts)
-        if not self._districts:
-            raise UnknownRegionError("gazetteer requires at least one district")
+    def __len__(self) -> int:
+        """Number of districts in the catalogue."""
+        ...
+
+    def __iter__(self) -> Iterator[District]:
+        """Iterate districts in catalogue order."""
+        ...
+
+    @property
+    def districts(self) -> tuple[District, ...]:
+        """All districts, in catalogue order."""
+        ...
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        """All STATE-level names, sorted."""
+        ...
+
+    def in_state(self, state: str) -> tuple[District, ...]:
+        """Districts belonging to ``state`` (raises on unknown states)."""
+        ...
+
+    def get(self, state: str, county: str) -> District:
+        """Exact lookup by ``(state, county)`` (raises on a miss)."""
+        ...
+
+    def find(self, state: str, county: str) -> District | None:
+        """Exact lookup returning ``None`` instead of raising."""
+        ...
+
+    def lookup_alias(self, alias: str) -> tuple[District, ...]:
+        """All districts matching a case-folded alias (possibly several)."""
+        ...
+
+    def nearest(self, point: GeoPoint) -> District:
+        """The district whose centroid is closest to ``point``."""
+        ...
+
+    def nearest_within(self, point: GeoPoint, max_km: float) -> District | None:
+        """Like ``nearest`` but ``None`` if the best match is too far."""
+        ...
+
+    def within(self, point: GeoPoint, radius_km: float) -> tuple[District, ...]:
+        """All districts whose centroid is within ``radius_km``, nearest first."""
+        ...
+
+    def polygon_locate(self, point: GeoPoint) -> District | None:
+        """The district whose boundary polygon contains ``point``, if any."""
+        ...
+
+
+class SpatialGridCore:
+    """The shared spatial-search algorithm behind every gazetteer backend.
+
+    Subclasses call :meth:`_init_spatial` during construction and provide
+    the index accessors below; everything else — cell mapping, shell
+    expansion, the provable stopping bound, first-seen-wins tie-breaking,
+    and polygon candidate lookup — lives here exactly once, so the
+    in-memory and mmap backends cannot drift apart:
+
+    * :meth:`_bucket` — district indices homed in one grid cell, in
+      catalogue order (tie-breaks depend on it).
+    * :meth:`_district_at` / :meth:`_center_at` — materialise a district /
+      read its centroid by catalogue index.
+    * :meth:`_polygon_count` / :meth:`_polygon_bbox` /
+      :meth:`_polygon_district_index` / :meth:`_polygon_at` — the optional
+      boundary-polygon layer, indexed ``0..count`` in ascending district
+      order.
+    """
+
+    def _init_spatial(self, grid_deg: float) -> None:
+        """Configure grid geometry; must run before any spatial query."""
         self._grid_deg = grid_deg
         # Longitude columns wrap: floor(180/g) and floor(-180/g) land in the
         # same column modulo this count, so ring expansion crosses the
         # antimeridian for free.
         self._lon_cells = max(1, round(360.0 / grid_deg))
+        self._poly_cells: dict[tuple[int, int], tuple[int, ...]] | None = None
 
-        self._by_key: dict[tuple[str, str], District] = {}
-        for district in self._districts:
-            key = district.key()
-            if key in self._by_key:
-                raise UnknownRegionError(f"duplicate district key {key}")
-            self._by_key[key] = district
+    # ------------------------------------------------------- index accessors
+    def _bucket(self, cell: tuple[int, int]) -> Sequence[int]:
+        """District indices homed in ``cell``, in catalogue order."""
+        raise NotImplementedError
 
-        self._by_alias: dict[str, list[District]] = defaultdict(list)
-        for district in self._districts:
-            for alias in district.aliases:
-                self._by_alias[alias].append(district)
+    def _district_at(self, index: int) -> District:
+        """The district at catalogue ``index``."""
+        raise NotImplementedError
 
-        self._grid: dict[tuple[int, int], list[District]] = defaultdict(list)
-        for district in self._districts:
-            self._grid[self._cell(district.center)].append(district)
+    def _center_at(self, index: int) -> GeoPoint:
+        """Centroid of the district at catalogue ``index``."""
+        raise NotImplementedError
 
-        self._states: dict[str, list[District]] = defaultdict(list)
-        for district in self._districts:
-            self._states[district.state].append(district)
+    def _polygon_count(self) -> int:
+        """Number of boundary polygons (0 when the layer is absent)."""
+        raise NotImplementedError
 
-    # ------------------------------------------------------------------ basic
-    def __len__(self) -> int:
-        return len(self._districts)
+    def _polygon_bbox(self, index: int) -> BoundingBox:
+        """Bounding box of polygon ``index``."""
+        raise NotImplementedError
 
-    def __iter__(self) -> Iterator[District]:
-        return iter(self._districts)
+    def _polygon_district_index(self, index: int) -> int:
+        """Catalogue index of the district polygon ``index`` outlines."""
+        raise NotImplementedError
 
-    @property
-    def districts(self) -> tuple[District, ...]:
-        """All districts, in catalogue order."""
-        return self._districts
-
-    @property
-    def states(self) -> tuple[str, ...]:
-        """All STATE-level names, sorted."""
-        return tuple(sorted(self._states))
-
-    def in_state(self, state: str) -> tuple[District, ...]:
-        """Districts belonging to ``state``.
-
-        Raises:
-            UnknownRegionError: if the state is not in the catalogue.
-        """
-        if state not in self._states:
-            raise UnknownRegionError(f"unknown state: {state!r}")
-        return tuple(self._states[state])
-
-    # ----------------------------------------------------------------- lookup
-    def get(self, state: str, county: str) -> District:
-        """Exact lookup by ``(state, county)``.
-
-        Raises:
-            UnknownRegionError: if no such district exists.
-        """
-        try:
-            return self._by_key[(state, county)]
-        except KeyError:
-            raise UnknownRegionError(f"unknown district: ({state!r}, {county!r})") from None
-
-    def find(self, state: str, county: str) -> District | None:
-        """Exact lookup returning ``None`` instead of raising."""
-        return self._by_key.get((state, county))
-
-    def lookup_alias(self, alias: str) -> tuple[District, ...]:
-        """All districts matching a lower-cased alias (possibly several)."""
-        return tuple(self._by_alias.get(alias.lower().strip(), ()))
+    def _polygon_at(self, index: int) -> BoundaryPolygon:
+        """Materialise polygon ``index``."""
+        raise NotImplementedError
 
     # ---------------------------------------------------------------- spatial
     def _cell(self, point: GeoPoint) -> tuple[int, int]:
@@ -143,16 +197,17 @@ class Gazetteer:
             yield (ci + di, (cj - ring) % n)
             yield (ci + di, (cj + ring) % n)
 
-    def _candidates(
+    def _candidate_ids(
         self, point: GeoPoint, ring: int, seen: set[tuple[int, int]]
-    ) -> list[District]:
+    ) -> list[int]:
+        """Catalogue indices in unseen cells of shell ``ring`` around ``point``."""
         ci, cj = self._cell(point)
-        found: list[District] = []
+        found: list[int] = []
         for cell in self._shell(ci, cj, ring):
             if cell in seen:
                 continue
             seen.add(cell)
-            found.extend(self._grid.get(cell, ()))
+            found.extend(self._bucket(cell))
         return found
 
     def _ring_lower_bound_km(self, point: GeoPoint, ring: int) -> float:
@@ -185,21 +240,23 @@ class Gazetteer:
         the best distance so far is provably shorter than anything a
         further shell could hold (:meth:`_ring_lower_bound_km`) — exact at
         cell boundaries, near the poles, and across the antimeridian.
+        Ties break to the first candidate encountered (strict ``<``), so
+        identical bucket ordering across backends yields identical answers.
         """
         max_ring = int(math.ceil(360.0 / self._grid_deg)) + 2
-        best: District | None = None
+        best = -1
         best_d = math.inf
         seen: set[tuple[int, int]] = set()
         for ring in range(max_ring):
-            for district in self._candidates(point, ring, seen):
-                d = district.center.distance_km(point)
+            for index in self._candidate_ids(point, ring, seen):
+                d = self._center_at(index).distance_km(point)
                 if d < best_d:
-                    best, best_d = district, d
-            if best is not None and best_d <= self._ring_lower_bound_km(point, ring):
+                    best, best_d = index, d
+            if best >= 0 and best_d <= self._ring_lower_bound_km(point, ring):
                 break
-        if best is None:  # pragma: no cover - gazetteer is never empty
+        if best < 0:  # pragma: no cover - gazetteer is never empty
             raise UnknownRegionError("nearest() on empty gazetteer")
-        return best
+        return self._district_at(best)
 
     def nearest_within(self, point: GeoPoint, max_km: float) -> District | None:
         """Like :meth:`nearest` but ``None`` if the best match is too far."""
@@ -212,6 +269,8 @@ class Gazetteer:
         """All districts whose centroid is within ``radius_km`` of ``point``.
 
         Used by event localisation to enumerate plausible witness districts.
+        Sorted by distance; equidistant districts keep encounter order
+        (stable sort over the shell scan).
         """
         # Ring count that covers radius_km in latitude and — widened by the
         # bounding-box asin formula, which accounts for meridian convergence
@@ -225,14 +284,204 @@ class Gazetteer:
             lon_deg = math.degrees(math.asin(math.sin(arc) / cos_lat))
         deg = max(lat_deg, lon_deg) + self._grid_deg
         rings = int(math.ceil(deg / self._grid_deg))
-        hits = []
+        hits: list[tuple[int, float]] = []
         seen: set[tuple[int, int]] = set()
         for ring in range(rings + 1):
-            for district in self._candidates(point, ring, seen):
-                if district.center.distance_km(point) <= radius_km:
-                    hits.append(district)
-        hits.sort(key=lambda d: d.center.distance_km(point))
-        return tuple(hits)
+            for index in self._candidate_ids(point, ring, seen):
+                d = self._center_at(index).distance_km(point)
+                if d <= radius_km:
+                    hits.append((index, d))
+        hits.sort(key=lambda pair: pair[1])
+        return tuple(self._district_at(index) for index, _ in hits)
+
+    # --------------------------------------------------------------- polygons
+    def _polygon_cells(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """Lazy cell index over polygon bounding boxes.
+
+        Each polygon is registered in every grid cell its bbox overlaps;
+        per-cell lists keep ascending polygon order, which (polygons being
+        stored in ascending district order) makes overlapping claims
+        resolve to the lowest catalogue index on every backend.
+        """
+        if self._poly_cells is None:
+            cells: dict[tuple[int, int], list[int]] = defaultdict(list)
+            g, n = self._grid_deg, self._lon_cells
+            for index in range(self._polygon_count()):
+                box = self._polygon_bbox(index)
+                i0 = int(math.floor(box.south / g))
+                i1 = int(math.floor(box.north / g))
+                j0 = int(math.floor(box.west / g))
+                j1 = int(math.floor(box.east / g))
+                columns = (
+                    range(n) if j1 - j0 + 1 >= n
+                    else sorted({cj % n for cj in range(j0, j1 + 1)})
+                )
+                for ci in range(i0, i1 + 1):
+                    for cj in columns:
+                        cells[(ci, cj)].append(index)
+            self._poly_cells = {
+                cell: tuple(indices) for cell, indices in cells.items()
+            }
+        return self._poly_cells
+
+    def polygon_locate(self, point: GeoPoint) -> District | None:
+        """The district whose boundary polygon contains ``point``, if any.
+
+        Authoritative where boundary data exists: a hit overrides the
+        nearest-centroid heuristic.  Returns ``None`` when no polygon
+        claims the point (including on catalogues with no polygon layer),
+        letting resolvers fall back to :meth:`nearest`.
+        """
+        if self._polygon_count() == 0:
+            return None
+        for index in self._polygon_cells().get(self._cell(point), ()):
+            if self._polygon_bbox(index).contains(point) and self._polygon_at(
+                index
+            ).contains(point):
+                return self._district_at(self._polygon_district_index(index))
+        return None
+
+
+class Gazetteer(SpatialGridCore):
+    """An immutable in-memory catalogue of districts with fast lookups."""
+
+    def __init__(
+        self,
+        districts: Iterable[District],
+        grid_deg: float = 0.5,
+        polygons: Iterable[tuple[tuple[str, str], BoundaryPolygon]] = (),
+    ):
+        """Build a gazetteer over ``districts``.
+
+        Args:
+            districts: The districts to index.  ``(state, name)`` pairs must
+                be unique.
+            grid_deg: Cell size of the spatial index in degrees.
+            polygons: Optional boundary layer as ``((state, county),
+                polygon)`` pairs; every key must name a catalogue district.
+        """
+        self._districts: tuple[District, ...] = tuple(districts)
+        if not self._districts:
+            raise UnknownRegionError("gazetteer requires at least one district")
+        self._init_spatial(grid_deg)
+
+        self._by_key: dict[tuple[str, str], int] = {}
+        for index, district in enumerate(self._districts):
+            key = district.key()
+            if key in self._by_key:
+                raise UnknownRegionError(f"duplicate district key {key}")
+            self._by_key[key] = index
+
+        self._by_alias: dict[str, list[District]] = defaultdict(list)
+        for district in self._districts:
+            for alias in district.aliases:
+                self._by_alias[alias.casefold()].append(district)
+
+        self._grid: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for index, district in enumerate(self._districts):
+            self._grid[self._cell(district.center)].append(index)
+
+        self._states: dict[str, list[District]] = defaultdict(list)
+        for district in self._districts:
+            self._states[district.state].append(district)
+
+        entries: list[tuple[int, BoundaryPolygon]] = []
+        for key, polygon in polygons:
+            index = self._by_key.get(tuple(key))
+            if index is None:
+                raise UnknownRegionError(
+                    f"polygon references unknown district {tuple(key)!r}"
+                )
+            entries.append((index, polygon))
+        entries.sort(key=lambda entry: entry[0])
+        self._polygons: tuple[tuple[int, BoundaryPolygon], ...] = tuple(entries)
+
+    # ------------------------------------------------------------------ basic
+    def __len__(self) -> int:
+        return len(self._districts)
+
+    def __iter__(self) -> Iterator[District]:
+        return iter(self._districts)
+
+    @property
+    def districts(self) -> tuple[District, ...]:
+        """All districts, in catalogue order."""
+        return self._districts
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        """All STATE-level names, sorted."""
+        return tuple(sorted(self._states))
+
+    @property
+    def grid_deg(self) -> float:
+        """Cell size of the spatial index in degrees."""
+        return self._grid_deg
+
+    @property
+    def polygons(self) -> tuple[tuple[int, BoundaryPolygon], ...]:
+        """The boundary layer as ``(district index, polygon)`` pairs."""
+        return self._polygons
+
+    def in_state(self, state: str) -> tuple[District, ...]:
+        """Districts belonging to ``state``.
+
+        Raises:
+            UnknownRegionError: if the state is not in the catalogue.
+        """
+        if state not in self._states:
+            raise UnknownRegionError(f"unknown state: {state!r}")
+        return tuple(self._states[state])
+
+    # ----------------------------------------------------------------- lookup
+    def get(self, state: str, county: str) -> District:
+        """Exact lookup by ``(state, county)``.
+
+        Raises:
+            UnknownRegionError: if no such district exists.
+        """
+        try:
+            return self._districts[self._by_key[(state, county)]]
+        except KeyError:
+            raise UnknownRegionError(f"unknown district: ({state!r}, {county!r})") from None
+
+    def find(self, state: str, county: str) -> District | None:
+        """Exact lookup returning ``None`` instead of raising."""
+        index = self._by_key.get((state, county))
+        return None if index is None else self._districts[index]
+
+    def lookup_alias(self, alias: str) -> tuple[District, ...]:
+        """All districts matching a case-folded alias (possibly several)."""
+        return tuple(self._by_alias.get(alias.casefold().strip(), ()))
+
+    # ------------------------------------------------------- index accessors
+    def _bucket(self, cell: tuple[int, int]) -> Sequence[int]:
+        """District indices homed in ``cell``, in catalogue order."""
+        return self._grid.get(cell, ())
+
+    def _district_at(self, index: int) -> District:
+        """The district at catalogue ``index``."""
+        return self._districts[index]
+
+    def _center_at(self, index: int) -> GeoPoint:
+        """Centroid of the district at catalogue ``index``."""
+        return self._districts[index].center
+
+    def _polygon_count(self) -> int:
+        """Number of boundary polygons attached to this catalogue."""
+        return len(self._polygons)
+
+    def _polygon_bbox(self, index: int) -> BoundingBox:
+        """Bounding box of polygon ``index``."""
+        return self._polygons[index][1].bbox
+
+    def _polygon_district_index(self, index: int) -> int:
+        """Catalogue index of the district polygon ``index`` outlines."""
+        return self._polygons[index][0]
+
+    def _polygon_at(self, index: int) -> BoundaryPolygon:
+        """The polygon at ``index``."""
+        return self._polygons[index][1]
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -256,12 +505,21 @@ class Gazetteer:
         The combined catalogue backs the Lady Gaga pipeline, whose stream
         contains both Korean and worldwide users.
         """
-        from repro.geo.korea import korean_districts
-        from repro.geo.world import world_cities
+        return cls(combined_districts(), grid_deg=1.0)
 
-        districts = list(korean_districts())
-        seen = {d.key() for d in districts}
-        for city in world_cities():
-            if city.key() not in seen and city.country != "South Korea":
-                districts.append(city)
-        return cls(districts, grid_deg=1.0)
+
+def combined_districts() -> list[District]:
+    """The combined Korean + world catalogue, in canonical order.
+
+    Shared by :meth:`Gazetteer.combined` and the ``geodata prepare``
+    pipeline so both backends index the identical district sequence.
+    """
+    from repro.geo.korea import korean_districts
+    from repro.geo.world import world_cities
+
+    districts = list(korean_districts())
+    seen = {d.key() for d in districts}
+    for city in world_cities():
+        if city.key() not in seen and city.country != "South Korea":
+            districts.append(city)
+    return districts

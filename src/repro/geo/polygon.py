@@ -1,0 +1,108 @@
+"""Boundary polygons: authoritative district outlines.
+
+A :class:`BoundaryPolygon` is one or more closed rings of ``(lat, lon)``
+vertices with a precomputed bounding box.  Containment uses the even-odd
+(ray casting) rule across *all* rings, so a polygon's second ring punches
+a hole in its first — the standard GeoJSON-style multipolygon-with-holes
+reading, flattened.
+
+Geometry is evaluated on the plate carrée plane (latitude and longitude
+treated as planar y/x).  That is exact for the decision this repository
+needs — "which administrative district is this GPS fix inside" — because
+administrative boundaries are themselves defined by their surveyed
+vertex coordinates, not by great-circle edges.  Two documented limits:
+
+* Rings must not cross the antimeridian; split such shapes into one ring
+  per side (the same rule :class:`~repro.geo.region.BoundingBox` imposes).
+* Points exactly *on* a boundary edge may fall on either side; resolvers
+  treat a miss as "no polygon claims this point" and fall back to
+  nearest-centroid, so boundary ties degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InvalidCoordinateError
+from repro.geo.point import GeoPoint
+from repro.geo.region import BoundingBox
+
+#: One closed ring: a tuple of (lat, lon) vertices; the closing edge back
+#: to the first vertex is implicit.
+Ring = tuple[tuple[float, float], ...]
+
+
+def _ring_crossings(ring: Ring, lat: float, lon: float) -> bool:
+    """Parity of eastward ray crossings from ``(lat, lon)`` through ``ring``."""
+    inside = False
+    j = len(ring) - 1
+    for i in range(len(ring)):
+        lat_i, lon_i = ring[i]
+        lat_j, lon_j = ring[j]
+        if (lat_i > lat) != (lat_j > lat):
+            lon_at = lon_i + (lat - lat_i) * (lon_j - lon_i) / (lat_j - lat_i)
+            if lon < lon_at:
+                inside = not inside
+        j = i
+    return inside
+
+
+class BoundaryPolygon:
+    """An immutable polygon (outer ring + optional holes) with a bbox.
+
+    Attributes:
+        rings: The validated vertex rings, outer ring first by convention.
+        bbox: Axis-aligned bounding box over every vertex, used as the
+            fast-reject test before exact containment.
+    """
+
+    __slots__ = ("rings", "bbox")
+
+    def __init__(self, rings: Iterable[Iterable[tuple[float, float]]]):
+        """Validate and freeze ``rings``.
+
+        Raises:
+            InvalidCoordinateError: on an empty polygon, a ring with fewer
+                than three vertices, or a vertex outside lat/lon range.
+        """
+        frozen: list[Ring] = []
+        for ring in rings:
+            vertices = tuple((float(lat), float(lon)) for lat, lon in ring)
+            if len(vertices) < 3:
+                raise InvalidCoordinateError(
+                    f"polygon ring needs >= 3 vertices, got {len(vertices)}"
+                )
+            for lat, lon in vertices:
+                if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+                    raise InvalidCoordinateError(
+                        f"polygon vertex out of range: ({lat}, {lon})"
+                    )
+            frozen.append(vertices)
+        if not frozen:
+            raise InvalidCoordinateError("polygon requires at least one ring")
+        self.rings: tuple[Ring, ...] = tuple(frozen)
+        lats = [lat for ring in self.rings for lat, _ in ring]
+        lons = [lon for ring in self.rings for _, lon in ring]
+        self.bbox = BoundingBox(min(lats), min(lons), max(lats), max(lons))
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Even-odd containment test with a bounding-box fast reject."""
+        if not self.bbox.contains(point):
+            return False
+        inside = False
+        for ring in self.rings:
+            if _ring_crossings(ring, point.lat, point.lon):
+                inside = not inside
+        return inside
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundaryPolygon):
+            return NotImplemented
+        return self.rings == other.rings
+
+    def __hash__(self) -> int:
+        return hash(self.rings)
+
+    def __repr__(self) -> str:
+        total = sum(len(ring) for ring in self.rings)
+        return f"BoundaryPolygon(rings={len(self.rings)}, vertices={total})"

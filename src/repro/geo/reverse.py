@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import GeocodingError
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.geo.point import GeoPoint
 from repro.geo.region import AdminPath, District
 
@@ -27,38 +27,62 @@ class ReverseGeocodeResult:
         distance_km: Distance from the query point to the district centroid.
         quality: 0-100 score in the PlaceFinder style; decays with distance
             relative to the district radius.
+        via_polygon: True when an authoritative boundary polygon resolved
+            the point; False for the nearest-centroid path.
     """
 
     path: AdminPath
     district: District
     distance_km: float
     quality: int
+    via_polygon: bool = False
 
 
 class ReverseGeocoder:
-    """Maps GPS points to the nearest gazetteer district.
+    """Maps GPS points to gazetteer districts.
+
+    Resolution is polygon-first: where the catalogue carries boundary
+    polygons, a containment hit is authoritative — Voronoi-style
+    nearest-centroid mis-assignments near district borders cannot happen.
+    Everywhere else (including both seed catalogues, which ship no
+    polygons) the Voronoi-safe nearest-centroid path applies unchanged.
 
     Args:
-        gazetteer: District catalogue to resolve against.
+        gazetteer: District catalogue to resolve against (any
+            :class:`~repro.geo.gazetteer.GazetteerBackend`).
         max_distance_km: Points farther than this from every district
             centroid are considered unresolvable (ocean, wilderness).
+            Polygon hits are exempt — being inside the boundary *is* the
+            district, however far its centroid sits.
     """
 
-    def __init__(self, gazetteer: Gazetteer, max_distance_km: float = 150.0):
+    def __init__(self, gazetteer: GazetteerBackend, max_distance_km: float = 150.0):
         self._gazetteer = gazetteer
         self._max_distance_km = max_distance_km
 
     @property
-    def gazetteer(self) -> Gazetteer:
+    def gazetteer(self) -> GazetteerBackend:
         """The underlying district catalogue."""
         return self._gazetteer
 
     def resolve(self, point: GeoPoint) -> ReverseGeocodeResult:
-        """Resolve ``point`` to a district.
+        """Resolve ``point`` to a district, polygon-first.
 
         Raises:
-            GeocodingError: if no district lies within ``max_distance_km``.
+            GeocodingError: if no polygon contains the point and no
+                district centroid lies within ``max_distance_km``.
         """
+        district = self._gazetteer.polygon_locate(point)
+        if district is not None:
+            # Inside the surveyed boundary: coordinate-level match, the
+            # quality the real PlaceFinder reports for an exact fix.
+            return ReverseGeocodeResult(
+                path=district.admin_path(),
+                district=district,
+                distance_km=district.center.distance_km(point),
+                quality=87,
+                via_polygon=True,
+            )
         district = self._gazetteer.nearest(point)
         distance_km = district.center.distance_km(point)
         if distance_km > self._max_distance_km:

@@ -1,0 +1,296 @@
+"""The ``RGAZ1`` gazetteer artifact: districts packed for zero-copy mmap.
+
+``repro geodata prepare`` compiles a district catalogue (plus optional
+boundary polygons) into one file that
+:class:`~repro.geodata.mmapgaz.MmapGazetteer` maps read-only.  The file
+reuses the columnar ``RCOLBUF1`` section machinery
+(:mod:`repro.columnar.share`) — the gazetteer payload is just a named set
+of sections inside that envelope:
+
+* ``meta`` — JSON blob carrying the ``RGAZ1`` format marker, version,
+  grid geometry, and entity counts; readers refuse unknown formats and
+  newer versions.
+* ``strings`` — one interned table for every name, state, country, kind,
+  and alias; ids are dense first-encounter order.
+* ``districts.*`` — per-district columns in catalogue order: string-id
+  columns (name/state/country/kind), float64 centroid/radius/weight
+  columns, and a CSR alias list preserving original alias spelling.
+* ``keys.order`` — district indices sorted by ``(state, name)`` for
+  binary-searched exact lookup.
+* ``states.*`` — distinct state string-ids sorted by name, plus a CSR
+  list of member districts in catalogue order.
+* ``alias_index.*`` — sorted case-folded alias keys with CSR district
+  ids (catalogue order per key), binary searched at query time.
+* ``grid.*`` — the spatial index: sorted packed cell keys
+  (``ci * lon_cells + cj``) with CSR district-id buckets in catalogue
+  order, so nearest-neighbour tie-breaks match the in-memory backend
+  exactly.
+* ``polygons.* / rings.*`` — the optional boundary layer: per-polygon
+  district ids (ascending), bounding boxes, and CSR ring/vertex float64
+  arrays.
+
+Every column is written with the host's byte order and read back
+zero-copy; ``BufferReader`` already rejects cross-endian files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from array import array
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.columnar.interner import StringInterner
+from repro.columnar.share import BufferReader, BufferWriter
+from repro.errors import StorageError, UnknownRegionError
+from repro.geo.polygon import BoundaryPolygon
+from repro.geo.region import District
+
+#: Format marker stored in the artifact's meta section.
+GAZETTEER_FORMAT = "RGAZ1"
+
+#: Newest artifact version this build reads and writes.
+GAZETTEER_FORMAT_VERSION = 1
+
+
+def _pack_cell(ci: int, cj: int, lon_cells: int) -> int:
+    """One int64 per grid cell; unique because ``0 <= cj < lon_cells``."""
+    return ci * lon_cells + cj
+
+
+def _csr(groups: Iterable[Sequence[int]]) -> tuple[array, array]:
+    """Flatten ``groups`` into (offsets, values) int64 CSR arrays."""
+    offsets = array("q", [0])
+    values = array("q")
+    total = 0
+    for group in groups:
+        values.extend(group)
+        total += len(group)
+        offsets.append(total)
+    return offsets, values
+
+
+def write_gazetteer_artifact(
+    path: str | Path,
+    districts: Sequence[District],
+    *,
+    grid_deg: float,
+    polygons: Iterable[tuple[tuple[str, str], BoundaryPolygon]] = (),
+    source: str = "custom",
+) -> Path:
+    """Compile ``districts`` (+ optional ``polygons``) into an artifact.
+
+    Args:
+        path: Destination file.
+        districts: Catalogue in canonical order; ``(state, name)`` keys
+            must be unique.
+        grid_deg: Spatial-grid cell size in degrees — must match the
+            in-memory gazetteer the artifact stands in for.
+        polygons: ``((state, county), polygon)`` pairs; keys must name
+            catalogue districts.
+        source: Free-text provenance label recorded in the meta section.
+
+    Returns:
+        The written path.
+
+    Raises:
+        UnknownRegionError: on an empty catalogue, duplicate keys, or a
+            polygon referencing an unknown district.
+    """
+    catalogue = tuple(districts)
+    if not catalogue:
+        raise UnknownRegionError("gazetteer artifact requires at least one district")
+    lon_cells = max(1, round(360.0 / grid_deg))
+
+    by_key: dict[tuple[str, str], int] = {}
+    for index, district in enumerate(catalogue):
+        key = district.key()
+        if key in by_key:
+            raise UnknownRegionError(f"duplicate district key {key}")
+        by_key[key] = index
+
+    interner = StringInterner()
+    name_ids = array("q")
+    state_ids = array("q")
+    country_ids = array("q")
+    kind_ids = array("q")
+    lats = array("d")
+    lons = array("d")
+    radii = array("d")
+    weights = array("d")
+    alias_groups: list[list[int]] = []
+    for district in catalogue:
+        name_ids.append(interner.intern(district.name))
+        state_ids.append(interner.intern(district.state))
+        country_ids.append(interner.intern(district.country))
+        kind_ids.append(interner.intern(district.kind.value))
+        lats.append(district.center.lat)
+        lons.append(district.center.lon)
+        radii.append(district.radius_km)
+        weights.append(district.population_weight)
+        alias_groups.append([interner.intern(alias) for alias in district.aliases])
+    alias_offsets, alias_ids = _csr(alias_groups)
+
+    key_order = array(
+        "q",
+        sorted(range(len(catalogue)), key=lambda i: catalogue[i].key()),
+    )
+
+    state_members: dict[str, list[int]] = defaultdict(list)
+    for index, district in enumerate(catalogue):
+        state_members[district.state].append(index)
+    state_names = sorted(state_members)
+    state_name_ids = array("q", [interner.intern(name) for name in state_names])
+    state_offsets, state_district_ids = _csr(
+        [state_members[name] for name in state_names]
+    )
+
+    alias_index: dict[str, list[int]] = defaultdict(list)
+    for index, district in enumerate(catalogue):
+        for alias in district.aliases:
+            alias_index[alias.casefold()].append(index)
+    alias_keys = sorted(alias_index)
+    alias_key_offsets, alias_key_ids = _csr(
+        [alias_index[key] for key in alias_keys]
+    )
+
+    grid: dict[int, list[int]] = defaultdict(list)
+    for index, district in enumerate(catalogue):
+        ci = int(math.floor(district.center.lat / grid_deg))
+        cj = int(math.floor(district.center.lon / grid_deg)) % lon_cells
+        grid[_pack_cell(ci, cj, lon_cells)].append(index)
+    grid_keys = array("q", sorted(grid))
+    grid_offsets, grid_ids = _csr([grid[key] for key in grid_keys])
+
+    poly_entries: list[tuple[int, BoundaryPolygon]] = []
+    for key, polygon in polygons:
+        district_index = by_key.get(tuple(key))
+        if district_index is None:
+            raise UnknownRegionError(
+                f"polygon references unknown district {tuple(key)!r}"
+            )
+        poly_entries.append((district_index, polygon))
+    poly_entries.sort(key=lambda entry: entry[0])
+    poly_district_ids = array("q", [index for index, _ in poly_entries])
+    poly_bbox = array("d")
+    poly_ring_offsets = array("q", [0])
+    ring_point_offsets = array("q", [0])
+    ring_lats = array("d")
+    ring_lons = array("d")
+    ring_count = 0
+    point_count = 0
+    for _, polygon in poly_entries:
+        box = polygon.bbox
+        poly_bbox.extend((box.south, box.west, box.north, box.east))
+        for ring in polygon.rings:
+            for lat, lon in ring:
+                ring_lats.append(lat)
+                ring_lons.append(lon)
+            point_count += len(ring)
+            ring_point_offsets.append(point_count)
+        ring_count += len(polygon.rings)
+        poly_ring_offsets.append(ring_count)
+
+    meta = {
+        "format": GAZETTEER_FORMAT,
+        "version": GAZETTEER_FORMAT_VERSION,
+        "grid_deg": grid_deg,
+        "lon_cells": lon_cells,
+        "districts": len(catalogue),
+        "states": len(state_names),
+        "aliases": len(alias_keys),
+        "grid_cells": len(grid_keys),
+        "polygons": len(poly_entries),
+        "rings": ring_count,
+        "vertices": point_count,
+        "source": source,
+    }
+
+    writer = BufferWriter()
+    writer.add_blob("meta", json.dumps(meta, sort_keys=True).encode("utf-8"))
+    writer.add_strings("strings", interner.to_lines())
+    writer.add_i64("districts.name_ids", name_ids)
+    writer.add_i64("districts.state_ids", state_ids)
+    writer.add_i64("districts.country_ids", country_ids)
+    writer.add_i64("districts.kind_ids", kind_ids)
+    writer.add_f64("districts.lat", lats)
+    writer.add_f64("districts.lon", lons)
+    writer.add_f64("districts.radius_km", radii)
+    writer.add_f64("districts.weight", weights)
+    writer.add_i64("districts.alias_offsets", alias_offsets)
+    writer.add_i64("districts.alias_ids", alias_ids)
+    writer.add_i64("keys.order", key_order)
+    writer.add_i64("states.name_ids", state_name_ids)
+    writer.add_i64("states.offsets", state_offsets)
+    writer.add_i64("states.district_ids", state_district_ids)
+    writer.add_strings("alias_index.keys", alias_keys)
+    writer.add_i64("alias_index.offsets", alias_key_offsets)
+    writer.add_i64("alias_index.district_ids", alias_key_ids)
+    writer.add_i64("grid.keys", grid_keys)
+    writer.add_i64("grid.offsets", grid_offsets)
+    writer.add_i64("grid.district_ids", grid_ids)
+    writer.add_i64("polygons.district_ids", poly_district_ids)
+    writer.add_f64("polygons.bbox", poly_bbox)
+    writer.add_i64("polygons.ring_offsets", poly_ring_offsets)
+    writer.add_i64("rings.point_offsets", ring_point_offsets)
+    writer.add_f64("rings.lat", ring_lats)
+    writer.add_f64("rings.lon", ring_lons)
+    return writer.write(path)
+
+
+def open_gazetteer_artifact(path: str | Path) -> tuple[BufferReader, dict[str, Any]]:
+    """Map an artifact and validate its meta section.
+
+    Returns:
+        ``(reader, meta)`` — the caller owns the reader.
+
+    Raises:
+        StorageError: if the file is missing, not an ``RCOLBUF1`` buffer,
+            not an ``RGAZ1`` gazetteer, or a newer version than this
+            build understands.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise StorageError(f"gazetteer artifact not found: {target}")
+    reader = BufferReader(target)
+    try:
+        try:
+            meta = json.loads(bytes(reader.blob("meta")))
+        except (StorageError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StorageError(
+                f"{target} has no readable gazetteer meta section: {exc}"
+            ) from exc
+        if meta.get("format") != GAZETTEER_FORMAT:
+            raise StorageError(
+                f"{target} is not a gazetteer artifact "
+                f"(format {meta.get('format')!r}, expected {GAZETTEER_FORMAT!r})"
+            )
+        version = meta.get("version")
+        if version != GAZETTEER_FORMAT_VERSION:
+            raise StorageError(
+                f"{target} is gazetteer format version {version}; this build "
+                f"reads version {GAZETTEER_FORMAT_VERSION}"
+            )
+    except StorageError:
+        reader.close()
+        raise
+    return reader, meta
+
+
+def gazetteer_artifact_info(path: str | Path) -> dict[str, Any]:
+    """Meta plus the section listing, for ``repro geodata info``.
+
+    Raises:
+        StorageError: on any of the :func:`open_gazetteer_artifact` failures.
+    """
+    reader, meta = open_gazetteer_artifact(path)
+    try:
+        info = dict(meta)
+        info["path"] = str(Path(path))
+        info["bytes"] = Path(path).stat().st_size
+        info["sections"] = list(reader.section_names)
+        return info
+    finally:
+        reader.close()

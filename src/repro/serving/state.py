@@ -40,7 +40,7 @@ from repro.columnar.interner import StringInterner, study_interner
 from repro.columnar.keys import location_key
 from repro.columnar.storage import is_columnar_study, load_study_columnar
 from repro.errors import ReproError
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.geo.region import District
 from repro.grouping.topk import UserGrouping
 
@@ -237,7 +237,7 @@ class ServingSnapshot:
         }
 
 
-def load_snapshot(path: str | Path, gazetteer: Gazetteer) -> ServingSnapshot:
+def load_snapshot(path: str | Path, gazetteer: GazetteerBackend) -> ServingSnapshot:
     """Load a study artifact and build its serving snapshot.
 
     The format is sniffed from the file itself: a columnar buffer

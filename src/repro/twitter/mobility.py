@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.geo.gazetteer import Gazetteer
+from repro.geo.gazetteer import GazetteerBackend
 from repro.geo.point import GeoPoint
 from repro.geo.region import District
 from repro.twitter.models import MobilityClass
@@ -103,7 +103,7 @@ class MobilityModel:
 
     def __init__(
         self,
-        gazetteer: Gazetteer,
+        gazetteer: GazetteerBackend,
         nearby_radius_km: float = 45.0,
         travel_radius_km: float = 500.0,
     ):

@@ -60,6 +60,27 @@ class TestLookups:
             "gangnam"
         )
 
+    def test_alias_casefold_non_ascii(self):
+        """Regression: the alias index folds with casefold(), not lower().
+
+        'ß'.casefold() == 'ss' while 'ß'.lower() == 'ß', so under the old
+        lower()-based index an alias stored as "Große Straße" could never
+        match the all-caps spelling "GROSSE STRASSE" users actually type.
+        """
+        district = District(
+            name="Altstadt",
+            state="Hessen",
+            country="Germany",
+            kind=DistrictKind.WORLD_CITY,
+            center=GeoPoint(50.11, 8.68),
+            radius_km=5.0,
+            aliases=("Große Straße",),
+        )
+        gazetteer = Gazetteer([district])
+        assert gazetteer.lookup_alias("GROSSE STRASSE") == (district,)
+        assert gazetteer.lookup_alias("grosse strasse") == (district,)
+        assert gazetteer.lookup_alias("Große Straße") == (district,)
+
     def test_in_state(self, korean_gazetteer):
         seoul = korean_gazetteer.in_state("Seoul")
         assert len(seoul) == 25  # all 25 gu

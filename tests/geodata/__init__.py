@@ -1,0 +1,1 @@
+"""Tests for the offline geodata pipeline and the mmap gazetteer backend."""

@@ -1,0 +1,32 @@
+"""Shared geodata fixtures: prepared artifacts for the builtin catalogues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geodata.mmapgaz import MmapGazetteer
+from repro.geodata.prepare import prepare_artifact
+
+
+@pytest.fixture(scope="session")
+def artifact_dir(tmp_path_factory):
+    """One artifact per builtin catalogue, compiled once per session."""
+    directory = tmp_path_factory.mktemp("rgaz")
+    for catalogue in ("korean", "world", "combined"):
+        prepare_artifact(directory / f"{catalogue}.rgaz", catalogue=catalogue)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def korean_mmap(artifact_dir) -> MmapGazetteer:
+    return MmapGazetteer(artifact_dir / "korean.rgaz")
+
+
+@pytest.fixture(scope="session")
+def world_mmap(artifact_dir) -> MmapGazetteer:
+    return MmapGazetteer(artifact_dir / "world.rgaz")
+
+
+@pytest.fixture(scope="session")
+def combined_mmap(artifact_dir) -> MmapGazetteer:
+    return MmapGazetteer(artifact_dir / "combined.rgaz")

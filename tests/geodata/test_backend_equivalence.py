@@ -1,0 +1,180 @@
+"""Acceptance: both seed studies are byte-identical under the mmap backend.
+
+The tentpole contract — ``REPRO_GAZETTEER=mmap`` (the default) must
+produce the same ``study_to_json`` document as ``REPRO_GAZETTEER=memory``
+(the escape hatch) for both seed datasets, across every execution mode:
+serial, process-sharded ({2, 4} shards), a crash-resumed stream, and a
+serving hot-swap from a memory-built snapshot to an mmap-built one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.correlation import StudyResult, run_study
+from repro.analysis.incremental import IncrementalStudyAccumulator
+from repro.analysis.serialization import study_to_json
+from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
+from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
+from repro.engine.context import RunContext
+from repro.engine.engine import EngineConfig
+from repro.geo.gazetteer import Gazetteer
+from repro.geodata.mmapgaz import MmapGazetteer
+from repro.serving import ServingSnapshot, SnapshotStore
+from repro.serving.handlers import handle_regions, handle_stats
+from repro.streaming import (
+    BackpressurePolicy,
+    BoundedTweetQueue,
+    CheckpointLog,
+    FirehoseSource,
+    StreamConfig,
+    StreamConsumer,
+    StreamPump,
+)
+from repro.twitter.tweetgen import CollectionWindow
+
+_WINDOW = CollectionWindow(start_ms=1_314_835_200_000, days=30)
+_KOREAN = KoreanDatasetConfig(
+    population_size=500, crawl_limit=420, window=_WINDOW, use_api_timelines=False
+)
+_LADYGAGA = LadyGagaDatasetConfig(population_size=500, window=_WINDOW)
+
+
+@dataclass(frozen=True)
+class _Corpus:
+    """One dataset pair built under one gazetteer backend."""
+
+    korean: object
+    ladygaga: object
+
+
+def _build(kind: str) -> _Corpus:
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_GAZETTEER", kind)
+    try:
+        return _Corpus(
+            korean=build_korean_dataset(_KOREAN),
+            ladygaga=build_ladygaga_dataset(_LADYGAGA),
+        )
+    finally:
+        patch.undo()
+
+
+@pytest.fixture(scope="module")
+def corpora() -> dict[str, _Corpus]:
+    """The same seed configs built under each backend kind."""
+    return {"memory": _build("memory"), "mmap": _build("mmap")}
+
+
+def _datasets(corpus: _Corpus):
+    return (("korean", corpus.korean), ("ladygaga", corpus.ladygaga))
+
+
+def _study(dataset, name: str, engine_config: EngineConfig | None = None) -> StudyResult:
+    return run_study(
+        dataset.users,
+        dataset.tweets,
+        dataset.gazetteer,
+        dataset_name=name,
+        engine_config=engine_config,
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines(corpora) -> dict[str, str]:
+    """Serial memory-backend studies: the canonical bytes to match."""
+    return {
+        name: study_to_json(_study(dataset, name))
+        for name, dataset in _datasets(corpora["memory"])
+    }
+
+
+class TestBackendSelection:
+    def test_fixture_backends(self, corpora):
+        assert isinstance(corpora["memory"].korean.gazetteer, Gazetteer)
+        assert isinstance(corpora["mmap"].korean.gazetteer, MmapGazetteer)
+        assert isinstance(corpora["mmap"].ladygaga.gazetteer, MmapGazetteer)
+
+
+class TestSerial:
+    @pytest.mark.parametrize("name", ["korean", "ladygaga"])
+    def test_byte_identical(self, corpora, baselines, name):
+        dataset = dict(_datasets(corpora["mmap"]))[name]
+        assert study_to_json(_study(dataset, name)) == baselines[name]
+
+
+class TestProcessShards:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("name", ["korean", "ladygaga"])
+    def test_workers_mmap_shared_artifact(self, corpora, baselines, name, shards):
+        """Process workers receive the artifact *path* (via ``__reduce__``)
+        and mmap the shared file; results stay byte-identical."""
+        dataset = dict(_datasets(corpora["mmap"]))[name]
+        study = _study(
+            dataset, name, EngineConfig(shards=shards, backend="process")
+        )
+        assert study_to_json(study) == baselines[name]
+
+
+class TestStreamingResume:
+    def test_crash_resume_byte_identical(self, corpora, baselines, tmp_path):
+        """A crash-resumed stream over the mmap-backed dataset converges to
+        the memory-backend batch bytes."""
+        dataset = corpora["mmap"].ladygaga
+
+        def run(resume: bool, max_batches=None):
+            accumulator = IncrementalStudyAccumulator(
+                dataset.gazetteer, dataset.users
+            )
+            log = CheckpointLog(tmp_path / "checkpoints.jsonl")
+            wal_path = tmp_path / "wal.jsonl"
+            if resume:
+                consumer, offset = StreamConsumer.resume(
+                    accumulator, wal_path, log, 3
+                )
+            else:
+                consumer = StreamConsumer(accumulator, wal_path, log, 3)
+                offset = 0
+            source = FirehoseSource(dataset.tweets, dataset.users)
+            queue = BoundedTweetQueue(512, BackpressurePolicy.BLOCK)
+            config = StreamConfig(
+                batch_size=128,
+                capacity=512,
+                policy=BackpressurePolicy.BLOCK,
+                drain_every=64,
+                checkpoint_every=3,
+            )
+            pump = StreamPump(
+                source, queue, consumer, config,
+                RunContext(dataset_name="ladygaga"),
+            )
+            return pump.run(start_offset=offset, max_batches=max_batches)
+
+        partial = run(resume=False, max_batches=5)
+        assert not partial.exhausted
+        final = run(resume=True)
+        assert final.exhausted
+        assert study_to_json(final.result) == baselines["ladygaga"]
+
+
+class TestServingHotSwap:
+    def test_swap_memory_to_mmap_is_a_noop_deploy(self, corpora, baselines):
+        """Snapshots built from each backend's study carry the same content
+        digest, so hot-swapping between them changes nothing readers see."""
+        memory_study = _study(corpora["memory"].korean, "korean")
+        mmap_study = _study(corpora["mmap"].korean, "korean")
+        assert study_to_json(memory_study) == baselines["korean"]
+
+        before = ServingSnapshot.from_study(memory_study)
+        after = ServingSnapshot.from_study(mmap_study)
+        assert after.version == before.version
+
+        store = SnapshotStore(before)
+        regions_before = handle_regions(store.current())
+        stats_before = handle_stats(store.current())
+        store.swap(after)
+        assert store.current() is after
+        assert handle_regions(store.current()) == regions_before
+        assert handle_stats(store.current()) == stats_before

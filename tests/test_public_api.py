@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.events",
     "repro.geo",
     "repro.geocode",
+    "repro.geodata",
     "repro.grouping",
     "repro.live",
     "repro.pipelines",
