@@ -1,0 +1,288 @@
+"""Asyncio vs threaded front door under the batched serving workload
+(BENCH_asyncio.json).
+
+BENCH_serving measures the transport-free dispatch core (the ~18.7k rps
+batching number on this box); this benchmark measures the *transports*:
+the same duplicate-heavy ``/lookup`` mix — the BENCH_serving shedding
+workload shape — driven over real sockets through keep-alive connections
+that pipeline requests in batches, against both servers mounted on
+byte-identical apps.
+
+Measured per server:
+
+* **batched rps** — wall-clock throughput with W closed-loop client
+  connections each sending pipelined batches of B requests and reading
+  B responses before the next batch;
+* **client p95 per request** — per-batch wall time divided by the batch
+  size, aggregated over every batch (what a caller batching its queries
+  actually experiences end-to-end, parsing included);
+* **dispatch p95** — the server-side ``serving.latency.lookup`` p95, to
+  separate transport cost from core cost.
+
+**Gated floor**: asyncio throughput must be >= 1.0x the threaded server
+on this workload — the event loop must at least match thread-per-
+connection before it can claim the front door.  Results accumulate in
+``benchmarks/output/BENCH_asyncio.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.geo.reverse import ReverseGeocoder
+from repro.geocode.backend import DirectBackend
+from repro.geocode.service import GeocodeService
+from repro.serving import (
+    ServingApp,
+    ServingSnapshot,
+    SnapshotStore,
+    start_background_server,
+)
+
+_OUTPUT = Path(__file__).parent / "output" / "BENCH_asyncio.json"
+
+#: Closed-loop client connections (each is one keep-alive socket).
+WORKERS = 8
+
+#: Requests pipelined per batch: send B, then read B responses.
+BATCH_SIZE = 32
+
+#: Batches each worker sends (per measured phase).
+BATCHES_PER_WORKER = 25
+
+#: The asyncio server must at least match the threaded server.
+THROUGHPUT_FLOOR = 1.0
+
+
+def _merge_into_report(payload: dict) -> None:
+    _OUTPUT.parent.mkdir(exist_ok=True)
+    report = {}
+    if _OUTPUT.exists():
+        report = json.loads(_OUTPUT.read_text(encoding="utf-8"))
+    report.update(payload)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def _build_app(ctx) -> ServingApp:
+    snapshot = ServingSnapshot.from_study(ctx.korean_study)
+    geocoder = GeocodeService(
+        DirectBackend(ReverseGeocoder(ctx.korean_dataset.gazetteer))
+    )
+    return ServingApp(SnapshotStore(snapshot), geocoder)
+
+
+def _batch_bytes(targets: list[str]) -> bytes:
+    """One pipelined batch: B framed GETs in a single send."""
+    return b"".join(
+        f"GET {target} HTTP/1.1\r\n\r\n".encode("latin-1") for target in targets
+    )
+
+
+def _read_responses(reader, count: int) -> int:
+    """Read ``count`` responses off a buffered reader; returns 200s seen."""
+    ok = 0
+    for _ in range(count):
+        status_line = reader.readline()
+        if not status_line:
+            raise AssertionError("server closed the connection mid-batch")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        body = reader.read(length)
+        assert len(body) == length
+        if status == 200:
+            ok += 1
+    return ok
+
+
+def _closed_loop(port: int, plans: list[list[list[str]]]):
+    """Drive every worker's batch plan; returns (ok_count, batch_times, wall_s).
+
+    Each worker holds one keep-alive connection and runs a closed loop at
+    batch granularity: send one pipelined batch, read all its responses,
+    record the batch's wall time, repeat.
+    """
+    lock = threading.Lock()
+    totals = {"ok": 0}
+    batch_times: list[float] = []
+
+    def worker(batches: list[list[str]]) -> None:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=30.0)
+        reader = sock.makefile("rb")
+        ok = 0
+        times = []
+        try:
+            for targets in batches:
+                started = time.perf_counter()
+                sock.sendall(_batch_bytes(targets))
+                ok += _read_responses(reader, len(targets))
+                times.append(time.perf_counter() - started)
+        finally:
+            reader.close()
+            sock.close()
+        with lock:
+            totals["ok"] += ok
+            batch_times.extend(times)
+
+    threads = [threading.Thread(target=worker, args=(plan,)) for plan in plans]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    return totals["ok"], batch_times, wall_s
+
+
+def _p95(values: list[float]) -> float:
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, int(0.95 * len(ranked)))]
+
+
+def _bench_server(ctx, kind: str, plans) -> dict:
+    """Measure one front end; returns its report row."""
+    app = _build_app(ctx)
+    server = start_background_server(app, kind)
+    try:
+        # Untimed warmup round so thread spawn / loop start / allocator
+        # noise lands outside the measured phase for both servers alike.
+        _closed_loop(server.port, [plan[:2] for plan in plans])
+        ok, batch_times, wall_s = _closed_loop(server.port, plans)
+    finally:
+        server.shutdown()
+    requests = sum(len(batch) for plan in plans for batch in plan)
+    assert ok == requests, f"{kind}: {requests - ok} non-200 responses"
+    metrics = app.metrics.snapshot()
+    return {
+        "requests": requests,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(requests / wall_s, 1),
+        "client_p95_us_per_request": round(
+            _p95(batch_times) / BATCH_SIZE * 1e6, 2
+        ),
+        "dispatch_p95_us": round(
+            metrics["serving.latency.lookup.p95"] * 1e6, 2
+        ),
+    }
+
+
+@pytest.mark.slow
+def test_asyncio_meets_threaded_throughput(ctx):
+    """Batched socket workload: asyncio rps >= 1.0x threaded rps."""
+    rng = random.Random(17)
+    user_ids = list(ctx.korean_study.groupings)
+    plans = [
+        [
+            [f"/lookup?user={rng.choice(user_ids)}" for _ in range(BATCH_SIZE)]
+            for _ in range(BATCHES_PER_WORKER)
+        ]
+        for _ in range(WORKERS)
+    ]
+
+    results = {kind: _bench_server(ctx, kind, plans) for kind in ("thread", "asyncio")}
+    speedup = (
+        results["asyncio"]["throughput_rps"] / results["thread"]["throughput_rps"]
+    )
+
+    _merge_into_report(
+        {
+            "batched_lookup": {
+                "workers": WORKERS,
+                "batch_size": BATCH_SIZE,
+                "thread": results["thread"],
+                "asyncio": results["asyncio"],
+                "asyncio_vs_thread": round(speedup, 3),
+                "floor": THROUGHPUT_FLOOR,
+            }
+        }
+    )
+    print(
+        f"\nbatched /lookup over sockets: thread "
+        f"{results['thread']['throughput_rps']} rps, asyncio "
+        f"{results['asyncio']['throughput_rps']} rps "
+        f"({speedup:.2f}x, floor {THROUGHPUT_FLOOR}x)"
+    )
+    assert speedup >= THROUGHPUT_FLOOR, (
+        f"asyncio served {speedup:.2f}x the threaded baseline, "
+        f"below the {THROUGHPUT_FLOOR}x floor"
+    )
+
+
+@pytest.mark.slow
+def test_single_flight_survives_the_event_loop(ctx):
+    """The BENCH_serving batching claim holds through the asyncio
+    transport: a duplicate-heavy cold ``/reverse`` mix over many
+    connections still costs at most one backend call per distinct cell
+    (the executor split re-enters the same single-flight service)."""
+
+    class SlowBackend:
+        """Millisecond-scale lookups so duplicate misses really overlap."""
+
+        def __init__(self, inner, delay_s: float = 0.005):
+            self._inner = inner
+            self._delay_s = delay_s
+
+        def lookup(self, point):
+            """One delayed lookup through the wrapped backend."""
+            time.sleep(self._delay_s)
+            return self._inner.lookup(point)
+
+    snapshot = ServingSnapshot.from_study(ctx.korean_study)
+    geocoder = GeocodeService(
+        SlowBackend(DirectBackend(ReverseGeocoder(ctx.korean_dataset.gazetteer)))
+    )
+    app = ServingApp(SnapshotStore(snapshot), geocoder)
+
+    rng = random.Random(19)
+    districts = list(ctx.korean_study.profile_districts.values())
+    cells = [
+        f"/reverse?lat={d.center.lat:.4f}&lon={d.center.lon:.4f}"
+        for d in rng.sample(districts, min(16, len(districts)))
+    ]
+    # Every worker opens with the same cold walk, so misses collide.
+    plans = [
+        [cells + [rng.choice(cells) for _ in range(BATCH_SIZE - len(cells))]]
+        for _ in range(WORKERS)
+    ]
+
+    server = start_background_server(app, "asyncio")
+    try:
+        ok, _, wall_s = _closed_loop(server.port, plans)
+    finally:
+        server.shutdown()
+
+    requests = sum(len(batch) for plan in plans for batch in plan)
+    assert ok == requests
+    metrics = app.metrics.snapshot()
+    backend_lookups = int(metrics["serving.geocode.backend.lookups"])
+    assert backend_lookups <= len(cells)
+    assert app.flight.stats().followers > 0
+
+    _merge_into_report(
+        {
+            "asyncio_single_flight": {
+                "requests": requests,
+                "distinct_cells": len(cells),
+                "backend_lookups": backend_lookups,
+                "coalesced_followers": app.flight.stats().followers,
+                "wall_s": round(wall_s, 4),
+            }
+        }
+    )
+    print(
+        f"\nasyncio single-flight: {requests} geocode requests over "
+        f"{len(cells)} cells -> {backend_lookups} backend lookups"
+    )

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import threading
 from pathlib import Path
 
 from repro.analysis.correlation import run_study
@@ -54,6 +53,7 @@ from repro.geocode.service import GeocodeService
 from repro.live import DeltaSnapshotBuilder, LiveConfig, LiveStudyPipeline
 from repro.pipelines.experiments import EXPERIMENTS, run_experiment
 from repro.serving import (
+    AsyncStudyServer,
     ServingApp,
     SnapshotStore,
     StudyServer,
@@ -61,6 +61,7 @@ from repro.serving import (
     install_reload_signal,
     load_snapshot,
     render_serving_summary,
+    start_background_server,
 )
 from repro.streaming import (
     BackpressurePolicy,
@@ -374,9 +375,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     geocoder = GeocodeService(DirectBackend(ReverseGeocoder(gazetteer)))
     bucket = TokenBucket(rate=args.rate if args.rate > 0 else None, burst=args.burst)
     app = ServingApp(store, geocoder, bucket=bucket, reloader=reloader)
-    server = StudyServer(app, host=args.host, port=args.port)
     hup = install_reload_signal(app)
+    if args.server == "asyncio":
+        return _serve_asyncio_forever(app, args.host, args.port, hup)
+    server = StudyServer(app, host=args.host, port=args.port)
     print(render_serving_summary(app, args.host, server.port))
+    print("  server: thread-per-connection")
     if hup:
         print("  reload: POST /admin/reload or SIGHUP")
     else:
@@ -388,6 +392,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _serve_asyncio_forever(app: ServingApp, host: str, port: int, hup: bool) -> int:
+    """Foreground event-loop serving (`repro serve --server asyncio`)."""
+    import asyncio
+
+    async def run() -> None:
+        server = AsyncStudyServer(app, host=host, port=port)
+        await server.start()
+        print(render_serving_summary(app, host, server.port))
+        print("  server: asyncio (keep-alive + pipelining, single event loop)")
+        print("  reload: POST /admin/reload" + (" or SIGHUP" if hup else ""))
+        sys.stdout.flush()
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -458,10 +485,9 @@ def _cmd_live(args: argparse.Namespace) -> int:
             pace_s=args.pace_ms / 1000.0,
         ),
     )
-    server = StudyServer(app, host=args.host, port=args.port)
-    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
-    serve_thread.start()
+    server = start_background_server(app, args.server, args.host, args.port)
     print(render_serving_summary(app, args.host, server.port))
+    print(f"  server: {args.server}")
     print(f"  live: cadence {args.cadence} batches"
           + (f" / {args.cadence_seconds}s" if args.cadence_seconds > 0 else "")
           + f", serving while streaming {len(source)} tweets")
@@ -471,7 +497,6 @@ def _cmd_live(args: argparse.Namespace) -> int:
         snapshot = pipeline.run(start_offset=offset, max_batches=args.max_batches)
     except KeyboardInterrupt:
         server.shutdown()
-        server.server_close()
         return 0
     metrics = context.metrics.snapshot()
     print(f"stream {'exhausted' if snapshot.exhausted else 'paused'} at "
@@ -484,11 +509,10 @@ def _cmd_live(args: argparse.Namespace) -> int:
     sys.stdout.flush()
     if args.on_exhausted == "serve":
         try:
-            serve_thread.join()
+            server.join()
         except KeyboardInterrupt:
             pass
     server.shutdown()
-    server.server_close()
     return 0
 
 
@@ -667,6 +691,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate", type=float, default=0.0,
                        help="admitted data requests per second "
                        "(0 = unlimited; excess answered 429)")
+    serve.add_argument("--server", choices=("thread", "asyncio"), default="thread",
+                       help="front end: thread-per-connection stdlib server or "
+                            "single event loop with keep-alive pipelining")
     serve.add_argument("--burst", type=int, default=32,
                        help="admission burst capacity above the sustained rate")
     serve.set_defaults(func=_cmd_serve)
@@ -690,6 +717,8 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--rate", type=float, default=0.0,
                       help="admitted data requests per second "
                       "(0 = unlimited; excess answered 429)")
+    live.add_argument("--server", choices=("thread", "asyncio"), default="thread",
+                      help="serving front end (same choice as `repro serve`)")
     live.add_argument("--burst", type=int, default=32,
                       help="admission burst capacity above the sustained rate")
     live.add_argument("--policy", choices=[p.value for p in BackpressurePolicy],

@@ -312,6 +312,26 @@ class GeocodeService:
             self.store(cell, result)
         return result
 
+    def is_cached(self, cell: Cell) -> bool:
+        """Read-only probe: is ``cell`` resident in any cache tier?
+
+        Unlike :meth:`lookup_cached` this touches no counters and
+        promotes nothing into L1 — it exists so a transport layer can ask
+        "would resolving this block on the backend?" without perturbing
+        the tier statistics the benchmarks assert on.  The answer is
+        advisory under concurrency: an eviction racing the probe can turn
+        a ``True`` stale by dispatch time, which costs one backend call,
+        never correctness.
+        """
+        probe = (
+            lambda: cell in self._l1
+            or (self._disk is not None and cell in self._disk)
+        )
+        if self._tier_lock is not None:
+            with self._tier_lock:
+                return probe()
+        return probe()
+
     def lookup_cached(self, cell: Cell) -> tuple[bool, AdminPath | None]:
         """Probe the cache tiers only; ``(hit, outcome)``.
 

@@ -24,8 +24,19 @@ Layer map:
   body)`` endpoint functions.
 * :mod:`repro.serving.http` — :class:`ServingApp` (dispatch, admission,
   metrics), :class:`StudyServer` (threaded HTTP), reload plumbing.
+* :mod:`repro.serving.aio` — :class:`AsyncStudyServer` (the same app on
+  one asyncio event loop: keep-alive, pipelining, executor off-load for
+  cold ``/reverse``), :class:`AsyncServerThread` /
+  :class:`ThreadedServerHandle` background harnesses,
+  :func:`start_background_server`.
 """
 
+from repro.serving.aio import (
+    AsyncServerThread,
+    AsyncStudyServer,
+    ThreadedServerHandle,
+    start_background_server,
+)
 from repro.serving.batcher import FlightStats, SingleFlight
 from repro.serving.handlers import (
     handle_healthz,
@@ -51,12 +62,15 @@ from repro.serving.state import (
 )
 
 __all__ = [
+    "AsyncServerThread",
+    "AsyncStudyServer",
     "FlightStats",
     "ServingApp",
     "ServingSnapshot",
     "SingleFlight",
     "SnapshotStore",
     "StudyServer",
+    "ThreadedServerHandle",
     "TokenBucket",
     "encode_body",
     "handle_healthz",
@@ -69,4 +83,5 @@ __all__ = [
     "install_reload_signal",
     "load_snapshot",
     "render_serving_summary",
+    "start_background_server",
 ]

@@ -40,6 +40,7 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.engine.metrics import MetricsRegistry
 from repro.errors import ReproError
+from repro.geo.point import GeoPoint
 from repro.geocode.service import GeocodeService
 from repro.serving import handlers
 from repro.serving.batcher import SingleFlight
@@ -120,7 +121,21 @@ class ServingApp:
             return 429, encode_body({"error": "rate limited; retry later"})
 
         start = time.perf_counter()
-        status, body = self._route(method, path, params)
+        try:
+            status, body = self._route(method, path, params)
+        except Exception as exc:
+            # An unexpected handler exception must still produce a
+            # response: the stdlib server would otherwise drop the
+            # connection with a stderr traceback and no bytes, and the
+            # asyncio server would tear down a keep-alive pipeline.
+            # Expected failures (bad params, geocode misses, reload
+            # errors) are already mapped to 4xx/5xx by the handlers;
+            # anything reaching here is a bug, answered uniformly so
+            # both servers stay byte-identical.
+            self.metrics.counter("serving.errors")
+            status, body = 500, {
+                "error": f"internal server error: {type(exc).__name__}"
+            }
         endpoint = path.strip("/").replace("/", ".") or "overview"
         # Tag the sample with the store generation: the histogram window
         # partitions on it, so an /admin/reload swap can never leave
@@ -129,6 +144,35 @@ class ServingApp:
             time.perf_counter() - start, epoch=self.store.generation
         )
         return status, encode_body(body)
+
+    def dispatch_blocks(self, method: str, target: str) -> bool:
+        """Whether dispatching ``target`` may block on a backend call.
+
+        The only blocking path in the whole request surface is a *cold*
+        ``/reverse`` cell — every other endpoint is a dictionary read off
+        an immutable snapshot.  The asyncio front end
+        (:mod:`repro.serving.aio`) uses this hint to route cold reverse
+        lookups through an executor thread while serving everything else
+        directly on the event loop.
+
+        The probe is read-only (no stats, no LRU promotion) and advisory:
+        a cell evicted between the probe and the dispatch costs one
+        backend call on the event loop, which is safe, just slower for
+        that one request.  Malformed or missing coordinates return
+        ``False`` — those requests fail fast in the handler.
+        """
+        split = urlsplit(target)
+        if (split.path.rstrip("/") or "/") != "/reverse":
+            return False
+        params = dict(parse_qsl(split.query))
+        try:
+            lat = float(params["lat"])
+            lon = float(params["lon"])
+        except (KeyError, ValueError):
+            return False
+        if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+            return False
+        return not self.geocoder.is_cached(self.geocoder.cell_of(GeoPoint(lat, lon)))
 
     def _route(
         self, method: str, path: str, params: dict[str, str]
@@ -193,13 +237,74 @@ class _RequestHandler(BaseHTTPRequestHandler):
     server: "StudyServer"
     protocol_version = "HTTP/1.1"
 
-    def _serve(self) -> None:
-        status, payload = self.server.app.dispatch(self.command, self.path)
+    #: Largest chunk read while draining a request body.
+    _DRAIN_CHUNK = 65_536
+
+    def _drain_body(self) -> bool:
+        """Consume the declared request body; ``False`` aborts the request.
+
+        Keep-alive correctness depends on this: the dispatch core ignores
+        request bodies, but an undrained ``POST /admin/reload`` body
+        stays buffered in ``rfile``, and the *next* pipelined request
+        line is then parsed out of the stale body bytes — corrupting
+        every request behind it on the connection.  A malformed
+        ``Content-Length`` or a body the client never finished sending
+        cannot be recovered from mid-stream, so both close the
+        connection (the former after a 400).
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return True
+        try:
+            remaining = int(raw)
+        except ValueError:
+            self.close_connection = True
+            self._respond(400, encode_body(
+                {"error": f"invalid Content-Length: {raw!r}"}
+            ))
+            return False
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, self._DRAIN_CHUNK))
+            if not chunk:  # client vanished mid-body
+                self.close_connection = True
+                return False
+            remaining -= len(chunk)
+        return True
+
+    def _respond(self, status: int, payload: bytes) -> None:
+        """Write one complete response (status line, headers, body)."""
         self.send_response(status)
         self.send_header("Content-Type", CONTENT_TYPE)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+
+    def _serve(self) -> None:
+        try:
+            if not self._drain_body():
+                return
+            status, payload = self.server.app.dispatch(self.command, self.path)
+            self._respond(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-request or mid-write.  That is its
+            # prerogative, not a server fault: count it and close the
+            # connection instead of spraying a handler-thread traceback.
+            self.server.app.metrics.counter("serving.client_disconnects")
+            self.close_connection = True
+
+    def handle(self) -> None:
+        """Serve the connection, absorbing client-initiated resets.
+
+        A reset can also arrive while the stdlib machinery is reading the
+        *next* request line of a keep-alive connection — outside
+        :meth:`_serve` — where it would otherwise bubble into
+        ``socketserver.handle_error``'s stderr traceback.
+        """
+        try:
+            super().handle()
+        except (BrokenPipeError, ConnectionResetError):
+            self.server.app.metrics.counter("serving.client_disconnects")
+            self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib hook name
         """Serve a GET request."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -237,6 +238,187 @@ class TestHttpServer:
         assert body["current"] == ladygaga_snapshot.version
         status, health = self._get(server, "/healthz")
         assert health["version"] == ladygaga_snapshot.version
+
+
+class TestInternalErrors:
+    """Unexpected handler exceptions answer 500 instead of tearing the
+    connection down (the missing-500 bug)."""
+
+    def test_dispatch_maps_unexpected_exceptions_to_500(self, make_app, monkeypatch):
+        from repro.serving import http as http_module
+
+        def broken(snapshot):
+            raise ValueError("handler bug")
+
+        monkeypatch.setattr(http_module.handlers, "handle_stats", broken)
+        app = make_app()
+        status, payload = app.dispatch("GET", "/stats")
+        assert status == 500
+        body = json.loads(payload)
+        assert body == {"error": "internal server error: ValueError"}
+        assert payload == encode_body(body)  # canonical even on the 500 path
+        assert app.metrics.snapshot()["serving.errors"] == 1
+        # The app survives: the next request is unaffected.
+        assert app.dispatch("GET", "/healthz")[0] == 200
+
+    def test_500_crosses_the_wire_and_keeps_the_connection(
+        self, make_app, monkeypatch
+    ):
+        """Before the fix a raising handler killed the socket with no
+        response; now the client reads a 500 and can keep pipelining."""
+        from tests.serving.wire import WireClient
+
+        from repro.serving import http as http_module
+
+        def broken(snapshot):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(http_module.handlers, "handle_stats", broken)
+        app = make_app()
+        server = StudyServer(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with WireClient(server.port) as client:
+                status, body = client.get("/stats")
+                assert status == 500
+                assert json.loads(body)["error"].startswith("internal server error")
+                status, body = client.get("/healthz")  # same connection
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestKeepAliveBodyDrain:
+    """POST bodies are drained, so pipelined requests behind them parse
+    (the keep-alive corruption bug)."""
+
+    @pytest.fixture
+    def server(self, make_app, ladygaga_snapshot):
+        app = make_app(reloader=lambda: ladygaga_snapshot)
+        server = StudyServer(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def test_pipelined_request_after_post_body(self, server, ladygaga_snapshot):
+        """Two requests in one write: a POST with a body, then a GET.
+
+        Before the fix the body bytes stayed buffered in ``rfile`` and
+        were parsed as the second request's request line, corrupting the
+        connection; both responses must now come back well-formed and
+        the second must really be the ``/healthz`` answer.
+        """
+        from tests.serving.wire import WireClient, request_bytes
+
+        with WireClient(server.port) as client:
+            client.send_raw(
+                request_bytes("POST", "/admin/reload", body=b"ignored body bytes")
+                + request_bytes("GET", "/healthz")
+            )
+            status, _, body = client.read_response()
+            assert status == 200
+            assert json.loads(body)["current"] == ladygaga_snapshot.version
+            status, _, body = client.read_response()
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+    def test_large_body_is_drained_in_chunks(self, server):
+        from tests.serving.wire import WireClient, request_bytes
+
+        with WireClient(server.port) as client:
+            client.send_raw(
+                request_bytes("POST", "/admin/reload", body=b"x" * 300_000)
+                + request_bytes("GET", "/healthz")
+            )
+            assert client.read_response()[0] == 200
+            status, _, body = client.read_response()
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+    def test_malformed_content_length_is_400(self, server):
+        from tests.serving.wire import WireClient
+
+        with WireClient(server.port) as client:
+            client.send(
+                "POST", "/admin/reload", headers={"Content-Length": "banana"}
+            )
+            status, _, body = client.read_response()
+            assert status == 400
+            assert "Content-Length" in json.loads(body)["error"]
+
+
+class TestClientDisconnects:
+    """A client hanging up is counted, not splattered as a traceback."""
+
+    def test_reset_during_response_write_is_counted(self, make_app):
+        from tests.serving.wire import WireClient
+
+        app = make_app()
+        gate = threading.Event()
+        inner = app.dispatch
+
+        def gated_dispatch(method, target):
+            gate.wait(5.0)
+            return inner(method, target)
+
+        app.dispatch = gated_dispatch
+        server = StudyServer(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = WireClient(server.port)
+            client.send("GET", "/regions")
+            client.rst_close()  # hard reset before the response is written
+            gate.set()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if app.metrics.snapshot().get("serving.client_disconnects", 0) >= 1:
+                    break
+                time.sleep(0.01)
+            assert app.metrics.snapshot()["serving.client_disconnects"] >= 1
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestDispatchBlocks:
+    """The cold-``/reverse`` hint the asyncio front end routes on."""
+
+    def test_cold_reverse_blocks_then_warm_does_not(self, make_app):
+        app = make_app()
+        target = "/reverse?lat=37.5&lon=127.0"
+        assert app.dispatch_blocks("GET", target) is True
+        status, _ = app.dispatch("GET", target)
+        assert status == 200
+        assert app.dispatch_blocks("GET", target) is False
+
+    def test_non_reverse_and_malformed_never_block(self, make_app):
+        app = make_app()
+        for target in (
+            "/lookup?user=1",
+            "/healthz",
+            "/reverse",  # missing params fail fast in the handler
+            "/reverse?lat=oops&lon=127.0",
+            "/reverse?lat=91.0&lon=127.0",  # out of range
+        ):
+            assert app.dispatch_blocks("GET", target) is False
+
+    def test_probe_leaves_tier_stats_untouched(self, make_app):
+        app = make_app()
+        before = app.geocoder.stats.l1_misses
+        app.dispatch_blocks("GET", "/reverse?lat=37.5&lon=127.0")
+        assert app.geocoder.stats.l1_misses == before
 
 
 class TestSighup:

@@ -1,0 +1,115 @@
+"""A minimal blocking HTTP/1.1 wire client for server tests.
+
+``urllib`` opens a fresh connection per request and hides the framing,
+which is exactly what the front-door tests must *not* do: keep-alive
+reuse, pipelining, half-sent requests, and hard resets are the behaviours
+under test.  :class:`WireClient` exposes the socket directly — bytes in,
+parsed ``(status, body)`` out — so a test controls precisely what crosses
+the wire and observes precisely what comes back.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+
+def request_bytes(
+    method: str,
+    target: str,
+    body: bytes | None = None,
+    headers: dict[str, str] | None = None,
+    version: str = "HTTP/1.1",
+) -> bytes:
+    """Serialise one request; ``Content-Length`` is added when ``body`` is."""
+    lines = [f"{method} {target} {version}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if body is not None and not any(
+        name.lower() == "content-length" for name in (headers or {})
+    ):
+        lines.append(f"Content-Length: {len(body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + (body or b"")
+
+
+class WireClient:
+    """One raw keep-alive connection to a serving front end."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1", timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.file = self.sock.makefile("rb")
+
+    # ------------------------------------------------------------------ send
+    def send_raw(self, data: bytes) -> None:
+        """Put exactly ``data`` on the wire (no framing added)."""
+        self.sock.sendall(data)
+
+    def send(
+        self,
+        method: str,
+        target: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+        version: str = "HTTP/1.1",
+    ) -> None:
+        """Frame and send one request without reading the response."""
+        self.send_raw(request_bytes(method, target, body, headers, version))
+
+    # ------------------------------------------------------------------ read
+    def read_response(self) -> tuple[int, dict[str, str], bytes]:
+        """Read one complete response: ``(status, headers, body)``.
+
+        Raises:
+            AssertionError: if the stream ends before a full response —
+                the "server dropped the connection" failure mode the
+                bug-fix tests assert against.
+        """
+        status_line = self.file.readline()
+        assert status_line, "connection closed before a status line arrived"
+        status = int(status_line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = self.file.readline()
+            assert line, "connection closed inside response headers"
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = self.file.read(length)
+        assert len(body) == length, "connection closed inside response body"
+        return status, headers, body
+
+    def get(self, target: str) -> tuple[int, bytes]:
+        """One round trip: send a GET, return ``(status, body)``."""
+        self.send("GET", target)
+        status, _, body = self.read_response()
+        return status, body
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        """Orderly close (FIN): how a polite client ends keep-alive."""
+        try:
+            self.file.close()
+        finally:
+            self.sock.close()
+
+    def rst_close(self) -> None:
+        """Abortive close (RST): the impolite disconnect servers must absorb.
+
+        The ``makefile`` reader holds a reference to the underlying fd,
+        so it must be closed too — otherwise the kernel never sees the
+        close and no RST leaves the machine.
+        """
+        self.sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        self.file.close()
+        self.sock.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
