@@ -1,0 +1,102 @@
+"""Query a running `repro fleet` front — stdlib only.
+
+Start a fleet in one terminal:
+
+    PYTHONPATH=src python -m repro study --save study.json
+    PYTHONPATH=src python -m repro fleet run --snapshot study.json \
+        --replicas 3 --port 8090
+
+then run this client against it:
+
+    python examples/fleet_client.py http://127.0.0.1:8090
+
+It walks the fleet surface: fleet health (per-replica rows), a few
+proxied data queries (byte-identical to what any single replica would
+answer), rollout status, and the fleet's own routing/retry metrics.
+Pass a second argument — a saved study path *on the server's machine* —
+to trigger a health-gated publish and watch it promote or roll back:
+
+    python examples/fleet_client.py http://127.0.0.1:8090 study_v2.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+
+def call(base: str, path: str, method: str = "GET") -> tuple[int, dict]:
+    """One request; JSON body either way (errors are JSON too)."""
+    request = urllib.request.Request(base + path, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main() -> int:
+    base = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8090"
+    snapshot = sys.argv[2] if len(sys.argv) > 2 else None
+    print(f"querying fleet front at {base}")
+
+    _, health = call(base, "/fleet/healthz")
+    print(f"fleet: {health['status']} — {health['routable']} routable, "
+          f"route={health['route']}"
+          + (f", serving version {health['version']}"
+             if health.get("version") else ""))
+    for row in health["replicas"]:
+        print(f"  {row['id']}: {row['host']}:{row['port']} [{row['state']}]")
+
+    # Data requests go through the front and proxy byte-for-byte to a
+    # replica — same endpoints, same bodies as `repro serve` itself.
+    _, stats = call(base, "/stats")
+    print(f"proxied /stats: {sum(r['users'] for r in stats['statistics'].values())} "
+          f"users under snapshot {stats['version']}")
+    _, regions = call(base, "/regions")
+    print(f"proxied /regions: {len(regions['regions'])} regions")
+
+    status_code, rollout = call(base, "/fleet/status")
+    if status_code == 200:
+        print(f"rollout state: {rollout['state']}"
+              + (f" (last: promoted={rollout['last_rollout']['promoted']}, "
+                 f"verdict={rollout['last_rollout'].get('verdict')})"
+                 if rollout.get("last_rollout") else ""))
+
+    if snapshot is not None:
+        quoted = urllib.parse.quote(snapshot, safe="")
+        code, body = call(base, f"/fleet/publish?snapshot={quoted}", "POST")
+        if code != 202:
+            print(f"publish refused ({code}): {body.get('error')}")
+            return 1
+        print(f"publish accepted (gated={body['gated']}); shadowing needs "
+              "live traffic — offering some while we wait...")
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            call(base, "/stats")          # feeds the shadow mirror
+            _, rollout = call(base, "/fleet/status")
+            if rollout["state"] == "idle":
+                last = rollout["last_rollout"]
+                print(f"rollout finished: promoted={last['promoted']} "
+                      f"verdict={last.get('verdict')}"
+                      + (f" error={last['error']}" if last.get("error") else ""))
+                break
+            time.sleep(0.2)
+        else:
+            print("rollout still running after 120s; check /fleet/status")
+
+    _, metrics = call(base, "/fleet/metrics")
+    counters = metrics["metrics"]
+    print(f"fleet metrics: {counters.get('fleet.requests', 0)} requests, "
+          f"{counters.get('fleet.retries', 0)} retries, "
+          f"{counters.get('fleet.replicas_healthy', 0)} healthy replicas, "
+          f"p95 {counters.get('fleet.latency.p95', 0) * 1e3:.1f}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

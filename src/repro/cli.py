@@ -10,6 +10,7 @@ Commands:
 * ``stream``      — live firehose ingestion with checkpoint/resume
 * ``serve``       — online query API over a saved study snapshot
 * ``live``        — ingestion + serving in one process with delta snapshots
+* ``fleet``       — multi-replica serving with health-gated snapshot rollout
 * ``geodata``     — compile / inspect mmap gazetteer artifacts (RGAZ1)
 
 Everything is deterministic given ``--seed``; ``--shards``/``--backend``
@@ -19,8 +20,11 @@ change only how the study executes, never its result.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
+from urllib.parse import quote
 
 from repro.analysis.correlation import run_study
 from repro.analysis.regional import regional_breakdown, render_regional_breakdown
@@ -35,13 +39,28 @@ from repro.analysis.incremental import IncrementalStudyAccumulator
 from repro.analysis.serialization import load_study, save_study
 from repro.analysis.significance import bootstrap_share_intervals
 from repro.analysis.stability import render_stability, split_half_stability
-from repro.engine import EngineConfig, RunContext, render_trace
+from repro.engine import EngineConfig, MetricsRegistry, RunContext, render_trace
 from repro.geodata.prepare import prepare_artifact
 from repro.geodata.artifact import gazetteer_artifact_info
 from repro.geodata.registry import dataset_gazetteer
 from repro.datasets.korean import KoreanDatasetConfig, build_korean_dataset
 from repro.datasets.ladygaga import LadyGagaDatasetConfig, build_ladygaga_dataset
-from repro.errors import ReproError, ShardExecutionError, StorageError
+from repro.errors import (
+    FleetError,
+    ReplicaUnreachableError,
+    ReproError,
+    ShardExecutionError,
+    StorageError,
+)
+from repro.fleet import (
+    FleetController,
+    FleetFront,
+    PooledReplicaClient,
+    ReplicaSet,
+    ReplicaSupervisor,
+    RolloutConfig,
+    SnapshotPublisher,
+)
 from repro.events.evaluation import (
     LocalizationExperiment,
     make_korean_scenarios,
@@ -357,11 +376,20 @@ def _cmd_geodata_info(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a saved study over HTTP until interrupted."""
     gazetteer = dataset_gazetteer(args.gazetteer)
-    snapshot_path = args.snapshot
+    # The "current" artifact path is mutable state: a fleet publisher may
+    # retarget this replica at a new snapshot via /admin/reload?snapshot=,
+    # after which a bare reload (SIGHUP) re-reads the *new* path.
+    active = {"path": args.snapshot}
 
     def reloader():
-        """Re-read the study document from disk (SIGHUP / /admin/reload)."""
-        return load_snapshot(snapshot_path, gazetteer)
+        """Re-read the active study document from disk (SIGHUP / /admin/reload)."""
+        return load_snapshot(active["path"], gazetteer)
+
+    def snapshot_loader(path: str):
+        """Load a publisher-named artifact; it becomes the active path."""
+        snapshot = load_snapshot(path, gazetteer)
+        active["path"] = path
+        return snapshot
 
     try:
         boot = reloader()
@@ -374,7 +402,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store = SnapshotStore(boot)
     geocoder = GeocodeService(DirectBackend(ReverseGeocoder(gazetteer)))
     bucket = TokenBucket(rate=args.rate if args.rate > 0 else None, burst=args.burst)
-    app = ServingApp(store, geocoder, bucket=bucket, reloader=reloader)
+    app = ServingApp(
+        store,
+        geocoder,
+        bucket=bucket,
+        reloader=reloader,
+        snapshot_loader=snapshot_loader,
+    )
     hup = install_reload_signal(app)
     if args.server == "asyncio":
         return _serve_asyncio_forever(app, args.host, args.port, hup)
@@ -416,6 +450,114 @@ def _serve_asyncio_forever(app: ServingApp, host: str, port: int, hup: bool) -> 
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Boot N subprocess replicas behind one fleet front (`repro fleet run`)."""
+    route = "hash" if args.hash else "round-robin"
+    metrics = MetricsRegistry()
+    targets = ReplicaSet()
+    supervisor = ReplicaSupervisor(
+        args.snapshot,
+        args.replicas,
+        targets,
+        server=args.replica_server,
+        gazetteer=args.gazetteer,
+        metrics=metrics,
+    )
+    try:
+        supervisor.start()
+    except FleetError as exc:
+        print(f"error: fleet boot failed: {exc}", file=sys.stderr)
+        supervisor.stop()
+        targets.close()
+        return EXIT_RESUME_STATE
+    bucket = TokenBucket(rate=args.rate if args.rate > 0 else None, burst=args.burst)
+    front = FleetFront(targets, metrics=metrics, bucket=bucket, route=route)
+    publisher = SnapshotPublisher(targets, metrics=metrics)
+    controller = FleetController(
+        front,
+        publisher,
+        current_path=args.snapshot,
+        config=RolloutConfig(
+            min_shadow_samples=args.min_shadow_samples,
+            max_error_rate=args.max_error_rate,
+            max_p95_latency_s=args.max_p95_latency,
+            shadow_timeout_s=args.shadow_timeout,
+        ),
+        supervisor=supervisor,
+        metrics=metrics,
+    )
+    server = start_background_server(front, args.server, args.host, args.port)
+    print(f"fleet front on http://{args.host}:{server.port} "
+          f"({args.server} transport, {route} routing)")
+    for handle in supervisor.handles():
+        print(f"  replica {handle.replica_id}: http://{handle.host}:{handle.port} "
+              f"({handle.server}, pid {handle.pid})")
+    print(f"  snapshot: {args.snapshot} "
+          f"(version {controller.current_version or 'unknown'})")
+    print("  endpoints: data endpoints proxied; "
+          "/fleet/healthz /fleet/metrics /fleet/status /fleet/publish")
+    print("  publish: repro fleet publish <snapshot> "
+          f"--front-port {server.port}")
+    sys.stdout.flush()
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        controller.shutdown()
+        supervisor.stop()
+        targets.close()
+    return 0
+
+
+def _cmd_fleet_publish(args: argparse.Namespace) -> int:
+    """Ask a running fleet front to roll out a snapshot (`repro fleet publish`)."""
+    client = PooledReplicaClient(args.front_host, args.front_port)
+    target = f"/fleet/publish?snapshot={quote(args.snapshot, safe='')}"
+    if args.no_gate:
+        target += "&gate=0"
+    try:
+        status, body = client.request("POST", target)
+    except ReplicaUnreachableError as exc:
+        print(f"error: fleet front unreachable: {exc}", file=sys.stderr)
+        client.close()
+        return 1
+    parsed = json.loads(body)
+    if status != 202:
+        print(f"error: publish rejected ({status}): "
+              f"{parsed.get('error', body.decode('utf-8', 'replace'))}",
+              file=sys.stderr)
+        client.close()
+        return 1
+    print(f"publish accepted: {args.snapshot} "
+          f"({'ungated' if args.no_gate else 'health-gated'})")
+    if args.no_wait:
+        client.close()
+        return 0
+    deadline = time.monotonic() + args.wait_timeout
+    outcome = None
+    while time.monotonic() < deadline:
+        time.sleep(0.2)
+        try:
+            status, body = client.request("GET", "/fleet/status")
+        except ReplicaUnreachableError:
+            continue
+        state = json.loads(body)
+        if state.get("state") == "idle":
+            outcome = state.get("last_rollout")
+            break
+        print(f"  rollout {state.get('state')}…")
+        sys.stdout.flush()
+    client.close()
+    if outcome is None:
+        print(f"error: rollout still running after {args.wait_timeout:.0f}s",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    return 0 if outcome.get("promoted") else 1
 
 
 def _cmd_live(args: argparse.Namespace) -> int:
@@ -745,6 +887,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_build_options(live)
     _add_cache_option(live)
     live.set_defaults(func=_cmd_live)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="multi-replica serving with health-gated snapshot rollout",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="boot N subprocess replicas behind one fleet front"
+    )
+    fleet_run.add_argument("--snapshot", required=True,
+                           help="study JSON every replica boots with")
+    fleet_run.add_argument("--replicas", type=int, default=3,
+                           help="replica subprocess count (default 3)")
+    fleet_run.add_argument("--host", default="127.0.0.1",
+                           help="front bind address")
+    fleet_run.add_argument("--port", type=int, default=8090,
+                           help="front port (0 = ephemeral)")
+    fleet_run.add_argument("--server", choices=("thread", "asyncio"),
+                           default="thread",
+                           help="front transport (default thread)")
+    fleet_run.add_argument("--replica-server", choices=("thread", "asyncio"),
+                           default="thread",
+                           help="replica transport (default thread)")
+    routing = fleet_run.add_mutually_exclusive_group()
+    routing.add_argument("--hash", action="store_true",
+                         help="consistent-hash routing (stable replica per key)")
+    routing.add_argument("--round-robin", action="store_true",
+                         help="round-robin routing (the default)")
+    fleet_run.add_argument("--gazetteer", choices=("korean", "combined"),
+                           default="korean",
+                           help="gazetteer the replicas load")
+    fleet_run.add_argument("--rate", type=float, default=0.0,
+                           help="fleet-level admitted requests/second "
+                                "(0 = unlimited)")
+    fleet_run.add_argument("--burst", type=int, default=64,
+                           help="fleet admission burst capacity")
+    fleet_run.add_argument("--min-shadow-samples", type=int, default=50,
+                           help="shadow samples a canary needs before the "
+                                "gate may pass")
+    fleet_run.add_argument("--max-error-rate", type=float, default=0.05,
+                           help="canary error-rate budget")
+    fleet_run.add_argument("--max-p95-latency", type=float, default=0.5,
+                           help="canary p95 latency budget (seconds)")
+    fleet_run.add_argument("--shadow-timeout", type=float, default=30.0,
+                           help="seconds to collect shadow samples before "
+                                "ruling the canary unproven")
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+    fleet_publish = fleet_sub.add_parser(
+        "publish", help="roll a snapshot out through a running fleet front"
+    )
+    fleet_publish.add_argument("snapshot",
+                               help="study JSON to publish fleet-wide")
+    fleet_publish.add_argument("--front-host", default="127.0.0.1",
+                               help="fleet front host")
+    fleet_publish.add_argument("--front-port", type=int, default=8090,
+                               help="fleet front port")
+    fleet_publish.add_argument("--no-gate", action="store_true",
+                               help="skip the canary/shadow gate and publish "
+                                    "fleet-wide immediately")
+    fleet_publish.add_argument("--no-wait", action="store_true",
+                               help="return once the rollout is accepted "
+                                    "instead of waiting for its outcome")
+    fleet_publish.add_argument("--wait-timeout", type=float, default=120.0,
+                               help="seconds to wait for the rollout outcome")
+    fleet_publish.set_defaults(func=_cmd_fleet_publish)
 
     geodata = subparsers.add_parser(
         "geodata", help="compile / inspect mmap gazetteer artifacts"

@@ -72,6 +72,27 @@ class ConfigurationError(ReproError):
     """A configuration object failed validation."""
 
 
+class FleetError(ReproError):
+    """Base class for errors in the :mod:`repro.fleet` subsystem."""
+
+
+class ReplicaUnreachableError(FleetError):
+    """A replica could not be reached over its admin/data socket.
+
+    Connection-level only: refused, reset, or timed out.  A replica that
+    *answers* with an error status is reachable and is reported through
+    the status code instead.
+    """
+
+
+class ReplicaBootError(FleetError):
+    """A subprocess replica failed to start or report a bound port."""
+
+
+class RolloutInProgressError(FleetError):
+    """A publish was requested while another rollout is still running."""
+
+
 class ShardExecutionError(ReproError):
     """A shard worker raised an application exception.
 

@@ -1,0 +1,138 @@
+"""Blocking keep-alive HTTP client pool for replica traffic.
+
+Every fleet component that talks *to* a replica — the front proxying
+data requests, the publisher shipping reloads, the supervisor probing
+health — goes through one of these.  A :class:`PooledReplicaClient`
+holds a small pool of persistent ``http.client`` connections to one
+``host:port``, so steady-state traffic pays no connection setup and the
+pool's size bounds the sockets a front keeps open per replica.
+
+Failure taxonomy, matching the front's retry rules:
+
+* A request that cannot complete at the connection level — refused,
+  reset, timed out, or a malformed response — raises
+  :class:`~repro.errors.ReplicaUnreachableError`.  The front treats that
+  as "this replica is down": mark it, retry the request elsewhere.
+* A *reused* keep-alive connection that fails before a response is
+  retried once on a fresh socket first: the server may simply have
+  closed an idle connection between our requests, which says nothing
+  about its health.
+* Any response the replica actually produced — including 4xx/5xx — is
+  returned as ``(status, body)``; interpreting it is the caller's job.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+
+from repro.errors import ReplicaUnreachableError
+
+#: Idle connections kept per replica; more concurrent callers open extra
+#: connections that are simply closed instead of pooled on check-in.
+DEFAULT_POOL_SIZE = 8
+
+#: Socket timeout (connect and read) for replica round trips.
+DEFAULT_TIMEOUT_S = 10.0
+
+
+class PooledReplicaClient:
+    """A thread-safe keep-alive connection pool to one replica address.
+
+    Args:
+        host: Replica host.
+        port: Replica TCP port.
+        timeout_s: Socket timeout per round trip.
+        pool_size: Idle connections retained between requests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        pool_size: int = DEFAULT_POOL_SIZE,
+    ):
+        self.host = host
+        self.port = port
+        self._timeout_s = timeout_s
+        self._pool_size = max(1, int(pool_size))
+        self._idle: list[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -------------------------------------------------------------- plumbing
+    def _fresh(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self._timeout_s
+        )
+
+    def _checkout(self) -> tuple[http.client.HTTPConnection, bool]:
+        """An idle pooled connection (reused=True) or a fresh one."""
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), True
+        return self._fresh(), False
+
+    def _checkin(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self._pool_size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    @staticmethod
+    def _roundtrip(
+        conn: http.client.HTTPConnection, method: str, target: str
+    ) -> tuple[int, bytes, bool]:
+        """One request/response on ``conn``; returns (status, body, will_close)."""
+        conn.request(method, target)
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, body, response.will_close
+
+    # --------------------------------------------------------------- request
+    def request(self, method: str, target: str) -> tuple[int, bytes]:
+        """One round trip to the replica; returns ``(status, body bytes)``.
+
+        A failure on a reused keep-alive connection retries once on a
+        fresh socket (the server closing an idle connection is not an
+        outage); a fresh connection that fails means the replica is
+        genuinely unreachable.
+
+        Raises:
+            ReplicaUnreachableError: when no response can be obtained at
+                the connection level.
+        """
+        conn, reused = self._checkout()
+        try:
+            status, body, will_close = self._roundtrip(conn, method, target)
+        except (http.client.HTTPException, OSError) as exc:
+            conn.close()
+            if not reused:
+                raise ReplicaUnreachableError(
+                    f"{self.host}:{self.port}: {type(exc).__name__}: {exc}"
+                ) from exc
+            conn = self._fresh()
+            try:
+                status, body, will_close = self._roundtrip(conn, method, target)
+            except (http.client.HTTPException, OSError) as retry_exc:
+                conn.close()
+                raise ReplicaUnreachableError(
+                    f"{self.host}:{self.port}: "
+                    f"{type(retry_exc).__name__}: {retry_exc}"
+                ) from retry_exc
+        if will_close:
+            conn.close()
+        else:
+            self._checkin(conn)
+        return status, body
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        """Close every idle connection; in-flight ones close on check-in."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()

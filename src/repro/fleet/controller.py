@@ -1,0 +1,316 @@
+"""The rollout controller: canary → shadow → promote, or roll back.
+
+:class:`FleetController` owns the fleet's *version* state — which
+snapshot path and digest the fleet is committed to — and runs each
+publish as a background state machine:
+
+1. **CANARY** — pick one replica, exclude it from routing, reload it
+   onto the candidate snapshot.  A failed canary reload ends the rollout
+   immediately (the serving layer kept the old snapshot, so nothing
+   changed anywhere).
+2. **SHADOWING** (gated publishes) — install the mirror on the front so
+   admitted data traffic is replayed at the canary, and wait until the
+   :class:`~repro.fleet.rollout.ShadowWindow` holds enough samples or
+   the window times out.
+3. **PROMOTING** — if the budget held, fan the snapshot out to the rest
+   of the fleet with the canary's digest as the expected value, advance
+   the supervisor's restart version, and re-admit the canary.
+4. **ROLLING_BACK** — on any breach (error spike, latency regression,
+   too few samples, non-converged fan-out) reload the canary back onto
+   the committed snapshot and leave the fleet's version untouched.
+
+The invariant the property test pins: at every instant, every replica
+the front routes to serves either the committed snapshot or the
+promoted one — never a third state — because the canary is unroutable
+for exactly the interval during which it serves anything else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import RolloutInProgressError
+from repro.fleet.publisher import SnapshotPublisher
+from repro.fleet.rollout import (
+    VERDICT_PASS,
+    RolloutConfig,
+    RolloutState,
+    ShadowMirror,
+    ShadowWindow,
+)
+
+#: Seconds between sample-count polls while shadowing.
+_SHADOW_POLL_S = 0.02
+
+
+class FleetController:
+    """Runs health-gated snapshot rollouts over a replica fleet.
+
+    Args:
+        front: The :class:`~repro.fleet.front.FleetFront` (mirror tap and
+            routing exclusion go through it); the controller attaches
+            itself so ``/fleet/publish`` and ``/fleet/status`` work.
+        publisher: Snapshot fan-out and convergence checks.
+        current_path: The snapshot path the fleet currently serves.
+        current_digest: Its digest, if known; otherwise discovered from
+            the replicas' health endpoints on first need.
+        config: Canary budgets.
+        supervisor: Optional :class:`~repro.fleet.replica.ReplicaSupervisor`
+            whose restart version advances on promote.
+        metrics: Optional registry for rollout counters.
+    """
+
+    def __init__(
+        self,
+        front,
+        publisher: SnapshotPublisher,
+        current_path: str,
+        current_digest: str | None = None,
+        config: RolloutConfig | None = None,
+        supervisor=None,
+        metrics=None,
+    ):
+        self.front = front
+        self.publisher = publisher
+        self.config = config or RolloutConfig()
+        self.supervisor = supervisor
+        self.metrics = metrics if metrics is not None else front.metrics
+        self._lock = threading.Lock()
+        self._state = RolloutState.IDLE
+        self._current_path = current_path
+        self._current_digest = current_digest
+        self._last: dict[str, object] | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        front.attach_controller(self)
+
+    # ------------------------------------------------------------- identity
+    @property
+    def state_name(self) -> str:
+        """The state machine's position, as its wire string."""
+        with self._lock:
+            return self._state.value
+
+    @property
+    def current_path(self) -> str:
+        """The snapshot path the fleet is committed to."""
+        with self._lock:
+            return self._current_path
+
+    @property
+    def current_digest(self) -> str | None:
+        """The committed snapshot's digest (discovered lazily)."""
+        with self._lock:
+            if self._current_digest is not None:
+                return self._current_digest
+        served = self.publisher.served_digests()
+        discovered = next((d for d in served.values() if d), None)
+        with self._lock:
+            if self._current_digest is None and discovered is not None:
+                self._current_digest = discovered
+            return self._current_digest
+
+    @property
+    def current_version(self) -> str | None:
+        """Short content version (first 16 digest hex), or ``None``."""
+        digest = self.current_digest
+        return digest[:16] if digest else None
+
+    def status(self) -> dict[str, object]:
+        """``/fleet/status`` body: version state plus the last rollout."""
+        with self._lock:
+            body: dict[str, object] = {
+                "state": self._state.value,
+                "snapshot": self._current_path,
+                "digest": self._current_digest,
+                "last_rollout": dict(self._last) if self._last else None,
+            }
+        return body
+
+    # --------------------------------------------------------------- publish
+    def start_publish(self, snapshot_path: str, gated: bool = True) -> None:
+        """Begin a rollout in the background.
+
+        Raises:
+            RolloutInProgressError: if a rollout is already running.
+        """
+        with self._lock:
+            if self._state is not RolloutState.IDLE:
+                raise RolloutInProgressError(
+                    f"rollout already {self._state.value} "
+                    f"(snapshot {self._current_path})"
+                )
+            self._state = RolloutState.CANARY
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(snapshot_path, gated),
+            name="fleet-rollout",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def publish_and_wait(
+        self, snapshot_path: str, gated: bool = True, timeout_s: float | None = None
+    ) -> dict[str, object] | None:
+        """Convenience for the CLI and tests: publish, block, report."""
+        self.start_publish(snapshot_path, gated=gated)
+        self.wait(timeout_s)
+        with self._lock:
+            return dict(self._last) if self._last else None
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until the running rollout (if any) finishes."""
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout=timeout_s)
+        return not thread.is_alive()
+
+    def shutdown(self) -> None:
+        """Abort any running rollout and wait for its thread."""
+        self._stop.set()
+        self.wait(timeout_s=10.0)
+
+    # ---------------------------------------------------------- state machine
+    def _set_state(self, state: RolloutState) -> None:
+        with self._lock:
+            self._state = state
+
+    def _finish(self, outcome: dict[str, object]) -> None:
+        with self._lock:
+            self._last = outcome
+            self._state = RolloutState.IDLE
+
+    def _commit(self, snapshot_path: str, digest: str) -> None:
+        with self._lock:
+            self._current_path = snapshot_path
+            self._current_digest = digest
+        if self.supervisor is not None:
+            self.supervisor.set_desired_path(snapshot_path)
+
+    def _run(self, snapshot_path: str, gated: bool) -> None:
+        outcome: dict[str, object] = {
+            "snapshot": snapshot_path,
+            "gated": gated,
+            "promoted": False,
+        }
+        try:
+            if gated:
+                self._run_gated(snapshot_path, outcome)
+            else:
+                self._run_ungated(snapshot_path, outcome)
+        except Exception as exc:  # noqa: BLE001 — a rollout must never
+            # leave the controller wedged in a non-IDLE state.
+            outcome["error"] = f"{type(exc).__name__}: {exc}"
+        self._finish(outcome)
+
+    def _run_ungated(self, snapshot_path: str, outcome: dict[str, object]) -> None:
+        """Direct fleet-wide publish: converge or roll everything back."""
+        self._set_state(RolloutState.PROMOTING)
+        old_path = self.current_path
+        report = self.publisher.publish(snapshot_path)
+        outcome["publish"] = report.as_dict()
+        if report.converged and report.digest:
+            self._commit(snapshot_path, report.digest)
+            outcome["promoted"] = True
+            self.metrics.counter("fleet.promotes")
+            return
+        self._set_state(RolloutState.ROLLING_BACK)
+        rollback = self.publisher.publish(old_path)
+        outcome["rollback"] = rollback.as_dict()
+        outcome["verdict"] = "fail-not-converged"
+        self.metrics.counter("fleet.rollbacks")
+
+    def _run_gated(self, snapshot_path: str, outcome: dict[str, object]) -> None:
+        """Canary → shadow → promote/rollback."""
+        canary = self._pick_canary()
+        if canary is None:
+            outcome["error"] = "no replica available for canary duty"
+            return
+        outcome["canary"] = canary.replica_id
+        old_path = self.current_path
+        old_digest = self.current_digest
+        self.front.replicas.set_excluded(canary.replica_id, True)
+        try:
+            digest, reason = self.publisher.publish_to(canary, snapshot_path)
+            if digest is None:
+                outcome["error"] = f"canary reload failed: {reason}"
+                # The canary kept its old snapshot; nothing to undo.
+                return
+            outcome["candidate_digest"] = digest
+            if digest == old_digest:
+                # Publishing the committed version is a no-op, not a
+                # rollout — common when an operator re-runs a publish.
+                self._commit(snapshot_path, digest)
+                outcome["promoted"] = True
+                outcome["verdict"] = "no-op (digest unchanged)"
+                return
+
+            window = ShadowWindow()
+            mirror = ShadowMirror(
+                canary, window, queue_size=self.config.mirror_queue_size
+            )
+            self._set_state(RolloutState.SHADOWING)
+            self.front.set_mirror(mirror.tap)
+            try:
+                self._await_samples(window)
+            finally:
+                self.front.set_mirror(None)
+                mirror.close()
+            outcome["shadow"] = window.as_dict()
+            outcome["shadow_dropped"] = mirror.dropped
+            verdict = window.verdict(self.config)
+            outcome["verdict"] = verdict
+
+            if verdict == VERDICT_PASS:
+                self._set_state(RolloutState.PROMOTING)
+                others = [
+                    t.replica_id
+                    for t in self.front.replicas.targets()
+                    if t.replica_id != canary.replica_id
+                ]
+                report = self.publisher.publish(
+                    snapshot_path, replica_ids=others, expected_digest=digest
+                )
+                outcome["publish"] = report.as_dict()
+                if report.converged or not others:
+                    self._commit(snapshot_path, digest)
+                    outcome["promoted"] = True
+                    self.metrics.counter("fleet.promotes")
+                    return
+                outcome["verdict"] = "fail-not-converged"
+                # Some non-canary replicas may already hold the new
+                # version; they roll back alongside the canary below.
+                touched = list(report.reloaded)
+            else:
+                touched = []
+
+            # Any non-pass verdict lands here: restore everything that
+            # was moved off the committed snapshot.
+            self._set_state(RolloutState.ROLLING_BACK)
+            rollback = self.publisher.publish(
+                old_path,
+                replica_ids=[canary.replica_id, *touched],
+                expected_digest=old_digest,
+            )
+            outcome["rollback"] = rollback.as_dict()
+            self.metrics.counter("fleet.rollbacks")
+        finally:
+            self.front.replicas.set_excluded(canary.replica_id, False)
+
+    def _pick_canary(self):
+        """First live replica takes canary duty (deterministic, simple)."""
+        routable = self.front.replicas.routable()
+        if routable:
+            return routable[0]
+        targets = self.front.replicas.targets()
+        return targets[0] if targets else None
+
+    def _await_samples(self, window: ShadowWindow) -> None:
+        deadline = time.monotonic() + self.config.shadow_timeout_s
+        while time.monotonic() < deadline and not self._stop.is_set():
+            if window.samples >= self.config.min_shadow_samples:
+                return
+            time.sleep(_SHADOW_POLL_S)

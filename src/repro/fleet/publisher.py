@@ -1,0 +1,172 @@
+"""Snapshot distribution: ship one artifact to many replicas, verify by content.
+
+The publisher's contract is *convergence by digest*, not by name: after
+a fan-out it reads back each replica's ``/healthz`` and requires the
+served ``study_digest`` — which hashes the snapshot's full response
+surface — to be identical everywhere.  Two replicas with equal digests
+return byte-identical bodies for every endpoint, so digest convergence
+is exactly the property the fleet's rolling-publish test asserts.
+Generation counters are useless here (each process counts its own
+reloads from zero); the digest is the only cross-process identity.
+
+Replicas load the artifact themselves via
+``POST /admin/reload?snapshot=<path>`` — the publisher never ships
+bytes, only the path, which on a single machine (this repo's test rig)
+is shared disk.  A failed reload leaves that replica on its old
+snapshot (the serving layer's keep-old-on-failure guarantee), which is
+what makes publish failures safe: the fleet is never left in a state
+no snapshot version can explain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import quote
+
+from repro.errors import ReplicaUnreachableError
+from repro.fleet.targets import ReplicaSet, ReplicaTarget
+
+
+@dataclass
+class PublishReport:
+    """Outcome of one publish fan-out.
+
+    Attributes:
+        snapshot_path: The artifact that was published.
+        digest: The digest every successful replica now serves (``None``
+            until at least one succeeds).
+        reloaded: Replica ids that accepted the reload, with the digest
+            each reported.
+        failed: Replica ids that could not be updated, with the reason.
+        converged: True when every *targeted* replica reported the same
+            digest (and matched ``expected_digest`` when one was given).
+    """
+
+    snapshot_path: str
+    digest: str | None = None
+    reloaded: dict[str, str] = field(default_factory=dict)
+    failed: dict[str, str] = field(default_factory=dict)
+    converged: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form for CLI output and ``/fleet/status``."""
+        return {
+            "snapshot": self.snapshot_path,
+            "digest": self.digest,
+            "reloaded": dict(self.reloaded),
+            "failed": dict(self.failed),
+            "converged": self.converged,
+        }
+
+
+class SnapshotPublisher:
+    """Fans snapshot reloads out to replicas and verifies convergence.
+
+    Args:
+        targets: The fleet's replica registry.
+        metrics: Optional registry for publish counters.
+    """
+
+    def __init__(self, targets: ReplicaSet, metrics=None):
+        self.targets = targets
+        self.metrics = metrics
+
+    # ------------------------------------------------------------ one replica
+    def publish_to(
+        self, target: ReplicaTarget, snapshot_path: str
+    ) -> tuple[str | None, str | None]:
+        """Reload one replica onto ``snapshot_path``.
+
+        Returns:
+            ``(digest, None)`` on success, ``(None, reason)`` on failure.
+            Failure leaves the replica serving its previous snapshot.
+        """
+        reload_target = f"/admin/reload?snapshot={quote(snapshot_path, safe='')}"
+        try:
+            status, body = target.request("POST", reload_target)
+        except ReplicaUnreachableError as exc:
+            target.mark_down()
+            return None, f"unreachable: {exc}"
+        target.mark_up()
+        try:
+            parsed = json.loads(body)
+        except ValueError:
+            parsed = {}
+        if not isinstance(parsed, dict):
+            parsed = {}
+        if status != 200:
+            reason = parsed.get("error", f"status {status}")
+            return None, f"reload rejected: {reason}"
+        digest = parsed.get("digest")
+        if not isinstance(digest, str) or not digest:
+            return None, "reload response carried no digest"
+        return digest, None
+
+    # -------------------------------------------------------------- fan out
+    def publish(
+        self,
+        snapshot_path: str,
+        replica_ids: list[str] | None = None,
+        expected_digest: str | None = None,
+    ) -> PublishReport:
+        """Reload every targeted replica and check digest convergence.
+
+        Args:
+            snapshot_path: Artifact path the replicas should load.
+            replica_ids: Subset to target (default: the whole fleet).
+            expected_digest: When given, every reloaded replica must
+                report exactly this digest for the report to converge —
+                the caller's guard against a replica reading a *different*
+                file at the same path (e.g. a stale NFS view).
+
+        Returns:
+            A :class:`PublishReport`; ``converged`` is the one flag
+            callers should gate on.
+        """
+        report = PublishReport(snapshot_path=snapshot_path)
+        targeted = self.targets.targets()
+        if replica_ids is not None:
+            wanted = set(replica_ids)
+            targeted = [t for t in targeted if t.replica_id in wanted]
+        for target in targeted:
+            digest, reason = self.publish_to(target, snapshot_path)
+            if digest is None:
+                report.failed[target.replica_id] = reason or "unknown failure"
+                if self.metrics is not None:
+                    self.metrics.counter("fleet.publish_failures")
+                continue
+            report.reloaded[target.replica_id] = digest
+            if self.metrics is not None:
+                self.metrics.counter("fleet.publishes")
+        digests = set(report.reloaded.values())
+        report.digest = digests.pop() if len(digests) == 1 else None
+        report.converged = bool(
+            targeted
+            and not report.failed
+            and report.digest is not None
+            and (expected_digest is None or report.digest == expected_digest)
+        )
+        return report
+
+    # ---------------------------------------------------------- convergence
+    def served_digests(self) -> dict[str, str | None]:
+        """Each replica's currently served digest (``None`` if unreachable).
+
+        Reads ``/healthz`` rather than trusting the last reload response,
+        so it also catches replicas that restarted onto a different
+        snapshot after the fan-out.
+        """
+        digests: dict[str, str | None] = {}
+        for target in self.targets.targets():
+            health = target.probe()
+            digest = health.get("digest") if health else None
+            digests[target.replica_id] = digest if isinstance(digest, str) else None
+        return digests
+
+    def converged(self, expected_digest: str) -> bool:
+        """Whether every replica currently serves ``expected_digest``."""
+        served = self.served_digests()
+        return bool(served) and all(
+            digest == expected_digest for digest in served.values()
+        )

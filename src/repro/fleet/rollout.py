@@ -1,0 +1,195 @@
+"""Health-gated rollout primitives: budgets, shadow sampling, the mirror.
+
+A gated publish never exposes users to an unvetted snapshot.  The new
+version goes to one **canary** replica first, which is excluded from
+routing; the front *mirrors* live data traffic at it (fire-and-forget
+copies of admitted GETs), and a :class:`ShadowWindow` accumulates the
+canary's error/latency samples.  Only if the window holds the
+:class:`RolloutConfig` budget over enough samples does the controller
+promote the snapshot fleet-wide; any breach — error spike, latency
+regression, or simply not enough evidence before the timeout — rolls
+the canary back and the fleet never changes version.
+
+The mirror is deliberately lossy: it enqueues onto a bounded queue and
+drops on overflow, because shadow traffic must never add backpressure
+to the live path.  Dropped mirrors are counted, not retried — the gate
+needs a *sample* of production traffic, not a replay of all of it.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReplicaUnreachableError
+from repro.fleet.targets import ReplicaTarget
+
+
+class RolloutState(enum.Enum):
+    """Where a rollout currently stands (``/fleet/status``)."""
+
+    IDLE = "idle"
+    CANARY = "canary"
+    SHADOWING = "shadowing"
+    PROMOTING = "promoting"
+    ROLLING_BACK = "rolling-back"
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Budgets a canary must hold before promotion.
+
+    Attributes:
+        min_shadow_samples: Samples the window needs before the gate may
+            pass — fewer by the timeout means rollback (no evidence is
+            treated as bad evidence).
+        max_error_rate: Highest tolerable fraction of failed shadow
+            requests (connection failures or 5xx responses).
+        max_p95_latency_s: Highest tolerable p95 of shadow latencies.
+        shadow_timeout_s: Wall-clock budget for collecting samples.
+        mirror_queue_size: Bound on queued-but-unsent shadow requests;
+            overflow drops (counted) rather than blocking live traffic.
+    """
+
+    min_shadow_samples: int = 50
+    max_error_rate: float = 0.05
+    max_p95_latency_s: float = 0.5
+    shadow_timeout_s: float = 30.0
+    mirror_queue_size: int = 256
+
+    def __post_init__(self):
+        if self.min_shadow_samples < 1:
+            raise ValueError("min_shadow_samples must be >= 1")
+        if not 0.0 <= self.max_error_rate <= 1.0:
+            raise ValueError("max_error_rate must be within [0, 1]")
+        if self.max_p95_latency_s <= 0:
+            raise ValueError("max_p95_latency_s must be positive")
+        if self.shadow_timeout_s <= 0:
+            raise ValueError("shadow_timeout_s must be positive")
+
+
+#: Gate verdicts a shadow window can return.
+VERDICT_PASS = "pass"
+VERDICT_ERROR_RATE = "fail-error-rate"
+VERDICT_LATENCY = "fail-latency"
+VERDICT_INSUFFICIENT = "fail-insufficient-samples"
+
+
+class ShadowWindow:
+    """Thread-safe accumulator for one canary's shadow results."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._errors = 0
+
+    def record(self, ok: bool, latency_s: float) -> None:
+        """Add one shadow result (``ok`` False on 5xx or unreachable)."""
+        with self._lock:
+            self._latencies.append(latency_s)
+            if not ok:
+                self._errors += 1
+
+    @property
+    def samples(self) -> int:
+        """Shadow requests completed so far."""
+        with self._lock:
+            return len(self._latencies)
+
+    @property
+    def errors(self) -> int:
+        """Failed shadow requests so far."""
+        with self._lock:
+            return self._errors
+
+    def error_rate(self) -> float:
+        """Failures as a fraction of samples (0 with no samples)."""
+        with self._lock:
+            return self._errors / len(self._latencies) if self._latencies else 0.0
+
+    def p95_latency_s(self) -> float:
+        """p95 of shadow latencies (0 with no samples)."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            ordered = sorted(self._latencies)
+            index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+            return ordered[index]
+
+    def verdict(self, config: RolloutConfig) -> str:
+        """Judge the window against the budget (one of the VERDICT_*)."""
+        if self.samples < config.min_shadow_samples:
+            return VERDICT_INSUFFICIENT
+        if self.error_rate() > config.max_error_rate:
+            return VERDICT_ERROR_RATE
+        if self.p95_latency_s() > config.max_p95_latency_s:
+            return VERDICT_LATENCY
+        return VERDICT_PASS
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly summary for status output."""
+        return {
+            "samples": self.samples,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate(), 4),
+            "p95_latency_s": round(self.p95_latency_s(), 6),
+        }
+
+
+class ShadowMirror:
+    """Replays admitted data GETs against the canary off the hot path.
+
+    The front calls :meth:`tap` inline per request; a single worker
+    thread drains the queue and records each round trip's outcome in the
+    shared :class:`ShadowWindow`.  One worker is enough — the gate wants
+    an unbiased latency sample, and a single serial prober measures the
+    canary the way one client would see it.
+    """
+
+    def __init__(
+        self,
+        canary: ReplicaTarget,
+        window: ShadowWindow,
+        queue_size: int = 256,
+        clock=time.perf_counter,
+    ):
+        self._canary = canary
+        self._window = window
+        self._clock = clock
+        self._queue: "queue.Queue[tuple[str, str] | None]" = queue.Queue(
+            maxsize=max(1, queue_size)
+        )
+        self.dropped = 0
+        self._worker = threading.Thread(
+            target=self._drain, name="fleet-shadow-mirror", daemon=True
+        )
+        self._worker.start()
+
+    def tap(self, method: str, target: str) -> None:
+        """Enqueue one live request for shadow replay (never blocks)."""
+        try:
+            self._queue.put_nowait((method, target))
+        except queue.Full:
+            self.dropped += 1
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            method, target = item
+            start = self._clock()
+            try:
+                status, _ = self._canary.request(method, target)
+                ok = status < 500
+            except ReplicaUnreachableError:
+                ok = False
+            self._window.record(ok, self._clock() - start)
+
+    def close(self, timeout_s: float = 2.0) -> None:
+        """Stop the worker after the queue drains."""
+        self._queue.put(None)
+        self._worker.join(timeout=timeout_s)

@@ -1,0 +1,243 @@
+"""Replica addressing and liveness state shared by front and supervisor.
+
+A :class:`ReplicaTarget` is the fleet's view of one replica: where it
+listens, whether the front should route to it, and the keep-alive client
+pool used to reach it.  The :class:`ReplicaSet` is the shared registry —
+the front reads it on every request, the supervisor rebinds targets when
+it restarts a crashed subprocess, and the rollout controller excludes
+the canary from routing while it serves shadow traffic.
+
+Liveness is *passive with half-open retry*: the front marks a target
+down when a request to it fails at the connection level and retries it
+after ``cooldown_s`` (one probe request gets through; success marks it
+up, failure re-arms the cooldown).  The supervisor's periodic
+:meth:`ReplicaTarget.probe` additionally confirms health out-of-band and
+reads the replica's served digest for convergence checks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ReplicaUnreachableError
+from repro.fleet.client import PooledReplicaClient
+
+#: Seconds a down replica is skipped before the next half-open attempt.
+DEFAULT_COOLDOWN_S = 1.0
+
+
+class ReplicaTarget:
+    """One replica's address, routing state, and client pool.
+
+    Args:
+        replica_id: Stable name (``"r0"``, ``"r1"``, …) — survives
+            restarts even though the port may not.
+        host: Replica host.
+        port: Replica TCP port (rebindable; see :meth:`rebind`).
+        clock: Monotonic-seconds source, injectable for tests.
+        cooldown_s: Half-open retry delay after a connection failure.
+        timeout_s: Socket timeout for requests to this replica.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        host: str,
+        port: int,
+        clock: Callable[[], float] = time.monotonic,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        timeout_s: float = 10.0,
+    ):
+        self.replica_id = replica_id
+        self.host = host
+        self._clock = clock
+        self._cooldown_s = cooldown_s
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._up = True
+        self._retry_at = 0.0
+        self._excluded = False
+        self._client = PooledReplicaClient(host, port, timeout_s=timeout_s)
+
+    # ------------------------------------------------------------ addressing
+    @property
+    def port(self) -> int:
+        """The current TCP port (changes across supervisor restarts)."""
+        return self._client.port
+
+    def rebind(self, port: int) -> None:
+        """Point this target at a new port (replica restarted) and mark up."""
+        with self._lock:
+            old = self._client
+            self._client = PooledReplicaClient(
+                self.host, port, timeout_s=self._timeout_s
+            )
+            self._up = True
+            self._retry_at = 0.0
+        old.close()
+
+    # --------------------------------------------------------------- traffic
+    def request(self, method: str, target: str) -> tuple[int, bytes]:
+        """One round trip to this replica (no state bookkeeping here —
+        the front owns mark_up/mark_down so probes don't fight traffic).
+
+        Raises:
+            ReplicaUnreachableError: on a connection-level failure.
+        """
+        with self._lock:
+            client = self._client
+        return client.request(method, target)
+
+    # -------------------------------------------------------------- liveness
+    def mark_down(self) -> None:
+        """Record a connection-level failure; skipped until the cooldown."""
+        with self._lock:
+            self._up = False
+            self._retry_at = self._clock() + self._cooldown_s
+
+    def mark_up(self) -> None:
+        """Record a successful round trip."""
+        with self._lock:
+            self._up = True
+
+    @property
+    def up(self) -> bool:
+        """Whether the last interaction succeeded."""
+        with self._lock:
+            return self._up
+
+    @property
+    def excluded(self) -> bool:
+        """Whether routing is administratively suspended (canary duty)."""
+        with self._lock:
+            return self._excluded
+
+    def set_excluded(self, flag: bool) -> None:
+        """Suspend/resume routing to this replica without touching liveness."""
+        with self._lock:
+            self._excluded = flag
+
+    def routable(self) -> bool:
+        """Whether the front may send this replica traffic right now.
+
+        Down targets become routable again once their cooldown expires —
+        the next request through is the half-open probe.
+        """
+        with self._lock:
+            if self._excluded:
+                return False
+            return self._up or self._clock() >= self._retry_at
+
+    # ----------------------------------------------------------------- probe
+    def probe(self) -> dict | None:
+        """``GET /healthz`` parsed, updating liveness; ``None`` if down.
+
+        The parsed body gives the supervisor and publisher the replica's
+        served ``digest``/``generation`` and ``draining`` state.
+        """
+        try:
+            status, body = self.request("GET", "/healthz")
+            parsed = json.loads(body)
+        except (ReplicaUnreachableError, ValueError):
+            self.mark_down()
+            return None
+        if status != 200 or not isinstance(parsed, dict):
+            self.mark_down()
+            return None
+        self.mark_up()
+        return parsed
+
+    def describe(self) -> dict[str, object]:
+        """One row of ``/fleet/healthz``: address and routing state."""
+        with self._lock:
+            state = "excluded" if self._excluded else ("up" if self._up else "down")
+        return {
+            "id": self.replica_id,
+            "host": self.host,
+            "port": self.port,
+            "state": state,
+        }
+
+    def close(self) -> None:
+        """Release the client pool."""
+        self._client.close()
+
+
+class ReplicaSet:
+    """The shared, ordered registry of replica targets (thread-safe).
+
+    Iteration order is insertion order, which is what makes round-robin
+    and the consistent-hash ring deterministic across components.  The
+    ``revision`` counter bumps on membership changes so the front knows
+    when to rebuild its ring.
+    """
+
+    def __init__(self) -> None:
+        self._targets: dict[str, ReplicaTarget] = {}
+        self._lock = threading.Lock()
+        self._revision = 0
+
+    def add(self, target: ReplicaTarget) -> None:
+        """Register (or replace) a target under its replica id."""
+        with self._lock:
+            previous = self._targets.get(target.replica_id)
+            self._targets[target.replica_id] = target
+            self._revision += 1
+        if previous is not None and previous is not target:
+            previous.close()
+
+    def remove(self, replica_id: str) -> None:
+        """Deregister and close a target (no-op if unknown)."""
+        with self._lock:
+            target = self._targets.pop(replica_id, None)
+            self._revision += 1
+        if target is not None:
+            target.close()
+
+    def get(self, replica_id: str) -> ReplicaTarget | None:
+        """The target registered under ``replica_id``, if any."""
+        with self._lock:
+            return self._targets.get(replica_id)
+
+    def targets(self) -> list[ReplicaTarget]:
+        """All targets, insertion-ordered."""
+        with self._lock:
+            return list(self._targets.values())
+
+    def routable(self) -> list[ReplicaTarget]:
+        """Targets the front may route to right now."""
+        return [target for target in self.targets() if target.routable()]
+
+    def ids(self) -> list[str]:
+        """All replica ids, insertion-ordered."""
+        with self._lock:
+            return list(self._targets)
+
+    @property
+    def revision(self) -> int:
+        """Membership-change counter (ring rebuild key)."""
+        with self._lock:
+            return self._revision
+
+    def set_excluded(self, replica_id: str, flag: bool) -> None:
+        """Suspend/resume routing to one replica (canary duty)."""
+        target = self.get(replica_id)
+        if target is not None:
+            target.set_excluded(flag)
+
+    def health_source(self) -> dict[str, object]:
+        """Metrics-registry source: fleet size and healthy/routable counts."""
+        targets = self.targets()
+        return {
+            "replicas": len(targets),
+            "replicas_healthy": sum(1 for t in targets if t.up),
+            "replicas_routable": sum(1 for t in targets if t.routable()),
+        }
+
+    def close(self) -> None:
+        """Close every target's client pool."""
+        for target in self.targets():
+            target.close()

@@ -114,19 +114,33 @@ class AsyncStudyServer:
     docstring for the event-loop/executor split and error taxonomy.
 
     Args:
-        app: The request core (shared with any other front end).
+        app: The request core (shared with any other front end).  Any
+            object with the ``dispatch`` / ``dispatch_blocks`` /
+            ``metrics`` surface mounts here — the fleet front
+            (:class:`~repro.fleet.front.FleetFront`) reuses this exact
+            framing code by implementing the same protocol.
         host: Bind address.
         port: TCP port; ``0`` picks a free one (see :attr:`port`).
+        executor_workers: Thread-pool width for dispatches the app
+            declares blocking.  The default suits the study app (only
+            cold ``/reverse`` blocks); a proxying app like the fleet
+            front blocks on *every* request and wants a wider pool.
     """
 
-    def __init__(self, app: ServingApp, host: str = "127.0.0.1", port: int = 8080):
+    def __init__(
+        self,
+        app: ServingApp,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        executor_workers: int | None = None,
+    ):
         self.app = app
         self._host = host
         self._requested_port = port
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
-            max_workers=REVERSE_EXECUTOR_WORKERS,
+            max_workers=executor_workers or REVERSE_EXECUTOR_WORKERS,
             thread_name_prefix="aio-reverse",
         )
 
@@ -322,10 +336,17 @@ class AsyncServerThread:
         port: TCP port; ``0`` picks a free one.
     """
 
-    def __init__(self, app: ServingApp, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        app: ServingApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor_workers: int | None = None,
+    ):
         self.app = app
         self._host = host
         self._requested_port = port
+        self._executor_workers = executor_workers
         self._thread = threading.Thread(
             target=self._run, name="aio-serving", daemon=True
         )
@@ -383,7 +404,12 @@ class AsyncServerThread:
         """Bind, publish readiness, then park until told to stop."""
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        server = AsyncStudyServer(self.app, host=self._host, port=self._requested_port)
+        server = AsyncStudyServer(
+            self.app,
+            host=self._host,
+            port=self._requested_port,
+            executor_workers=self._executor_workers,
+        )
         await server.start()
         self._port = server.port
         self._ready.set()
@@ -433,21 +459,31 @@ class ThreadedServerHandle:
 
 
 def start_background_server(
-    app: ServingApp, server: str, host: str = "127.0.0.1", port: int = 0
+    app: ServingApp,
+    server: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    executor_workers: int | None = None,
 ) -> AsyncServerThread | ThreadedServerHandle:
     """Boot either front end on a background thread; started on return.
 
     Args:
-        app: The request core.
+        app: The request core (or any app-protocol object, e.g. a
+            :class:`~repro.fleet.front.FleetFront`).
         server: ``"thread"`` or ``"asyncio"`` (the CLI ``--server`` value).
         host: Bind address.
         port: TCP port; ``0`` picks a free one.
+        executor_workers: Blocking-dispatch pool width for the asyncio
+            transport (ignored by the threaded one, which is a thread
+            per connection anyway).
 
     Raises:
         ValueError: on an unknown ``server`` kind.
     """
     if server == "asyncio":
-        return AsyncServerThread(app, host=host, port=port).start()
+        return AsyncServerThread(
+            app, host=host, port=port, executor_workers=executor_workers
+        ).start()
     if server == "thread":
         return ThreadedServerHandle(app, host=host, port=port).start()
     raise ValueError(f"unknown server kind: {server!r}")

@@ -47,9 +47,18 @@ def handle_overview(snapshot: ServingSnapshot) -> tuple[int, dict]:
 
 
 def handle_healthz(
-    snapshot: ServingSnapshot, generation: int, age_seconds: float
+    snapshot: ServingSnapshot,
+    generation: int,
+    age_seconds: float,
+    draining: bool = False,
 ) -> tuple[int, dict]:
     """``GET /healthz`` — liveness plus which snapshot is being served.
+
+    The body carries both the short ``version`` tag and the full
+    ``digest``: the fleet publisher verifies rollout convergence by
+    *content* (every replica reports the published study's digest), not
+    by the per-process ``generation`` counter, which starts over on every
+    replica restart and says nothing about which snapshot is live.
 
     Args:
         snapshot: The live snapshot.
@@ -57,11 +66,16 @@ def handle_healthz(
         age_seconds: Seconds since that snapshot was published — the
             externally observable freshness signal (a live pipeline that
             stalls shows up here before anyone notices stale answers).
+        draining: Whether the server is refusing new data requests ahead
+            of shutdown (``POST /admin/drain``); surfaced as the
+            ``status`` so fronts and supervisors stop routing here.
     """
     return OK, {
-        "status": "ok",
+        "status": "draining" if draining else "ok",
+        "draining": draining,
         "dataset": snapshot.dataset_name,
         "version": snapshot.version,
+        "digest": snapshot.digest,
         "generation": generation,
         "age_seconds": round(age_seconds, 3),
     }

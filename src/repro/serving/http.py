@@ -77,6 +77,10 @@ class ServingApp:
         bucket: Admission controller (unlimited if omitted).
         reloader: Zero-argument callable producing a fresh snapshot for
             ``POST /admin/reload`` / SIGHUP; ``None`` disables reload.
+        snapshot_loader: One-argument callable loading a *named* snapshot
+            artifact for ``POST /admin/reload?snapshot=<path>`` — how a
+            fleet publisher ships a replica a snapshot it was not booted
+            with.  ``None`` rejects path-targeted reloads.
     """
 
     def __init__(
@@ -86,12 +90,15 @@ class ServingApp:
         metrics: MetricsRegistry | None = None,
         bucket: TokenBucket | None = None,
         reloader: Callable[[], ServingSnapshot] | None = None,
+        snapshot_loader: Callable[[str], ServingSnapshot] | None = None,
     ):
         self.store = store
         self.geocoder = geocoder
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.bucket = bucket if bucket is not None else TokenBucket(rate=None)
         self._reloader = reloader
+        self._snapshot_loader = snapshot_loader
+        self._draining = False
         self._reload_lock = threading.Lock()
         self.flight = SingleFlight()
         geocoder.enable_single_flight(self.flight)
@@ -116,9 +123,19 @@ class ServingApp:
         params = dict(parse_qsl(split.query))
         self.metrics.counter("serving.requests")
 
-        if path in DATA_ENDPOINTS and not self.bucket.try_acquire():
-            self.metrics.counter("serving.shed")
-            return 429, encode_body({"error": "rate limited; retry later"})
+        if path in DATA_ENDPOINTS:
+            # Drain is checked before admission: a draining server must
+            # answer 503 (so fronts route elsewhere) without burning
+            # bucket tokens it will never serve against.  In-flight
+            # requests already past this point finish normally.
+            if self._draining:
+                self.metrics.counter("serving.drained")
+                return 503, encode_body(
+                    {"error": "draining; not accepting new requests"}
+                )
+            if not self.bucket.try_acquire():
+                self.metrics.counter("serving.shed")
+                return 429, encode_body({"error": "rate limited; retry later"})
 
         start = time.perf_counter()
         try:
@@ -181,7 +198,15 @@ class ServingApp:
         if path == "/admin/reload":
             if method != "POST":
                 return 405, {"error": "reload requires POST"}
-            return self.reload()
+            return self.reload(params.get("snapshot"))
+        if path == "/admin/drain":
+            if method != "POST":
+                return 405, {"error": "drain requires POST"}
+            return self.drain()
+        if path == "/admin/undrain":
+            if method != "POST":
+                return 405, {"error": "undrain requires POST"}
+            return self.undrain()
         if method != "GET":
             return 405, {"error": f"method not allowed: {method}"}
         snapshot = self.store.current()
@@ -189,7 +214,10 @@ class ServingApp:
             return handlers.handle_overview(snapshot)
         if path == "/healthz":
             return handlers.handle_healthz(
-                snapshot, self.store.generation, self.store.age_seconds()
+                snapshot,
+                self.store.generation,
+                self.store.age_seconds(),
+                draining=self._draining,
             )
         if path == "/metrics":
             return 200, {"metrics": self.metrics.snapshot()}
@@ -206,18 +234,30 @@ class ServingApp:
         return 404, {"error": f"unknown endpoint: {path}"}
 
     # --------------------------------------------------------------- reload
-    def reload(self) -> tuple[int, dict]:
+    def reload(self, snapshot_path: str | None = None) -> tuple[int, dict]:
         """Load a fresh snapshot and swap it live (no requests dropped).
 
-        Serialised by a lock so overlapping reloads cannot interleave a
-        load with a stale swap.  On a load failure the previous snapshot
-        stays live — a bad file on disk never takes the server down.
+        With ``snapshot_path`` (``POST /admin/reload?snapshot=<path>``)
+        the named artifact is loaded through ``snapshot_loader`` — the
+        fleet publisher's way of shipping a replica a *new* version;
+        without it the configured ``reloader`` re-reads its current
+        source.  Serialised by a lock so overlapping reloads cannot
+        interleave a load with a stale swap.  On a load failure the
+        previous snapshot stays live — a bad file on disk never takes
+        the server down, which is the keep-old-on-failure property the
+        fleet rollback path leans on.
         """
-        if self._reloader is None:
+        if snapshot_path is not None:
+            if self._snapshot_loader is None:
+                return 400, {"error": "snapshot reload not configured"}
+            load = lambda: self._snapshot_loader(snapshot_path)  # noqa: E731
+        elif self._reloader is not None:
+            load = self._reloader
+        else:
             return 400, {"error": "reload not configured"}
         with self._reload_lock:
             try:
-                fresh = self._reloader()
+                fresh = load()
             except ReproError as exc:
                 self.metrics.counter("serving.reload_failures")
                 return 500, {"error": f"reload failed: {exc}"}
@@ -226,9 +266,36 @@ class ServingApp:
         return 200, {
             "previous": previous.version,
             "current": fresh.version,
+            "digest": fresh.digest,
             "changed": previous.version != fresh.version,
             "generation": self.store.generation,
         }
+
+    # ---------------------------------------------------------------- drain
+    def drain(self) -> tuple[int, dict]:
+        """Stop accepting new data requests ahead of shutdown.
+
+        In-flight requests finish (handlers already hold their snapshot
+        reference); new data requests answer 503 and ``/healthz`` reports
+        ``draining`` — the signal a fleet front or supervisor uses to
+        route elsewhere before terminating the process.  Operational
+        endpoints keep answering so the drain itself stays observable.
+        Idempotent.
+        """
+        if not self._draining:
+            self._draining = True
+            self.metrics.counter("serving.drains")
+        return 200, {"draining": True, "version": self.store.current().version}
+
+    def undrain(self) -> tuple[int, dict]:
+        """Resume accepting data requests (a cancelled shutdown). Idempotent."""
+        self._draining = False
+        return 200, {"draining": False, "version": self.store.current().version}
+
+    @property
+    def draining(self) -> bool:
+        """Whether new data requests are currently being refused."""
+        return self._draining
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -373,7 +440,7 @@ def render_serving_summary(app: ServingApp, host: str, port: int) -> str:
         f"({snapshot.total_users} users, {snapshot.total_tweets} tweets, "
         f"{len(snapshot.regions)} regions)",
         "  endpoints: /lookup /region /regions /stats /reverse "
-        "/healthz /metrics /admin/reload",
+        "/healthz /metrics /admin/reload /admin/drain",
     ]
     source = app.bucket.snapshot_source()
     if source["rate"] != "unlimited":

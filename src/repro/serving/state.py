@@ -317,13 +317,21 @@ class SnapshotStore:
             return max(0.0, self._clock() - self._swapped_at)
 
     def snapshot_source(self) -> dict[str, object]:
-        """Metrics-registry source: generation, swap count, live version,
-        and seconds since the last publish."""
+        """Metrics-registry source: generation, swap count, live version
+        and content digest, and seconds since the last publish.
+
+        The digest is the convergence signal a fleet publisher reads off
+        ``/metrics``/``/healthz``: generations restart at 1 on every
+        replica boot, but equal digests *prove* two replicas serve the
+        same study bytes.
+        """
         with self._lock:
             return {
                 "generation": self._generation,
                 "swaps": self._swaps,
                 "users": self._current.total_users,
+                "version": self._current.version,
+                "digest": self._current.digest,
                 "age_seconds": round(
                     max(0.0, self._clock() - self._swapped_at), 3
                 ),

@@ -1,0 +1,1 @@
+"""Fleet serving tests."""

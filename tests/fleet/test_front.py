@@ -1,0 +1,201 @@
+"""FleetFront routing, retry, admission, and fleet endpoints."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import MetricsRegistry
+from repro.fleet import FleetFront, ReplicaSet
+from repro.serving import TokenBucket
+
+
+def _body(front: FleetFront, method: str, target: str) -> tuple[int, dict]:
+    status, payload = front.dispatch(method, target)
+    return status, json.loads(payload)
+
+
+class TestProxying:
+    def test_proxied_response_is_byte_identical_to_the_replica(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        direct = replicas[0].app.dispatch("GET", "/stats")
+        via_front = front.dispatch("GET", "/stats")
+        assert via_front == direct
+
+    def test_round_robin_uses_every_replica(self, make_fleet):
+        replicas, targets = make_fleet(count=3)
+        front = FleetFront(targets)
+        for _ in range(6):
+            status, _ = front.dispatch("GET", "/stats")
+            assert status == 200
+        snapshot = front.metrics.snapshot()
+        for replica in replicas:
+            key = f"fleet.replica.{replica.replica_id}.latency.count"
+            assert snapshot.get(key, 0) >= 1, f"{replica.replica_id} never used"
+
+    def test_hash_routing_pins_a_key_to_one_replica(self, make_fleet):
+        replicas, targets = make_fleet(count=3)
+        front = FleetFront(targets, route="hash")
+        for _ in range(8):
+            status, _ = front.dispatch("GET", "/lookup?user=7")
+            assert status in (200, 404)
+        snapshot = front.metrics.snapshot()
+        used = [
+            r.replica_id
+            for r in replicas
+            if snapshot.get(f"fleet.replica.{r.replica_id}.latency.count", 0)
+        ]
+        assert len(used) == 1, f"key bounced across replicas: {used}"
+
+    def test_non_get_is_refused(self, make_fleet):
+        _, targets = make_fleet(count=1)
+        front = FleetFront(targets)
+        status, body = _body(front, "POST", "/admin/reload")
+        assert status == 405
+        assert "method not allowed" in body["error"]
+
+    def test_unknown_route_policy_rejected(self):
+        try:
+            FleetFront(ReplicaSet(), route="random")
+        except ValueError as exc:
+            assert "unknown route policy" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("bad policy accepted")
+
+
+class TestRetry:
+    def test_dead_replica_is_retried_on_the_next_one(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        replicas[0].server.shutdown()
+        for _ in range(4):
+            status, _ = front.dispatch("GET", "/stats")
+            assert status == 200
+        snapshot = front.metrics.snapshot()
+        assert snapshot["fleet.retries"] >= 1
+        assert snapshot["fleet.replica_errors"] >= 1
+
+    def test_downed_replica_is_skipped_until_cooldown(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        replicas[0].server.shutdown()
+        front.dispatch("GET", "/stats")  # discovers the corpse, marks down
+        retries_before = front.metrics.snapshot()["fleet.retries"]
+        for _ in range(5):
+            status, _ = front.dispatch("GET", "/stats")
+            assert status == 200
+        # Within the cooldown no further retries are spent on the corpse.
+        assert front.metrics.snapshot()["fleet.retries"] == retries_before
+
+    def test_all_replicas_dead_is_502(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        for replica in replicas:
+            replica.server.shutdown()
+        status, body = _body(front, "GET", "/stats")
+        assert status == 502
+        assert "unreachable" in body["error"]
+
+    def test_empty_fleet_is_503(self):
+        front = FleetFront(ReplicaSet())
+        status, body = _body(front, "GET", "/stats")
+        assert status == 503
+        assert "no replica" in body["error"]
+
+    def test_draining_replica_fails_over(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        status, _ = replicas[0].app.drain()
+        assert status == 200
+        for _ in range(4):
+            status, _ = front.dispatch("GET", "/stats")
+            assert status == 200
+
+    def test_whole_fleet_draining_returns_503(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        for replica in replicas:
+            replica.app.drain()
+        status, body = _body(front, "GET", "/stats")
+        assert status == 503
+        assert "draining" in body["error"]
+
+
+class TestAdmission:
+    def test_fleet_bucket_sheds_over_budget(self, make_fleet):
+        _, targets = make_fleet(count=1)
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=1, clock=lambda: clock[0])
+        front = FleetFront(targets, bucket=bucket)
+        status, _ = front.dispatch("GET", "/stats")
+        assert status == 200
+        status, body = _body(front, "GET", "/stats")
+        assert status == 429
+        assert front.metrics.snapshot()["fleet.shed"] == 1
+        clock[0] += 2.0
+        status, _ = front.dispatch("GET", "/stats")
+        assert status == 200
+
+    def test_fleet_endpoints_bypass_admission(self, make_fleet):
+        _, targets = make_fleet(count=1)
+        bucket = TokenBucket(rate=1.0, burst=1, clock=lambda: 0.0)
+        front = FleetFront(targets, bucket=bucket)
+        front.dispatch("GET", "/stats")
+        for _ in range(3):
+            status, _ = front.dispatch("GET", "/fleet/healthz")
+            assert status == 200
+
+
+class TestFleetEndpoints:
+    def test_healthz_lists_replicas(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        status, body = _body(front, "GET", "/fleet/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["routable"] == 2
+        assert {row["id"] for row in body["replicas"]} == {"r0", "r1"}
+        assert {row["port"] for row in body["replicas"]} == {
+            r.port for r in replicas
+        }
+
+    def test_healthz_degrades_when_a_replica_dies(self, make_fleet):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        replicas[0].server.shutdown()
+        front.dispatch("GET", "/stats")  # mark the corpse down
+        status, body = _body(front, "GET", "/fleet/healthz")
+        assert status == 200
+        assert body["status"] == "degraded"
+
+    def test_metrics_includes_fleet_gauges(self, make_fleet):
+        _, targets = make_fleet(count=2)
+        front = FleetFront(targets, metrics=MetricsRegistry())
+        front.dispatch("GET", "/stats")
+        status, body = _body(front, "GET", "/fleet/metrics")
+        assert status == 200
+        metrics = body["metrics"]
+        assert metrics["fleet.replicas"] == 2
+        assert metrics["fleet.replicas_healthy"] == 2
+        assert metrics["fleet.requests"] >= 1
+
+    def test_status_and_publish_require_a_controller(self, make_fleet):
+        _, targets = make_fleet(count=1)
+        front = FleetFront(targets)
+        status, body = _body(front, "GET", "/fleet/status")
+        assert (status, body["error"]) == (400, "no rollout controller attached")
+        status, _ = _body(front, "POST", "/fleet/publish?snapshot=v2")
+        assert status == 400
+
+    def test_unknown_fleet_endpoint_404(self, make_fleet):
+        _, targets = make_fleet(count=1)
+        front = FleetFront(targets)
+        status, _ = front.dispatch("GET", "/fleet/nope")
+        assert status == 404
+
+    def test_dispatch_blocks_only_for_proxied_paths(self, make_fleet):
+        _, targets = make_fleet(count=1)
+        front = FleetFront(targets)
+        assert front.dispatch_blocks("GET", "/stats")
+        assert front.dispatch_blocks("GET", "/lookup?user=1")
+        assert not front.dispatch_blocks("GET", "/fleet/healthz")

@@ -1,0 +1,82 @@
+"""SnapshotPublisher fan-out and digest-convergence verification."""
+
+from __future__ import annotations
+
+from repro.engine import MetricsRegistry
+from repro.fleet import SnapshotPublisher
+
+
+class TestPublish:
+    def test_fanout_converges_on_the_new_digest(
+        self, make_fleet, ladygaga_snapshot
+    ):
+        replicas, targets = make_fleet(count=3)
+        publisher = SnapshotPublisher(targets, metrics=MetricsRegistry())
+        report = publisher.publish("v2", expected_digest=ladygaga_snapshot.digest)
+        assert report.converged
+        assert report.digest == ladygaga_snapshot.digest
+        assert set(report.reloaded) == {"r0", "r1", "r2"}
+        assert report.failed == {}
+        # Every replica now actually serves the new content.
+        assert publisher.converged(ladygaga_snapshot.digest)
+        for replica in replicas:
+            assert replica.app.store.current().digest == ladygaga_snapshot.digest
+
+    def test_wrong_expected_digest_fails_convergence(self, make_fleet):
+        _, targets = make_fleet(count=2)
+        publisher = SnapshotPublisher(targets)
+        report = publisher.publish("v2", expected_digest="0" * 64)
+        assert not report.converged
+        assert report.digest is not None  # replicas agreed with each other…
+        assert set(report.reloaded) == {"r0", "r1"}  # …just not with the caller
+
+    def test_subset_publish_touches_only_named_replicas(
+        self, make_fleet, korean_snapshot, ladygaga_snapshot
+    ):
+        replicas, targets = make_fleet(count=3)
+        publisher = SnapshotPublisher(targets)
+        report = publisher.publish("v2", replica_ids=["r1"])
+        assert report.converged
+        assert set(report.reloaded) == {"r1"}
+        assert replicas[0].app.store.current().digest == korean_snapshot.digest
+        assert replicas[1].app.store.current().digest == ladygaga_snapshot.digest
+        assert replicas[2].app.store.current().digest == korean_snapshot.digest
+
+    def test_bad_snapshot_key_fails_and_keeps_old_version(
+        self, make_fleet, korean_snapshot
+    ):
+        replicas, targets = make_fleet(count=2)
+        metrics = MetricsRegistry()
+        publisher = SnapshotPublisher(targets, metrics=metrics)
+        report = publisher.publish("does-not-exist")
+        assert not report.converged
+        assert set(report.failed) == {"r0", "r1"}
+        assert "reload rejected" in report.failed["r0"]
+        assert metrics.snapshot()["fleet.publish_failures"] == 2
+        for replica in replicas:
+            assert replica.app.store.current().digest == korean_snapshot.digest
+
+    def test_unreachable_replica_is_reported_not_raised(
+        self, make_fleet, ladygaga_snapshot
+    ):
+        replicas, targets = make_fleet(count=2)
+        replicas[0].server.shutdown()
+        publisher = SnapshotPublisher(targets)
+        report = publisher.publish("v2")
+        assert not report.converged
+        assert "unreachable" in report.failed["r0"]
+        assert report.reloaded == {"r1": ladygaga_snapshot.digest}
+
+    def test_served_digests_reads_live_health(self, make_fleet, korean_snapshot):
+        replicas, targets = make_fleet(count=2)
+        publisher = SnapshotPublisher(targets)
+        served = publisher.served_digests()
+        assert served == {
+            "r0": korean_snapshot.digest,
+            "r1": korean_snapshot.digest,
+        }
+        replicas[1].kill()
+        served = publisher.served_digests()
+        assert served["r0"] == korean_snapshot.digest
+        assert served["r1"] is None
+        assert not publisher.converged(korean_snapshot.digest)

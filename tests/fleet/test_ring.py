@@ -1,0 +1,95 @@
+"""Properties of the consistent-hash ring.
+
+The front leans on three guarantees: ``order`` is a deterministic
+permutation of the fleet (stable owner + stable failover sequence),
+removing a replica only remaps the keys it owned (minimal disruption),
+and ownership stays reasonably balanced across replicas.
+"""
+
+from __future__ import annotations
+
+from repro.fleet import HashRing
+
+IDS = ["r0", "r1", "r2", "r3", "r4"]
+KEYS = [f"/lookup?user={i}" for i in range(400)] + ["/stats", "/regions"]
+
+
+class TestOrder:
+    def test_order_is_a_permutation_of_the_ids(self):
+        ring = HashRing(IDS)
+        for key in KEYS:
+            assert sorted(ring.order(key)) == sorted(IDS)
+
+    def test_order_is_deterministic_across_ring_instances(self):
+        a, b = HashRing(IDS), HashRing(IDS)
+        for key in KEYS:
+            assert a.order(key) == b.order(key)
+
+    def test_owner_is_first_in_order(self):
+        ring = HashRing(IDS)
+        for key in KEYS:
+            assert ring.owner(key) == ring.order(key)[0]
+
+    def test_insertion_order_of_ids_does_not_matter(self):
+        forward, backward = HashRing(IDS), HashRing(list(reversed(IDS)))
+        for key in KEYS:
+            assert forward.owner(key) == backward.owner(key)
+
+    def test_empty_ring(self):
+        ring = HashRing([])
+        assert ring.order("/stats") == []
+        assert ring.owner("/stats") is None
+
+    def test_single_replica_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert all(ring.owner(key) == "solo" for key in KEYS)
+
+
+class TestMinimalDisruption:
+    def test_removing_a_replica_only_remaps_its_own_keys(self):
+        full = HashRing(IDS)
+        removed = "r2"
+        shrunk = HashRing([i for i in IDS if i != removed])
+        for key in KEYS:
+            before = full.owner(key)
+            after = shrunk.owner(key)
+            if before != removed:
+                assert after == before, f"{key} moved off a surviving replica"
+            else:
+                assert after != removed
+
+    def test_failover_order_skips_only_the_removed_replica(self):
+        """The shrunk ring's permutation is the full ring's with the
+        removed id deleted — so retries land where they always would."""
+        full = HashRing(IDS)
+        removed = "r4"
+        shrunk = HashRing([i for i in IDS if i != removed])
+        for key in KEYS[:100]:
+            expected = [i for i in full.order(key) if i != removed]
+            assert shrunk.order(key) == expected
+
+
+class TestBalance:
+    def test_ownership_is_roughly_uniform(self):
+        ring = HashRing(IDS)
+        counts = {replica_id: 0 for replica_id in IDS}
+        for i in range(5_000):
+            counts[ring.owner(f"key-{i}")] += 1
+        share = 1.0 / len(IDS)
+        for replica_id, count in counts.items():
+            observed = count / 5_000
+            assert abs(observed - share) < share * 0.5, (
+                f"{replica_id} owns {observed:.1%}, expected ~{share:.1%}"
+            )
+
+    def test_more_vnodes_tighten_balance(self):
+        loose = HashRing(IDS, vnodes=4)
+        tight = HashRing(IDS, vnodes=128)
+
+        def spread(ring: HashRing) -> float:
+            counts = {replica_id: 0 for replica_id in IDS}
+            for i in range(2_000):
+                counts[ring.owner(f"key-{i}")] += 1
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(tight) <= spread(loose)

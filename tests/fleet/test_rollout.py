@@ -1,0 +1,215 @@
+"""Health-gated rollout: promote on a clean canary, roll back on faults.
+
+The two injected canary faults — an error spike and a latency-budget
+breach — are the acceptance scenarios: in both, the gate must refuse
+promotion, restore the canary to the committed snapshot, and leave the
+whole fleet on the old version.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import RolloutInProgressError
+from repro.fleet import (
+    VERDICT_ERROR_RATE,
+    VERDICT_INSUFFICIENT,
+    VERDICT_LATENCY,
+    FleetController,
+    FleetFront,
+    RolloutConfig,
+    SnapshotPublisher,
+)
+
+from tests.fleet.conftest import FaultInjector
+
+FAST = dict(min_shadow_samples=5, shadow_timeout_s=10.0)
+
+
+def _controller(front, config=None, supervisor=None):
+    publisher = SnapshotPublisher(front.replicas, metrics=front.metrics)
+    return FleetController(
+        front,
+        publisher,
+        current_path="v1",
+        config=config or RolloutConfig(**FAST),
+        supervisor=supervisor,
+        metrics=front.metrics,
+    )
+
+
+def _drive_until_done(front, controller, timeout_s: float = 20.0):
+    """Offer data traffic while the rollout runs (feeds the mirror)."""
+    deadline = time.monotonic() + timeout_s
+    while not controller.wait(timeout_s=0.02):
+        front.dispatch("GET", "/stats")
+        front.dispatch("GET", "/regions")
+        assert time.monotonic() < deadline, "rollout never finished"
+    assert controller.wait(timeout_s=1.0)
+
+
+def _digests(replicas):
+    return {r.replica_id: r.app.store.current().digest for r in replicas}
+
+
+class TestPromotion:
+    def test_clean_canary_promotes_fleet_wide(
+        self, make_fleet, korean_snapshot, ladygaga_snapshot
+    ):
+        replicas, targets = make_fleet(count=3)
+        front = FleetFront(targets)
+        controller = _controller(front)
+        controller.start_publish("v2")
+        _drive_until_done(front, controller)
+
+        outcome = controller.status()["last_rollout"]
+        assert outcome["promoted"] is True
+        assert outcome["verdict"] == "pass"
+        assert outcome["shadow"]["samples"] >= 5
+        assert controller.current_path == "v2"
+        assert controller.current_digest == ladygaga_snapshot.digest
+        assert _digests(replicas) == {
+            r.replica_id: ladygaga_snapshot.digest for r in replicas
+        }
+        assert len(targets.routable()) == 3  # canary re-admitted
+        assert front.metrics.snapshot()["fleet.promotes"] == 1
+
+    def test_promote_advances_supervisor_restart_version(self, make_fleet):
+        _, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+
+        class RecordingSupervisor:
+            desired = None
+
+            def set_desired_path(self, path):
+                self.desired = path
+
+        supervisor = RecordingSupervisor()
+        controller = _controller(front, supervisor=supervisor)
+        controller.start_publish("v2")
+        _drive_until_done(front, controller)
+        assert supervisor.desired == "v2"
+
+    def test_ungated_publish_skips_the_canary_gate(
+        self, make_fleet, ladygaga_snapshot
+    ):
+        replicas, targets = make_fleet(count=3)
+        front = FleetFront(targets)
+        controller = _controller(front)
+        outcome = controller.publish_and_wait("v2", gated=False, timeout_s=20.0)
+        assert outcome["promoted"] is True
+        assert "shadow" not in outcome
+        assert _digests(replicas) == {
+            r.replica_id: ladygaga_snapshot.digest for r in replicas
+        }
+
+    def test_republishing_the_current_version_is_a_noop(self, make_fleet):
+        _, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        controller = _controller(front)
+        outcome = controller.publish_and_wait("v1", timeout_s=20.0)
+        assert outcome["promoted"] is True
+        assert "no-op" in outcome["verdict"]
+        assert front.metrics.snapshot().get("fleet.rollbacks", 0) == 0
+
+    def test_concurrent_publish_is_refused(self, make_fleet):
+        _, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        controller = _controller(front)
+        controller.start_publish("v2")
+        with pytest.raises(RolloutInProgressError):
+            controller.start_publish("v2")
+        # …and over the wire the front maps it to 409.
+        status, body = front.dispatch("POST", "/fleet/publish?snapshot=v2")
+        assert status == 409
+        assert "already" in json.loads(body)["error"]
+        _drive_until_done(front, controller)
+
+
+class TestRollback:
+    def _faulty_fleet(self, make_fleet, mode: str, delay_s: float = 0.08):
+        """Fleet whose r0 (the canary) misbehaves once it loads v2."""
+        fault = FaultInjector(delay_s=delay_s)
+
+        def on_load(replica, path):
+            if replica.fault is not None:
+                replica.fault.mode = mode if path == "v2" else None
+
+        return make_fleet(count=3, faults={0: fault}, on_load=on_load)
+
+    def test_error_spike_rolls_back_and_fleet_stays_on_old_version(
+        self, make_fleet, korean_snapshot
+    ):
+        replicas, targets = self._faulty_fleet(make_fleet, "errors")
+        front = FleetFront(targets)
+        controller = _controller(front)
+        controller.start_publish("v2")
+        _drive_until_done(front, controller)
+
+        outcome = controller.status()["last_rollout"]
+        assert outcome["promoted"] is False
+        assert outcome["verdict"] == VERDICT_ERROR_RATE
+        assert outcome["shadow"]["error_rate"] > 0.5
+        assert controller.current_path == "v1"
+        assert _digests(replicas) == {
+            r.replica_id: korean_snapshot.digest for r in replicas
+        }
+        assert outcome["rollback"]["converged"] is True
+        assert len(targets.routable()) == 3
+        assert front.metrics.snapshot()["fleet.rollbacks"] == 1
+
+    def test_latency_breach_rolls_back(self, make_fleet, korean_snapshot):
+        replicas, targets = self._faulty_fleet(make_fleet, "slow", delay_s=0.08)
+        front = FleetFront(targets)
+        config = RolloutConfig(max_p95_latency_s=0.02, **FAST)
+        controller = _controller(front, config=config)
+        controller.start_publish("v2")
+        _drive_until_done(front, controller)
+
+        outcome = controller.status()["last_rollout"]
+        assert outcome["promoted"] is False
+        assert outcome["verdict"] == VERDICT_LATENCY
+        assert outcome["shadow"]["p95_latency_s"] > 0.02
+        assert _digests(replicas) == {
+            r.replica_id: korean_snapshot.digest for r in replicas
+        }
+        assert front.metrics.snapshot()["fleet.rollbacks"] == 1
+
+    def test_no_traffic_means_no_promotion(self, make_fleet, korean_snapshot):
+        """Silence is not evidence: an unproven canary rolls back."""
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        config = RolloutConfig(min_shadow_samples=5, shadow_timeout_s=0.4)
+        controller = _controller(front, config=config)
+        outcome = controller.publish_and_wait("v2", timeout_s=20.0)
+        assert outcome["promoted"] is False
+        assert outcome["verdict"] == VERDICT_INSUFFICIENT
+        assert _digests(replicas) == {
+            r.replica_id: korean_snapshot.digest for r in replicas
+        }
+
+    def test_canary_reload_failure_changes_nothing(
+        self, make_fleet, korean_snapshot
+    ):
+        replicas, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        controller = _controller(front)
+        outcome = controller.publish_and_wait("broken-key", timeout_s=20.0)
+        assert outcome["promoted"] is False
+        assert "canary reload failed" in outcome["error"]
+        assert _digests(replicas) == {
+            r.replica_id: korean_snapshot.digest for r in replicas
+        }
+        assert controller.state_name == "idle"
+        assert len(targets.routable()) == 2
+
+    def test_mirror_is_removed_after_rollout(self, make_fleet):
+        _, targets = make_fleet(count=2)
+        front = FleetFront(targets)
+        controller = _controller(front)
+        controller.start_publish("v2")
+        _drive_until_done(front, controller)
+        assert front._mirror is None

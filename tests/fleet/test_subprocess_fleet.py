@@ -1,0 +1,187 @@
+"""The real thing: ``repro serve`` subprocess replicas under supervision.
+
+These tests cross actual process boundaries — the supervisor spawns
+``python -m repro serve`` children, parses their banners, restarts them
+when killed — so they are slower than the in-process fleet tests and
+kept deliberately few.  The kill-mid-rollout test is the acceptance
+scenario for replica failure during a publish: the front keeps
+answering (retrying onto survivors, counting ``fleet.retries``) and the
+supervisor restarts the victim on the version the fleet is actually
+committed to at that moment.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.serialization import save_study
+from repro.engine import MetricsRegistry
+from repro.fleet import (
+    FleetController,
+    FleetFront,
+    ReplicaSet,
+    ReplicaSupervisor,
+    RolloutConfig,
+    SnapshotPublisher,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="session")
+def snapshot_files(small_ctx, tmp_path_factory):
+    """Both studies saved as on-disk artifacts subprocess replicas can load."""
+    base = tmp_path_factory.mktemp("fleet-snapshots")
+    v1 = base / "korean.json"
+    v2 = base / "ladygaga.json"
+    save_study(small_ctx.korean_study, v1)
+    save_study(small_ctx.ladygaga_study, v2)
+    return str(v1), str(v2)
+
+
+def _await(predicate, timeout_s: float, what: str):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.fixture
+def subprocess_fleet(snapshot_files):
+    """2 supervised subprocess replicas on the combined gazetteer."""
+    v1, _ = snapshot_files
+    targets = ReplicaSet()
+    metrics = MetricsRegistry()
+    supervisor = ReplicaSupervisor(
+        v1,
+        replicas=2,
+        targets=targets,
+        gazetteer="combined",
+        metrics=metrics,
+        poll_interval_s=0.25,
+    )
+    supervisor.start()
+    yield supervisor, targets, metrics
+    supervisor.stop()
+    targets.close()
+
+
+class TestSupervision:
+    def test_boots_replicas_and_serves_through_the_front(self, subprocess_fleet):
+        supervisor, targets, metrics = subprocess_fleet
+        front = FleetFront(targets, metrics=metrics)
+        assert len(targets.routable()) == 2
+        for _ in range(4):
+            status, body = front.dispatch("GET", "/stats")
+            assert status == 200 and body
+        digests = SnapshotPublisher(targets).served_digests()
+        assert len(set(digests.values())) == 1  # both serve the same content
+        assert None not in digests.values()
+
+    def test_killed_replica_is_restarted_on_the_same_version(
+        self, subprocess_fleet
+    ):
+        supervisor, targets, metrics = subprocess_fleet
+        publisher = SnapshotPublisher(targets)
+        before = publisher.served_digests()
+        victim = supervisor.handle("r1")
+        old_pid = victim.pid
+        victim.kill()
+        _await(
+            lambda: victim.alive and victim.pid != old_pid,
+            timeout_s=30.0,
+            what="supervisor restart of r1",
+        )
+        _await(
+            lambda: publisher.served_digests()["r1"] == before["r1"],
+            timeout_s=10.0,
+            what="restarted r1 to serve the old version",
+        )
+        assert supervisor.restarts >= 1
+        assert metrics.snapshot()["fleet.restarts"] >= 1
+
+
+class TestKillMidRollout:
+    def test_front_retries_and_restart_lands_on_the_committed_version(
+        self, snapshot_files, small_ctx
+    ):
+        v1_path, v2_path = snapshot_files
+        targets = ReplicaSet()
+        metrics = MetricsRegistry()
+        supervisor = ReplicaSupervisor(
+            v1_path,
+            replicas=3,
+            targets=targets,
+            gazetteer="combined",
+            metrics=metrics,
+            poll_interval_s=1.0,  # a window to observe the corpse
+        )
+        supervisor.start()
+        front = FleetFront(targets, metrics=metrics)
+        publisher = SnapshotPublisher(targets, metrics=metrics)
+        controller = FleetController(
+            front,
+            publisher,
+            current_path=v1_path,
+            config=RolloutConfig(min_shadow_samples=40, shadow_timeout_s=60.0),
+            supervisor=supervisor,
+            metrics=metrics,
+        )
+        try:
+            v1_digest = publisher.served_digests()["r0"]
+            assert v1_digest is not None
+            controller.start_publish(v2_path)
+            _await(
+                lambda: controller.state_name == "shadowing",
+                timeout_s=30.0,
+                what="rollout to reach shadowing",
+            )
+            # The canary is r0 (first routable); kill a *serving* replica.
+            victim = supervisor.handle("r1")
+            old_pid = victim.pid
+            victim.kill()
+
+            # Keep querying through the front: every request must still be
+            # answered, with the dead replica's share retried elsewhere.
+            for _ in range(20):
+                status, _ = front.dispatch("GET", "/stats")
+                assert status == 200
+            assert metrics.snapshot()["fleet.retries"] >= 1
+
+            # The supervisor brings r1 back on the *committed* (old)
+            # version — the rollout has not promoted yet.
+            _await(
+                lambda: victim.alive and victim.pid != old_pid,
+                timeout_s=30.0,
+                what="supervisor restart of r1",
+            )
+            _await(
+                lambda: publisher.served_digests()["r1"] == v1_digest,
+                timeout_s=10.0,
+                what="restarted r1 back on the committed version",
+            )
+
+            # Now feed the gate until it promotes; the whole fleet —
+            # including the restarted replica — converges on v2.
+            deadline = time.monotonic() + 60.0
+            while not controller.wait(timeout_s=0.05):
+                front.dispatch("GET", "/stats")
+                assert time.monotonic() < deadline, "rollout never finished"
+            outcome = controller.status()["last_rollout"]
+            assert outcome["promoted"] is True, outcome
+            v2_digest = outcome["candidate_digest"]
+            _await(
+                lambda: set(publisher.served_digests().values()) == {v2_digest},
+                timeout_s=15.0,
+                what="fleet convergence on the promoted version",
+            )
+            assert supervisor.desired_path("r1") == v2_path
+            assert metrics.snapshot()["fleet.restarts"] >= 1
+        finally:
+            controller.shutdown()
+            supervisor.stop()
+            targets.close()

@@ -1,0 +1,108 @@
+"""Draining: refuse new data work while staying observable.
+
+``POST /admin/drain`` flips a replica into a state where data endpoints
+answer 503 but the operational surface — ``/healthz``, ``/metrics``,
+``/admin/*`` — keeps working, so a fleet front can see the drain and
+route around it while the process finishes in-flight work and exits.
+Also pins the snapshot-identity satellite: health and metrics expose the
+served ``study_digest``, the only version identity that survives
+process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _get(app, target: str) -> tuple[int, dict]:
+    status, body = app.dispatch("GET", target)
+    return status, json.loads(body)
+
+
+class TestDrain:
+    def test_drain_refuses_data_but_keeps_operational_endpoints(self, make_app):
+        app = make_app()
+        status, body = app.dispatch("POST", "/admin/drain")
+        assert status == 200
+        assert json.loads(body)["draining"] is True
+        assert app.draining
+
+        for target in ("/stats", "/regions", "/lookup?user=1"):
+            status, body = _get(app, target)
+            assert status == 503, target
+            assert "draining" in body["error"]
+
+        status, health = _get(app, "/healthz")
+        assert status == 200
+        assert health["status"] == "draining"
+        assert health["draining"] is True
+        status, _ = _get(app, "/metrics")
+        assert status == 200
+
+    def test_undrain_restores_service(self, make_app):
+        app = make_app()
+        app.dispatch("POST", "/admin/drain")
+        status, body = app.dispatch("POST", "/admin/undrain")
+        assert status == 200
+        assert json.loads(body)["draining"] is False
+        status, _ = _get(app, "/stats")
+        assert status == 200
+        status, health = _get(app, "/healthz")
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+
+    def test_drain_is_idempotent_and_counted(self, make_app):
+        app = make_app()
+        for _ in range(3):
+            status, _ = app.dispatch("POST", "/admin/drain")
+            assert status == 200
+        assert app.draining
+        _get(app, "/stats")
+        snapshot = app.metrics.snapshot()
+        assert snapshot["serving.drains"] == 1  # transitions, not requests
+        assert snapshot["serving.drained"] == 1
+
+    def test_drain_requires_post(self, make_app):
+        app = make_app()
+        status, body = _get(app, "/admin/drain")
+        assert status == 405
+        assert not app.draining
+
+    def test_drained_requests_are_not_counted_as_shed(self, make_app):
+        """Drain refusals happen before admission: the bucket's shed
+        counter stays clean so capacity metrics keep their meaning."""
+        app = make_app()
+        app.dispatch("POST", "/admin/drain")
+        for _ in range(5):
+            _get(app, "/stats")
+        snapshot = app.metrics.snapshot()
+        assert snapshot["serving.drained"] == 5
+        assert snapshot.get("serving.shed", 0) == 0
+
+
+class TestDigestIdentity:
+    def test_healthz_exposes_the_study_digest(self, make_app, korean_snapshot):
+        app = make_app()
+        _, health = _get(app, "/healthz")
+        assert health["digest"] == korean_snapshot.digest
+        assert health["version"] == korean_snapshot.version
+
+    def test_metrics_expose_the_served_digest(self, make_app, korean_snapshot):
+        app = make_app()
+        _, body = _get(app, "/metrics")
+        metrics = body["metrics"]
+        assert metrics["serving.snapshot.digest"] == korean_snapshot.digest
+        assert metrics["serving.snapshot.version"] == korean_snapshot.version
+
+    def test_reload_response_reports_the_new_digest(
+        self, make_app, korean_snapshot, ladygaga_snapshot
+    ):
+        snapshots = {"v2": ladygaga_snapshot}
+        app = make_app(snapshot_loader=snapshots.__getitem__)
+        status, body = app.dispatch("POST", "/admin/reload?snapshot=v2")
+        assert status == 200
+        parsed = json.loads(body)
+        assert parsed["digest"] == ladygaga_snapshot.digest
+        assert parsed["changed"] is True
+        _, health = _get(app, "/healthz")
+        assert health["digest"] == ladygaga_snapshot.digest
